@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunInstrumentsDirectory(t *testing.T) {
+	in := t.TempDir()
+	out := t.TempDir()
+	src := "package p\n\nvar emm_state = 1\n\nfunc recv_x() { y := 2; _ = y }\n"
+	if err := os.WriteFile(filepath.Join(in, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(out, "x.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`[FUNC] recv_x`, `[GLOBAL] emm_state`, `[LOCAL] y`} {
+		if !strings.Contains(string(got), want) {
+			t.Errorf("instrumented output missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-in", "x"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestRunBadInputDir(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent-xyz", "-out", t.TempDir()}); err == nil {
+		t.Error("missing input dir accepted")
+	}
+}

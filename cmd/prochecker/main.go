@@ -1,0 +1,136 @@
+// Command prochecker runs the analysis pipeline from the command line:
+// extract a model from an implementation profile, render it, verify
+// properties, and validate the headline attacks on the testbed.
+//
+// Usage:
+//
+//	prochecker -impl srsLTE -dot            # extracted FSM as Graphviz
+//	prochecker -impl OAI -smv               # threat model in SMV syntax
+//	prochecker -impl conformant -check S06  # verify one property
+//	prochecker -impl srsLTE -check all      # verify the full catalogue
+//	prochecker -impl OAI -validate p1       # testbed validation
+//	prochecker -list                        # list the 62 properties
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prochecker"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prochecker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prochecker", flag.ContinueOnError)
+	impl := fs.String("impl", string(prochecker.Conformant), "implementation profile: conformant | srsLTE | OAI")
+	dot := fs.Bool("dot", false, "print the extracted FSM in Graphviz DOT format")
+	smv := fs.Bool("smv", false, "print the threat-instrumented model in SMV syntax")
+	logOut := fs.Bool("log", false, "print the information-rich execution log")
+	coverage := fs.Bool("coverage", false, "print the NAS-layer coverage")
+	check := fs.String("check", "", "verify one property by ID, or 'all'")
+	validate := fs.String("validate", "", "validate an attack on the testbed: p1 | p3")
+	list := fs.Bool("list", false, "list the property catalogue")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, p := range prochecker.Properties() {
+			common := ""
+			if p.CommonLTEInspector != "" {
+				common = " [LTEInspector-common]"
+			}
+			fmt.Printf("%-4s %-8s %-26s%s\n     %s\n", p.ID, p.Class, p.Kind, common, p.Text)
+		}
+		return nil
+	}
+
+	implementation := prochecker.Implementation(*impl)
+
+	switch *validate {
+	case "":
+	case "p1":
+		res, err := prochecker.ValidateP1(implementation)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P1 service disruption on %s:\n", implementation)
+		fmt.Printf("  stale challenge accepted: %v\n", res.StaleChallengeAccepted)
+		fmt.Printf("  keys desynchronised:      %v\n", res.KeysDesynchronised)
+		fmt.Printf("  service disrupted:        %v\n", res.ServiceDisrupted)
+		fmt.Printf("  attack succeeded:         %v\n", res.Succeeded())
+		return nil
+	case "p3":
+		res, err := prochecker.ValidateP3(implementation)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P3 selective denial on %s:\n", implementation)
+		fmt.Printf("  commands dropped:   %d\n", res.CommandsDropped)
+		fmt.Printf("  procedure aborted:  %v\n", res.ProcedureAborted)
+		fmt.Printf("  GUTI unchanged:     %v\n", res.GUTIUnchangedAtUE)
+		fmt.Printf("  attack succeeded:   %v\n", res.Succeeded())
+		return nil
+	default:
+		return fmt.Errorf("unknown -validate %q (want p1 or p3)", *validate)
+	}
+
+	if !*dot && !*smv && !*logOut && !*coverage && *check == "" {
+		fs.Usage()
+		return nil
+	}
+
+	a, err := prochecker.Analyze(implementation)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *dot:
+		fmt.Print(a.FSMDOT())
+	case *smv:
+		fmt.Print(a.SMV())
+	case *logOut:
+		fmt.Print(a.Log())
+	case *coverage:
+		fmt.Println(a.Coverage())
+	}
+	if *check == "" {
+		return nil
+	}
+
+	var results []prochecker.PropertyResult
+	if *check == "all" {
+		results, err = a.CheckAll()
+		if err != nil {
+			return err
+		}
+	} else {
+		r, err := a.CheckProperty(*check)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	attacks := 0
+	for _, r := range results {
+		verdict := "verified"
+		if r.AttackFound {
+			verdict = "ATTACK"
+			attacks++
+		} else if !r.Verified {
+			verdict = "inconclusive"
+		}
+		fmt.Printf("%-4s %-12s %6dms  %s\n", r.ID, verdict, r.Duration.Milliseconds(), r.Detail)
+	}
+	if len(results) > 1 {
+		fmt.Printf("\n%d/%d properties violated on %s\n", attacks, len(results), implementation)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed. The
+// pipe is drained concurrently so large outputs (DOT/SMV dumps) cannot
+// fill the pipe buffer and deadlock the writer.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestListProperties(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"S01", "V25", "security", "privacy", "LTEInspector-common"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "OAI", "-dot"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "EMM_REGISTERED") {
+		t.Errorf("not a DOT FSM:\n%.200s", out)
+	}
+}
+
+func TestSMVOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "conformant", "-smv"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "MODULE main") || !strings.Contains(out, "TRANS") {
+		t.Errorf("not SMV output:\n%.200s", out)
+	}
+}
+
+func TestCheckSingleProperty(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "srsLTE", "-check", "S07"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "ATTACK") {
+		t.Errorf("I3 not reported as attack on srsLTE:\n%s", out)
+	}
+}
+
+func TestValidateP3(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "conformant", "-validate", "p3"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "attack succeeded:   true") {
+		t.Errorf("P3 validation output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-impl", "nokia", "-dot"}); err == nil {
+		t.Error("unknown implementation accepted")
+	}
+	if err := run([]string{"-validate", "p9"}); err == nil {
+		t.Error("unknown validation accepted")
+	}
+	if err := run([]string{"-impl", "OAI", "-check", "NOPE"}); err == nil {
+		t.Error("unknown property accepted")
+	}
+}

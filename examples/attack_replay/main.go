@@ -1,0 +1,92 @@
+// attack_replay walks through the P1 service-disruption attack of
+// Figure 4 step by step against a live implementation, printing every
+// phase: the capture of an authentication_request by a malicious UE, the
+// victim's normal attach, the replay of the stale challenge, the key
+// desynchronisation, and the resulting denial of service. It then shows
+// the countermeasure: enforcing the optional Annex C freshness limit L.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/conformance"
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/ue"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("=== P1: Service disruption using authentication_request (Figure 4) ===")
+	fmt.Println()
+
+	env, err := conformance.NewEnv(ue.ProfileConformant, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Phase 1: capture ---------------------------------------------
+	fmt.Println("Phase 1: the adversary captures an authentication_request.")
+	drop := &channel.DropFilter{
+		Dir:   channel.Downlink,
+		Match: func(p nas.Packet) bool { return p.Header == nas.HeaderPlain },
+		Limit: 1,
+	}
+	env.Link.SetAdversary(drop)
+	req, err := env.UE.StartAttach()
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.SendUplink(req)
+	stale := env.Link.Captured(channel.Downlink)[0]
+	fmt.Printf("  captured challenge (%d bytes) — in a real deployment this can be days old:\n", len(stale.Payload))
+	fmt.Printf("  the %d-slot SQN array accepts up to %d stale vectors\n\n",
+		uint64(1)<<sqn.DefaultINDBits, (uint64(1)<<sqn.DefaultINDBits)-1)
+
+	// --- Victim attaches normally -------------------------------------
+	env.Link.SetAdversary(nil)
+	retry, err := env.MME.StartReauthentication()
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.SendDownlink(retry)
+	fmt.Printf("victim attached: state=%s GUTI=%#x, UE and MME share keys: %v\n\n",
+		env.UE.State(), env.UE.GUTI(), env.UE.Keys() == env.MME.Keys())
+	keysBefore := env.UE.Keys()
+
+	// --- Phase 2: replay ----------------------------------------------
+	fmt.Println("Phase 2: the adversary replays the stale challenge to the victim.")
+	replies := env.UE.HandleDownlink(stale)
+	for _, r := range replies {
+		if m, err := nas.Unmarshal(r.Payload); err == nil {
+			fmt.Printf("  victim answered with %s — the stale SQN was ACCEPTED\n", m.Name())
+			if m.Name() != spec.AuthResponse {
+				log.Fatalf("unexpected response %s", m.Name())
+			}
+		}
+	}
+	fmt.Printf("  session keys regenerated: %v; UE and MME now disagree: %v\n\n",
+		env.UE.Keys() != keysBefore, env.UE.Keys() != env.MME.Keys())
+
+	// --- Consequence ----------------------------------------------------
+	fmt.Println("Consequence: genuine network traffic is now discarded.")
+	info, err := env.MME.SendEMMInformation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := env.UE.HandleDownlink(info); len(got) == 0 {
+		fmt.Println("  the UE silently dropped the MME's protected message (MAC failure)")
+	}
+	fmt.Println()
+
+	// --- Countermeasure -------------------------------------------------
+	fmt.Println("Countermeasure: enforce the optional TS 33.102 Annex C freshness limit L.")
+	accepted, err := sqn.StaleReplayDemo(sqn.Config{INDBits: sqn.DefaultINDBits, FreshnessLimit: 1}, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with L=1 only %d of 31 stale vectors remain acceptable\n", accepted)
+}

@@ -1,0 +1,59 @@
+// linkability demonstrates the P2 privacy attack (Figure 6): an adversary
+// who replays a captured authentication_request to every UE in a cell can
+// tell the victim apart — it answers authentication_response while every
+// other device answers auth_mac_failure. The distinguishability is
+// established with the cryptographic protocol verifier's observational-
+// equivalence query and then confirmed against live implementations of
+// all three profiles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prochecker/internal/core/props"
+	"prochecker/internal/cpv"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("=== P2: Linkability using authentication_response (Figure 6) ===")
+	fmt.Println()
+
+	// Symbolic side: the CPV's diff-equivalence query. The adversary's
+	// knowledge contains a pre-captured challenge (phase 1 of Figure 4);
+	// the two processes are the victim and any other UE.
+	verifier := cpv.NewNASVerifier(true)
+	probe := cpv.Probe{Label: "replayed authentication_request", Term: cpv.MessageTerm(spec.AuthRequest)}
+	victim := func(cpv.Probe) string { return string(spec.AuthResponse) }
+	other := func(cpv.Probe) string { return string(spec.AuthMACFailure) }
+	if p, distinguishable := verifier.Distinguish([]cpv.Probe{probe}, victim, other); distinguishable {
+		fmt.Printf("CPV query: processes are DISTINGUISHABLE via %q\n", p.Label)
+		fmt.Println("  victim  -> authentication_response")
+		fmt.Println("  others  -> auth_mac_failure")
+	} else {
+		log.Fatal("CPV query unexpectedly found the processes equivalent")
+	}
+	fmt.Println()
+
+	// Concrete side: the same experiment against live implementations.
+	fmt.Println("Validation against live implementations:")
+	query := props.EquivalenceQuery{Scenario: props.ScenarioAuthResponseLinkability}
+	for _, profile := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		res, err := props.EvaluateEquivalence(query, profile)
+		if err != nil {
+			log.Fatalf("%s: %v", profile, err)
+		}
+		verdict := "linkable (attack)"
+		if res.Verified {
+			verdict = "unlinkable"
+		}
+		fmt.Printf("  %-12s %-18s victim=%q bystander=%q\n", profile, verdict, res.VictimResponse, res.OtherResponse)
+	}
+	fmt.Println()
+	fmt.Println("The root cause is P1's: the Annex C SQN scheme accepts out-of-order")
+	fmt.Println("sequence numbers, and the optional freshness limit L is unimplemented.")
+	fmt.Println("The same scheme ships in 5G (TS 24.501), so the 5G rollout inherits P2.")
+}

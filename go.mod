@@ -1,0 +1,3 @@
+module prochecker
+
+go 1.22

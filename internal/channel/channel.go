@@ -1,0 +1,207 @@
+// Package channel models the radio link between UE and MME as two
+// unidirectional channels, matching the paper's protocol model (Section
+// III-B). Each direction can be placed under Dolev-Yao adversary control:
+// every packet in transit may be passed, dropped, modified, or have
+// adversary-chosen packets injected around it, and every packet that
+// crosses a public channel is captured into the adversary's knowledge —
+// the capture buffer that later feeds replays and the CPV's derivability
+// queries.
+package channel
+
+import (
+	"fmt"
+
+	"prochecker/internal/nas"
+)
+
+// Direction identifies one of the two unidirectional channels.
+type Direction uint8
+
+// The two directions.
+const (
+	Uplink   Direction = iota + 1 // UE -> MME
+	Downlink                      // MME -> UE
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Uplink:
+		return "uplink"
+	case Downlink:
+		return "downlink"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// Adversary decides the fate of each packet in transit. Implementations
+// must be deterministic for reproducible runs.
+type Adversary interface {
+	// Intercept receives a packet in transit and returns the packets that
+	// are actually delivered, in order. Return nil to drop, {p} to pass,
+	// a modified packet to tamper, or extra packets to inject.
+	Intercept(dir Direction, p nas.Packet) []nas.Packet
+}
+
+// AdversaryFunc adapts a function to the Adversary interface.
+type AdversaryFunc func(dir Direction, p nas.Packet) []nas.Packet
+
+// Intercept implements Adversary.
+func (f AdversaryFunc) Intercept(dir Direction, p nas.Packet) []nas.Packet {
+	return f(dir, p)
+}
+
+var _ Adversary = AdversaryFunc(nil)
+
+// PassThrough is the benign adversary: every packet is delivered intact.
+type PassThrough struct{}
+
+// Intercept implements Adversary.
+func (PassThrough) Intercept(_ Direction, p nas.Packet) []nas.Packet {
+	return []nas.Packet{p}
+}
+
+var _ Adversary = PassThrough{}
+
+// Pair is the bidirectional link: two unidirectional queues under one
+// adversary, with full capture history.
+type Pair struct {
+	adv      Adversary
+	queues   map[Direction][]nas.Packet
+	captured map[Direction][]nas.Packet
+	dropped  map[Direction]int
+}
+
+// NewPair builds a link under the given adversary; nil means PassThrough.
+func NewPair(adv Adversary) *Pair {
+	if adv == nil {
+		adv = PassThrough{}
+	}
+	return &Pair{
+		adv:      adv,
+		queues:   map[Direction][]nas.Packet{Uplink: nil, Downlink: nil},
+		captured: map[Direction][]nas.Packet{Uplink: nil, Downlink: nil},
+		dropped:  map[Direction]int{},
+	}
+}
+
+// SetAdversary swaps the adversary mid-run (e.g. capture phase first, then
+// the active attack phase, as P1's two phases require).
+func (p *Pair) SetAdversary(adv Adversary) {
+	if adv == nil {
+		adv = PassThrough{}
+	}
+	p.adv = adv
+}
+
+// Send places a packet on the given direction's channel. The adversary
+// observes (captures) it and decides what is actually enqueued.
+func (p *Pair) Send(dir Direction, pkt nas.Packet) {
+	p.captured[dir] = append(p.captured[dir], clonePacket(pkt))
+	delivered := p.adv.Intercept(dir, clonePacket(pkt))
+	if len(delivered) == 0 {
+		p.dropped[dir]++
+		return
+	}
+	for _, d := range delivered {
+		p.queues[dir] = append(p.queues[dir], clonePacket(d))
+	}
+}
+
+// Inject places an adversary-crafted packet directly on a channel without
+// it originating from either endpoint.
+func (p *Pair) Inject(dir Direction, pkt nas.Packet) {
+	p.queues[dir] = append(p.queues[dir], clonePacket(pkt))
+}
+
+// Recv pops the next packet from the given direction, reporting ok=false
+// when the channel is empty.
+func (p *Pair) Recv(dir Direction) (nas.Packet, bool) {
+	q := p.queues[dir]
+	if len(q) == 0 {
+		return nas.Packet{}, false
+	}
+	pkt := q[0]
+	p.queues[dir] = q[1:]
+	return pkt, true
+}
+
+// Pending reports how many packets are queued in the given direction.
+func (p *Pair) Pending(dir Direction) int { return len(p.queues[dir]) }
+
+// Captured returns the adversary's capture history for a direction (every
+// packet ever sent on it, before interception).
+func (p *Pair) Captured(dir Direction) []nas.Packet {
+	out := make([]nas.Packet, len(p.captured[dir]))
+	for i, pkt := range p.captured[dir] {
+		out[i] = clonePacket(pkt)
+	}
+	return out
+}
+
+// Dropped reports how many sends the adversary suppressed entirely.
+func (p *Pair) Dropped(dir Direction) int { return p.dropped[dir] }
+
+// Flush discards all queued packets in both directions (e.g. between
+// conformance test cases).
+func (p *Pair) Flush() {
+	p.queues[Uplink] = nil
+	p.queues[Downlink] = nil
+}
+
+func clonePacket(p nas.Packet) nas.Packet {
+	out := p
+	out.Payload = append([]byte(nil), p.Payload...)
+	return out
+}
+
+// DropFilter is an adversary that surreptitiously drops packets matched by
+// a predicate (the P3 selective-denial attacker, who infers the message
+// type from metadata) and passes everything else.
+type DropFilter struct {
+	Dir Direction
+	// Match decides whether a packet should be dropped. It may inspect
+	// only metadata visible on the air (header, sequence, length).
+	Match func(p nas.Packet) bool
+	// Limit caps how many packets are dropped; 0 means unlimited.
+	Limit int
+
+	droppedSoFar int
+}
+
+// Intercept implements Adversary.
+func (d *DropFilter) Intercept(dir Direction, p nas.Packet) []nas.Packet {
+	if dir == d.Dir && d.Match != nil && d.Match(p) && (d.Limit == 0 || d.droppedSoFar < d.Limit) {
+		d.droppedSoFar++
+		return nil
+	}
+	return []nas.Packet{p}
+}
+
+// DroppedSoFar reports how many packets this filter has suppressed.
+func (d *DropFilter) DroppedSoFar() int { return d.droppedSoFar }
+
+var _ Adversary = (*DropFilter)(nil)
+
+// Recorder is an adversary decorator that additionally invokes a callback
+// for every packet it sees; useful for attack tooling that watches for a
+// specific capture opportunity.
+type Recorder struct {
+	Inner  Adversary
+	OnSeen func(dir Direction, p nas.Packet)
+}
+
+// Intercept implements Adversary.
+func (r *Recorder) Intercept(dir Direction, p nas.Packet) []nas.Packet {
+	if r.OnSeen != nil {
+		r.OnSeen(dir, clonePacket(p))
+	}
+	inner := r.Inner
+	if inner == nil {
+		inner = PassThrough{}
+	}
+	return inner.Intercept(dir, p)
+}
+
+var _ Adversary = (*Recorder)(nil)

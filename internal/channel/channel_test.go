@@ -1,0 +1,190 @@
+package channel
+
+import (
+	"testing"
+
+	"prochecker/internal/nas"
+)
+
+func pkt(seq uint8) nas.Packet {
+	return nas.Packet{Header: nas.HeaderIntegrity, Seq: seq, Payload: []byte{seq}}
+}
+
+func TestPassThroughDelivers(t *testing.T) {
+	p := NewPair(nil)
+	p.Send(Uplink, pkt(1))
+	got, ok := p.Recv(Uplink)
+	if !ok || got.Seq != 1 {
+		t.Fatalf("Recv = %+v, %v", got, ok)
+	}
+	if _, ok := p.Recv(Uplink); ok {
+		t.Error("second Recv should be empty")
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	p := NewPair(nil)
+	p.Send(Uplink, pkt(1))
+	if _, ok := p.Recv(Downlink); ok {
+		t.Error("uplink packet leaked to downlink")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	p := NewPair(nil)
+	for i := uint8(1); i <= 3; i++ {
+		p.Send(Downlink, pkt(i))
+	}
+	for i := uint8(1); i <= 3; i++ {
+		got, ok := p.Recv(Downlink)
+		if !ok || got.Seq != i {
+			t.Fatalf("Recv %d = %+v, %v", i, got, ok)
+		}
+	}
+}
+
+func TestCaptureRecordsEverythingEvenDropped(t *testing.T) {
+	drop := &DropFilter{Dir: Uplink, Match: func(nas.Packet) bool { return true }}
+	p := NewPair(drop)
+	p.Send(Uplink, pkt(7))
+	if p.Pending(Uplink) != 0 {
+		t.Error("dropped packet still queued")
+	}
+	if got := p.Dropped(Uplink); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+	cap := p.Captured(Uplink)
+	if len(cap) != 1 || cap[0].Seq != 7 {
+		t.Errorf("Captured = %+v, want the dropped packet", cap)
+	}
+}
+
+func TestDropFilterLimit(t *testing.T) {
+	drop := &DropFilter{Dir: Downlink, Match: func(nas.Packet) bool { return true }, Limit: 2}
+	p := NewPair(drop)
+	for i := uint8(0); i < 4; i++ {
+		p.Send(Downlink, pkt(i))
+	}
+	if got := drop.DroppedSoFar(); got != 2 {
+		t.Errorf("DroppedSoFar = %d, want 2", got)
+	}
+	if got := p.Pending(Downlink); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+}
+
+func TestDropFilterOnlyItsDirection(t *testing.T) {
+	drop := &DropFilter{Dir: Downlink, Match: func(nas.Packet) bool { return true }}
+	p := NewPair(drop)
+	p.Send(Uplink, pkt(1))
+	if p.Pending(Uplink) != 1 {
+		t.Error("uplink packet dropped by downlink filter")
+	}
+}
+
+func TestInjectBypassesAdversary(t *testing.T) {
+	drop := &DropFilter{Dir: Downlink, Match: func(nas.Packet) bool { return true }}
+	p := NewPair(drop)
+	p.Inject(Downlink, pkt(9))
+	if got, ok := p.Recv(Downlink); !ok || got.Seq != 9 {
+		t.Errorf("injected packet not delivered: %+v, %v", got, ok)
+	}
+	if len(p.Captured(Downlink)) != 0 {
+		t.Error("injected packet entered capture history")
+	}
+}
+
+func TestAdversaryFuncModifies(t *testing.T) {
+	mod := AdversaryFunc(func(_ Direction, p nas.Packet) []nas.Packet {
+		p.Seq = 42
+		return []nas.Packet{p}
+	})
+	p := NewPair(mod)
+	p.Send(Uplink, pkt(1))
+	got, _ := p.Recv(Uplink)
+	if got.Seq != 42 {
+		t.Errorf("Seq = %d, want 42", got.Seq)
+	}
+	// Capture history holds the original, pre-modification packet.
+	if cap := p.Captured(Uplink); cap[0].Seq != 1 {
+		t.Errorf("captured Seq = %d, want original 1", cap[0].Seq)
+	}
+}
+
+func TestAdversaryFuncInjectsExtra(t *testing.T) {
+	dup := AdversaryFunc(func(_ Direction, p nas.Packet) []nas.Packet {
+		return []nas.Packet{p, p}
+	})
+	p := NewPair(dup)
+	p.Send(Downlink, pkt(3))
+	if got := p.Pending(Downlink); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+}
+
+func TestSetAdversarySwapsMidRun(t *testing.T) {
+	p := NewPair(nil)
+	p.Send(Uplink, pkt(1))
+	p.SetAdversary(&DropFilter{Dir: Uplink, Match: func(nas.Packet) bool { return true }})
+	p.Send(Uplink, pkt(2))
+	if got := p.Pending(Uplink); got != 1 {
+		t.Errorf("Pending = %d, want 1 (second send dropped)", got)
+	}
+	p.SetAdversary(nil)
+	p.Send(Uplink, pkt(3))
+	if got := p.Pending(Uplink); got != 2 {
+		t.Errorf("Pending = %d, want 2 after reverting to pass-through", got)
+	}
+}
+
+func TestFlushClearsQueuesNotCaptures(t *testing.T) {
+	p := NewPair(nil)
+	p.Send(Uplink, pkt(1))
+	p.Send(Downlink, pkt(2))
+	p.Flush()
+	if p.Pending(Uplink) != 0 || p.Pending(Downlink) != 0 {
+		t.Error("Flush left packets queued")
+	}
+	if len(p.Captured(Uplink)) != 1 || len(p.Captured(Downlink)) != 1 {
+		t.Error("Flush erased capture history")
+	}
+}
+
+func TestRecorderDecorator(t *testing.T) {
+	var seen []uint8
+	rec := &Recorder{OnSeen: func(_ Direction, p nas.Packet) { seen = append(seen, p.Seq) }}
+	p := NewPair(rec)
+	p.Send(Uplink, pkt(5))
+	p.Send(Downlink, pkt(6))
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 6 {
+		t.Errorf("seen = %v, want [5 6]", seen)
+	}
+	if p.Pending(Uplink) != 1 || p.Pending(Downlink) != 1 {
+		t.Error("recorder with nil inner should pass packets through")
+	}
+}
+
+func TestClonePreventsAliasing(t *testing.T) {
+	p := NewPair(nil)
+	orig := pkt(1)
+	p.Send(Uplink, orig)
+	orig.Payload[0] = 0xFF // mutate after send
+	got, _ := p.Recv(Uplink)
+	if got.Payload[0] == 0xFF {
+		t.Error("queued packet aliases caller's payload")
+	}
+	cap := p.Captured(Uplink)
+	cap[0].Payload[0] = 0xEE
+	if p.Captured(Uplink)[0].Payload[0] == 0xEE {
+		t.Error("Captured returns aliased payloads")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Uplink.String() != "uplink" || Downlink.String() != "downlink" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(9).String() != "direction(9)" {
+		t.Error("unknown direction string wrong")
+	}
+}

@@ -1,0 +1,188 @@
+package conformance
+
+import (
+	"testing"
+
+	"time"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+	"prochecker/internal/ue"
+)
+
+func TestAttachAllProfiles(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			env, err := NewEnv(p, nil)
+			if err != nil {
+				t.Fatalf("NewEnv: %v", err)
+			}
+			if err := env.Attach(); err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+		})
+	}
+}
+
+// TestFullSuitePassesOnEveryProfile is the headline functional check: all
+// conformance cases complete on all three implementations (deviations are
+// behavioural, not functional failures).
+func TestFullSuitePassesOnEveryProfile(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := Run(p, Cases())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, res := range rep.Results {
+				if res.Err != nil {
+					t.Errorf("case %s: %v", res.Name, res.Err)
+				}
+			}
+			if rep.Passed() != len(Cases()) {
+				t.Errorf("passed %d/%d", rep.Passed(), len(Cases()))
+			}
+		})
+	}
+}
+
+func TestSuiteSizesMatchPaperStructure(t *testing.T) {
+	all := len(Cases())
+	if added := all - len(SuiteFor(ue.ProfileSRS, false)); added != 9 {
+		t.Errorf("srsLTE added cases = %d, want 9 (paper)", added)
+	}
+	if added := all - len(SuiteFor(ue.ProfileOAI, false)); added != 7 {
+		t.Errorf("OAI added cases = %d, want 7 (paper)", added)
+	}
+	if got := len(SuiteFor(ue.ProfileConformant, false)); got != all {
+		t.Errorf("closed-source suite = %d cases, want full catalogue %d", got, all)
+	}
+}
+
+func TestCoverageImprovesWithAddedCases(t *testing.T) {
+	base, err := RunSuite(ue.ProfileSRS, false)
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	full, err := RunSuite(ue.ProfileSRS, true)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if full.Coverage.Percent() <= base.Coverage.Percent() {
+		t.Errorf("coverage with added cases (%.0f%%) not above base (%.0f%%)",
+			full.Coverage.Percent(), base.Coverage.Percent())
+	}
+	// Paper shape: the extended suite reaches roughly the 84% ballpark.
+	if got := full.Coverage.Percent(); got < 70 || got > 100 {
+		t.Errorf("extended coverage = %.0f%%, want within [70,100]", got)
+	}
+}
+
+func TestCoverageHintsNameMisses(t *testing.T) {
+	rep, err := RunSuite(ue.ProfileOAI, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	hints := rep.Coverage.MissingTestHints()
+	if len(hints) != len(rep.Coverage.MissedHandlers)+len(rep.Coverage.MissedStates) {
+		t.Errorf("hints = %d, want one per miss", len(hints))
+	}
+}
+
+func TestLogContainsTestBoundariesAndSignatures(t *testing.T) {
+	rep, err := Run(ue.ProfileConformant, Cases()[:1])
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var haveTC, haveRecv, haveSend, haveState bool
+	for _, rec := range rep.Log {
+		switch rec.Kind {
+		case trace.KindTestCase:
+			haveTC = true
+		case trace.KindFuncEntry:
+			if rec.Name == "recv_attach_accept" {
+				haveRecv = true
+			}
+			if rec.Name == "send_attach_complete" {
+				haveSend = true
+			}
+		case trace.KindGlobal:
+			if rec.Value == string(spec.EMMRegistered) {
+				haveState = true
+			}
+		}
+	}
+	if !haveTC || !haveRecv || !haveSend || !haveState {
+		t.Errorf("log misses expected records: tc=%v recv=%v send=%v state=%v",
+			haveTC, haveRecv, haveSend, haveState)
+	}
+}
+
+func TestProfileBehaviouralDifferences(t *testing.T) {
+	// The same replay drive ends differently per profile — the substance
+	// of I1. Attach, send one protected message, then replay it.
+	replayAccepted := func(t *testing.T, p ue.Profile) bool {
+		t.Helper()
+		env, err := NewEnv(p, nil)
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		if err := env.Attach(); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+		before := env.UE.GUTI()
+		cmd, err := env.MME.StartGUTIReallocation()
+		if err != nil {
+			t.Fatalf("StartGUTIReallocation: %v", err)
+		}
+		env.SendDownlink(cmd)
+		after := env.UE.GUTI()
+		if after == before {
+			t.Fatal("setup: reallocation did not apply")
+		}
+		// Tamper-free replay of the same command. A UE that accepts it
+		// re-applies the (now old) GUTI value; detect acceptance by
+		// first moving the GUTI forward again.
+		cmd2, err := env.MME.StartGUTIReallocation()
+		if err != nil {
+			t.Fatalf("StartGUTIReallocation 2: %v", err)
+		}
+		env.SendDownlink(cmd2)
+		env.InjectDownlink(cmd) // replay of the first command
+		return env.UE.GUTI() == after
+	}
+	if replayAccepted(t, ue.ProfileConformant) {
+		t.Error("conformant profile accepted a replayed command")
+	}
+	if !replayAccepted(t, ue.ProfileSRS) {
+		t.Error("srs profile rejected the replay; I1 not reproduced")
+	}
+}
+
+func TestPumpTerminatesUnderDuplicatingAdversary(t *testing.T) {
+	// A malicious adversary that duplicates every packet must not hang
+	// the pump: the round bound caps delivery.
+	dup := channel.AdversaryFunc(func(_ channel.Direction, p nas.Packet) []nas.Packet {
+		return []nas.Packet{p, p}
+	})
+	env, err := NewEnv(ue.ProfileConformant, dup)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	req, err := env.UE.StartAttach()
+	if err != nil {
+		t.Fatalf("StartAttach: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		env.SendUplink(req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pump did not terminate under duplicating adversary")
+	}
+}

@@ -1,0 +1,177 @@
+// Package conformance provides the functional conformance test suite
+// ProChecker's model extraction piggybacks on (Section IV-A): an
+// environment wiring an instrumented UE to an MME over the channel pair,
+// a catalogue of per-procedure NAS test cases, a runner that executes a
+// suite and produces the information-rich log, and a NAS-layer coverage
+// tracker.
+//
+// As in the paper, the test cases are *functional*: they drive protocol
+// procedures and assert only liveness-style outcomes. Security verdicts
+// come later, from the FSM extracted out of the log and the verification
+// pipeline — which is exactly why the same infrastructure serves both
+// functional and security testing.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/mme"
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+	"prochecker/internal/ue"
+)
+
+// DefaultIMSI is the subscriber identity used across the test
+// environment.
+const DefaultIMSI = "001010123456789"
+
+// DefaultTAC is the tracking area the test MME serves.
+const DefaultTAC uint16 = 0x2A
+
+// defaultUECaps is the capability bitmap of the test UE.
+const defaultUECaps uint8 = 0x7
+
+// maxPumpRounds bounds message-delivery loops against ping-pong bugs.
+const maxPumpRounds = 64
+
+// Env is one UE-MME test environment with an adversary-controllable link.
+type Env struct {
+	UE   *ue.UE
+	MME  *mme.MME
+	Link *channel.Pair
+	// Rec is the UE-side recorder whose log the extractor consumes.
+	Rec *trace.Recorder
+	// K is the shared subscriber key, exposed for attack tooling.
+	K security.Key
+}
+
+// NewEnv builds an environment for the given UE profile. adv may be nil
+// for a benign link.
+func NewEnv(profile ue.Profile, adv channel.Adversary) (*Env, error) {
+	rec := &trace.Recorder{}
+	k := security.KeyFromBytes([]byte("conformance-subscriber-key"))
+	u, err := ue.New(ue.Config{
+		Profile:  profile,
+		IMSI:     DefaultIMSI,
+		K:        k,
+		Recorder: rec,
+		UECaps:   defaultUECaps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: building UE: %w", err)
+	}
+	m, err := mme.New(mme.Config{
+		Subscribers: map[string]security.Key{DefaultIMSI: k},
+		TAC:         DefaultTAC,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: building MME: %w", err)
+	}
+	return &Env{UE: u, MME: m, Link: channel.NewPair(adv), Rec: rec, K: k}, nil
+}
+
+// SendUplink puts a UE-originated packet on the air and pumps until the
+// exchange quiesces.
+func (e *Env) SendUplink(p nas.Packet) {
+	e.Link.Send(channel.Uplink, p)
+	e.Pump()
+}
+
+// SendDownlink puts an MME-originated packet on the air and pumps.
+func (e *Env) SendDownlink(p nas.Packet) {
+	e.Link.Send(channel.Downlink, p)
+	e.Pump()
+}
+
+// InjectDownlink places an adversary-crafted packet directly on the
+// downlink (bypassing the adversary's own interception) and pumps.
+func (e *Env) InjectDownlink(p nas.Packet) {
+	e.Link.Inject(channel.Downlink, p)
+	e.Pump()
+}
+
+// InjectUplink places an adversary-crafted packet on the uplink and
+// pumps.
+func (e *Env) InjectUplink(p nas.Packet) {
+	e.Link.Inject(channel.Uplink, p)
+	e.Pump()
+}
+
+// Pump delivers queued packets in both directions until the system
+// quiesces (or the safety bound trips, indicating a protocol ping-pong).
+func (e *Env) Pump() {
+	for round := 0; round < maxPumpRounds; round++ {
+		progressed := false
+		if p, ok := e.Link.Recv(channel.Uplink); ok {
+			progressed = true
+			for _, resp := range e.MME.HandleUplink(p) {
+				e.Link.Send(channel.Downlink, resp)
+			}
+		}
+		if p, ok := e.Link.Recv(channel.Downlink); ok {
+			progressed = true
+			for _, resp := range e.UE.HandleDownlink(p) {
+				e.Link.Send(channel.Uplink, resp)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// Attach runs the complete attach procedure (attach_request, AKA,
+// security mode, attach_accept/complete) and verifies both sides landed
+// in their registered states.
+func (e *Env) Attach() error {
+	req, err := e.UE.StartAttach()
+	if err != nil {
+		return fmt.Errorf("conformance: starting attach: %w", err)
+	}
+	e.SendUplink(req)
+	if got := e.UE.State(); got != spec.EMMRegistered {
+		return fmt.Errorf("conformance: after attach UE state = %s, want %s", got, spec.EMMRegistered)
+	}
+	if got := e.MME.State(); got != spec.MMERegistered {
+		return fmt.Errorf("conformance: after attach MME state = %s, want %s", got, spec.MMERegistered)
+	}
+	if e.UE.GUTI() == 0 || e.UE.GUTI() != e.MME.GUTI() {
+		return fmt.Errorf("conformance: GUTI mismatch after attach: ue=%#x mme=%#x", e.UE.GUTI(), e.MME.GUTI())
+	}
+	if !e.UE.SecurityContextActive() || !e.MME.SecurityContextActive() {
+		return errors.New("conformance: security context not active after attach")
+	}
+	if e.UE.Keys() != e.MME.Keys() {
+		return errors.New("conformance: UE and MME derived different key hierarchies")
+	}
+	return nil
+}
+
+// ExpectUEState asserts the UE's EMM state.
+func (e *Env) ExpectUEState(want spec.EMMState) error {
+	if got := e.UE.State(); got != want {
+		return fmt.Errorf("conformance: UE state = %s, want %s", got, want)
+	}
+	return nil
+}
+
+// ExpectUERegistered asserts the UE is in EMM_REGISTERED or one of its
+// sub-states.
+func (e *Env) ExpectUERegistered() error {
+	if !e.UE.Registered() {
+		return fmt.Errorf("conformance: UE state = %s, want registered", e.UE.State())
+	}
+	return nil
+}
+
+// ExpectMMEState asserts the MME's EMM state.
+func (e *Env) ExpectMMEState(want spec.MMEState) error {
+	if got := e.MME.State(); got != want {
+		return fmt.Errorf("conformance: MME state = %s, want %s", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package conformance
+
+import (
+	"fmt"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/trace"
+	"prochecker/internal/ue"
+)
+
+// CaseResult is one test case's functional outcome.
+type CaseResult struct {
+	Name string
+	Err  error
+}
+
+// Report is the product of one suite run: per-case outcomes, the combined
+// information-rich log, and the NAS-layer coverage it achieved.
+type Report struct {
+	Profile  ue.Profile
+	Results  []CaseResult
+	Log      trace.Log
+	Coverage Coverage
+}
+
+// Passed counts the cases that completed without functional error.
+func (r *Report) Passed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstFailure returns the first failing case, if any.
+func (r *Report) FirstFailure() (CaseResult, bool) {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return res, true
+		}
+	}
+	return CaseResult{}, false
+}
+
+// Run executes the given cases against a fresh environment per case (as
+// conformance suites do — each test case assumes a pristine UE) and
+// produces the combined log for model extraction.
+func Run(profile ue.Profile, cases []TestCase) (*Report, error) {
+	rep := &Report{Profile: profile}
+	var combined trace.Log
+	for _, tc := range cases {
+		env, err := NewEnv(profile, channel.PassThrough{})
+		if err != nil {
+			return nil, fmt.Errorf("conformance: preparing %s: %w", tc.Name, err)
+		}
+		env.Rec.TestCase(tc.Name)
+		runErr := tc.Run(env)
+		rep.Results = append(rep.Results, CaseResult{Name: tc.Name, Err: runErr})
+		combined = append(combined, env.Rec.Snapshot()...)
+	}
+	rep.Log = combined
+	rep.Coverage = ComputeCoverage(combined, ue.StyleFor(profile))
+	return rep, nil
+}
+
+// RunSuite runs the profile-appropriate suite: the full catalogue for the
+// closed-source profile, base-or-extended for the open-source ones.
+func RunSuite(profile ue.Profile, includeAdded bool) (*Report, error) {
+	return Run(profile, SuiteFor(profile, includeAdded))
+}

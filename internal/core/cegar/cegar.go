@@ -1,0 +1,245 @@
+// Package cegar implements ProChecker's verification loop (Section IV-B):
+// the counterexample-guided abstraction refinement between the symbolic
+// model checker and the cryptographic protocol verifier. The model
+// checker runs over the threat-instrumented model, which abstracts all
+// cryptographic constructs; every counterexample's adversary steps are
+// validated against the Dolev-Yao theory by the CPV, spurious steps are
+// refined away by pruning the offending adversary rule, and the loop
+// continues until the property verifies or a realizable counterexample —
+// an attack — is found.
+package cegar
+
+import (
+	"fmt"
+
+	"prochecker/internal/core/threat"
+	"prochecker/internal/cpv"
+	"prochecker/internal/mc"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/ts"
+)
+
+// DefaultMaxIterations bounds the refinement loop; in practice two or
+// three iterations suffice.
+const DefaultMaxIterations = 32
+
+// Config parameterises one verification run.
+type Config struct {
+	// PreCapture grants the adversary a cross-session capture phase
+	// (Figure 4's phase 1). On in the paper's threat model.
+	PreCapture bool
+	// SQN describes the deployed Annex C scheme; the freshness limit L
+	// decides whether a stale-but-in-range replayed SQN is feasible.
+	// The zero value means sqn.DefaultConfig() (L disabled — the COTS
+	// reality).
+	SQN sqn.Config
+	// MaxIterations bounds the refinement loop.
+	MaxIterations int
+	// MC tunes the model checker.
+	MC mc.Options
+}
+
+func (c Config) maxIterations() int {
+	if c.MaxIterations > 0 {
+		return c.MaxIterations
+	}
+	return DefaultMaxIterations
+}
+
+func (c Config) sqnConfig() sqn.Config {
+	if c.SQN == (sqn.Config{}) {
+		return sqn.DefaultConfig()
+	}
+	return c.SQN
+}
+
+// RefinementKind selects how a spurious step is refined away.
+type RefinementKind uint8
+
+// Refinement kinds.
+const (
+	// PruneRule removes the rule entirely — exact when the step is
+	// infeasible in every context (forging a protected message, stale
+	// SQN under an enforced freshness limit).
+	PruneRule RefinementKind = iota + 1
+	// GuardReplayOnObservation is the lazy-abstraction refinement for
+	// replays attempted before anything was captured: an observation bit
+	// for the message is added to the model, set whenever a genuine
+	// instance crosses a channel, and the replay rule is guarded on it.
+	GuardReplayOnObservation
+)
+
+// Refinement records one refinement step of the loop.
+type Refinement struct {
+	Kind   RefinementKind
+	Rule   string
+	Msg    spec.MessageName
+	Reason string
+}
+
+// Outcome is the verdict of the CEGAR loop on one property.
+type Outcome struct {
+	Property string
+	// Verified is true when the property holds on the refined model.
+	Verified bool
+	// Attack is the realizable counterexample when Verified is false.
+	Attack *mc.Trace
+	// AttackFeasibility explains why each adversary step of the attack is
+	// possible.
+	AttackFeasibility []string
+	// Iterations counts model-checker runs.
+	Iterations int
+	// Refinements lists the spurious adversary rules pruned.
+	Refinements []Refinement
+	// StatesExplored is the last model-checking run's exploration size.
+	StatesExplored int
+	// Unknown marks runs that hit the exploration or iteration bound.
+	Unknown bool
+}
+
+// Verify runs the MC ⇄ CPV loop for one property on a composed model.
+func Verify(composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, error) {
+	if composed == nil || composed.System == nil {
+		return Outcome{}, fmt.Errorf("cegar: nil composed model")
+	}
+	sys := composed.System.Clone()
+	out := Outcome{Property: prop.Name()}
+
+	for out.Iterations < cfg.maxIterations() {
+		out.Iterations++
+		res := mc.Check(sys, prop, cfg.MC)
+		out.StatesExplored = res.StatesExplored
+		if res.Truncated {
+			out.Unknown = true
+			return out, nil
+		}
+		if res.Verified {
+			out.Verified = true
+			return out, nil
+		}
+		spurious, refinement, feasibility := validate(res.Counterexample, cfg)
+		if !spurious {
+			out.Attack = res.Counterexample
+			out.AttackFeasibility = feasibility
+			return out, nil
+		}
+		if err := applyRefinement(sys, refinement); err != nil {
+			return out, err
+		}
+		out.Refinements = append(out.Refinements, refinement)
+	}
+	out.Unknown = true
+	return out, nil
+}
+
+// validate replays the counterexample through the CPV: it accumulates
+// intruder knowledge from every genuine message crossing a public channel
+// and checks each adversary step's feasibility. It returns the first
+// spurious step as a refinement, or the per-step feasibility explanations
+// when the whole trace is realizable.
+func validate(trace *mc.Trace, cfg Config) (spurious bool, ref Refinement, feasibility []string) {
+	verifier := cpv.NewNASVerifier(cfg.PreCapture)
+	staleSQNFeasible := cfg.sqnConfig().FreshnessLimit == 0
+
+	prev := trace.Initial
+	for _, step := range trace.Steps {
+		// Knowledge accumulation: any channel transitioning to a
+		// X@genuine value means a genuine message crossed the air.
+		for _, ch := range []string{threat.VarDL, threat.VarUL} {
+			after := step.After[ch]
+			if after != prev[ch] {
+				if m, origin, ok := threat.ParseSlot(after); ok && origin == threat.OriginGenuine {
+					verifier.ObserveGenuine(m)
+				}
+			}
+		}
+
+		switch step.Tags[threat.TagActor] {
+		case "adv":
+			action := cpv.Action{
+				Kind:    cpv.ActionKind(step.Tags[threat.TagKind]),
+				Message: spec.MessageName(step.Tags[threat.TagMsg]),
+			}
+			f := verifier.Feasible(action)
+			if !f.Feasible {
+				kind := PruneRule
+				if action.Kind == cpv.ActReplay {
+					// Replays are context sensitive: infeasible now, but
+					// feasible once the message has been observed. Refine
+					// lazily instead of pruning.
+					kind = GuardReplayOnObservation
+				}
+				return true, Refinement{Kind: kind, Rule: step.Rule, Msg: action.Message, Reason: f.Reason}, nil
+			}
+			feasibility = append(feasibility, fmt.Sprintf("%s(%s): %s", action.Kind, action.Message, f.Reason))
+		case "ue", "mme":
+			// A transition justified by a stale-yet-in-range SQN is only
+			// feasible when the Annex C freshness limit L is absent
+			// (Section VII-A); otherwise the USIM would reject it.
+			if step.Tags[threat.TagSQNOld] == "1" {
+				if !staleSQNFeasible {
+					return true, Refinement{
+						Kind:   PruneRule,
+						Rule:   step.Rule,
+						Reason: "stale SQN acceptance impossible: the deployed USIM enforces the Annex C freshness limit L",
+					}, nil
+				}
+				feasibility = append(feasibility,
+					fmt.Sprintf("stale SQN accepted: the %d-slot SQN array has no freshness limit", uint64(1)<<cfg.sqnConfig().INDBits))
+			}
+		}
+		prev = step.After
+	}
+	return false, Refinement{}, feasibility
+}
+
+// applyRefinement edits the working system to rule the spurious step out.
+func applyRefinement(sys *ts.System, ref Refinement) error {
+	switch ref.Kind {
+	case PruneRule:
+		if !sys.RemoveRule(ref.Rule) {
+			return fmt.Errorf("cegar: refinement loop stuck on rule %s", ref.Rule)
+		}
+		return nil
+	case GuardReplayOnObservation:
+		obsVar := "obs_" + string(ref.Msg)
+		if err := sys.AddVar(obsVar, "0", "1"); err != nil {
+			// Already refined for this message yet the same spurious step
+			// recurred: the loop cannot make progress.
+			return fmt.Errorf("cegar: refinement loop stuck on replay of %s: %w", ref.Msg, err)
+		}
+		genuineDL := threat.Slot(ref.Msg, threat.OriginGenuine)
+		sys.MapRules(func(r ts.Rule) ts.Rule {
+			// Every rule that puts a genuine instance on a channel now
+			// also records the observation.
+			for _, a := range r.Assigns {
+				if a.Value == genuineDL && (a.Var == threat.VarDL || a.Var == threat.VarUL) {
+					r.Assigns = append(append([]ts.Assign{}, r.Assigns...), ts.Assign{Var: obsVar, Value: "1"})
+					break
+				}
+			}
+			// The replay rules for this message require the observation.
+			if r.Tags[threat.TagActor] == "adv" && r.Tags[threat.TagKind] == "replay" && r.Tags[threat.TagMsg] == string(ref.Msg) {
+				r.Guard = ts.And{r.Guard, ts.Eq{Var: obsVar, Value: "1"}}
+			}
+			return r
+		})
+		return nil
+	default:
+		return fmt.Errorf("cegar: unknown refinement kind %d", ref.Kind)
+	}
+}
+
+// VerifyAll runs the loop for each property in order.
+func VerifyAll(composed *threat.Composed, props []mc.Property, cfg Config) ([]Outcome, error) {
+	out := make([]Outcome, 0, len(props))
+	for _, p := range props {
+		o, err := Verify(composed, p, cfg)
+		if err != nil {
+			return out, fmt.Errorf("cegar: verifying %s: %w", p.Name(), err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

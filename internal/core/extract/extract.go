@@ -1,0 +1,225 @@
+// Package extract implements ProChecker's model extractor (Algorithm 1):
+// it dissects the information-rich execution log into blocks, one per
+// incoming protocol message, and lifts states (from global state
+// variables), conditions (from the incoming-handler signature plus
+// sanity-check locals) and actions (from outgoing-handler signatures)
+// into the FSM (Σ, Γ, S, s₀, T).
+package extract
+
+import (
+	"errors"
+	"fmt"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+)
+
+// Options tune the extraction.
+type Options struct {
+	// Name labels the produced FSM.
+	Name string
+	// Initial overrides the initial state; when empty, the first state
+	// signature in the log is used.
+	Initial fsmodel.State
+	// PredicateFilter selects which local variables become transition
+	// predicates. Nil selects DefaultPredicateFilter.
+	PredicateFilter func(name string) bool
+	// KeepDuplicatePredicates keeps repeated (var, value) pairs within a
+	// block; by default the last occurrence wins, since handlers may
+	// re-log a variable after refinement of its value.
+	KeepDuplicatePredicates bool
+}
+
+// DefaultPredicateFilter admits the shared sanity-check vocabulary plus
+// the well-known auxiliary condition variables observed across the three
+// implementations.
+func DefaultPredicateFilter(name string) bool {
+	if spec.IsConditionVar(name) {
+		return true
+	}
+	switch name {
+	case "caps_match", "res_match", "auts_valid", "paging_id_match",
+		"id_type", "emm_cause", "detach_type":
+		return true
+	default:
+		return false
+	}
+}
+
+// ErrEmptyLog is returned when the log contains no extractable blocks.
+var ErrEmptyLog = errors.New("extract: log contains no incoming-message blocks")
+
+// block is one incoming-message episode of the log.
+type block struct {
+	cond spec.MessageName
+	// handler is the incoming-handler signature that opened the block;
+	// the block closes when that handler exits, so uplink-initiated
+	// sends outside any handler are not misattributed as its actions.
+	handler string
+	sIn     fsmodel.State
+	sOut    fsmodel.State
+	preds   []fsmodel.Predicate
+	actions []spec.MessageName
+}
+
+// Model runs Algorithm 1 over the log with the given signature sets.
+func Model(log trace.Log, sig spec.Signatures, opts Options) (*fsmodel.FSM, error) {
+	if opts.PredicateFilter == nil {
+		opts.PredicateFilter = DefaultPredicateFilter
+	}
+	name := opts.Name
+	if name == "" {
+		name = "extracted"
+	}
+
+	blocks, firstState := dissect(log, sig, opts)
+	if len(blocks) == 0 {
+		return nil, ErrEmptyLog
+	}
+	initial := opts.Initial
+	if initial == "" {
+		initial = firstState
+	}
+	fsm := fsmodel.New(name, initial)
+	for _, b := range blocks {
+		if b.sIn == "" || b.sOut == "" {
+			// A block without state dumps cannot contribute a transition;
+			// this only happens for handlers outside the instrumented
+			// layer.
+			continue
+		}
+		actions := b.actions
+		if len(actions) == 0 {
+			actions = []spec.MessageName{spec.NullAction}
+		}
+		fsm.AddTransition(fsmodel.Transition{
+			From:    b.sIn,
+			To:      b.sOut,
+			Cond:    fsmodel.Condition{Message: b.cond, Predicates: b.preds},
+			Actions: actions,
+		})
+	}
+	return fsm, nil
+}
+
+// dissect splits the log into incoming-message blocks (DivideBlock of
+// Algorithm 1) and scans each line for state, condition and action
+// signatures.
+func dissect(log trace.Log, sig spec.Signatures, opts Options) ([]block, fsmodel.State) {
+	stateSet := make(map[string]bool, len(sig.States))
+	for _, s := range sig.States {
+		stateSet[s] = true
+	}
+
+	var blocks []block
+	var cur *block
+	var firstState fsmodel.State
+
+	flush := func() {
+		if cur != nil {
+			blocks = append(blocks, *cur)
+			cur = nil
+		}
+	}
+
+	for _, rec := range log {
+		switch rec.Kind {
+		case trace.KindTestCase:
+			// Blocks never span test cases: each case starts pristine.
+			flush()
+		case trace.KindFuncEntry:
+			if m, ok := sig.Incoming[rec.Name]; ok {
+				flush()
+				cur = &block{cond: m, handler: rec.Name}
+				continue
+			}
+			if m, ok := sig.Outgoing[rec.Name]; ok && cur != nil {
+				cur.actions = append(cur.actions, m)
+			}
+		case trace.KindFuncExit:
+			if cur != nil && rec.Name == cur.handler {
+				flush()
+			}
+		case trace.KindGlobal:
+			norm, ok := spec.NormalizeStateName(rec.Value)
+			if !ok || !stateSet[norm] {
+				continue
+			}
+			if firstState == "" {
+				firstState = fsmodel.State(norm)
+			}
+			if cur == nil {
+				continue
+			}
+			if cur.sIn == "" {
+				cur.sIn = fsmodel.State(norm)
+			} else {
+				cur.sOut = fsmodel.State(norm)
+			}
+		case trace.KindLocal:
+			if cur == nil || !opts.PredicateFilter(rec.Name) {
+				continue
+			}
+			pred := fsmodel.Predicate{Var: rec.Name, Value: rec.Value}
+			if opts.KeepDuplicatePredicates {
+				cur.preds = append(cur.preds, pred)
+				continue
+			}
+			replaced := false
+			for i := range cur.preds {
+				if cur.preds[i].Var == rec.Name {
+					cur.preds[i] = pred
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				cur.preds = append(cur.preds, pred)
+			}
+		}
+	}
+	flush()
+
+	// A block whose handler never re-dumped the state keeps sOut == sIn
+	// (self-loop), matching the "no transition happened" semantics.
+	for i := range blocks {
+		if blocks[i].sOut == "" {
+			blocks[i].sOut = blocks[i].sIn
+		}
+	}
+	return blocks, firstState
+}
+
+// FromText parses a serialised log and extracts the model; convenience
+// for CLI use.
+func FromText(text string, sig spec.Signatures, opts Options) (*fsmodel.FSM, error) {
+	log, err := trace.ParseString(text)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	return Model(log, sig, opts)
+}
+
+// Stats summarises an extraction for reporting.
+type Stats struct {
+	Blocks      int
+	States      int
+	Conditions  int
+	Actions     int
+	Transitions int
+}
+
+// ModelWithStats is Model plus block statistics.
+func ModelWithStats(log trace.Log, sig spec.Signatures, opts Options) (*fsmodel.FSM, Stats, error) {
+	if opts.PredicateFilter == nil {
+		opts.PredicateFilter = DefaultPredicateFilter
+	}
+	blocks, _ := dissect(log, sig, opts)
+	fsm, err := Model(log, sig, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s, c, a, t := fsm.Size()
+	return fsm, Stats{Blocks: len(blocks), States: s, Conditions: c, Actions: a, Transitions: t}, nil
+}

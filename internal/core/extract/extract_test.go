@@ -1,0 +1,346 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"prochecker/internal/conformance"
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+	"prochecker/internal/ue"
+)
+
+// TestRunningExampleFigure3 reproduces the paper's running example: the
+// log of Figure 3(d) yields the single transition
+// UE_REGISTERED_INIT --attach_accept & mac_valid=1--> UE_REGISTERED
+// with action attach_complete.
+func TestRunningExampleFigure3(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] air_msg_handler",
+		"[LOCAL] msg_type = 2",
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] guti = 0x0",
+		"[GLOBAL] emm_state = UE_REGISTERED_INIT",
+		"[LOCAL] mac_valid = 1",
+		"[FUNC] send_attach_complete",
+		"[EXIT] send_attach_complete",
+		"[GLOBAL] emm_state = UE_REGISTERED",
+		"[EXIT] recv_attach_accept",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{Name: "running-example"})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	ts := fsm.Transitions()
+	if len(ts) != 1 {
+		t.Fatalf("transitions = %d, want 1: %v", len(ts), ts)
+	}
+	tr := ts[0]
+	if tr.From != fsmodel.State(spec.EMMRegisteredInitiated) {
+		t.Errorf("From = %s, want EMM_REGISTERED_INITIATED", tr.From)
+	}
+	if tr.To != fsmodel.State(spec.EMMRegistered) {
+		t.Errorf("To = %s, want EMM_REGISTERED", tr.To)
+	}
+	if tr.Cond.Message != spec.AttachAccept {
+		t.Errorf("condition = %s, want attach_accept", tr.Cond.Message)
+	}
+	if len(tr.Cond.Predicates) != 1 || tr.Cond.Predicates[0] != (fsmodel.Predicate{Var: "mac_valid", Value: "1"}) {
+		t.Errorf("predicates = %v, want [mac_valid=1]", tr.Cond.Predicates)
+	}
+	if len(tr.Actions) != 1 || tr.Actions[0] != spec.AttachComplete {
+		t.Errorf("actions = %v, want [attach_complete]", tr.Actions)
+	}
+}
+
+func TestNullActionWhenValidationFails(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] emm_state = EMM_REGISTERED_INITIATED",
+		"[LOCAL] mac_valid = 0",
+		"[EXIT] recv_attach_accept",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	ts := fsm.Transitions()
+	if len(ts) != 1 {
+		t.Fatalf("transitions = %d, want 1", len(ts))
+	}
+	if ts[0].From != ts[0].To {
+		t.Errorf("failed validation should self-loop, got %s -> %s", ts[0].From, ts[0].To)
+	}
+	if len(ts[0].Actions) != 1 || ts[0].Actions[0] != spec.NullAction {
+		t.Errorf("actions = %v, want [null_action]", ts[0].Actions)
+	}
+}
+
+func TestEmptyLogError(t *testing.T) {
+	if _, err := FromText("", spec.UESignatures(spec.StyleClosed), Options{}); err == nil {
+		t.Error("empty log accepted")
+	}
+	// A log with records but no incoming blocks is also empty.
+	if _, err := FromText("[GLOBAL] emm_state = EMM_NULL\n", spec.UESignatures(spec.StyleClosed), Options{}); err == nil {
+		t.Error("blockless log accepted")
+	}
+}
+
+func TestBlocksDoNotSpanTestCases(t *testing.T) {
+	logText := strings.Join([]string{
+		"[TEST] tc_1",
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] emm_state = EMM_REGISTERED_INITIATED",
+		"[TEST] tc_2",
+		// This state must not become tc_1's block's outgoing state.
+		"[FUNC] recv_paging_request",
+		"[GLOBAL] emm_state = EMM_REGISTERED",
+		"[EXIT] recv_paging_request",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	for _, tr := range fsm.Transitions() {
+		if tr.Cond.Message == spec.AttachAccept && tr.To == fsmodel.State(spec.EMMRegistered) {
+			t.Errorf("block leaked across test-case boundary: %s", tr)
+		}
+	}
+}
+
+func TestUplinkInitiatedSendNotMisattributed(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] recv_detach_request_nw",
+		"[GLOBAL] emm_state = EMM_REGISTERED",
+		"[FUNC] send_detach_accept",
+		"[EXIT] send_detach_accept",
+		"[GLOBAL] emm_state = EMM_DEREGISTERED",
+		"[EXIT] recv_detach_request_nw",
+		// UE-initiated attach outside any incoming handler:
+		"[FUNC] emm_start_attach",
+		"[FUNC] send_attach_request",
+		"[EXIT] send_attach_request",
+		"[EXIT] emm_start_attach",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	ts := fsm.Transitions()
+	if len(ts) != 1 {
+		t.Fatalf("transitions = %d, want 1", len(ts))
+	}
+	for _, a := range ts[0].Actions {
+		if a == spec.AttachRequest {
+			t.Error("attach_request misattributed to the detach block")
+		}
+	}
+}
+
+func TestPredicateLastValueWins(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] emm_state = EMM_REGISTERED_INITIATED",
+		"[LOCAL] mac_valid = 0",
+		"[LOCAL] mac_valid = 1",
+		"[EXIT] recv_attach_accept",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	preds := fsm.Transitions()[0].Cond.Predicates
+	if len(preds) != 1 || preds[0].Value != "1" {
+		t.Errorf("predicates = %v, want [mac_valid=1]", preds)
+	}
+}
+
+func TestPredicateFilterRejectsNoise(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] emm_state = EMM_REGISTERED_INITIATED",
+		"[LOCAL] scratch_buffer_len = 133",
+		"[LOCAL] mac_valid = 1",
+		"[EXIT] recv_attach_accept",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	preds := fsm.Transitions()[0].Cond.Predicates
+	if len(preds) != 1 || preds[0].Var != "mac_valid" {
+		t.Errorf("predicates = %v, want only mac_valid", preds)
+	}
+}
+
+func TestInitialStateFromLogAndOverride(t *testing.T) {
+	logText := strings.Join([]string{
+		"[FUNC] recv_attach_accept",
+		"[GLOBAL] emm_state = EMM_DEREGISTERED",
+		"[EXIT] recv_attach_accept",
+	}, "\n")
+	fsm, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	if fsm.Initial != fsmodel.State(spec.EMMDeregistered) {
+		t.Errorf("Initial = %s, want EMM_DEREGISTERED", fsm.Initial)
+	}
+	fsm2, err := FromText(logText, spec.UESignatures(spec.StyleClosed), Options{Initial: "EMM_NULL"})
+	if err != nil {
+		t.Fatalf("FromText: %v", err)
+	}
+	if fsm2.Initial != "EMM_NULL" {
+		t.Errorf("Initial override = %s, want EMM_NULL", fsm2.Initial)
+	}
+}
+
+// TestExtractFromConformanceRun is the end-to-end extraction test: run the
+// real conformance suite on each profile and extract its FSM.
+func TestExtractFromConformanceRun(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := conformance.RunSuite(p, true)
+			if err != nil {
+				t.Fatalf("RunSuite: %v", err)
+			}
+			sig := spec.UESignatures(ue.StyleFor(p))
+			fsm, stats, err := ModelWithStats(rep.Log, sig, Options{Name: "UE/" + p.String()})
+			if err != nil {
+				t.Fatalf("ModelWithStats: %v", err)
+			}
+			if stats.Blocks < 20 {
+				t.Errorf("blocks = %d, want >= 20 from the full suite", stats.Blocks)
+			}
+			if stats.States < 4 {
+				t.Errorf("states = %d, want >= 4", stats.States)
+			}
+			if stats.Transitions < 10 {
+				t.Errorf("transitions = %d, want >= 10", stats.Transitions)
+			}
+			if fsm.Initial == "" {
+				t.Error("no initial state extracted")
+			}
+			// Every profile's FSM must contain the core attach transition.
+			found := false
+			for _, tr := range fsm.Transitions() {
+				if tr.Cond.Message == spec.AttachAccept && tr.To == fsmodel.State(spec.EMMRegistered) {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("attach_accept -> EMM_REGISTERED transition missing")
+			}
+		})
+	}
+}
+
+// TestExtractedModelsDifferByProfile: the srs FSM must contain behaviour
+// (replayed SMC answered from registered state) that the conformant FSM
+// does not.
+func TestExtractedModelsDifferByProfile(t *testing.T) {
+	get := func(p ue.Profile) *fsmodel.FSM {
+		t.Helper()
+		rep, err := conformance.RunSuite(p, true)
+		if err != nil {
+			t.Fatalf("RunSuite: %v", err)
+		}
+		fsm, err := Model(rep.Log, spec.UESignatures(ue.StyleFor(p)), Options{})
+		if err != nil {
+			t.Fatalf("Model: %v", err)
+		}
+		return fsm
+	}
+	// The I6 signature: an SMC with a *stale* count (count_fresh=0) that
+	// is still answered with security_mode_complete. The legitimate
+	// rekeying transition exists in every profile; only the quirky ones
+	// answer the replay.
+	replayedSMCAnswered := func(f *fsmodel.FSM) bool {
+		for _, tr := range f.Transitions() {
+			if tr.Cond.Message != spec.SecurityModeCommand {
+				continue
+			}
+			stale := false
+			for _, p := range tr.Cond.Predicates {
+				if p.Var == "count_fresh" && p.Value == "0" {
+					stale = true
+				}
+			}
+			if !stale {
+				continue
+			}
+			for _, a := range tr.Actions {
+				if a == spec.SecurityModeComplet {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if replayedSMCAnswered(get(ue.ProfileConformant)) {
+		t.Error("conformant FSM answers replayed SMC")
+	}
+	if !replayedSMCAnswered(get(ue.ProfileSRS)) {
+		t.Error("srs FSM lacks the I6 replayed-SMC transition")
+	}
+}
+
+func TestStatsCountsMatchModel(t *testing.T) {
+	rep, err := conformance.RunSuite(ue.ProfileConformant, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	fsm, stats, err := ModelWithStats(rep.Log, spec.UESignatures(spec.StyleClosed), Options{})
+	if err != nil {
+		t.Fatalf("ModelWithStats: %v", err)
+	}
+	s, c, a, tr := fsm.Size()
+	if stats.States != s || stats.Conditions != c || stats.Actions != a || stats.Transitions != tr {
+		t.Errorf("stats %+v inconsistent with model size (%d,%d,%d,%d)", stats, s, c, a, tr)
+	}
+}
+
+func TestModelIdempotentOnSameLog(t *testing.T) {
+	rep, err := conformance.RunSuite(ue.ProfileOAI, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	sig := spec.UESignatures(spec.StyleOAI)
+	a, err := Model(rep.Log, sig, Options{})
+	if err != nil {
+		t.Fatalf("Model a: %v", err)
+	}
+	b, err := Model(rep.Log, sig, Options{})
+	if err != nil {
+		t.Fatalf("Model b: %v", err)
+	}
+	if a.DOT() != b.DOT() {
+		t.Error("extraction not deterministic")
+	}
+}
+
+func TestRoundTripThroughSerialisedLog(t *testing.T) {
+	// Render the conformance log to text, re-parse, re-extract: the model
+	// must be identical (the extractor works on serialised logs too).
+	rep, err := conformance.RunSuite(ue.ProfileConformant, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	sig := spec.UESignatures(spec.StyleClosed)
+	direct, err := Model(rep.Log, sig, Options{})
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	parsed, err := trace.ParseString(rep.Log.Render())
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	viaText, err := Model(parsed, sig, Options{})
+	if err != nil {
+		t.Fatalf("Model via text: %v", err)
+	}
+	if direct.DOT() != viaText.DOT() {
+		t.Error("serialisation round trip changed the model")
+	}
+}

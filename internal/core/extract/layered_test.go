@@ -1,0 +1,114 @@
+package extract
+
+import (
+	"testing"
+
+	"prochecker/internal/conformance"
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+// The per-layer extraction of challenge C4: the same execution log yields
+// the EMM machine under the EMM signature sets and the ESM machine under
+// the ESM ones, with no cross-contamination.
+
+func TestESMLayerExtractedSeparately(t *testing.T) {
+	rep, err := conformance.RunSuite(ue.ProfileConformant, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	esmFSM, err := Model(rep.Log, spec.ESMSignatures(spec.StyleClosed), Options{Name: "UE/ESM"})
+	if err != nil {
+		t.Fatalf("ESM extraction: %v", err)
+	}
+
+	// The ESM machine covers the bearer lifecycle.
+	wantStates := []fsmodel.State{
+		fsmodel.State(spec.BearerActivePending),
+		fsmodel.State(spec.BearerActive),
+		fsmodel.State(spec.BearerInactive),
+	}
+	for _, s := range wantStates {
+		if !esmFSM.HasState(s) {
+			t.Errorf("ESM FSM misses state %s", s)
+		}
+	}
+	var sawActivation, sawDeactivation, sawReject bool
+	for _, tr := range esmFSM.Transitions() {
+		switch {
+		case tr.Cond.Message == spec.ActDefaultBearerReq &&
+			tr.To == fsmodel.State(spec.BearerActive):
+			sawActivation = true
+		case tr.Cond.Message == spec.DeactBearerRequest &&
+			tr.To == fsmodel.State(spec.BearerInactive):
+			sawDeactivation = true
+		case tr.Cond.Message == spec.PDNConnectivityRej:
+			sawReject = true
+		}
+	}
+	if !sawActivation || !sawDeactivation || !sawReject {
+		t.Errorf("ESM transitions incomplete: activation=%v deactivation=%v reject=%v\n%s",
+			sawActivation, sawDeactivation, sawReject, esmFSM.DOT())
+	}
+
+	// Layer separation: no EMM material leaks into the ESM machine...
+	for _, s := range esmFSM.States() {
+		if _, ok := spec.NormalizeStateName(string(s)); !ok {
+			t.Errorf("unknown ESM state %s", s)
+		}
+		for _, emm := range spec.UEStates() {
+			if string(s) == string(emm) {
+				t.Errorf("EMM state %s leaked into the ESM machine", s)
+			}
+		}
+	}
+	for _, m := range esmFSM.ConditionMessages() {
+		if spec.IsDownlink(m) {
+			t.Errorf("EMM message %s leaked into the ESM machine", m)
+		}
+	}
+}
+
+func TestEMMLayerUnpollutedByESM(t *testing.T) {
+	rep, err := conformance.RunSuite(ue.ProfileConformant, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	emmFSM, err := Model(rep.Log, spec.UESignatures(spec.StyleClosed), Options{Name: "UE/EMM"})
+	if err != nil {
+		t.Fatalf("EMM extraction: %v", err)
+	}
+	for _, s := range emmFSM.States() {
+		for _, esm := range spec.ESMStates() {
+			if string(s) == string(esm) {
+				t.Errorf("ESM state %s leaked into the EMM machine", s)
+			}
+		}
+	}
+	for _, m := range emmFSM.ConditionMessages() {
+		for _, esm := range spec.ESMDownlinkMessages() {
+			if m == esm {
+				t.Errorf("ESM message %s leaked into the EMM machine", m)
+			}
+		}
+	}
+}
+
+func TestESMExtractionPerProfile(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := conformance.RunSuite(p, true)
+			if err != nil {
+				t.Fatalf("RunSuite: %v", err)
+			}
+			fsm, err := Model(rep.Log, spec.ESMSignatures(ue.StyleFor(p)), Options{})
+			if err != nil {
+				t.Fatalf("extraction: %v", err)
+			}
+			if _, _, _, tr := fsm.Size(); tr < 3 {
+				t.Errorf("ESM transitions = %d, want >= 3", tr)
+			}
+		})
+	}
+}

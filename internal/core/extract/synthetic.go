@@ -1,0 +1,70 @@
+package extract
+
+import (
+	"fmt"
+
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+)
+
+// SyntheticLog generates an information-rich log with the given number of
+// incoming-message blocks, cycling through realistic NAS interactions.
+// It backs the extractor's scalability analysis: the paper reports ~5
+// minutes for the largest closed-source log (7087 test cases); the
+// extractor's cost must stay linear in log size.
+func SyntheticLog(blocks int) trace.Log {
+	style := spec.StyleClosed
+	states := []spec.EMMState{
+		spec.EMMDeregistered, spec.EMMRegisteredInitiated,
+		spec.EMMRegistered, spec.EMMRegisteredNormalService,
+	}
+	type episode struct {
+		in    spec.MessageName
+		out   spec.MessageName
+		preds [][2]string
+	}
+	episodes := []episode{
+		{spec.AuthRequest, spec.AuthResponse, [][2]string{{"mac_valid", "1"}, {"sqn_in_range", "1"}}},
+		{spec.SecurityModeCommand, spec.SecurityModeComplet, [][2]string{{"mac_valid", "1"}, {"caps_match", "1"}}},
+		{spec.AttachAccept, spec.AttachComplete, [][2]string{{"mac_valid", "1"}, {"count_fresh", "1"}}},
+		{spec.GUTIRealloCommand, spec.GUTIRealloComplete, [][2]string{{"mac_valid", "1"}, {"count_fresh", "1"}}},
+		{spec.Paging, spec.ServiceRequest, [][2]string{{"paging_id_match", "1"}}},
+		{spec.IdentityRequest, spec.IdentityResponse, [][2]string{{"id_type", "1"}}},
+		{spec.AttachReject, spec.NullAction, [][2]string{{"plain_header", "1"}, {"emm_cause", "7"}}},
+		{spec.EMMInformation, spec.NullAction, [][2]string{{"mac_valid", "1"}, {"count_fresh", "0"}}},
+	}
+
+	var log trace.Log
+	for i := 0; i < blocks; i++ {
+		if i%16 == 0 {
+			log = append(log, trace.Record{Kind: trace.KindTestCase, Name: fmt.Sprintf("tc_synthetic_%05d", i/16)})
+		}
+		ep := episodes[i%len(episodes)]
+		from := states[i%len(states)]
+		to := states[(i+1)%len(states)]
+		sig := style.Recv(ep.in)
+		log = append(log,
+			trace.Record{Kind: trace.KindFuncEntry, Name: "air_msg_handler"},
+			trace.Record{Kind: trace.KindFuncEntry, Name: sig},
+			trace.Record{Kind: trace.KindGlobal, Name: "emm_state", Value: string(from)},
+			trace.Record{Kind: trace.KindGlobal, Name: "guti", Value: "0x1001"},
+		)
+		for _, p := range ep.preds {
+			log = append(log, trace.Record{Kind: trace.KindLocal, Name: p[0], Value: p[1]})
+		}
+		// Uninstrumented noise the extractor must skip cheaply.
+		log = append(log, trace.Record{Kind: trace.KindLocal, Name: "scratch_len", Value: fmt.Sprintf("%d", i%251)})
+		if ep.out != spec.NullAction {
+			log = append(log,
+				trace.Record{Kind: trace.KindFuncEntry, Name: style.Send(ep.out)},
+				trace.Record{Kind: trace.KindFuncExit, Name: style.Send(ep.out)},
+			)
+		}
+		log = append(log,
+			trace.Record{Kind: trace.KindGlobal, Name: "emm_state", Value: string(to)},
+			trace.Record{Kind: trace.KindFuncExit, Name: sig},
+			trace.Record{Kind: trace.KindFuncExit, Name: "air_msg_handler"},
+		)
+	}
+	return log
+}

@@ -1,0 +1,90 @@
+package fsmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff computes the behavioural difference between two FSMs extracted
+// with the same signature sets: transitions present in exactly one of
+// them. Diffing an open-source profile's model against the conformant
+// one surfaces the implementation deviations (I1-I6) directly — the
+// "implementation mismatch" class of violations from Section III.
+func Diff(a, b *FSM) (onlyA, onlyB []Transition) {
+	inA := make(map[string]bool)
+	for _, t := range a.Transitions() {
+		inA[t.Key()] = true
+	}
+	inB := make(map[string]bool)
+	for _, t := range b.Transitions() {
+		inB[t.Key()] = true
+	}
+	for _, t := range a.Transitions() {
+		if !inB[t.Key()] {
+			onlyA = append(onlyA, t)
+		}
+	}
+	for _, t := range b.Transitions() {
+		if !inA[t.Key()] {
+			onlyB = append(onlyB, t)
+		}
+	}
+	return onlyA, onlyB
+}
+
+// DeviationReport summarises a Diff between a subject model and a
+// reference (conformant) model.
+type DeviationReport struct {
+	Subject   string
+	Reference string
+	// Extra transitions exist only in the subject: behaviour the
+	// reference implementation does not exhibit (accepting replays,
+	// plaintext, ...).
+	Extra []Transition
+	// Missing transitions exist only in the reference: behaviour the
+	// subject lacks (e.g. srsUE never reaches the sync-failure path it
+	// short-circuits with I3).
+	Missing []Transition
+}
+
+// Deviations diffs subject against reference and classifies the result.
+func Deviations(subject, reference *FSM) *DeviationReport {
+	extra, missing := Diff(subject, reference)
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Key() < extra[j].Key() })
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Key() < missing[j].Key() })
+	return &DeviationReport{
+		Subject:   subject.Name,
+		Reference: reference.Name,
+		Extra:     extra,
+		Missing:   missing,
+	}
+}
+
+// Clean reports whether the subject exhibits no deviations at all.
+func (r *DeviationReport) Clean() bool {
+	return len(r.Extra) == 0 && len(r.Missing) == 0
+}
+
+// String renders the report.
+func (r *DeviationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "behavioural deviations of %s from %s:\n", r.Subject, r.Reference)
+	if r.Clean() {
+		b.WriteString("  none\n")
+		return b.String()
+	}
+	if len(r.Extra) > 0 {
+		fmt.Fprintf(&b, "  %d transition(s) only in %s:\n", len(r.Extra), r.Subject)
+		for _, t := range r.Extra {
+			fmt.Fprintf(&b, "    + %s\n", t)
+		}
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(&b, "  %d transition(s) only in %s:\n", len(r.Missing), r.Reference)
+		for _, t := range r.Missing {
+			fmt.Fprintf(&b, "    - %s\n", t)
+		}
+	}
+	return b.String()
+}

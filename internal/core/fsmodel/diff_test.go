@@ -1,0 +1,76 @@
+package fsmodel
+
+import (
+	"strings"
+	"testing"
+
+	"prochecker/internal/spec"
+)
+
+func TestDiffDisjointAndShared(t *testing.T) {
+	a := New("a", "S")
+	b := New("b", "S")
+	shared := tr("S", "T", spec.AttachAccept, spec.AttachComplete)
+	a.AddTransition(shared)
+	b.AddTransition(shared)
+	extraA := tr("S", "S", spec.Paging, spec.ServiceRequest)
+	a.AddTransition(extraA)
+	extraB := tr("T", "S", spec.DetachRequestNW, spec.DetachAccept)
+	b.AddTransition(extraB)
+
+	onlyA, onlyB := Diff(a, b)
+	if len(onlyA) != 1 || onlyA[0].Key() != extraA.Key() {
+		t.Errorf("onlyA = %v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0].Key() != extraB.Key() {
+		t.Errorf("onlyB = %v", onlyB)
+	}
+}
+
+func TestDiffIdenticalModelsClean(t *testing.T) {
+	a := New("a", "S")
+	a.AddTransition(tr("S", "T", spec.AttachAccept, spec.AttachComplete))
+	rep := Deviations(a, a.Clone())
+	if !rep.Clean() {
+		t.Errorf("identical models deviate: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "none") {
+		t.Error("clean report should say none")
+	}
+}
+
+func TestDiffPredicateSensitive(t *testing.T) {
+	// The same endpoints with different predicates are different
+	// behaviour — exactly how quirk transitions surface.
+	a := New("a", "S")
+	a.AddTransition(Transition{
+		From: "S", To: "T",
+		Cond:    Condition{Message: spec.AttachAccept, Predicates: []Predicate{{"count_fresh", "1"}}},
+		Actions: []spec.MessageName{spec.AttachComplete},
+	})
+	b := New("b", "S")
+	b.AddTransition(Transition{
+		From: "S", To: "T",
+		Cond:    Condition{Message: spec.AttachAccept, Predicates: []Predicate{{"count_fresh", "0"}}},
+		Actions: []spec.MessageName{spec.AttachComplete},
+	})
+	onlyA, onlyB := Diff(a, b)
+	if len(onlyA) != 1 || len(onlyB) != 1 {
+		t.Errorf("predicate difference not surfaced: %v / %v", onlyA, onlyB)
+	}
+}
+
+func TestDeviationReportRendersBothDirections(t *testing.T) {
+	a := New("subject", "S")
+	a.AddTransition(tr("S", "S", spec.Paging, spec.ServiceRequest))
+	b := New("reference", "S")
+	b.AddTransition(tr("S", "S", spec.EMMInformation, spec.NullAction))
+	rep := Deviations(a, b)
+	out := rep.String()
+	if !strings.Contains(out, "+ ") || !strings.Contains(out, "- ") {
+		t.Errorf("report misses directions:\n%s", out)
+	}
+	if rep.Clean() {
+		t.Error("deviating models reported clean")
+	}
+}

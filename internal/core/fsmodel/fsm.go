@@ -1,0 +1,304 @@
+// Package fsmodel defines the protocol finite-state machine that is the
+// currency of ProChecker: the 5-tuple (Σ, Γ, S, s₀, T) of Section III-B,
+// with transitions (s_in, s_out, σ, γ) whose conditions carry both the
+// triggering message and data-level predicates lifted from the
+// implementation's sanity-check variables.
+//
+// It also implements the refinement relation of Section VII-B used to
+// compare the automatically extracted model against LTEInspector's
+// hand-built one, and Graphviz DOT export for inspection.
+package fsmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prochecker/internal/spec"
+)
+
+// State is a protocol state name (e.g. EMM_REGISTERED).
+type State string
+
+// Predicate is one data-level constraint on a transition's condition,
+// taken from a sanity-check variable in the information-rich log
+// (e.g. mac_valid = 1).
+type Predicate struct {
+	Var   string
+	Value string
+}
+
+// String renders the predicate as var=value.
+func (p Predicate) String() string { return p.Var + "=" + p.Value }
+
+// Condition is a transition trigger: the incoming message plus zero or
+// more predicates that make it stricter (the σ ∧ φ form of the refinement
+// definition).
+type Condition struct {
+	Message    spec.MessageName
+	Predicates []Predicate
+}
+
+// String renders the condition deterministically.
+func (c Condition) String() string {
+	if len(c.Predicates) == 0 {
+		return string(c.Message)
+	}
+	parts := make([]string, 0, len(c.Predicates))
+	for _, p := range sortedPredicates(c.Predicates) {
+		parts = append(parts, p.String())
+	}
+	return string(c.Message) + " & " + strings.Join(parts, " & ")
+}
+
+// Key returns a canonical identity for set membership.
+func (c Condition) Key() string { return c.String() }
+
+func sortedPredicates(ps []Predicate) []Predicate {
+	out := make([]Predicate, len(ps))
+	copy(out, ps)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Transition is one protocol step (s_in, s_out, σ, γ).
+type Transition struct {
+	From    State
+	To      State
+	Cond    Condition
+	Actions []spec.MessageName
+}
+
+// Key returns a canonical identity for deduplication.
+func (t Transition) Key() string {
+	acts := make([]string, 0, len(t.Actions))
+	for _, a := range t.Actions {
+		acts = append(acts, string(a))
+	}
+	sort.Strings(acts)
+	return fmt.Sprintf("%s -> %s [%s / %s]", t.From, t.To, t.Cond.Key(), strings.Join(acts, ","))
+}
+
+// String renders the transition human-readably.
+func (t Transition) String() string { return t.Key() }
+
+// FSM is the protocol state machine (Σ, Γ, S, s₀, T).
+type FSM struct {
+	// Name labels the machine (e.g. "UE/srsLTE").
+	Name string
+	// Initial is s₀.
+	Initial State
+
+	states      map[State]bool
+	conditions  map[string]Condition
+	actions     map[spec.MessageName]bool
+	transitions map[string]Transition
+	order       []string // insertion order of transition keys
+}
+
+// New creates an empty FSM with the given name and initial state.
+func New(name string, initial State) *FSM {
+	f := &FSM{
+		Name:        name,
+		Initial:     initial,
+		states:      make(map[State]bool),
+		conditions:  make(map[string]Condition),
+		actions:     make(map[spec.MessageName]bool),
+		transitions: make(map[string]Transition),
+	}
+	if initial != "" {
+		f.states[initial] = true
+	}
+	return f
+}
+
+// AddState registers a state.
+func (f *FSM) AddState(s State) {
+	if s != "" {
+		f.states[s] = true
+	}
+}
+
+// AddTransition inserts a transition, registering its states, condition
+// and actions; duplicates are merged. It reports whether the transition
+// was new.
+func (f *FSM) AddTransition(t Transition) bool {
+	if t.From == "" || t.To == "" {
+		return false
+	}
+	t.Cond.Predicates = sortedPredicates(t.Cond.Predicates)
+	key := t.Key()
+	if _, dup := f.transitions[key]; dup {
+		return false
+	}
+	f.transitions[key] = t
+	f.order = append(f.order, key)
+	f.states[t.From] = true
+	f.states[t.To] = true
+	f.conditions[t.Cond.Key()] = t.Cond
+	for _, a := range t.Actions {
+		f.actions[a] = true
+	}
+	return true
+}
+
+// States returns the state set in sorted order.
+func (f *FSM) States() []State {
+	out := make([]State, 0, len(f.states))
+	for s := range f.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasState reports membership of s in S.
+func (f *FSM) HasState(s State) bool { return f.states[s] }
+
+// Conditions returns Σ in sorted order.
+func (f *FSM) Conditions() []Condition {
+	keys := make([]string, 0, len(f.conditions))
+	for k := range f.conditions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Condition, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.conditions[k])
+	}
+	return out
+}
+
+// ConditionMessages returns the distinct condition message names.
+func (f *FSM) ConditionMessages() []spec.MessageName {
+	set := make(map[spec.MessageName]bool)
+	for _, c := range f.conditions {
+		set[c.Message] = true
+	}
+	return spec.SortedMessageNames(set)
+}
+
+// Actions returns Γ in sorted order.
+func (f *FSM) Actions() []spec.MessageName {
+	return spec.SortedMessageNames(f.actions)
+}
+
+// Transitions returns T in insertion order.
+func (f *FSM) Transitions() []Transition {
+	out := make([]Transition, 0, len(f.order))
+	for _, k := range f.order {
+		out = append(out, f.transitions[k])
+	}
+	return out
+}
+
+// Size summarises the model: |S|, |Σ|, |Γ|, |T|.
+func (f *FSM) Size() (states, conditions, actions, transitions int) {
+	return len(f.states), len(f.conditions), len(f.actions), len(f.transitions)
+}
+
+// OutgoingFrom returns the transitions leaving state s.
+func (f *FSM) OutgoingFrom(s State) []Transition {
+	var out []Transition
+	for _, t := range f.Transitions() {
+		if t.From == s {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Reachable returns the states reachable from the initial state.
+func (f *FSM) Reachable() map[State]bool {
+	seen := map[State]bool{}
+	if f.Initial == "" {
+		return seen
+	}
+	stack := []State{f.Initial}
+	seen[f.Initial] = true
+	adj := make(map[State][]State)
+	for _, t := range f.transitions {
+		adj[t.From] = append(adj[t.From], t.To)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[s] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate reports structural problems: no initial state, transitions
+// from unknown states, or unreachable states.
+func (f *FSM) Validate() []string {
+	var problems []string
+	if f.Initial == "" {
+		problems = append(problems, "no initial state")
+	} else if !f.states[f.Initial] {
+		problems = append(problems, fmt.Sprintf("initial state %s not in state set", f.Initial))
+	}
+	reach := f.Reachable()
+	for _, s := range f.States() {
+		if !reach[s] {
+			problems = append(problems, fmt.Sprintf("state %s unreachable from %s", s, f.Initial))
+		}
+	}
+	return problems
+}
+
+// Merge folds other's transitions into f.
+func (f *FSM) Merge(other *FSM) {
+	if other == nil {
+		return
+	}
+	for _, t := range other.Transitions() {
+		f.AddTransition(t)
+	}
+}
+
+// Clone deep-copies the FSM.
+func (f *FSM) Clone() *FSM {
+	out := New(f.Name, f.Initial)
+	for s := range f.states {
+		out.AddState(s)
+	}
+	for _, t := range f.Transitions() {
+		out.AddTransition(t)
+	}
+	return out
+}
+
+// DOT renders the FSM in Graphviz format, with conditions and actions as
+// edge labels, matching the paper's "Graphviz-like language" input to the
+// model generator.
+func (f *FSM) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse];\n")
+	if f.Initial != "" {
+		fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %q;\n", string(f.Initial))
+	}
+	for _, s := range f.States() {
+		fmt.Fprintf(&b, "  %q;\n", string(s))
+	}
+	for _, t := range f.Transitions() {
+		acts := make([]string, 0, len(t.Actions))
+		for _, a := range t.Actions {
+			acts = append(acts, string(a))
+		}
+		label := t.Cond.String() + " / " + strings.Join(acts, ",")
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", string(t.From), string(t.To), label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

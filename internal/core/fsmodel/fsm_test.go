@@ -1,0 +1,166 @@
+package fsmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prochecker/internal/spec"
+)
+
+func tr(from, to State, msg spec.MessageName, acts ...spec.MessageName) Transition {
+	return Transition{From: from, To: to, Cond: Condition{Message: msg}, Actions: acts}
+}
+
+func TestAddTransitionRegistersTuple(t *testing.T) {
+	f := New("test", "A")
+	ok := f.AddTransition(tr("A", "B", spec.AttachAccept, spec.AttachComplete))
+	if !ok {
+		t.Fatal("AddTransition returned false for new transition")
+	}
+	s, c, a, tt := f.Size()
+	if s != 2 || c != 1 || a != 1 || tt != 1 {
+		t.Errorf("Size = (%d,%d,%d,%d), want (2,1,1,1)", s, c, a, tt)
+	}
+}
+
+func TestAddTransitionDeduplicates(t *testing.T) {
+	f := New("test", "A")
+	f.AddTransition(tr("A", "B", spec.AttachAccept, spec.AttachComplete))
+	if f.AddTransition(tr("A", "B", spec.AttachAccept, spec.AttachComplete)) {
+		t.Error("duplicate transition reported as new")
+	}
+	if _, _, _, n := f.Size(); n != 1 {
+		t.Errorf("transitions = %d, want 1", n)
+	}
+}
+
+func TestAddTransitionRejectsEmptyStates(t *testing.T) {
+	f := New("test", "A")
+	if f.AddTransition(tr("", "B", spec.AttachAccept)) {
+		t.Error("transition with empty From accepted")
+	}
+	if f.AddTransition(tr("A", "", spec.AttachAccept)) {
+		t.Error("transition with empty To accepted")
+	}
+}
+
+func TestConditionStringDeterministic(t *testing.T) {
+	c1 := Condition{Message: spec.AttachAccept, Predicates: []Predicate{{"b", "1"}, {"a", "0"}}}
+	c2 := Condition{Message: spec.AttachAccept, Predicates: []Predicate{{"a", "0"}, {"b", "1"}}}
+	if c1.String() != c2.String() {
+		t.Errorf("condition strings differ: %q vs %q", c1, c2)
+	}
+	if want := "attach_accept & a=0 & b=1"; c1.String() != want {
+		t.Errorf("String = %q, want %q", c1.String(), want)
+	}
+}
+
+func TestPredicateOrderInsensitiveDedup(t *testing.T) {
+	f := New("test", "A")
+	f.AddTransition(Transition{From: "A", To: "B",
+		Cond: Condition{Message: spec.AuthRequest, Predicates: []Predicate{{"x", "1"}, {"y", "0"}}}})
+	added := f.AddTransition(Transition{From: "A", To: "B",
+		Cond: Condition{Message: spec.AuthRequest, Predicates: []Predicate{{"y", "0"}, {"x", "1"}}}})
+	if added {
+		t.Error("predicate order changed transition identity")
+	}
+}
+
+func TestReachableAndValidate(t *testing.T) {
+	f := New("test", "A")
+	f.AddTransition(tr("A", "B", spec.AttachAccept))
+	f.AddTransition(tr("B", "A", spec.DetachRequestNW))
+	f.AddState("ORPHAN")
+	problems := f.Validate()
+	if len(problems) != 1 || !strings.Contains(problems[0], "ORPHAN") {
+		t.Errorf("Validate = %v, want one ORPHAN problem", problems)
+	}
+	reach := f.Reachable()
+	if !reach["A"] || !reach["B"] || reach["ORPHAN"] {
+		t.Errorf("Reachable = %v", reach)
+	}
+}
+
+func TestValidateNoInitial(t *testing.T) {
+	f := New("test", "")
+	if problems := f.Validate(); len(problems) == 0 {
+		t.Error("Validate passed with no initial state")
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := New("a", "S0")
+	a.AddTransition(tr("S0", "S1", spec.AttachAccept))
+	b := New("b", "S0")
+	b.AddTransition(tr("S1", "S0", spec.DetachRequestNW))
+	a.Merge(b)
+	if _, _, _, n := a.Size(); n != 2 {
+		t.Errorf("merged transitions = %d, want 2", n)
+	}
+	c := a.Clone()
+	c.AddTransition(tr("S1", "S2", spec.Paging))
+	if _, _, _, n := a.Size(); n != 2 {
+		t.Error("Clone aliases original")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestOutgoingFrom(t *testing.T) {
+	f := New("test", "A")
+	f.AddTransition(tr("A", "B", spec.AttachAccept))
+	f.AddTransition(tr("A", "C", spec.AttachReject))
+	f.AddTransition(tr("B", "A", spec.DetachRequestNW))
+	if got := len(f.OutgoingFrom("A")); got != 2 {
+		t.Errorf("OutgoingFrom(A) = %d, want 2", got)
+	}
+}
+
+func TestDOTContainsEdgesAndInitial(t *testing.T) {
+	f := New("ue", "EMM_DEREGISTERED")
+	f.AddTransition(Transition{
+		From: "EMM_REGISTERED_INITIATED", To: "EMM_REGISTERED",
+		Cond:    Condition{Message: spec.AttachAccept, Predicates: []Predicate{{"mac_valid", "1"}}},
+		Actions: []spec.MessageName{spec.AttachComplete},
+	})
+	dot := f.DOT()
+	for _, want := range []string{
+		"digraph", "__start", "EMM_DEREGISTERED",
+		"attach_accept & mac_valid=1 / attach_complete",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT misses %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestTransitionsInsertionOrderStable(t *testing.T) {
+	f := New("test", "A")
+	f.AddTransition(tr("A", "B", spec.AttachAccept))
+	f.AddTransition(tr("B", "C", spec.Paging))
+	f.AddTransition(tr("C", "A", spec.DetachRequestNW))
+	ts := f.Transitions()
+	if ts[0].To != "B" || ts[1].To != "C" || ts[2].To != "A" {
+		t.Errorf("insertion order not preserved: %v", ts)
+	}
+}
+
+func TestPropertySizeConsistency(t *testing.T) {
+	// |T| of the FSM always equals the number of distinct keys inserted.
+	prop := func(edges []uint8) bool {
+		f := New("q", "S0")
+		keys := make(map[string]bool)
+		states := []State{"S0", "S1", "S2", "S3"}
+		msgs := []spec.MessageName{spec.AttachAccept, spec.Paging, spec.AuthRequest}
+		for _, e := range edges {
+			t := tr(states[e%4], states[(e/4)%4], msgs[(e/16)%3])
+			keys[t.Key()] = true
+			f.AddTransition(t)
+		}
+		_, _, _, n := f.Size()
+		return n == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

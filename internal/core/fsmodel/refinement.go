@@ -1,0 +1,310 @@
+package fsmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"prochecker/internal/spec"
+)
+
+// MappingKind classifies how a coarse-model transition maps into the
+// refined model, following the three cases of the paper's refinement
+// definition (Section VII-B).
+type MappingKind uint8
+
+// The three mapping cases.
+const (
+	// MappedDirect: case (i) — the transition exists verbatim.
+	MappedDirect MappingKind = iota + 1
+	// MappedStricter: case (ii) — same endpoints, condition of the form
+	// σ ∧ φ (same message, extra predicates).
+	MappedStricter
+	// MappedSplit: case (iii) — the transition maps onto a path through
+	// new intermediate states.
+	MappedSplit
+)
+
+// String implements fmt.Stringer.
+func (k MappingKind) String() string {
+	switch k {
+	case MappedDirect:
+		return "direct"
+	case MappedStricter:
+		return "stricter-condition"
+	case MappedSplit:
+		return "split-via-new-states"
+	default:
+		return "unmapped"
+	}
+}
+
+// StateMapping maps each coarse-model state onto the refined-model
+// state(s) it corresponds to (one-to-many when the refined model has
+// sub-states, e.g. ue_deregistered -> {EMM_DEREGISTERED,
+// EMM_DEREGISTERED_ATTACH_NEEDED}).
+type StateMapping map[State][]State
+
+// TransitionMapping records how one coarse transition mapped.
+type TransitionMapping struct {
+	Coarse Transition
+	Kind   MappingKind
+	// Refined holds the matched refined transition(s); for MappedSplit
+	// it is the path.
+	Refined []Transition
+}
+
+// Report is the outcome of a refinement check.
+type Report struct {
+	// StatesMapped is true when every coarse state maps to at least one
+	// refined state that exists (property 1).
+	StatesMapped bool
+	// ConditionsSuperset / ActionsSuperset are property 2: the refined
+	// Σ/Γ contain every coarse condition message / action.
+	ConditionsSuperset bool
+	ActionsSuperset    bool
+	// NewStates lists refined states with no coarse pre-image — the
+	// sub-states automated extraction surfaces.
+	NewStates []State
+	// NewConditionMessages / NewPredicates list refinements of Σ.
+	NewConditionMessages []string
+	NewPredicates        []string
+	// Mappings records property 3 per coarse transition.
+	Mappings []TransitionMapping
+	// Unmapped lists coarse transitions with no refined counterpart.
+	Unmapped []Transition
+
+	missingStates     []State
+	missingConditions []string
+	missingActions    []string
+}
+
+// Refines reports whether the report proves a refinement: all states
+// mapped, condition/action supersets, and every transition mapped.
+func (r *Report) Refines() bool {
+	return r.StatesMapped && r.ConditionsSuperset && r.ActionsSuperset && len(r.Unmapped) == 0
+}
+
+// Problems lists human-readable reasons Refines() is false (empty when it
+// is true).
+func (r *Report) Problems() []string {
+	var out []string
+	for _, s := range r.missingStates {
+		out = append(out, fmt.Sprintf("coarse state %s has no refined counterpart", s))
+	}
+	for _, c := range r.missingConditions {
+		out = append(out, fmt.Sprintf("coarse condition %s missing from refined Σ", c))
+	}
+	for _, a := range r.missingActions {
+		out = append(out, fmt.Sprintf("coarse action %s missing from refined Γ", a))
+	}
+	for _, t := range r.Unmapped {
+		out = append(out, fmt.Sprintf("transition not mapped: %s", t))
+	}
+	return out
+}
+
+// CountByKind tallies transition mappings per kind.
+func (r *Report) CountByKind() map[MappingKind]int {
+	out := make(map[MappingKind]int)
+	for _, m := range r.Mappings {
+		out[m.Kind]++
+	}
+	return out
+}
+
+// maxSplitDepth bounds case-(iii) path search: a coarse transition may
+// split into at most this many refined hops.
+const maxSplitDepth = 3
+
+// CheckRefinement verifies that refined is a refinement of coarse under
+// the given state mapping, per the paper's definition.
+func CheckRefinement(coarse, refined *FSM, mapping StateMapping) *Report {
+	rep := &Report{StatesMapped: true, ConditionsSuperset: true, ActionsSuperset: true}
+
+	// Property 1: every coarse state maps onto existing refined states.
+	mapped := make(map[State]bool) // refined states with a pre-image
+	for _, s := range coarse.States() {
+		targets := mapping[s]
+		ok := false
+		for _, t := range targets {
+			if refined.HasState(t) {
+				ok = true
+				mapped[t] = true
+			}
+		}
+		if !ok {
+			rep.StatesMapped = false
+			rep.missingStates = append(rep.missingStates, s)
+		}
+	}
+	for _, s := range refined.States() {
+		if !mapped[s] {
+			rep.NewStates = append(rep.NewStates, s)
+		}
+	}
+
+	// Property 2: Σ and Γ supersets (at message granularity, since the
+	// refined conditions add predicates on top).
+	refinedMsgs := make(map[string]bool)
+	for _, m := range refined.ConditionMessages() {
+		refinedMsgs[string(m)] = true
+	}
+	coarseMsgs := make(map[string]bool)
+	for _, m := range coarse.ConditionMessages() {
+		coarseMsgs[string(m)] = true
+		if !refinedMsgs[string(m)] {
+			rep.ConditionsSuperset = false
+			rep.missingConditions = append(rep.missingConditions, string(m))
+		}
+	}
+	for m := range refinedMsgs {
+		if !coarseMsgs[m] {
+			rep.NewConditionMessages = append(rep.NewConditionMessages, m)
+		}
+	}
+	sort.Strings(rep.NewConditionMessages)
+
+	predSet := make(map[string]bool)
+	for _, c := range refined.Conditions() {
+		for _, p := range c.Predicates {
+			predSet[p.String()] = true
+		}
+	}
+	for p := range predSet {
+		rep.NewPredicates = append(rep.NewPredicates, p)
+	}
+	sort.Strings(rep.NewPredicates)
+
+	refinedActs := make(map[string]bool)
+	for _, a := range refined.Actions() {
+		refinedActs[string(a)] = true
+	}
+	for _, a := range coarse.Actions() {
+		if !refinedActs[string(a)] {
+			rep.ActionsSuperset = false
+			rep.missingActions = append(rep.missingActions, string(a))
+		}
+	}
+
+	// Property 3: map every coarse transition.
+	for _, t := range coarse.Transitions() {
+		m, ok := mapTransition(t, refined, mapping)
+		if !ok {
+			rep.Unmapped = append(rep.Unmapped, t)
+			continue
+		}
+		rep.Mappings = append(rep.Mappings, m)
+	}
+	return rep
+}
+
+// mapTransition attempts the three mapping cases in order of preference.
+func mapTransition(t Transition, refined *FSM, mapping StateMapping) (TransitionMapping, bool) {
+	froms := mapping[t.From]
+	tos := mapping[t.To]
+	toSet := make(map[State]bool, len(tos))
+	for _, s := range tos {
+		toSet[s] = true
+	}
+
+	var direct, stricter *Transition
+	for _, from := range froms {
+		for _, rt := range refined.OutgoingFrom(from) {
+			if !toSet[rt.To] || rt.Cond.Message != t.Cond.Message {
+				continue
+			}
+			if !actionsCover(rt.Actions, t.Actions) {
+				continue
+			}
+			rtCopy := rt
+			if len(rt.Cond.Predicates) == 0 && len(t.Cond.Predicates) == 0 {
+				direct = &rtCopy
+			} else if predicatesCover(rt.Cond.Predicates, t.Cond.Predicates) {
+				if stricter == nil {
+					stricter = &rtCopy
+				}
+			}
+		}
+	}
+	if direct != nil {
+		return TransitionMapping{Coarse: t, Kind: MappedDirect, Refined: []Transition{*direct}}, true
+	}
+	if stricter != nil {
+		return TransitionMapping{Coarse: t, Kind: MappedStricter, Refined: []Transition{*stricter}}, true
+	}
+
+	// Case (iii): a path whose first hop is triggered by σ and that ends
+	// in a mapped to-state, accumulating the coarse actions along the way.
+	for _, from := range froms {
+		if path, ok := findSplitPath(refined, from, toSet, t, maxSplitDepth); ok {
+			return TransitionMapping{Coarse: t, Kind: MappedSplit, Refined: path}, true
+		}
+	}
+	return TransitionMapping{}, false
+}
+
+// findSplitPath searches for a path of at most depth hops realising the
+// coarse transition: the first hop fires on the coarse condition message
+// and the union of actions along the path covers the coarse actions.
+func findSplitPath(refined *FSM, from State, toSet map[State]bool, t Transition, depth int) ([]Transition, bool) {
+	type node struct {
+		state State
+		path  []Transition
+	}
+	queue := []node{{state: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.path) >= depth {
+			continue
+		}
+		for _, rt := range refined.OutgoingFrom(cur.state) {
+			if len(cur.path) == 0 && rt.Cond.Message != t.Cond.Message {
+				continue // first hop must fire on σ
+			}
+			next := node{state: rt.To, path: append(append([]Transition{}, cur.path...), rt)}
+			if toSet[rt.To] && len(next.path) >= 2 {
+				all := collectActions(next.path)
+				if actionsCover(all, t.Actions) {
+					return next.path, true
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, false
+}
+
+func collectActions(path []Transition) []spec.MessageName {
+	var out []spec.MessageName
+	for _, t := range path {
+		out = append(out, t.Actions...)
+	}
+	return out
+}
+
+func actionsCover(have, want []spec.MessageName) bool {
+	set := make(map[spec.MessageName]bool, len(have))
+	for _, a := range have {
+		set[a] = true
+	}
+	for _, a := range want {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func predicatesCover(have, want []Predicate) bool {
+	set := make(map[string]bool, len(have))
+	for _, p := range have {
+		set[p.String()] = true
+	}
+	for _, p := range want {
+		if !set[p.String()] {
+			return false
+		}
+	}
+	return true
+}

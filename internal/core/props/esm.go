@@ -1,0 +1,65 @@
+package props
+
+import (
+	"prochecker/internal/cpv"
+	"prochecker/internal/spec"
+)
+
+// ESMCatalogue is the session-management property set — an extension
+// beyond the paper's 62 NAS/EMM properties, demonstrating that the same
+// machinery (extraction, threat composition, CEGAR) applies per layer
+// (challenge C4).
+func ESMCatalogue() []Property {
+	return []Property{
+		{
+			ID: "E01", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not activate a bearer from an unprotected activation command.",
+			Source:  "TS 24.301 4.4.4.2 (ESM rides on the secured NAS connection)",
+			Detects: []string{AttackI2},
+			MC: never("E01", nameHas(
+				":recv:"+string(spec.ActDefaultBearerReq)+"@",
+				"plain_header=1",
+				"/"+string(spec.ActDefaultBearerAcc),
+			)),
+		},
+		{
+			ID: "E02", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not act on a replayed bearer activation.",
+			Source:  "TS 24.301 4.4.3.2",
+			Detects: []string{AttackI1},
+			MC: never("E02", nameHas(
+				":recv:"+string(spec.ActDefaultBearerReq)+"@replay",
+				"/"+string(spec.ActDefaultBearerAcc),
+			)),
+		},
+		{
+			ID: "E03", Class: Security, Kind: KindMC,
+			Text:    "An initiated PDN connectivity procedure eventually activates the bearer or is rejected.",
+			Source:  "TS 24.301 6.5.1",
+			Detects: []string{AttackP3},
+			MC: response("E03",
+				nameHas("ue:internal:", "/"+string(spec.PDNConnectivityReq)),
+				nameHas("mme:recv:"+string(spec.ActDefaultBearerAcc)+"@"),
+				nil,
+			),
+		},
+		{
+			ID: "E04", Class: Security, Kind: KindMC,
+			Text:   "A forged bearer activation shall never be accepted.",
+			Source: "TS 24.301 4.4.4",
+			MC: never("E04", nameHas(
+				":recv:"+string(spec.ActDefaultBearerReq)+"@inject",
+				"/"+string(spec.ActDefaultBearerAcc),
+			)),
+		},
+		{
+			ID: "E05", Class: Privacy, Kind: KindKnowledge,
+			Text:   "The APN in ciphered session-management signalling stays confidential.",
+			Source: "TS 24.301 6.5.1 (sent ciphered)",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.ActDefaultBearerReq)},
+				Target:  cpv.PayloadTerm(spec.ActDefaultBearerReq),
+			},
+		},
+	}
+}

@@ -1,0 +1,315 @@
+package props
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/conformance"
+	"prochecker/internal/cpv"
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/ue"
+)
+
+// Equivalence scenario identifiers.
+const (
+	// ScenarioAuthResponseLinkability is P2: a stale captured challenge
+	// is replayed to every UE in a cell; the victim answers
+	// authentication_response, everyone else auth_mac_failure.
+	ScenarioAuthResponseLinkability = "auth_response_linkability"
+	// ScenarioSyncFailureLinkability is the 3G-style attack: the victim
+	// answers a consumed challenge with auth_sync_failure, others with
+	// auth_mac_failure.
+	ScenarioSyncFailureLinkability = "sync_failure_linkability"
+	// ScenarioSMCReplayLinkability is I6: a captured
+	// security_mode_command is replayed; a quirky victim answers.
+	ScenarioSMCReplayLinkability = "smc_replay_linkability"
+	// ScenarioGUTIRealloReplayLinkability replays a captured
+	// (GUTI/TMSI) reallocation command.
+	ScenarioGUTIRealloReplayLinkability = "guti_realloc_replay_linkability"
+	// ScenarioAttachIdentityLinkability checks whether consecutive attach
+	// requests expose a linkable permanent identifier.
+	ScenarioAttachIdentityLinkability = "attach_identity_linkability"
+	// ScenarioGUTICrossRealloc checks that reallocated GUTIs are not
+	// observable on the air.
+	ScenarioGUTICrossRealloc = "guti_cross_realloc"
+)
+
+// KnowledgeResult is the outcome of a deduction query.
+type KnowledgeResult struct {
+	Verified  bool
+	Derivable bool
+	Detail    string
+}
+
+// EvaluateKnowledge runs an intruder-deduction property: the property
+// holds iff the target is NOT derivable after observing the query's
+// terms.
+func EvaluateKnowledge(q KnowledgeQuery) KnowledgeResult {
+	if q.Target == nil {
+		return KnowledgeResult{Detail: "no target term"}
+	}
+	know := cpv.NewKnowledge(cpv.PublicInitialKnowledge()...)
+	for _, t := range q.Observe {
+		know.Add(t)
+	}
+	derivable := know.Derivable(q.Target)
+	detail := fmt.Sprintf("target %s derivable=%v after observing %d message(s)", q.Target, derivable, len(q.Observe))
+	return KnowledgeResult{Verified: !derivable, Derivable: derivable, Detail: detail}
+}
+
+// EquivalenceResult is the outcome of a linkability scenario.
+type EquivalenceResult struct {
+	// Verified is true when victim and bystander are indistinguishable.
+	Verified bool
+	// VictimResponse / OtherResponse label what each answered to the
+	// distinguishing probe ("" = silence).
+	VictimResponse string
+	OtherResponse  string
+	Detail         string
+}
+
+// EvaluateEquivalence runs a linkability scenario against live UE
+// instances of the given implementation profile — the in-process
+// equivalent of posing the observational-equivalence query to ProVerif
+// and validating it on the testbed.
+func EvaluateEquivalence(q EquivalenceQuery, profile ue.Profile) (EquivalenceResult, error) {
+	switch q.Scenario {
+	case ScenarioAuthResponseLinkability:
+		return authReplayScenario(profile, false)
+	case ScenarioSyncFailureLinkability:
+		return authReplayScenario(profile, true)
+	case ScenarioSMCReplayLinkability:
+		return protectedReplayScenario(profile, nas.HeaderIntegrity)
+	case ScenarioGUTIRealloReplayLinkability:
+		return gutiRealloReplayScenario(profile)
+	case ScenarioAttachIdentityLinkability:
+		return attachIdentityScenario(profile)
+	case ScenarioGUTICrossRealloc:
+		return gutiCrossReallocScenario(profile)
+	default:
+		return EquivalenceResult{}, fmt.Errorf("props: unknown equivalence scenario %q", q.Scenario)
+	}
+}
+
+// responseLabel classifies a UE's reply packets for distinguishability.
+func responseLabel(replies []nas.Packet) string {
+	if len(replies) == 0 {
+		return ""
+	}
+	p := replies[0]
+	if p.Header == nas.HeaderPlain {
+		if m, err := nas.Unmarshal(p.Payload); err == nil {
+			return string(m.Name())
+		}
+		return "plain"
+	}
+	// Protected replies are classified by on-air metadata only (header
+	// type), as a real adversary would.
+	return "protected:" + p.Header.String()
+}
+
+// authReplayScenario builds the two-UE experiment of Figures 4 and 6.
+// When consumed is false the replayed challenge is stale-but-fresh for
+// the victim (P2); when true it was already consumed (sync-failure
+// linkability).
+func authReplayScenario(profile ue.Profile, consumed bool) (EquivalenceResult, error) {
+	kVictim := security.KeyFromBytes([]byte("victim-k"))
+	kOther := security.KeyFromBytes([]byte("other-k"))
+	victim, err := ue.New(ue.Config{Profile: profile, IMSI: "001010000000001", K: kVictim})
+	if err != nil {
+		return EquivalenceResult{}, fmt.Errorf("props: building victim: %w", err)
+	}
+	other, err := ue.New(ue.Config{Profile: profile, IMSI: "001010000000002", K: kOther})
+	if err != nil {
+		return EquivalenceResult{}, fmt.Errorf("props: building bystander: %w", err)
+	}
+
+	gen, err := sqn.NewGenerator(sqn.DefaultConfig())
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	mkChallenge := func(seq uint64, seed byte) (nas.Packet, error) {
+		var rand [security.RANDSize]byte
+		rand[0] = seed
+		v := security.GenerateVector(kVictim, rand, seq)
+		return (&nas.Context{}).Seal(&nas.AuthRequest{RAND: v.RAND, AUTN: v.AUTN}, nas.HeaderPlain, nas.DirDownlink)
+	}
+
+	seq1 := gen.Next()
+	captured, err := mkChallenge(seq1, 1)
+	if err != nil {
+		return EquivalenceResult{}, fmt.Errorf("props: building challenge: %w", err)
+	}
+	if consumed {
+		// The victim already answered this exact challenge.
+		victim.HandleDownlink(captured)
+	} else {
+		// The victim moved on to a newer challenge; the captured one is
+		// stale but its IND slot is untouched (P1's precondition).
+		fresh, err := mkChallenge(gen.Next(), 2)
+		if err != nil {
+			return EquivalenceResult{}, fmt.Errorf("props: building challenge: %w", err)
+		}
+		victim.HandleDownlink(fresh)
+	}
+
+	vResp := responseLabel(victim.HandleDownlink(captured))
+	oResp := responseLabel(other.HandleDownlink(captured))
+	res := EquivalenceResult{
+		Verified:       vResp == oResp,
+		VictimResponse: vResp,
+		OtherResponse:  oResp,
+	}
+	res.Detail = fmt.Sprintf("victim answered %q, bystander %q", vResp, oResp)
+	return res, nil
+}
+
+// protectedReplayScenario attaches a victim, captures a protected
+// downlink message with the given header, and replays it to the victim
+// and to a bystander from another session.
+func protectedReplayScenario(profile ue.Profile, header nas.SecurityHeader) (EquivalenceResult, error) {
+	env, err := conformance.NewEnv(profile, nil)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, fmt.Errorf("props: attaching victim: %w", err)
+	}
+	var probe *nas.Packet
+	for _, p := range env.Link.Captured(channel.Downlink) {
+		if p.Header == header {
+			pp := p
+			probe = &pp
+			break
+		}
+	}
+	if probe == nil {
+		return EquivalenceResult{}, errors.New("props: no protected message captured for replay")
+	}
+	other, err := ue.New(ue.Config{Profile: profile, IMSI: "001010000000009", K: security.KeyFromBytes([]byte("bystander"))})
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	vResp := responseLabel(env.UE.HandleDownlink(*probe))
+	oResp := responseLabel(other.HandleDownlink(*probe))
+	return EquivalenceResult{
+		Verified:       vResp == oResp,
+		VictimResponse: vResp,
+		OtherResponse:  oResp,
+		Detail:         fmt.Sprintf("victim answered %q, bystander %q", vResp, oResp),
+	}, nil
+}
+
+// gutiRealloReplayScenario is protectedReplayScenario specialised to the
+// reallocation command (the EPS analogue of TMSI reallocation replay).
+func gutiRealloReplayScenario(profile ue.Profile) (EquivalenceResult, error) {
+	env, err := conformance.NewEnv(profile, nil)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	cmd, err := env.MME.StartGUTIReallocation()
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	env.SendDownlink(cmd)
+	other, err := ue.New(ue.Config{Profile: profile, IMSI: "001010000000009", K: security.KeyFromBytes([]byte("bystander"))})
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	vResp := responseLabel(env.UE.HandleDownlink(cmd))
+	oResp := responseLabel(other.HandleDownlink(cmd))
+	return EquivalenceResult{
+		Verified:       vResp == oResp,
+		VictimResponse: vResp,
+		OtherResponse:  oResp,
+		Detail:         fmt.Sprintf("victim answered %q, bystander %q", vResp, oResp),
+	}, nil
+}
+
+// attachIdentityScenario checks whether two consecutive attaches of the
+// same UE are linkable by a cleartext permanent identifier.
+func attachIdentityScenario(profile ue.Profile) (EquivalenceResult, error) {
+	env, err := conformance.NewEnv(profile, nil)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	det, err := env.UE.StartDetach(false)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	env.SendUplink(det)
+	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	// Inspect every captured uplink attach_request for the IMSI.
+	imsi := []byte(env.UE.IMSI())
+	linkCount := 0
+	attaches := 0
+	for _, p := range env.Link.Captured(channel.Uplink) {
+		if p.Header != nas.HeaderPlain {
+			continue
+		}
+		m, err := nas.Unmarshal(p.Payload)
+		if err != nil || m.Name() != spec.AttachRequest {
+			continue
+		}
+		attaches++
+		if bytes.Contains(p.Payload, imsi) {
+			linkCount++
+		}
+	}
+	verified := linkCount == 0
+	return EquivalenceResult{
+		Verified: verified,
+		Detail:   fmt.Sprintf("%d of %d attach_requests carried the IMSI in cleartext", linkCount, attaches),
+	}, nil
+}
+
+// gutiCrossReallocScenario checks that the reallocated GUTI value never
+// appears on the air in cleartext.
+func gutiCrossReallocScenario(profile ue.Profile) (EquivalenceResult, error) {
+	env, err := conformance.NewEnv(profile, nil)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	cmd, err := env.MME.StartGUTIReallocation()
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	env.SendDownlink(cmd)
+	newGUTI := env.MME.GUTI()
+	var gutiBytes [4]byte
+	gutiBytes[0] = byte(newGUTI >> 24)
+	gutiBytes[1] = byte(newGUTI >> 16)
+	gutiBytes[2] = byte(newGUTI >> 8)
+	gutiBytes[3] = byte(newGUTI)
+	exposed := false
+	for _, dir := range []channel.Direction{channel.Downlink, channel.Uplink} {
+		for _, p := range env.Link.Captured(dir) {
+			if p.Header == nas.HeaderIntegrityCiphered {
+				continue // payload opaque; Seal already ciphered it
+			}
+			if bytes.Contains(p.Payload, gutiBytes[:]) {
+				exposed = true
+			}
+		}
+	}
+	return EquivalenceResult{
+		Verified: !exposed,
+		Detail:   fmt.Sprintf("new GUTI %#x exposed in cleartext: %v", newGUTI, exposed),
+	}, nil
+}

@@ -1,0 +1,723 @@
+// Package props is ProChecker's formal property catalogue: the 62
+// security and privacy properties (37 security, 25 privacy) extracted
+// from the conformance test suites and TS 24.301/TS 33.102, formalised
+// over the threat-composed model (Section VI, "Formal property
+// gathering").
+//
+// Three property kinds mirror how the paper instantiates its tooling:
+//
+//   - KindMC properties are checked by the model checker inside the CEGAR
+//     loop (safety over states/events and response liveness);
+//   - KindEquivalence properties are ProVerif-style observational
+//     equivalence (linkability) queries, evaluated with the CPV's
+//     distinguishability check against live implementation instances;
+//   - KindKnowledge properties are intruder-deduction queries: given the
+//     messages an adversary observes, is a secret derivable?
+//
+// Each property records which Table I attack(s) it detects and whether it
+// is one of the 14 properties shared with LTEInspector (Table II).
+package props
+
+import (
+	"strings"
+
+	"prochecker/internal/cpv"
+	"prochecker/internal/mc"
+	"prochecker/internal/spec"
+	"prochecker/internal/ts"
+)
+
+// Class is the property classification of Section VI.
+type Class string
+
+// Property classes.
+const (
+	Security Class = "security"
+	Privacy  Class = "privacy"
+)
+
+// Kind selects the verification engine.
+type Kind string
+
+// Property kinds.
+const (
+	KindMC          Kind = "model-checking"
+	KindEquivalence Kind = "observational-equivalence"
+	KindKnowledge   Kind = "intruder-knowledge"
+)
+
+// Attack identifiers of Table I.
+const (
+	AttackP1            = "P1"
+	AttackP2            = "P2"
+	AttackP3            = "P3"
+	AttackI1            = "I1"
+	AttackI2            = "I2"
+	AttackI3            = "I3"
+	AttackI4            = "I4"
+	AttackI5            = "I5"
+	AttackI6            = "I6"
+	AttackAuthSyncDoS   = "prev:auth_sync_failure_dos"
+	AttackKickOff       = "prev:stealthy_kicking_off"
+	AttackPanic         = "prev:panic"
+	AttackTMSILink      = "prev:linkability_tmsi_reallocation"
+	AttackIMSIPaging    = "prev:linkability_imsi_paging"
+	AttackSyncFailLink  = "prev:linkability_auth_sync_failure"
+	AttackAuthRelay     = "prev:authentication_relay"
+	AttackNumb          = "prev:numb"
+	AttackTAUDowngrade  = "prev:downgrade_tau_reject"
+	AttackDenialAll     = "prev:denial_of_all_services"
+	AttackPagingHijack  = "prev:paging_hijacking"
+	AttackDetachDown    = "prev:detach_downgrade"
+	AttackServiceDenial = "prev:service_denial"
+	AttackGUTILink      = "prev:linkability_guti_tmsi"
+)
+
+// KnowledgeQuery is an intruder-deduction property: after observing the
+// given terms, the Target must NOT be derivable for the property to hold.
+type KnowledgeQuery struct {
+	Observe []cpv.Term
+	Target  cpv.Term
+}
+
+// EquivalenceQuery names a linkability scenario executed against live
+// implementation instances (see Evaluate in eval.go).
+type EquivalenceQuery struct {
+	Scenario string
+}
+
+// Property is one entry of the catalogue.
+type Property struct {
+	ID    string
+	Class Class
+	Kind  Kind
+	// Text is the informal requirement, as derived from the conformance
+	// suite / specification.
+	Text string
+	// Source cites the requirement's origin.
+	Source string
+	// CommonLTEInspector is the Table II name when the property is shared
+	// with LTEInspector ("" otherwise).
+	CommonLTEInspector string
+	// Detects lists the Table I attacks this property's violation
+	// witnesses.
+	Detects []string
+	// MC builds the model-checking property (KindMC only).
+	MC func() mc.Property
+	// Knowledge is the deduction query (KindKnowledge only).
+	Knowledge *KnowledgeQuery
+	// Equivalence is the linkability scenario (KindEquivalence only).
+	Equivalence *EquivalenceQuery
+}
+
+// nameHas builds a rule-name matcher requiring every fragment.
+func nameHas(fragments ...string) func(string) bool {
+	return func(name string) bool {
+		for _, f := range fragments {
+			if !strings.Contains(name, f) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// nameHasNot extends a matcher with forbidden fragments.
+func nameHasNot(match func(string) bool, forbidden ...string) func(string) bool {
+	return func(name string) bool {
+		if !match(name) {
+			return false
+		}
+		for _, f := range forbidden {
+			if strings.Contains(name, f) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// registeredStates lists "registered" state names across model styles so
+// response properties work on both the extracted and the LTEInspector
+// models (unknown values are treated as never-occurring).
+func registeredStates() []string {
+	return []string{
+		string(spec.EMMRegistered),
+		string(spec.EMMRegisteredNormalService),
+		"ue_registered",
+	}
+}
+
+func never(id string, match func(string) bool) func() mc.Property {
+	return func() mc.Property { return mc.NeverFires{PropName: id, Match: match} }
+}
+
+func response(id string, trigger, goal func(string) bool, goalState ts.Cond) func() mc.Property {
+	return func() mc.Property {
+		return mc.Response{PropName: id, Trigger: trigger, Goal: goal, GoalState: goalState}
+	}
+}
+
+// Catalogue returns all 62 properties in stable order.
+func Catalogue() []Property {
+	var out []Property
+	out = append(out, securityProperties()...)
+	out = append(out, privacyProperties()...)
+	return out
+}
+
+func securityProperties() []Property {
+	replayApplied := func(msg, action string) func(string) bool {
+		return nameHas(":recv:"+msg+"@replay", "/"+action)
+	}
+	return []Property{
+		{
+			ID: "S01", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not act on a replayed attach_accept message.",
+			Source:  "TS 24.301 4.4.3.2 (replay protection)",
+			Detects: []string{AttackI1},
+			MC:      never("S01", nameHasNot(nameHas(":recv:attach_accept@replay"), "/null_action")),
+		},
+		{
+			ID: "S02", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not answer a replayed security_mode_command.",
+			Source:  "TS 24.301 4.4.3.2",
+			Detects: []string{AttackI1, AttackI6},
+			MC:      never("S02", replayApplied("security_mode_command", "security_mode_complete")),
+		},
+		{
+			ID: "S03", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not apply a replayed guti_reallocation_command.",
+			Source:  "TS 24.301 4.4.3.2",
+			Detects: []string{AttackI1},
+			MC:      never("S03", replayApplied("guti_reallocation_command", "guti_reallocation_complete")),
+		},
+		{
+			ID: "S04", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not act on a replayed tracking_area_update_accept.",
+			Source:  "TS 24.301 4.4.3.2",
+			Detects: []string{AttackI1},
+			MC:      never("S04", nameHasNot(nameHas(":recv:tracking_area_update_accept@replay"), "/null_action")),
+		},
+		{
+			ID: "S05", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not act on a replayed emm_information.",
+			Source:  "TS 24.301 4.4.3.2",
+			Detects: []string{AttackI1},
+			MC:      never("S05", nameHasNot(nameHas(":recv:emm_information@replay"), "/null_action")),
+		},
+		{
+			ID: "S06", Class: Security, Kind: KindMC,
+			Text:    "If the UE is in the registered-initiated state, it will get authenticated with an authentication sequence number greater than the previously accepted SQN.",
+			Source:  "TS 33.102 Annex C",
+			Detects: []string{AttackP1},
+			MC:      never("S06", nameHas(":recv:authentication_request@replay", "sqn_in_range=1", "/authentication_response")),
+		},
+		{
+			ID: "S07", Class: Security, Kind: KindMC,
+			Text:    "The UE shall never accept an authentication challenge whose SQN fails the range check (counter reset).",
+			Source:  "TS 33.102 6.3.3",
+			Detects: []string{AttackI3},
+			MC:      never("S07", nameHas(":recv:authentication_request@", "sqn_in_range=0", "/authentication_response")),
+		},
+		{
+			ID: "S08", Class: Security, Kind: KindMC,
+			Text:    "For a given NAS security context, a given NAS COUNT shall be accepted at most one time.",
+			Source:  "TS 24.301 4.4.3.2 (quoted in Section VII-A)",
+			Detects: []string{AttackI1},
+			MC:      never("S08", nameHasNot(nameHas("ue:recv:", "@replay", "count_fresh=0"), "/null_action")),
+		},
+		{
+			ID: "S09", Class: Security, Kind: KindMC,
+			Text:    "The UE shall not apply a plain-NAS(0x0) guti_reallocation_command after security-context establishment.",
+			Source:  "TS 24.301 4.4.4.2",
+			Detects: []string{AttackI2},
+			MC:      never("S09", nameHas(":recv:guti_reallocation_command@", "plain_header=1", "/guti_reallocation_complete")),
+		},
+		{
+			ID: "S10", Class: Security, Kind: KindMC,
+			Text:    "A plain-NAS attach_accept shall never register the UE.",
+			Source:  "TS 24.301 4.4.4.2",
+			Detects: []string{AttackI2},
+			MC:      never("S10", nameHas(":recv:attach_accept@", "plain_header=1", "->EMM_REGISTERED/")),
+		},
+		{
+			ID: "S11", Class: Security, Kind: KindMC,
+			Text:    "A plain-NAS tracking_area_update_accept shall not be processed after security establishment.",
+			Source:  "TS 24.301 4.4.4.2",
+			Detects: []string{AttackI2},
+			MC:      never("S11", nameHasNot(nameHas(":recv:tracking_area_update_accept@", "plain_header=1"), "/null_action")),
+		},
+		{
+			ID: "S12", Class: Security, Kind: KindMC,
+			Text:    "A plain-NAS security_mode_command shall never complete the security procedure.",
+			Source:  "TS 24.301 5.4.3",
+			Detects: []string{AttackI2},
+			MC:      never("S12", nameHas(":recv:security_mode_command@", "plain_header=1", "/security_mode_complete")),
+		},
+		{
+			ID: "S13", Class: Security, Kind: KindMC,
+			Text:   "A forged attach_accept (invalid MAC) shall never register the UE.",
+			Source: "TS 24.301 4.4.4",
+			MC:     never("S13", nameHas(":recv:attach_accept@inject", "->EMM_REGISTERED/")),
+		},
+		{
+			ID: "S14", Class: Security, Kind: KindMC,
+			Text:   "A forged guti_reallocation_command shall never be applied.",
+			Source: "TS 24.301 5.4.1",
+			MC:     never("S14", nameHas(":recv:guti_reallocation_command@inject", "/guti_reallocation_complete")),
+		},
+		{
+			ID: "S15", Class: Security, Kind: KindMC,
+			Text:   "A forged security_mode_command shall never be completed.",
+			Source: "TS 24.301 5.4.3",
+			MC:     never("S15", nameHas(":recv:security_mode_command@inject", "/security_mode_complete")),
+		},
+		{
+			ID: "S16", Class: Security, Kind: KindMC,
+			Text:    "After a reject/release message the UE shall not move to the registered state without completing authentication and security-mode procedures.",
+			Source:  "TS 24.301 5.5.1.2.5",
+			Detects: []string{AttackI4},
+			MC:      never("S16", nameHas(":recv:attach_accept@", ":EMM_DEREGISTERED->EMM_REGISTERED/")),
+		},
+		{
+			ID: "S17", Class: Security, Kind: KindMC,
+			Text:               "An initiated attach procedure eventually completes with the UE registered.",
+			Source:             "TS 24.301 5.5.1",
+			CommonLTEInspector: "attach procedure completion",
+			Detects:            []string{AttackServiceDenial, AttackDenialAll},
+			MC: response("S17",
+				nameHas("ue:internal:", "/attach_request"),
+				nil,
+				ts.In{Var: "ue_state", Values: registeredStates()},
+			),
+		},
+		{
+			ID: "S18", Class: Security, Kind: KindMC,
+			Text:               "An initiated security-mode procedure eventually completes.",
+			Source:             "TS 24.301 5.4.3",
+			CommonLTEInspector: "security mode control completion",
+			Detects:            []string{AttackP3},
+			MC: response("S18",
+				nameHas("/security_mode_command"),
+				nameHas("mme:recv:security_mode_complete@"),
+				nil,
+			),
+		},
+		{
+			ID: "S19", Class: Security, Kind: KindMC,
+			Text:               "If the MME initiates a GUTI reallocation, the UE will complete that procedure.",
+			Source:             "TS 24.301 5.4.1 / T3450",
+			CommonLTEInspector: "GUTI reallocation completion",
+			Detects:            []string{AttackP3},
+			MC: response("S19",
+				nameHas("guti_realloc:start"),
+				nameHas("mme:recv:guti_reallocation_complete@"),
+				nil,
+			),
+		},
+		{
+			ID: "S20", Class: Security, Kind: KindMC,
+			Text:               "An initiated tracking-area update eventually completes.",
+			Source:             "TS 24.301 5.5.3",
+			CommonLTEInspector: "tracking area update completion",
+			Detects:            []string{AttackServiceDenial},
+			MC: response("S20",
+				nameHas("/tracking_area_update_request"),
+				nameHas("ue:recv:tracking_area_update_accept@genuine"),
+				nil,
+			),
+		},
+		{
+			ID: "S21", Class: Security, Kind: KindMC,
+			Text:               "An initiated service request eventually receives service.",
+			Source:             "TS 24.301 5.6.1",
+			CommonLTEInspector: "service request completion",
+			Detects:            []string{AttackServiceDenial},
+			MC: response("S21",
+				nameHas("ue:internal:", "/service_request"),
+				nameHas("ue:recv:service_accept@genuine"),
+				nil,
+			),
+		},
+		{
+			ID: "S22", Class: Security, Kind: KindMC,
+			Text:               "A UE-initiated detach eventually completes at the network.",
+			Source:             "TS 24.301 5.5.2.2",
+			CommonLTEInspector: "detach procedure completion",
+			MC: response("S22",
+				nameHas("ue:internal:", "/detach_request_ue"),
+				nameHas("mme:recv:detach_request_ue@"),
+				nil,
+			),
+		},
+		{
+			ID: "S23", Class: Security, Kind: KindMC,
+			Text:               "A paged UE eventually initiates the service-request procedure at the network.",
+			Source:             "TS 24.301 5.6.2",
+			CommonLTEInspector: "paging response",
+			Detects:            []string{AttackPagingHijack},
+			MC: response("S23",
+				nameHas("mme:internal:", "/paging_request"),
+				nameHas("mme:recv:service_request@"),
+				nil,
+			),
+		},
+		{
+			ID: "S24", Class: Security, Kind: KindMC,
+			Text:               "An attach_reject without integrity protection shall not move the UE to the deregistered state.",
+			Source:             "TS 24.301 5.5.1.2.5",
+			CommonLTEInspector: "attach reject authenticity",
+			Detects:            []string{AttackDetachDown, AttackDenialAll},
+			MC:                 never("S24", nameHas(":recv:attach_reject@inject")),
+		},
+		{
+			ID: "S25", Class: Security, Kind: KindMC,
+			Text:               "A tau_reject without integrity protection shall not deregister the UE.",
+			Source:             "TS 24.301 5.5.3.2.5",
+			CommonLTEInspector: "TAU reject authenticity",
+			Detects:            []string{AttackTAUDowngrade},
+			MC:                 never("S25", nameHas(":recv:tracking_area_update_reject@inject")),
+		},
+		{
+			ID: "S26", Class: Security, Kind: KindMC,
+			Text:               "A service_reject without integrity protection shall not be processed.",
+			Source:             "TS 24.301 5.6.1.5",
+			CommonLTEInspector: "service reject authenticity",
+			Detects:            []string{AttackDenialAll, AttackServiceDenial},
+			MC:                 never("S26", nameHasNot(nameHas(":recv:service_reject@inject"), "/null_action")),
+		},
+		{
+			ID: "S27", Class: Security, Kind: KindMC,
+			Text:               "An authentication_reject without a failed authentication run shall not permanently block the UE.",
+			Source:             "TS 24.301 5.4.2.5",
+			CommonLTEInspector: "authentication reject authenticity",
+			Detects:            []string{AttackNumb},
+			MC:                 never("S27", nameHas(":recv:authentication_reject@inject")),
+		},
+		{
+			ID: "S28", Class: Security, Kind: KindMC,
+			Text:               "A detach_request without integrity protection shall not detach the UE.",
+			Source:             "TS 24.301 5.5.2.3",
+			CommonLTEInspector: "network detach authenticity",
+			Detects:            []string{AttackKickOff, AttackDetachDown},
+			MC:                 never("S28", nameHas(":recv:detach_request_nw@inject", "/detach_accept")),
+		},
+		{
+			ID: "S29", Class: Security, Kind: KindMC,
+			Text:               "An injected paging_request shall not make the UE initiate signalling.",
+			Source:             "TS 36.304 7 (paging)",
+			CommonLTEInspector: "paging authenticity",
+			Detects:            []string{AttackPagingHijack, AttackPanic},
+			MC:                 never("S29", nameHas(":recv:paging_request@inject", "/service_request")),
+		},
+		{
+			ID: "S30", Class: Security, Kind: KindMC,
+			Text:               "A replayed authentication_request shall not force the UE into authentication resynchronisation.",
+			Source:             "TS 33.102 6.3.5",
+			CommonLTEInspector: "authentication synchronization",
+			Detects:            []string{AttackAuthSyncDoS},
+			MC:                 never("S30", nameHas(":recv:authentication_request@replay", "/auth_sync_failure")),
+		},
+		{
+			ID: "S31", Class: Security, Kind: KindMC,
+			Text:    "The MME shall not process a replayed attach_request.",
+			Source:  "TS 24.301 5.5.1.2",
+			Detects: []string{AttackAuthRelay},
+			MC:      never("S31", nameHas("mme:recv:attach_request@replay")),
+		},
+		{
+			ID: "S32", Class: Security, Kind: KindMC,
+			Text:   "The UE shall reject a security_mode_command whose replayed capabilities mismatch (bidding-down protection).",
+			Source: "TS 24.301 5.4.3.3",
+			MC:     never("S32", nameHas(":recv:security_mode_command@", "caps_match=0", "/security_mode_complete")),
+		},
+		{
+			ID: "S33", Class: Security, Kind: KindMC,
+			Text:   "A forged authentication_request shall never be answered with authentication_response.",
+			Source: "TS 33.102 6.3.3",
+			MC:     never("S33", nameHas(":recv:authentication_request@inject", "/authentication_response")),
+		},
+		{
+			ID: "S34", Class: Security, Kind: KindMC,
+			Text:   "The MME shall not grant service for a replayed service_request.",
+			Source: "TS 24.301 4.4.3.2",
+			MC:     never("S34", nameHas("mme:recv:service_request@replay", "/service_accept")),
+		},
+		{
+			ID: "S35", Class: Security, Kind: KindMC,
+			Text:   "The MME shall not process a replayed tracking_area_update_request.",
+			Source: "TS 24.301 4.4.3.2",
+			MC:     never("S35", nameHasNot(nameHas("mme:recv:tracking_area_update_request@replay"), "/null_action")),
+		},
+		{
+			ID: "S36", Class: Security, Kind: KindMC,
+			Text:   "The MME shall not accept a replayed security_mode_complete.",
+			Source: "TS 24.301 4.4.3.2",
+			MC:     never("S36", nameHas("mme:recv:security_mode_complete@replay")),
+		},
+		{
+			ID: "S37", Class: Security, Kind: KindMC,
+			Text:    "An authentication resynchronisation eventually reaches the network.",
+			Source:  "TS 33.102 6.3.5",
+			Detects: []string{AttackAuthSyncDoS},
+			MC: response("S37",
+				nameHas("/auth_sync_failure"),
+				nameHas("mme:recv:auth_sync_failure@"),
+				nil,
+			),
+		},
+	}
+}
+
+func privacyProperties() []Property {
+	return []Property{
+		{
+			ID: "V01", Class: Privacy, Kind: KindMC,
+			Text:    "After security establishment, the UE shall not disclose its IMSI in a plaintext identity_response.",
+			Source:  "TS 24.301 5.4.4 / TS 33.401 6.1.4",
+			Detects: []string{AttackI5},
+			MC:      never("V01", nameHas(":recv:identity_request@", "plain_header=1", ":EMM_REGISTERED->", "/identity_response")),
+		},
+		{
+			ID: "V02", Class: Privacy, Kind: KindMC,
+			Text:    "An injected identity_request shall not obtain the IMSI.",
+			Source:  "TS 24.301 5.4.4 (IMSI catching)",
+			Detects: []string{AttackGUTILink},
+			MC:      never("V02", nameHas(":recv:identity_request@inject", "/identity_response")),
+		},
+		{
+			ID: "V03", Class: Privacy, Kind: KindMC,
+			Text:    "The UE shall not answer paging by IMSI.",
+			Source:  "TS 23.401 5.3.4B",
+			Detects: []string{AttackIMSIPaging},
+			MC:      never("V03", nameHas(":recv:paging_request@", "id_type=1", "/service_request")),
+		},
+		{
+			ID: "V04", Class: Privacy, Kind: KindEquivalence,
+			Text:        "Two UEs are indistinguishable by their responses to a replayed authentication_request (stale-SQN acceptance).",
+			Source:      "Section VII-A (P2)",
+			Detects:     []string{AttackP2},
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioAuthResponseLinkability},
+		},
+		{
+			ID: "V05", Class: Privacy, Kind: KindEquivalence,
+			Text:        "Two UEs are indistinguishable by their failure responses to a consumed (same-SQN) authentication_request.",
+			Source:      "Arapinis et al. (3G linkability), adapted",
+			Detects:     []string{AttackSyncFailLink},
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioSyncFailureLinkability},
+		},
+		{
+			ID: "V06", Class: Privacy, Kind: KindEquivalence,
+			Text:        "Two UEs are indistinguishable by their responses to a replayed security_mode_command.",
+			Source:      "Table I (I6)",
+			Detects:     []string{AttackI6},
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioSMCReplayLinkability},
+		},
+		{
+			ID: "V07", Class: Privacy, Kind: KindEquivalence,
+			Text:        "Two UEs are indistinguishable by their responses to a replayed (GUTI/TMSI) reallocation command.",
+			Source:      "Arapinis et al. (TMSI reallocation), adapted to EPS",
+			Detects:     []string{AttackTMSILink},
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioGUTIRealloReplayLinkability},
+		},
+		{
+			ID: "V08", Class: Privacy, Kind: KindEquivalence,
+			Text:        "Attach requests are unlinkable across sessions (no permanent identifier in cleartext).",
+			Source:      "TS 33.401 6.1.4",
+			Detects:     []string{AttackGUTILink},
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioAttachIdentityLinkability},
+		},
+		{
+			ID: "V09", Class: Privacy, Kind: KindMC,
+			Text:    "An initiated GUTI reallocation eventually refreshes the UE's temporary identity.",
+			Source:  "TS 24.301 5.4.1 (GUTI refresh mandate)",
+			Detects: []string{AttackP3},
+			MC: response("V09",
+				nameHas("guti_realloc:start"),
+				nameHas("ue:recv:guti_reallocation_command@genuine"),
+				nil,
+			),
+		},
+		{
+			ID: "V10", Class: Privacy, Kind: KindMC,
+			Text:    "The UE shall not respond to a replayed paging_request.",
+			Source:  "TS 36.304 7",
+			Detects: []string{AttackIMSIPaging},
+			MC:      never("V10", nameHas(":recv:paging_request@replay", "/service_request")),
+		},
+		{
+			ID: "V11", Class: Privacy, Kind: KindKnowledge,
+			Text:    "An IMSI-based initial attach does not expose the IMSI to a passive adversary.",
+			Source:  "TS 33.401 6.1.4 (known exposure)",
+			Detects: []string{AttackGUTILink},
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.AttachRequest)},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V12", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A GUTI-based reattach does not expose the IMSI.",
+			Source: "TS 23.401 5.3.4B",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.TaggedTerm(spec.AttachRequest, cpv.GUTITerm())},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V13", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A plaintext identity_response does not expose the IMSI to a passive adversary.",
+			Source: "TS 24.301 5.4.4",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.IdentityResponse)},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V14", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A ciphered identity_response conceals the IMSI.",
+			Source: "TS 33.401 6.1.4",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.TaggedTerm(spec.IdentityResponse, cpv.CipheredTerm(cpv.IMSITerm()))},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V15", Class: Privacy, Kind: KindKnowledge,
+			Text:   "The resynchronisation token AUTS conceals the UE's SQN.",
+			Source: "TS 33.102 6.3.5",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.AuthSyncFailure)},
+				Target:  cpv.SQNValueTerm(),
+			},
+		},
+		{
+			ID: "V16", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A ciphered guti_reallocation_command conceals the new GUTI.",
+			Source: "TS 24.301 5.4.1 (sent ciphered)",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.GUTIRealloCommand)},
+				Target:  cpv.PayloadTerm(spec.GUTIRealloCommand),
+			},
+		},
+		{
+			ID: "V17", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A ciphered attach_accept conceals the assigned GUTI.",
+			Source: "TS 24.301 5.5.1",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.AttachAccept)},
+				Target:  cpv.PayloadTerm(spec.AttachAccept),
+			},
+		},
+		{
+			ID: "V18", Class: Privacy, Kind: KindKnowledge,
+			Text:   "Ciphered emm_information payloads stay confidential.",
+			Source: "TS 24.301 5.4.5",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.MessageTerm(spec.EMMInformation)},
+				Target:  cpv.PayloadTerm(spec.EMMInformation),
+			},
+		},
+		{
+			ID: "V19", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A service_request identifies the UE by GUTI only; the IMSI stays concealed.",
+			Source: "TS 24.301 5.6.1",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.TaggedTerm(spec.ServiceRequest, cpv.GUTITerm())},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V20", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A tracking_area_update_request identifies the UE by GUTI only.",
+			Source: "TS 24.301 5.5.3",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.TaggedTerm(spec.TAURequest, cpv.GUTITerm())},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V21", Class: Privacy, Kind: KindKnowledge,
+			Text:   "A detach_request exposes no permanent identity.",
+			Source: "TS 24.301 5.5.2",
+			Knowledge: &KnowledgeQuery{
+				Observe: []cpv.Term{cpv.TaggedTerm(spec.DetachRequestUE, cpv.GUTITerm())},
+				Target:  cpv.IMSITerm(),
+			},
+		},
+		{
+			ID: "V22", Class: Privacy, Kind: KindMC,
+			Text:   "The UE shall never disclose its IMEI in plaintext after security establishment.",
+			Source: "TS 24.301 5.4.4",
+			MC:     never("V22", nameHas(":recv:identity_request@", "id_type=3", "plain_header=1", "/identity_response")),
+		},
+		{
+			ID: "V23", Class: Privacy, Kind: KindEquivalence,
+			Text:        "GUTI values are unlinkable across reallocations (the command is ciphered).",
+			Source:      "TS 24.301 5.4.1",
+			Equivalence: &EquivalenceQuery{Scenario: ScenarioGUTICrossRealloc},
+		},
+		{
+			ID: "V24", Class: Privacy, Kind: KindMC,
+			Text:   "The UE stays silent on paging for another subscriber.",
+			Source: "TS 36.304 7",
+			MC:     never("V24", nameHas(":recv:paging_request@", "paging_id_match=0", "/service_request")),
+		},
+		{
+			ID: "V25", Class: Privacy, Kind: KindMC,
+			Text:    "The UE shall not answer a replayed authentication challenge (presence-test resistance).",
+			Source:  "Section VII-A (P2, model-checking side)",
+			Detects: []string{AttackP2},
+			MC:      never("V25", nameHas(":recv:authentication_request@replay", "/authentication_response")),
+		},
+	}
+}
+
+// ByID retrieves a property.
+func ByID(id string) (Property, bool) {
+	for _, p := range Catalogue() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// CommonWithLTEInspector returns the Table II subset in catalogue order.
+func CommonWithLTEInspector() []Property {
+	var out []Property
+	for _, p := range Catalogue() {
+		if p.CommonLTEInspector != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Detecting returns the properties that witness the given Table I attack.
+func Detecting(attack string) []Property {
+	var out []Property
+	for _, p := range Catalogue() {
+		for _, a := range p.Detects {
+			if a == attack {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Counts tallies the catalogue per class.
+func Counts() (security, privacy int) {
+	for _, p := range Catalogue() {
+		switch p.Class {
+		case Security:
+			security++
+		case Privacy:
+			privacy++
+		}
+	}
+	return security, privacy
+}

@@ -1,0 +1,267 @@
+package cpv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prochecker/internal/spec"
+)
+
+func TestPairProjection(t *testing.T) {
+	k := NewKnowledge(Pair{L: Name{ID: "a"}, R: Name{ID: "b"}})
+	if !k.Has(Name{ID: "a"}) || !k.Has(Name{ID: "b"}) {
+		t.Error("pair components not projected")
+	}
+}
+
+func TestDecryptionRequiresKey(t *testing.T) {
+	secret := Name{ID: "secret"}
+	key := Name{ID: "key"}
+	enc := SEnc{Body: secret, K: key}
+
+	k1 := NewKnowledge(enc)
+	if k1.Derivable(secret) {
+		t.Error("secret derivable without key")
+	}
+	k2 := NewKnowledge(enc, key)
+	if !k2.Derivable(secret) {
+		t.Error("secret not derivable with key")
+	}
+}
+
+func TestSaturationCascades(t *testing.T) {
+	// enc1 holds key2; enc2 holds the secret; key1 opens enc1.
+	key1, key2 := Name{ID: "k1"}, Name{ID: "k2"}
+	secret := Name{ID: "s"}
+	enc2 := SEnc{Body: secret, K: key2}
+	enc1 := SEnc{Body: key2, K: key1}
+	k := NewKnowledge(enc1, enc2, key1)
+	if !k.Derivable(secret) {
+		t.Error("cascaded decryption failed")
+	}
+}
+
+func TestLateKeyReopensEncryptions(t *testing.T) {
+	key := Name{ID: "k"}
+	secret := Name{ID: "s"}
+	k := NewKnowledge(SEnc{Body: secret, K: key})
+	if k.Derivable(secret) {
+		t.Fatal("premature derivation")
+	}
+	k.Add(key)
+	if !k.Derivable(secret) {
+		t.Error("adding the key later did not reopen the encryption")
+	}
+}
+
+func TestSynthesis(t *testing.T) {
+	k := NewKnowledge(Name{ID: "a"}, Name{ID: "b"})
+	if !k.Derivable(Pair{L: Name{ID: "a"}, R: Name{ID: "b"}}) {
+		t.Error("cannot pair known terms")
+	}
+	if !k.Derivable(MAC{Body: Name{ID: "a"}, K: Name{ID: "b"}}) {
+		t.Error("cannot MAC with known key")
+	}
+	if !k.Derivable(Fun{Name: "f", Args: []Term{Name{ID: "a"}}}) {
+		t.Error("cannot apply function to known args")
+	}
+	if k.Derivable(MAC{Body: Name{ID: "a"}, K: Name{ID: "unknown"}}) {
+		t.Error("MAC forged without key")
+	}
+}
+
+func TestMACNotInvertible(t *testing.T) {
+	// Possessing mac(s, k) reveals neither s nor k.
+	k := NewKnowledge(MAC{Body: Name{ID: "s"}, K: Name{ID: "k"}})
+	if k.Derivable(Name{ID: "s"}) || k.Derivable(Name{ID: "k"}) {
+		t.Error("MAC leaked body or key")
+	}
+}
+
+func TestFunNotInvertible(t *testing.T) {
+	k := NewKnowledge(Fun{Name: "kdf", Args: []Term{Name{ID: "k"}}})
+	if k.Derivable(Name{ID: "k"}) {
+		t.Error("KDF inverted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	k := NewKnowledge(Name{ID: "a"})
+	c := k.Clone()
+	c.Add(Name{ID: "b"})
+	if k.Derivable(Name{ID: "b"}) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestPairOf(t *testing.T) {
+	p := PairOf(Name{ID: "a"}, Name{ID: "b"}, Name{ID: "c"})
+	want := Pair{L: Name{ID: "a"}, R: Pair{L: Name{ID: "b"}, R: Name{ID: "c"}}}
+	if p.Key() != want.Key() {
+		t.Errorf("PairOf = %s, want %s", p, want)
+	}
+	if PairOf().Key() != (Name{ID: "nil"}).Key() {
+		t.Error("empty PairOf wrong")
+	}
+}
+
+func TestTermKeysInjective(t *testing.T) {
+	terms := []Term{
+		Name{ID: "a"},
+		Name{ID: "b"},
+		Pair{L: Name{ID: "a"}, R: Name{ID: "b"}},
+		Pair{L: Name{ID: "b"}, R: Name{ID: "a"}},
+		SEnc{Body: Name{ID: "a"}, K: Name{ID: "b"}},
+		MAC{Body: Name{ID: "a"}, K: Name{ID: "b"}},
+		Fun{Name: "f", Args: []Term{Name{ID: "a"}}},
+		Fun{Name: "g", Args: []Term{Name{ID: "a"}}},
+	}
+	seen := make(map[string]bool)
+	for _, tm := range terms {
+		if seen[tm.Key()] {
+			t.Errorf("key collision for %s", tm)
+		}
+		seen[tm.Key()] = true
+	}
+}
+
+func TestDerivabilityMonotone(t *testing.T) {
+	// Property: adding knowledge never makes a derivable term
+	// underivable.
+	targets := []Term{
+		Name{ID: "x"},
+		Pair{L: Name{ID: "x"}, R: Name{ID: "y"}},
+		SEnc{Body: Name{ID: "x"}, K: Name{ID: "y"}},
+	}
+	prop := func(addX, addY bool) bool {
+		k := NewKnowledge()
+		if addX {
+			k.Add(Name{ID: "x"})
+		}
+		before := make([]bool, len(targets))
+		for i, tgt := range targets {
+			before[i] = k.Derivable(tgt)
+		}
+		if addY {
+			k.Add(Name{ID: "y"})
+		}
+		for i, tgt := range targets {
+			if before[i] && !k.Derivable(tgt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- NAS theory tests ---
+
+func TestInjectPlainRejectFeasible(t *testing.T) {
+	v := NewNASVerifier(false)
+	f := v.Feasible(Action{Kind: ActInject, Message: spec.AttachReject})
+	if !f.Feasible {
+		t.Errorf("plain attach_reject injection infeasible: %s", f.Reason)
+	}
+}
+
+func TestInjectProtectedInfeasible(t *testing.T) {
+	v := NewNASVerifier(false)
+	for _, m := range []spec.MessageName{spec.GUTIRealloCommand, spec.AttachAccept, spec.SecurityModeCommand} {
+		f := v.Feasible(Action{Kind: ActInject, Message: m})
+		if f.Feasible {
+			t.Errorf("forging protected %s reported feasible", m)
+		}
+	}
+}
+
+func TestInjectAuthRequestInfeasibleWithoutCapture(t *testing.T) {
+	v := NewNASVerifier(false)
+	f := v.Feasible(Action{Kind: ActInject, Message: spec.AuthRequest})
+	if f.Feasible {
+		t.Error("authentication_request forged without K")
+	}
+}
+
+func TestReplayRequiresObservation(t *testing.T) {
+	v := NewNASVerifier(false)
+	if v.Feasible(Action{Kind: ActReplay, Message: spec.GUTIRealloCommand}).Feasible {
+		t.Error("replay feasible before observation")
+	}
+	v.ObserveGenuine(spec.GUTIRealloCommand)
+	if !v.Feasible(Action{Kind: ActReplay, Message: spec.GUTIRealloCommand}).Feasible {
+		t.Error("replay infeasible after observation")
+	}
+}
+
+func TestPreCaptureEnablesAuthRequestReplay(t *testing.T) {
+	// P1's capture phase: days-old authentication_requests are replayable
+	// without any in-trace observation.
+	without := NewNASVerifier(false)
+	if without.Feasible(Action{Kind: ActReplay, Message: spec.AuthRequest}).Feasible {
+		t.Error("auth_request replay feasible without capture phase or observation")
+	}
+	with := NewNASVerifier(true)
+	if !with.Feasible(Action{Kind: ActReplay, Message: spec.AuthRequest}).Feasible {
+		t.Error("auth_request replay infeasible despite capture phase")
+	}
+}
+
+func TestDropAlwaysFeasible(t *testing.T) {
+	v := NewNASVerifier(false)
+	if !v.Feasible(Action{Kind: ActDrop, Message: spec.GUTIRealloCommand}).Feasible {
+		t.Error("drop reported infeasible")
+	}
+}
+
+func TestIMSILearntFromIdentityResponse(t *testing.T) {
+	v := NewNASVerifier(false)
+	if v.IMSIKnown() {
+		t.Fatal("IMSI known a priori")
+	}
+	v.ObserveGenuine(spec.IdentityResponse)
+	if !v.IMSIKnown() {
+		t.Error("IMSI not learnt from plaintext identity_response")
+	}
+}
+
+func TestIMSINotLearntFromProtectedTraffic(t *testing.T) {
+	v := NewNASVerifier(false)
+	v.ObserveGenuine(spec.GUTIRealloCommand)
+	v.ObserveGenuine(spec.AttachAccept)
+	if v.IMSIKnown() {
+		t.Error("IMSI leaked from ciphered messages")
+	}
+}
+
+func TestDistinguishLinkability(t *testing.T) {
+	// P2's equivalence query: victim answers a replayed challenge with
+	// auth_response; any other UE answers auth_mac_failure.
+	v := NewNASVerifier(true)
+	probes := []Probe{{Label: "replayed_auth_request", Term: MessageTerm(spec.AuthRequest)}}
+	victim := func(Probe) string { return string(spec.AuthResponse) }
+	other := func(Probe) string { return string(spec.AuthMACFailure) }
+	p, ok := v.Distinguish(probes, victim, other)
+	if !ok {
+		t.Fatal("victim and other UE not distinguishable")
+	}
+	if p.Label != "replayed_auth_request" {
+		t.Errorf("distinguishing probe = %s", p.Label)
+	}
+	// Two identical processes are not distinguishable.
+	if _, ok := v.Distinguish(probes, victim, victim); ok {
+		t.Error("identical processes distinguished")
+	}
+}
+
+func TestDistinguishSkipsUnderivableProbes(t *testing.T) {
+	v := NewNASVerifier(false) // no capture: the probe is not derivable
+	probes := []Probe{{Label: "replayed_auth_request", Term: MessageTerm(spec.AuthRequest)}}
+	a := func(Probe) string { return "x" }
+	b := func(Probe) string { return "y" }
+	if _, ok := v.Distinguish(probes, a, b); ok {
+		t.Error("distinguished via a probe the adversary cannot produce")
+	}
+}

@@ -1,0 +1,248 @@
+package cpv
+
+import (
+	"fmt"
+
+	"prochecker/internal/spec"
+)
+
+// NAS protocol theory: symbolic term encodings of the NAS messages, the
+// secrets involved, and a session-scoped verifier that answers the CEGAR
+// loop's feasibility queries against accumulated intruder knowledge.
+
+// Well-known names of the NAS theory.
+var (
+	// kSubscriber is the permanent key K shared by USIM and HSS.
+	kSubscriber = Name{ID: "K_subscriber"}
+	// kNAS is the session NAS key hierarchy (KASME-derived).
+	kNAS = Fun{Name: "kdf", Args: []Term{kSubscriber, Name{ID: "rand"}}}
+	// sqn is the current authentication sequence number.
+	sqnTerm = Name{ID: "sqn"}
+	// imsi is public once broadcast but starts secret-ish; we treat it as
+	// a name the adversary learns by observing messages carrying it.
+	imsiTerm = Name{ID: "imsi"}
+)
+
+// tag returns the public message-type tag term.
+func tag(m spec.MessageName) Term { return Name{ID: "tag_" + string(m)} }
+
+// Exported term builders for knowledge-query properties.
+
+// IMSITerm is the subscriber's permanent identity.
+func IMSITerm() Term { return imsiTerm }
+
+// SQNValueTerm is the raw authentication sequence number.
+func SQNValueTerm() Term { return sqnTerm }
+
+// GUTITerm is the temporary identity currently assigned (public once it
+// appears in cleartext signalling).
+func GUTITerm() Term { return Name{ID: "guti"} }
+
+// PayloadTerm is the confidential payload of a protected message type.
+func PayloadTerm(m spec.MessageName) Term { return Name{ID: "payload_" + string(m)} }
+
+// SessionKeyTerm is the NAS session key hierarchy.
+func SessionKeyTerm() Term { return kNAS }
+
+// TaggedTerm builds Pair(tag_m, body): a message of type m carrying body.
+func TaggedTerm(m spec.MessageName, body Term) Term { return PairOf(tag(m), body) }
+
+// CipheredTerm builds senc(body, k_nas): body sent under the session key.
+func CipheredTerm(body Term) Term { return SEnc{Body: body, K: kNAS} }
+
+// MessageTerm is the symbolic encoding of one NAS message type on the
+// air. Plain messages are built from public material (plus protocol
+// secrets where the real message embeds a cryptographic value, like the
+// AUTN MAC in authentication_request); protected messages are MAC'd and
+// enciphered under the session key.
+func MessageTerm(m spec.MessageName) Term {
+	switch m {
+	case spec.AuthRequest:
+		// rand || AUTN, AUTN containing MAC-A under K: replayable once
+		// observed, unforgeable without K.
+		return PairOf(tag(m), Name{ID: "rand"}, MAC{Body: PairOf(sqnTerm, Name{ID: "rand"}), K: kSubscriber})
+	case spec.AuthResponse:
+		// RES = f2(K, rand).
+		return PairOf(tag(m), Fun{Name: "f2", Args: []Term{kSubscriber, Name{ID: "rand"}}})
+	case spec.AuthSyncFailure:
+		// AUTS: conceals SQN_MS under K-derived anonymity key.
+		return PairOf(tag(m), MAC{Body: sqnTerm, K: kSubscriber})
+	case spec.AttachRequest:
+		return PairOf(tag(m), imsiTerm)
+	case spec.IdentityResponse:
+		return PairOf(tag(m), imsiTerm)
+	default:
+		if spec.PlainOnAir(m) {
+			// Plain signalling carries only public fields (causes,
+			// identifiers already on the air).
+			return PairOf(tag(m), Name{ID: "public_fields"})
+		}
+		// Protected messages are integrity protected (and ciphered)
+		// under the session key.
+		return PairOf(tag(m), SEnc{Body: PairOf(tag(m), Name{ID: "payload_" + string(m)}), K: kNAS},
+			MAC{Body: PairOf(tag(m), Name{ID: "payload_" + string(m)}), K: kNAS})
+	}
+}
+
+// FreshMessageTerm is the term an adversary must build to *inject* (forge)
+// a new instance of message type m, with every session-fresh component
+// replaced by an adversary-chosen value: its own RAND, its own IMSI, its
+// own payload. Replaying a captured instance is a different action
+// (ActReplay) checked against possession instead.
+func FreshMessageTerm(m spec.MessageName) Term {
+	advRand := Name{ID: "rand_adv"}
+	switch m {
+	case spec.AuthRequest:
+		// A fresh challenge needs MAC-A over the adversary's RAND — only
+		// K can produce it.
+		return PairOf(tag(m), advRand, MAC{Body: PairOf(sqnTerm, advRand), K: kSubscriber})
+	case spec.AuthResponse:
+		return PairOf(tag(m), Fun{Name: "f2", Args: []Term{kSubscriber, advRand}})
+	case spec.AuthSyncFailure:
+		return PairOf(tag(m), MAC{Body: sqnTerm, K: kSubscriber})
+	case spec.AttachRequest, spec.IdentityResponse:
+		// The adversary can always use its *own* identity (the malicious
+		// UE of Figure 4's capture phase).
+		return PairOf(tag(m), Name{ID: "imsi_adv"})
+	default:
+		if spec.PlainOnAir(m) {
+			return PairOf(tag(m), Name{ID: "public_fields"})
+		}
+		body := PairOf(tag(m), Name{ID: "payload_adv"})
+		return PairOf(tag(m), SEnc{Body: body, K: kNAS}, MAC{Body: body, K: kNAS})
+	}
+}
+
+// PublicInitialKnowledge is what any Dolev-Yao adversary starts with:
+// every message-type tag, the public field constants, and its own
+// identity material (IMSI, RAND, payloads of its choosing).
+func PublicInitialKnowledge() []Term {
+	var out []Term
+	for _, m := range append(spec.UplinkMessages(), spec.DownlinkMessages()...) {
+		out = append(out, tag(m))
+	}
+	out = append(out,
+		Name{ID: "public_fields"},
+		Name{ID: "imsi_adv"},
+		Name{ID: "rand_adv"},
+		Name{ID: "payload_adv"},
+	)
+	return out
+}
+
+// ActionKind classifies an adversary action from a model-checker
+// counterexample.
+type ActionKind string
+
+// The Dolev-Yao actions of the threat model (Section III-A).
+const (
+	ActDrop   ActionKind = "drop"
+	ActReplay ActionKind = "replay"
+	ActInject ActionKind = "inject"
+)
+
+// Action is one adversary step extracted from a counterexample.
+type Action struct {
+	Kind    ActionKind
+	Message spec.MessageName
+}
+
+// Feasibility is the verdict on one adversary action.
+type Feasibility struct {
+	Feasible bool
+	Reason   string
+}
+
+// NASVerifier tracks one trace's public-channel history and answers
+// feasibility queries, playing ProVerif's role in the CEGAR loop.
+type NASVerifier struct {
+	know *Knowledge
+	// preCapture grants knowledge of messages capturable in *earlier
+	// sessions*: plain messages whose validity outlives the session, like
+	// authentication_request under the Annex C out-of-order acceptance
+	// window (P1's capture phase).
+	preCapture bool
+}
+
+// NewNASVerifier builds a session verifier. preCapture enables the
+// cross-session capture phase of Figure 4 (on by default in the paper's
+// threat model, since nothing stops an adversary from recording earlier
+// traffic).
+func NewNASVerifier(preCapture bool) *NASVerifier {
+	v := &NASVerifier{know: NewKnowledge(PublicInitialKnowledge()...), preCapture: preCapture}
+	if preCapture {
+		// The capture phase of P1/P2: a malicious UE attaches, making the
+		// MME emit authentication_requests that the adversary records.
+		v.know.Add(MessageTerm(spec.AuthRequest))
+	}
+	return v
+}
+
+// Knowledge exposes the accumulated intruder knowledge.
+func (v *NASVerifier) Knowledge() *Knowledge { return v.know }
+
+// ObserveGenuine records a genuine protocol message crossing a public
+// channel; the adversary learns it.
+func (v *NASVerifier) ObserveGenuine(m spec.MessageName) {
+	v.know.Add(MessageTerm(m))
+}
+
+// Feasible decides whether an adversary action conforms to the
+// cryptographic assumptions given the knowledge accumulated so far in the
+// trace.
+func (v *NASVerifier) Feasible(a Action) Feasibility {
+	switch a.Kind {
+	case ActDrop:
+		// Dropping needs no knowledge at all.
+		return Feasibility{Feasible: true, Reason: "dropping a packet requires no cryptographic capability"}
+	case ActReplay:
+		t := MessageTerm(a.Message)
+		if v.know.Has(t) {
+			return Feasibility{Feasible: true, Reason: fmt.Sprintf("%s observed on a public channel; replay is possible", a.Message)}
+		}
+		return Feasibility{Feasible: false, Reason: fmt.Sprintf("%s never crossed a public channel in this trace; nothing to replay", a.Message)}
+	case ActInject:
+		t := FreshMessageTerm(a.Message)
+		if v.know.Derivable(t) {
+			return Feasibility{Feasible: true, Reason: fmt.Sprintf("a fresh %s is derivable from public material", a.Message)}
+		}
+		return Feasibility{Feasible: false, Reason: fmt.Sprintf("forging a fresh %s requires secrets (session or subscriber keys) the adversary cannot derive", a.Message)}
+	default:
+		return Feasibility{Feasible: false, Reason: fmt.Sprintf("unknown adversary action %q", a.Kind)}
+	}
+}
+
+// IMSIKnown reports whether the adversary has learnt the subscriber's
+// IMSI from the observed traffic — the verdict behind the privacy-leak
+// properties (I5 and the paging/identification surfaces).
+func (v *NASVerifier) IMSIKnown() bool {
+	return v.know.Derivable(imsiTerm)
+}
+
+// Probe is one adversary experiment for the observational-equivalence
+// check: a message the adversary can send, with a label.
+type Probe struct {
+	Label string
+	Term  Term
+}
+
+// Process abstracts a system under equivalence testing: it answers a
+// probe with an observable response label (message type, or silence).
+type Process func(p Probe) string
+
+// Distinguish runs the diff-equivalence experiment ProVerif's
+// observational-equivalence queries perform: for every probe the
+// adversary can actually produce (derivability check), compare the two
+// processes' observable responses. It returns the first distinguishing
+// probe, if any.
+func (v *NASVerifier) Distinguish(probes []Probe, a, b Process) (Probe, bool) {
+	for _, p := range probes {
+		if !v.know.Derivable(p.Term) {
+			continue // the adversary cannot mount this experiment
+		}
+		if a(p) != b(p) {
+			return p, true
+		}
+	}
+	return Probe{}, false
+}

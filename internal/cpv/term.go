@@ -1,0 +1,227 @@
+// Package cpv is the in-process cryptographic protocol verifier standing
+// in for ProVerif: a symbolic Dolev-Yao engine with a term algebra
+// (names, pairs, symmetric encryption, MACs, key-derivation functions),
+// intruder-knowledge saturation, a decision procedure for message
+// derivability, and a diff-based observational-equivalence check used for
+// the linkability (privacy) queries.
+//
+// The CEGAR loop asks exactly two kinds of question here, matching how
+// the paper uses ProVerif: (1) "can the adversary produce this message at
+// this point of the counterexample, given everything that crossed the
+// public channels?", and (2) "can the adversary distinguish two systems
+// by their responses?".
+package cpv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a symbolic message.
+type Term interface {
+	// Key returns a canonical representation used for identity.
+	Key() string
+	fmt.Stringer
+}
+
+// Name is an atomic term: a key, nonce, identity or public constant.
+type Name struct{ ID string }
+
+// Key implements Term.
+func (n Name) Key() string { return "n:" + n.ID }
+
+// String implements fmt.Stringer.
+func (n Name) String() string { return n.ID }
+
+// Pair is term concatenation.
+type Pair struct{ L, R Term }
+
+// Key implements Term.
+func (p Pair) Key() string { return "p:(" + p.L.Key() + "," + p.R.Key() + ")" }
+
+// String implements fmt.Stringer.
+func (p Pair) String() string { return "<" + p.L.String() + "," + p.R.String() + ">" }
+
+// SEnc is symmetric encryption of Body under Key.
+type SEnc struct{ Body, K Term }
+
+// Key implements Term.
+func (e SEnc) Key() string { return "e:(" + e.Body.Key() + ")_" + e.K.Key() }
+
+// String implements fmt.Stringer.
+func (e SEnc) String() string { return "senc(" + e.Body.String() + ", " + e.K.String() + ")" }
+
+// MAC is a message authentication code over Body under Key.
+type MAC struct{ Body, K Term }
+
+// Key implements Term.
+func (m MAC) Key() string { return "m:(" + m.Body.Key() + ")_" + m.K.Key() }
+
+// String implements fmt.Stringer.
+func (m MAC) String() string { return "mac(" + m.Body.String() + ", " + m.K.String() + ")" }
+
+// Fun is an uninvertible function application (e.g. a KDF): derivable
+// only by composing it from derivable arguments.
+type Fun struct {
+	Name string
+	Args []Term
+}
+
+// Key implements Term.
+func (f Fun) Key() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.Key()
+	}
+	return "f:" + f.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// String implements fmt.Stringer.
+func (f Fun) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PairOf folds a list into nested pairs (right associated); a convenience
+// for protocol encodings.
+func PairOf(terms ...Term) Term {
+	if len(terms) == 0 {
+		return Name{ID: "nil"}
+	}
+	out := terms[len(terms)-1]
+	for i := len(terms) - 2; i >= 0; i-- {
+		out = Pair{L: terms[i], R: out}
+	}
+	return out
+}
+
+// Knowledge is the intruder's term set, kept saturated under analysis
+// (pair projection and decryption with derivable keys).
+type Knowledge struct {
+	terms map[string]Term
+}
+
+// NewKnowledge builds a knowledge base from initial terms.
+func NewKnowledge(initial ...Term) *Knowledge {
+	k := &Knowledge{terms: make(map[string]Term)}
+	for _, t := range initial {
+		k.Add(t)
+	}
+	return k
+}
+
+// Add inserts a term and re-saturates.
+func (k *Knowledge) Add(t Term) {
+	if t == nil {
+		return
+	}
+	if _, ok := k.terms[t.Key()]; ok {
+		return
+	}
+	k.terms[t.Key()] = t
+	k.saturate()
+}
+
+// saturate closes the knowledge under analysis: project pairs, open
+// encryptions whose keys are derivable. Iterates to fixpoint — opening
+// one encryption may expose keys that open others.
+func (k *Knowledge) saturate() {
+	for {
+		var fresh []Term
+		for _, t := range k.terms {
+			switch tt := t.(type) {
+			case Pair:
+				if _, ok := k.terms[tt.L.Key()]; !ok {
+					fresh = append(fresh, tt.L)
+				}
+				if _, ok := k.terms[tt.R.Key()]; !ok {
+					fresh = append(fresh, tt.R)
+				}
+			case SEnc:
+				if k.Derivable(tt.K) {
+					if _, ok := k.terms[tt.Body.Key()]; !ok {
+						fresh = append(fresh, tt.Body)
+					}
+				}
+			}
+		}
+		if len(fresh) == 0 {
+			return
+		}
+		for _, t := range fresh {
+			k.terms[t.Key()] = t
+		}
+	}
+}
+
+// Derivable decides whether the intruder can construct t from the
+// saturated knowledge: by possession, pairing, encrypting, MACing or
+// applying functions to derivable parts.
+func (k *Knowledge) Derivable(t Term) bool {
+	return k.derivable(t, make(map[string]bool))
+}
+
+func (k *Knowledge) derivable(t Term, visiting map[string]bool) bool {
+	key := t.Key()
+	if _, ok := k.terms[key]; ok {
+		return true
+	}
+	if visiting[key] {
+		return false
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+	switch tt := t.(type) {
+	case Pair:
+		return k.derivable(tt.L, visiting) && k.derivable(tt.R, visiting)
+	case SEnc:
+		return k.derivable(tt.Body, visiting) && k.derivable(tt.K, visiting)
+	case MAC:
+		return k.derivable(tt.Body, visiting) && k.derivable(tt.K, visiting)
+	case Fun:
+		for _, a := range tt.Args {
+			if !k.derivable(a, visiting) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Has reports direct possession (post-saturation) of t.
+func (k *Knowledge) Has(t Term) bool {
+	_, ok := k.terms[t.Key()]
+	return ok
+}
+
+// Size returns the number of known terms.
+func (k *Knowledge) Size() int { return len(k.terms) }
+
+// Terms lists the knowledge deterministically (for reports).
+func (k *Knowledge) Terms() []Term {
+	keys := make([]string, 0, len(k.terms))
+	for key := range k.terms {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Term, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, k.terms[key])
+	}
+	return out
+}
+
+// Clone deep-copies the knowledge base.
+func (k *Knowledge) Clone() *Knowledge {
+	out := &Knowledge{terms: make(map[string]Term, len(k.terms))}
+	for key, t := range k.terms {
+		out.terms[key] = t
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package fiveg adapts ProChecker to 5G, substantiating the paper's
+// claim that "the key properties and insights leveraged by ProChecker
+// ... remain unchanged in the upcoming 5G deployment" and its per-attack
+// "Impact on 5G" analyses:
+//
+//   - P1/P2: TS 33.501 reuses the TS 33.102 Annex C SQN scheme verbatim,
+//     so the stale-challenge replay and the linkability it enables carry
+//     over to 5G AKA;
+//   - P3: TS 24.501's Configuration Update procedure is supervised by
+//     T3555 with the same retransmit-four-times-then-abort design, so
+//     selective denial pins the 5G-GUTI exactly like GUTI reallocation
+//     in 4G;
+//   - unlike 4G, 5G conceals the permanent identity as a SUCI (public-key
+//     encrypted SUPI), which closes the cleartext-IMSI exposure the 4G
+//     analysis flags.
+//
+// The package provides the TS 24.501 vocabulary (5GMM states, message
+// names), hand-built UE and AMF models in the same style as the
+// LTEInspector baselines, and the 5G property set; the threat composer,
+// model checker, CPV and CEGAR loop are reused unchanged.
+package fiveg
+
+import (
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/core/threat"
+	"prochecker/internal/cpv"
+	"prochecker/internal/spec"
+)
+
+// 5GMM states (TS 24.501 5.1.3).
+const (
+	MMNull           fsmodel.State = "5GMM_NULL"
+	MMDeregistered   fsmodel.State = "5GMM_DEREGISTERED"
+	MMRegisteredInit fsmodel.State = "5GMM_REGISTERED_INITIATED"
+	MMRegistered     fsmodel.State = "5GMM_REGISTERED"
+	MMDeregInit      fsmodel.State = "5GMM_DEREGISTERED_INITIATED"
+	MMServiceReqInit fsmodel.State = "5GMM_SERVICE_REQUEST_INITIATED"
+)
+
+// AMF-side states.
+const (
+	AMFDeregistered fsmodel.State = "AMF_5GMM_DEREGISTERED"
+	AMFCommonProc   fsmodel.State = "AMF_5GMM_COMMON_PROCEDURE_INITIATED"
+	AMFWaitComplete fsmodel.State = "AMF_5GMM_WAIT_REGISTRATION_COMPLETE"
+	AMFRegistered   fsmodel.State = "AMF_5GMM_REGISTERED"
+	AMFDeregInit    fsmodel.State = "AMF_5GMM_DEREGISTERED_INITIATED"
+)
+
+// 5G-specific NAS message names (TS 24.501). Messages whose name and
+// semantics are identical to 4G (authentication_request/response,
+// security_mode_command/complete, service_request, identity_request)
+// reuse the spec constants, so the CPV's NAS theory applies unchanged.
+const (
+	RegistrationRequest  spec.MessageName = "registration_request"
+	RegistrationAccept   spec.MessageName = "registration_accept"
+	RegistrationComplete spec.MessageName = "registration_complete"
+	RegistrationReject   spec.MessageName = "registration_reject"
+	ConfigUpdateCommand  spec.MessageName = "configuration_update_command"
+	ConfigUpdateComplete spec.MessageName = "configuration_update_complete"
+	DeregRequest         spec.MessageName = "deregistration_request"
+	DeregAccept          spec.MessageName = "deregistration_accept"
+)
+
+// PlainOnAir classifies 5G messages: like 4G, initial signalling and the
+// AKA run are unprotected; everything after the security mode procedure
+// is protected. The configuration update command is always protected.
+func PlainOnAir(m spec.MessageName) bool {
+	switch m {
+	case RegistrationRequest, RegistrationReject, DeregRequest:
+		return true
+	case spec.AuthRequest, spec.AuthResponse, spec.AuthSyncFailure,
+		spec.AuthMACFailure, spec.AuthReject, spec.IdentityRequest,
+		spec.IdentityResponse, spec.Paging, spec.ServiceReject:
+		return true
+	default:
+		return false
+	}
+}
+
+func t(from, to fsmodel.State, cond spec.MessageName, preds []fsmodel.Predicate, actions ...spec.MessageName) fsmodel.Transition {
+	if len(actions) == 0 {
+		actions = []spec.MessageName{spec.NullAction}
+	}
+	return fsmodel.Transition{
+		From: from, To: to,
+		Cond:    fsmodel.Condition{Message: cond, Predicates: preds},
+		Actions: actions,
+	}
+}
+
+func preds(pairs ...string) []fsmodel.Predicate {
+	var out []fsmodel.Predicate
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, fsmodel.Predicate{Var: pairs[i], Value: pairs[i+1]})
+	}
+	return out
+}
+
+// UE returns the 5G UE model. The authentication transitions carry the
+// same SQN predicates as the extracted 4G models, because 5G AKA's SQN
+// generation and verification scheme is *exactly* the 4G one — the root
+// cause of P1 and P2 ships unchanged.
+func UE() *fsmodel.FSM {
+	m := fsmodel.New("UE/5G", MMDeregistered)
+	for _, tr := range []fsmodel.Transition{
+		t(MMDeregistered, MMRegisteredInit, spec.InternalEvent, nil, RegistrationRequest),
+		// 5G AKA: same Annex C scheme, same out-of-order acceptance.
+		t(MMRegisteredInit, MMRegisteredInit, spec.AuthRequest,
+			preds("mac_valid", "1", "sqn_in_range", "1"), spec.AuthResponse),
+		t(MMRegisteredInit, MMRegisteredInit, spec.AuthRequest,
+			preds("mac_valid", "1", "sqn_in_range", "0"), spec.AuthSyncFailure),
+		t(MMRegisteredInit, MMRegisteredInit, spec.AuthRequest,
+			preds("mac_valid", "0"), spec.AuthMACFailure),
+		t(MMRegisteredInit, MMRegisteredInit, spec.SecurityModeCommand,
+			preds("mac_valid", "1", "count_fresh", "1"), spec.SecurityModeComplet),
+		t(MMRegisteredInit, MMRegistered, RegistrationAccept,
+			preds("mac_valid", "1", "count_fresh", "1"), RegistrationComplete),
+		t(MMRegisteredInit, MMDeregistered, RegistrationReject, preds("plain_header", "1")),
+		t(MMRegisteredInit, MMDeregistered, spec.AuthReject, preds("plain_header", "1")),
+		// Re-authentication while registered: the P1 surface.
+		t(MMRegistered, MMRegistered, spec.AuthRequest,
+			preds("mac_valid", "1", "sqn_in_range", "1"), spec.AuthResponse),
+		t(MMRegistered, MMRegistered, spec.AuthRequest,
+			preds("mac_valid", "1", "sqn_in_range", "0"), spec.AuthSyncFailure),
+		// Configuration update: the 5G analogue of GUTI reallocation.
+		t(MMRegistered, MMRegistered, ConfigUpdateCommand,
+			preds("mac_valid", "1", "count_fresh", "1"), ConfigUpdateComplete),
+		// Identification: answered with the SUCI, never the cleartext
+		// SUPI — 5G's fix for the IMSI-catching surface.
+		t(MMRegistered, MMRegistered, spec.IdentityRequest, preds("id_type", "1"), spec.IdentityResponse),
+		t(MMDeregistered, MMDeregistered, spec.IdentityRequest, preds("id_type", "1"), spec.IdentityResponse),
+		t(MMRegistered, MMServiceReqInit, spec.Paging, preds("paging_id_match", "1"), spec.ServiceRequest),
+		t(MMServiceReqInit, MMRegistered, spec.ServiceAccept, preds("mac_valid", "1", "count_fresh", "1")),
+		t(MMRegistered, MMDeregInit, spec.InternalEvent, nil, DeregRequest),
+		t(MMDeregInit, MMDeregistered, DeregAccept, preds("mac_valid", "1", "count_fresh", "1")),
+		t(MMRegistered, MMDeregistered, DeregRequest, preds("plain_header", "1"), DeregAccept),
+	} {
+		m.AddTransition(tr)
+	}
+	return m
+}
+
+// AMF returns the network-side 5G model.
+func AMF() *fsmodel.FSM {
+	m := fsmodel.New("AMF/5G", AMFDeregistered)
+	n := func(from, to fsmodel.State, cond spec.MessageName, actions ...spec.MessageName) fsmodel.Transition {
+		return t(from, to, cond, nil, actions...)
+	}
+	for _, tr := range []fsmodel.Transition{
+		n(AMFDeregistered, AMFCommonProc, RegistrationRequest, spec.AuthRequest),
+		n(AMFCommonProc, AMFCommonProc, spec.AuthResponse, spec.SecurityModeCommand),
+		n(AMFCommonProc, AMFCommonProc, spec.AuthSyncFailure, spec.AuthRequest),
+		n(AMFCommonProc, AMFDeregistered, spec.AuthMACFailure),
+		n(AMFCommonProc, AMFWaitComplete, spec.SecurityModeComplet, RegistrationAccept),
+		n(AMFWaitComplete, AMFRegistered, RegistrationComplete),
+		n(AMFRegistered, AMFRegistered, ConfigUpdateComplete),
+		n(AMFRegistered, AMFRegistered, spec.ServiceRequest, spec.ServiceAccept),
+		n(AMFRegistered, AMFRegistered, spec.IdentityResponse),
+		n(AMFRegistered, AMFCommonProc, spec.InternalEvent, spec.AuthRequest),
+		n(AMFRegistered, AMFRegistered, spec.InternalEvent, spec.Paging),
+		n(AMFRegistered, AMFDeregInit, spec.InternalEvent, DeregRequest),
+		n(AMFRegistered, AMFDeregistered, DeregRequest, DeregAccept),
+		n(AMFDeregInit, AMFDeregistered, DeregAccept),
+	} {
+		m.AddTransition(tr)
+	}
+	return m
+}
+
+// ConfigurationUpdateProcedure is the T3555-supervised procedure the
+// paper quotes: "on the fifth expiry of timer T3555, the procedure shall
+// be aborted", enabling P3 against the 5G-GUTI.
+func ConfigurationUpdateProcedure() threat.SupervisedProcedure {
+	return threat.SupervisedProcedure{
+		Name:       "config_update",
+		Command:    ConfigUpdateCommand,
+		Complete:   ConfigUpdateComplete,
+		ReadyState: string(AMFRegistered),
+	}
+}
+
+// Compose builds the threat-instrumented 5G model IMPᵘ.
+func Compose() (*threat.Composed, error) {
+	return threat.Compose(threat.Config{
+		Name:       "IMP/5G",
+		UE:         UE(),
+		MME:        AMF(),
+		UEInternal: []fsmodel.Transition{},
+		Supervise:  []threat.SupervisedProcedure{ConfigurationUpdateProcedure()},
+		PlainOnAir: PlainOnAir,
+	})
+}
+
+// SUCITerm is the 5G subscription concealed identifier: the SUPI (IMSI)
+// encrypted under the home network's public key (TS 33.501 6.12). The
+// private key never leaves the home network, so a passive adversary
+// cannot invert it — the contrast with 4G's cleartext IMSI.
+func SUCITerm() cpv.Term {
+	return cpv.Fun{Name: "suci_conceal", Args: []cpv.Term{cpv.IMSITerm(), cpv.Name{ID: "pk_home_network"}}}
+}

@@ -1,0 +1,192 @@
+package fiveg
+
+import (
+	"strings"
+	"testing"
+
+	"prochecker/internal/core/cegar"
+	"prochecker/internal/cpv"
+	"prochecker/internal/mc"
+	"prochecker/internal/sqn"
+	"prochecker/internal/ts"
+)
+
+func ruleContains(substrs ...string) func(string) bool {
+	return func(name string) bool {
+		for _, s := range substrs {
+			if !strings.Contains(name, s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestModelsWellFormed(t *testing.T) {
+	for name, m := range map[string]interface{ Validate() []string }{
+		"UE":  UE(),
+		"AMF": AMF(),
+	} {
+		if problems := m.Validate(); len(problems) != 0 {
+			t.Errorf("%s model problems: %v", name, problems)
+		}
+	}
+}
+
+func TestRegistrationReachable(t *testing.T) {
+	c, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	res := mc.Check(c.System, mc.Invariant{
+		PropName: "never-registered",
+		Holds:    ts.Neq{Var: "ue_state", Value: string(MMRegistered)},
+	}, mc.Options{})
+	if res.Verified {
+		t.Fatal("5G registration unreachable in composed model")
+	}
+	names := strings.Join(res.Counterexample.RuleNames(), "\n")
+	for _, want := range []string{"registration_request", "authentication_request", "security_mode_command", "registration_accept"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("registration path misses %s:\n%s", want, names)
+		}
+	}
+}
+
+// TestP1CarriesOverTo5G: the stale-SQN replay property is violated on the
+// 5G model exactly as on 4G, because TS 33.501 reuses the Annex C scheme.
+func TestP1CarriesOverTo5G(t *testing.T) {
+	c, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	prop := mc.NeverFires{
+		PropName: "5g-ue-never-accepts-stale-sqn",
+		Match:    ruleContains("ue:recv:authentication_request@replay", "sqn_in_range=1", "/authentication_response"),
+	}
+	out, err := cegar.Verify(c, prop, cegar.Config{PreCapture: true})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if out.Verified {
+		t.Fatal("P1 not found on the 5G model")
+	}
+	// The same countermeasure closes it: the (still optional, still
+	// unimplemented) freshness limit L.
+	out2, err := cegar.Verify(c, prop, cegar.Config{
+		PreCapture: true,
+		SQN:        sqn.Config{INDBits: sqn.DefaultINDBits, FreshnessLimit: 2},
+	})
+	if err != nil {
+		t.Fatalf("Verify with L: %v", err)
+	}
+	if !out2.Verified {
+		t.Errorf("freshness limit did not close P1 on 5G: %+v", out2)
+	}
+}
+
+// TestP3CarriesOverTo5G: the Configuration Update procedure can be
+// entirely denied by dropping five commands (T3555's abort), pinning the
+// 5G-GUTI.
+func TestP3CarriesOverTo5G(t *testing.T) {
+	c, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	prop := mc.Response{
+		PropName: "5g-configuration-update-completes",
+		Trigger:  ruleContains("mme:config_update:start"),
+		Goal:     ruleContains("mme:recv:configuration_update_complete@"),
+	}
+	out, err := cegar.Verify(c, prop, cegar.Config{PreCapture: true})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if out.Verified {
+		t.Fatal("P3 not found on the 5G configuration update procedure")
+	}
+	hasDrop := false
+	for _, n := range out.Attack.RuleNames() {
+		if strings.Contains(n, "adv:drop") && strings.Contains(n, "configuration_update_command") {
+			hasDrop = true
+		}
+	}
+	if !hasDrop {
+		t.Errorf("5G P3 attack lacks command drops:\n%s", out.Attack)
+	}
+}
+
+// TestConfigUpdateAbortAfterFiveDrops mirrors the quoted TS 24.501
+// requirement: retransmission four times, abort on the fifth expiry.
+func TestConfigUpdateAbortAfterFiveDrops(t *testing.T) {
+	c, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	res := mc.Check(c.System, mc.Invariant{
+		PropName: "never-aborted",
+		Holds:    ts.Neq{Var: "proc_config_update", Value: "aborted"},
+	}, mc.Options{})
+	if res.Verified {
+		t.Fatal("configuration update abort unreachable")
+	}
+}
+
+// TestForgedAuthRefutedOn5G: the CEGAR loop discharges forgery exactly as
+// in 4G (5G AKA still rests on K).
+func TestForgedAuthRefutedOn5G(t *testing.T) {
+	c, err := Compose()
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	prop := mc.NeverFires{
+		PropName: "5g-no-forged-auth",
+		Match:    ruleContains("ue:recv:authentication_request@inject", "/authentication_response"),
+	}
+	out, err := cegar.Verify(c, prop, cegar.Config{PreCapture: true})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !out.Verified {
+		t.Errorf("forged 5G challenge not refuted: %+v", out)
+	}
+}
+
+// TestSUCIConcealsSUPI: the 5G improvement — identification no longer
+// exposes the permanent identity, unlike 4G's V11/V13 findings.
+func TestSUCIConcealsSUPI(t *testing.T) {
+	know := cpv.NewKnowledge(cpv.PublicInitialKnowledge()...)
+	know.Add(SUCITerm()) // the adversary observes the SUCI on the air
+	if know.Derivable(cpv.IMSITerm()) {
+		t.Error("SUPI derivable from the SUCI; 5G concealment broken")
+	}
+	// The home network, holding the private key, can of course still
+	// relate SUCIs — we only assert the passive adversary cannot.
+	if !know.Derivable(SUCITerm()) {
+		t.Error("observed SUCI not in knowledge")
+	}
+}
+
+// TestP2EquivalenceOn5G: the linkability experiment transfers — a victim
+// still answers a replayed stale challenge differently from a bystander.
+func TestP2EquivalenceOn5G(t *testing.T) {
+	v := cpv.NewNASVerifier(true)
+	probes := []cpv.Probe{{Label: "replayed 5G challenge", Term: cpv.MessageTerm("authentication_request")}}
+	victim := func(cpv.Probe) string { return "authentication_response" }
+	other := func(cpv.Probe) string { return "auth_mac_failure" }
+	if _, ok := v.Distinguish(probes, victim, other); !ok {
+		t.Error("5G linkability experiment found processes equivalent")
+	}
+}
+
+func TestPlainOnAirClassification(t *testing.T) {
+	if !PlainOnAir(RegistrationRequest) {
+		t.Error("registration_request should be plain")
+	}
+	if PlainOnAir(ConfigUpdateCommand) {
+		t.Error("configuration_update_command must be protected")
+	}
+	if PlainOnAir(RegistrationAccept) {
+		t.Error("registration_accept must be protected")
+	}
+}

@@ -1,0 +1,346 @@
+// Package instrument implements ProChecker's source-code instrumentor for
+// Go sources, the analogue of the paper's C/C++ print-statement injector
+// (Section IV-A): with no knowledge of control flow, program dependencies
+// or call graphs, it rewrites every function in a package to print
+//
+//   - a [FUNC] line on entry,
+//   - [GLOBAL] lines with the values of the package-level variables on
+//     entry and right before every exit, and
+//   - [LOCAL] lines with the values of the local variables declared in
+//     the function's first basic block, right before every exit,
+//
+// producing exactly the information-rich log format internal/trace
+// parses and the model extractor consumes.
+package instrument
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Options tune the instrumentation.
+type Options struct {
+	// SkipFunc skips functions by name (e.g. main); nil instruments all.
+	SkipFunc func(name string) bool
+	// MaxLocals caps how many first-block locals are dumped per function
+	// (0 means unlimited).
+	MaxLocals int
+}
+
+// Report summarises what was instrumented.
+type Report struct {
+	Files       int
+	Functions   int
+	Globals     []string
+	LocalsDumps int
+}
+
+// File instruments a single Go source file given as text. Package-level
+// variables of the same file are treated as the globals.
+func File(src string, opts Options) (string, Report, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		return "", Report{}, fmt.Errorf("instrument: parsing source: %w", err)
+	}
+	globals := globalVarNames([]*ast.File{f})
+	rep := Report{Files: 1, Globals: globals}
+	instrumentFile(f, globals, opts, &rep)
+	ensureFmtImport(f)
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, f); err != nil {
+		return "", Report{}, fmt.Errorf("instrument: printing source: %w", err)
+	}
+	return buf.String(), rep, nil
+}
+
+// Dir instruments every .go file (tests excluded) of the package in
+// inDir, writing results under outDir with the same file names. This is
+// the operation the paper applies to "the code directory of the specific
+// protocol layer".
+func Dir(inDir, outDir string, opts Options) (Report, error) {
+	entries, err := os.ReadDir(inDir)
+	if err != nil {
+		return Report{}, fmt.Errorf("instrument: reading %s: %w", inDir, err)
+	}
+	fset := token.NewFileSet()
+	type parsed struct {
+		name string
+		file *ast.File
+	}
+	var files []parsed
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(inDir, name))
+		if err != nil {
+			return Report{}, fmt.Errorf("instrument: reading %s: %w", name, err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return Report{}, fmt.Errorf("instrument: parsing %s: %w", name, err)
+		}
+		files = append(files, parsed{name: name, file: f})
+	}
+	if len(files) == 0 {
+		return Report{}, fmt.Errorf("instrument: no Go files in %s", inDir)
+	}
+
+	// Globals are package-wide: collect across all files, as the paper's
+	// "global variables defined in separate header files" insight implies.
+	var asts []*ast.File
+	for _, p := range files {
+		asts = append(asts, p.file)
+	}
+	globals := globalVarNames(asts)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return Report{}, fmt.Errorf("instrument: creating %s: %w", outDir, err)
+	}
+	rep := Report{Globals: globals}
+	for _, p := range files {
+		rep.Files++
+		instrumentFile(p.file, globals, opts, &rep)
+		ensureFmtImport(p.file)
+		var buf bytes.Buffer
+		if err := format.Node(&buf, fset, p.file); err != nil {
+			return Report{}, fmt.Errorf("instrument: printing %s: %w", p.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(outDir, p.name), buf.Bytes(), 0o644); err != nil {
+			return Report{}, fmt.Errorf("instrument: writing %s: %w", p.name, err)
+		}
+	}
+	return rep, nil
+}
+
+// globalVarNames collects package-level var names across files, sorted.
+func globalVarNames(files []*ast.File) []string {
+	var names []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, n := range vs.Names {
+					if n.Name != "_" {
+						names = append(names, n.Name)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func instrumentFile(f *ast.File, globals []string, opts Options, rep *Report) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if opts.SkipFunc != nil && opts.SkipFunc(fn.Name.Name) {
+			continue
+		}
+		rep.Functions++
+		locals := firstBlockLocals(fn.Body, opts.MaxLocals)
+		rep.LocalsDumps += len(locals)
+
+		// Exit dumps before every return, and at the end of the body for
+		// fall-through exits.
+		fn.Body.List = withExitDumps(fn.Body.List, globals, locals)
+		if !endsInReturn(fn.Body.List) {
+			fn.Body.List = append(fn.Body.List, exitDump(globals, locals)...)
+		}
+
+		// Entry dumps go in last so they end up first.
+		entry := []ast.Stmt{printfStmt("[FUNC] " + fn.Name.Name)}
+		entry = append(entry, globalDumps(globals)...)
+		fn.Body.List = append(entry, fn.Body.List...)
+	}
+}
+
+// firstBlockLocals finds the variables declared in the leading
+// straight-line prefix of the body — the paper's "local variables defined
+// in the first basic block in each function".
+func firstBlockLocals(body *ast.BlockStmt, max int) []string {
+	var names []string
+	add := func(n string) {
+		if n == "_" {
+			return
+		}
+		if max > 0 && len(names) >= max {
+			return
+		}
+		names = append(names, n)
+	}
+scan:
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						add(n.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				continue
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					add(id.Name)
+				}
+			}
+		case *ast.ExprStmt:
+			// Plain calls keep the basic block going.
+		default:
+			// Control flow ends the first basic block.
+			break scan
+		}
+	}
+	return names
+}
+
+// withExitDumps recursively inserts global/local dumps before every
+// return statement.
+func withExitDumps(stmts []ast.Stmt, globals, locals []string) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts))
+	for _, stmt := range stmts {
+		if _, isRet := stmt.(*ast.ReturnStmt); isRet {
+			out = append(out, exitDump(globals, locals)...)
+			out = append(out, stmt)
+			continue
+		}
+		rewriteNested(stmt, globals, locals)
+		out = append(out, stmt)
+	}
+	return out
+}
+
+// rewriteNested descends into compound statements.
+func rewriteNested(stmt ast.Stmt, globals, locals []string) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		s.List = withExitDumps(s.List, globals, locals)
+	case *ast.IfStmt:
+		rewriteNested(s.Body, globals, locals)
+		if s.Else != nil {
+			rewriteNested(s.Else, globals, locals)
+		}
+	case *ast.ForStmt:
+		rewriteNested(s.Body, globals, locals)
+	case *ast.RangeStmt:
+		rewriteNested(s.Body, globals, locals)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cc.Body = withExitDumps(cc.Body, globals, locals)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cc.Body = withExitDumps(cc.Body, globals, locals)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				cc.Body = withExitDumps(cc.Body, globals, locals)
+			}
+		}
+	case *ast.LabeledStmt:
+		rewriteNested(s.Stmt, globals, locals)
+	}
+}
+
+func endsInReturn(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	_, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// exitDump builds the [GLOBAL]/[LOCAL] dump sequence used at exits.
+func exitDump(globals, locals []string) []ast.Stmt {
+	out := globalDumps(globals)
+	for _, l := range locals {
+		out = append(out, printfVarStmt("[LOCAL] "+l+" = %v\n", l))
+	}
+	return out
+}
+
+func globalDumps(globals []string) []ast.Stmt {
+	var out []ast.Stmt
+	for _, g := range globals {
+		out = append(out, printfVarStmt("[GLOBAL] "+g+" = %v\n", g))
+	}
+	return out
+}
+
+// printfStmt builds fmt.Printf("<msg>\n").
+func printfStmt(msg string) ast.Stmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{X: ast.NewIdent("fmt"), Sel: ast.NewIdent("Printf")},
+		Args: []ast.Expr{
+			&ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(msg + "\n")},
+		},
+	}}
+}
+
+// printfVarStmt builds fmt.Printf(format, varName).
+func printfVarStmt(format, varName string) ast.Stmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{X: ast.NewIdent("fmt"), Sel: ast.NewIdent("Printf")},
+		Args: []ast.Expr{
+			&ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(format)},
+			ast.NewIdent(varName),
+		},
+	}}
+}
+
+// ensureFmtImport adds `import "fmt"` when absent.
+func ensureFmtImport(f *ast.File) {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"fmt"` {
+			return
+		}
+	}
+	spec := &ast.ImportSpec{Path: &ast.BasicLit{Kind: token.STRING, Value: `"fmt"`}}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if ok && gd.Tok == token.IMPORT {
+			gd.Specs = append(gd.Specs, spec)
+			f.Imports = append(f.Imports, spec)
+			return
+		}
+	}
+	gd := &ast.GenDecl{Tok: token.IMPORT, Specs: []ast.Spec{spec}}
+	f.Decls = append([]ast.Decl{gd}, f.Decls...)
+	f.Imports = append(f.Imports, spec)
+}

@@ -1,0 +1,257 @@
+package instrument
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `package toyue
+
+var emm_state = "EMM_DEREGISTERED"
+
+func recv_attach_accept(mac []byte) bool {
+	mac_valid := checkMAC(mac)
+	if !mac_valid {
+		return false
+	}
+	emm_state = "EMM_REGISTERED"
+	send_attach_complete()
+	return true
+}
+
+func send_attach_complete() {}
+
+func checkMAC(mac []byte) bool { return len(mac) > 0 }
+`
+
+func TestFileInsertsFuncAndGlobalPrints(t *testing.T) {
+	out, rep, err := File(sampleSrc, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	for _, want := range []string{
+		`"[FUNC] recv_attach_accept\n"`,
+		`"[FUNC] send_attach_complete\n"`,
+		`"[GLOBAL] emm_state = %v\n"`,
+		`"[LOCAL] mac_valid = %v\n"`,
+		`"fmt"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented source misses %s:\n%s", want, out)
+		}
+	}
+	if rep.Functions != 3 {
+		t.Errorf("Functions = %d, want 3", rep.Functions)
+	}
+	if len(rep.Globals) != 1 || rep.Globals[0] != "emm_state" {
+		t.Errorf("Globals = %v, want [emm_state]", rep.Globals)
+	}
+}
+
+func TestInstrumentedOutputStillParses(t *testing.T) {
+	out, _, err := File(sampleSrc, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+		t.Fatalf("instrumented output does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestDumpBeforeEveryReturn(t *testing.T) {
+	out, _, err := File(sampleSrc, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	// recv_attach_accept has two returns plus entry dump: the global must
+	// be printed at least 3 times within it (entry + 2 exits); other
+	// functions add more. Count occurrences overall: entry(3 funcs) +
+	// exits (2 returns + 2 implicit ends) = 7.
+	if got := strings.Count(out, `"[GLOBAL] emm_state = %v\n"`); got < 7 {
+		t.Errorf("global dumped %d times, want >= 7", got)
+	}
+}
+
+func TestLocalsOnlyFromFirstBasicBlock(t *testing.T) {
+	src := `package p
+
+func f() int {
+	a := 1
+	if a > 0 {
+		b := 2
+		return b
+	}
+	c := 3
+	return c
+}
+`
+	out, rep, err := File(src, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if strings.Contains(out, `"[LOCAL] b = %v\n"`) {
+		t.Error("local b from a nested block was dumped")
+	}
+	if strings.Contains(out, `"[LOCAL] c = %v\n"`) {
+		t.Error("local c declared after control flow was dumped")
+	}
+	if !strings.Contains(out, `"[LOCAL] a = %v\n"`) {
+		t.Error("first-block local a not dumped")
+	}
+	if rep.LocalsDumps != 1 {
+		t.Errorf("LocalsDumps = %d, want 1", rep.LocalsDumps)
+	}
+}
+
+func TestSkipFunc(t *testing.T) {
+	out, rep, err := File(sampleSrc, Options{SkipFunc: func(n string) bool { return n == "checkMAC" }})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if strings.Contains(out, `"[FUNC] checkMAC\n"`) {
+		t.Error("skipped function was instrumented")
+	}
+	if rep.Functions != 2 {
+		t.Errorf("Functions = %d, want 2", rep.Functions)
+	}
+}
+
+func TestMaxLocals(t *testing.T) {
+	src := `package p
+
+func f() {
+	a := 1
+	b := 2
+	c := 3
+	_ = a + b + c
+}
+`
+	out, _, err := File(src, Options{MaxLocals: 2})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if strings.Contains(out, `"[LOCAL] c = %v\n"`) {
+		t.Error("MaxLocals did not cap the dump")
+	}
+}
+
+func TestReturnsInsideSwitchInstrumented(t *testing.T) {
+	src := `package p
+
+var g = 0
+
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	default:
+		return 20
+	}
+}
+`
+	out, _, err := File(src, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	// Entry dump + one per return + one conservative fall-through dump
+	// (the instrumentor has no control-flow knowledge, so it cannot tell
+	// the switch is exhaustive) = 4 global dumps.
+	if got := strings.Count(out, `"[GLOBAL] g = %v\n"`); got != 4 {
+		t.Errorf("global dumped %d times, want 4:\n%s", got, out)
+	}
+}
+
+func TestFileParseError(t *testing.T) {
+	if _, _, err := File("not go code", Options{}); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestDirInstrumentsPackage(t *testing.T) {
+	in := t.TempDir()
+	outd := t.TempDir()
+	if err := os.WriteFile(filepath.Join(in, "a.go"), []byte("package p\n\nvar g1 = 1\n\nfunc fa() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(in, "b.go"), []byte("package p\n\nvar g2 = 2\n\nfunc fb() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(in, "skip_test.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Dir(in, outd, Options{})
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if rep.Files != 2 || rep.Functions != 2 {
+		t.Errorf("report = %+v, want 2 files / 2 functions", rep)
+	}
+	// Globals are package-wide: fa in a.go must dump g2 from b.go too.
+	outA, err := os.ReadFile(filepath.Join(outd, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(outA), `"[GLOBAL] g2 = %v\n"`) {
+		t.Error("cross-file global g2 not dumped in a.go")
+	}
+	if _, err := os.Stat(filepath.Join(outd, "skip_test.go")); !os.IsNotExist(err) {
+		t.Error("test file was instrumented")
+	}
+}
+
+func TestDirErrors(t *testing.T) {
+	if _, err := Dir("/nonexistent-dir-xyz", t.TempDir(), Options{}); err == nil {
+		t.Error("missing input dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := Dir(empty, t.TempDir(), Options{}); err == nil {
+		t.Error("empty package dir accepted")
+	}
+}
+
+func TestExistingFmtImportNotDuplicated(t *testing.T) {
+	src := "package p\n\nimport \"fmt\"\n\nfunc f() { fmt.Println(1) }\n"
+	out, _, err := File(src, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if got := strings.Count(out, `"fmt"`); got != 1 {
+		t.Errorf("fmt imported %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestMethodsInstrumentedToo(t *testing.T) {
+	src := `package p
+
+var state = 0
+
+type ue struct{ n int }
+
+func (u *ue) recv_msg(ok bool) bool {
+	valid := ok && u.n > 0
+	if !valid {
+		return false
+	}
+	state = 1
+	return true
+}
+`
+	out, rep, err := File(src, Options{})
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	if !strings.Contains(out, `"[FUNC] recv_msg\n"`) {
+		t.Error("method entry not instrumented")
+	}
+	if !strings.Contains(out, `"[LOCAL] valid = %v\n"`) {
+		t.Error("method first-block local not dumped")
+	}
+	if rep.Functions != 1 {
+		t.Errorf("Functions = %d, want 1", rep.Functions)
+	}
+}

@@ -1,0 +1,352 @@
+// Package learner implements the black-box baseline the paper contrasts
+// ProChecker against (Sections I and VIII): active-automata learning of
+// the implementation's state machine in the style of L* for Mealy
+// machines, as used for TLS and SSH ("such approaches are prohibitively
+// expensive as they require a significantly high time and number of
+// queries ... and the inferred FSM is not sufficiently large and
+// semantically rich compared to that of the white-box settings").
+//
+// The learner sees the UE as a reset-able black box: a membership query
+// is a sequence of abstract input symbols, concretised by a mapper that
+// owns the session cryptography (exactly how protocol state fuzzers
+// drive TLS stacks), and the observation is the UE's response message
+// type. The result is a Mealy machine over response labels — with no
+// internal state names, no sanity-check predicates and a query bill that
+// grows multiplicatively, which is precisely the comparison
+// internal/report draws against Algorithm 1's extraction.
+package learner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an abstract input the mapper can concretise.
+type Symbol string
+
+// Output is the observed response label ("-" for silence).
+type Output string
+
+// NoOutput is the silence label.
+const NoOutput Output = "-"
+
+// SUL is the system under learning: a reset-able black box.
+type SUL interface {
+	// Reset returns the system to its initial state.
+	Reset() error
+	// Step applies one input and returns the observed output.
+	Step(sym Symbol) (Output, error)
+}
+
+// Stats counts the cost of learning — the currency of the paper's
+// black-box-vs-white-box argument.
+type Stats struct {
+	MembershipQueries  int
+	Resets             int
+	InputSymbolsSent   int
+	EquivalenceQueries int
+	Rounds             int
+}
+
+// Mealy is the learned machine: states are observation-table rows.
+type Mealy struct {
+	Alphabet []Symbol
+	// States are opaque ids 0..n-1; 0 is initial.
+	NumStates int
+	// Trans[state][symbol] = next state.
+	Trans []map[Symbol]int
+	// Out[state][symbol] = output.
+	Out []map[Symbol]Output
+}
+
+// String renders the machine compactly.
+func (m *Mealy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mealy machine: %d states, %d inputs\n", m.NumStates, len(m.Alphabet))
+	for s := 0; s < m.NumStates; s++ {
+		for _, a := range m.Alphabet {
+			fmt.Fprintf(&b, "  q%d --%s/%s--> q%d\n", s, a, m.Out[s][a], m.Trans[s][a])
+		}
+	}
+	return b.String()
+}
+
+// Walk runs an input word through the machine, returning the outputs.
+func (m *Mealy) Walk(word []Symbol) []Output {
+	out := make([]Output, 0, len(word))
+	state := 0
+	for _, sym := range word {
+		out = append(out, m.Out[state][sym])
+		state = m.Trans[state][sym]
+	}
+	return out
+}
+
+// Options tune the learner.
+type Options struct {
+	// MaxRounds bounds refinement rounds (default 16).
+	MaxRounds int
+	// TestDepth is the conformance-testing depth of the equivalence
+	// approximation (default 3): all words of this length over the
+	// alphabet are tried against the SUL.
+	TestDepth int
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 16
+}
+
+func (o Options) testDepth() int {
+	if o.TestDepth > 0 {
+		return o.TestDepth
+	}
+	return 3
+}
+
+// learner holds the observation table of L* for Mealy machines.
+type learner struct {
+	sul      SUL
+	alphabet []Symbol
+	opts     Options
+	stats    Stats
+
+	// prefixes S (access words) and suffixes E (distinguishing words).
+	prefixes [][]Symbol
+	suffixes [][]Symbol
+	// table maps key(prefix)+"|"+key(suffix) -> output word of the
+	// suffix run after the prefix.
+	table map[string]string
+	cache map[string][]Output
+}
+
+// Learn runs active automata learning against the SUL.
+func Learn(sul SUL, alphabet []Symbol, opts Options) (*Mealy, Stats, error) {
+	l := &learner{
+		sul:      sul,
+		alphabet: append([]Symbol{}, alphabet...),
+		opts:     opts,
+		table:    make(map[string]string),
+		cache:    make(map[string][]Output),
+	}
+	l.prefixes = [][]Symbol{{}}
+	for _, a := range l.alphabet {
+		l.suffixes = append(l.suffixes, []Symbol{a})
+	}
+
+	for round := 0; round < opts.maxRounds(); round++ {
+		l.stats.Rounds = round + 1
+		if err := l.fill(); err != nil {
+			return nil, l.stats, err
+		}
+		if err := l.close(); err != nil {
+			return nil, l.stats, err
+		}
+		m := l.hypothesis()
+		l.stats.EquivalenceQueries++
+		cex, err := l.findCounterexample(m)
+		if err != nil {
+			return nil, l.stats, err
+		}
+		if cex == nil {
+			return m, l.stats, nil
+		}
+		// Add every suffix of the counterexample as a distinguishing
+		// word (Maler-Pnueli style counterexample handling).
+		for i := 0; i < len(cex); i++ {
+			l.addSuffix(cex[i:])
+		}
+	}
+	return nil, l.stats, fmt.Errorf("learner: no fixpoint within %d rounds", opts.maxRounds())
+}
+
+func key(word []Symbol) string {
+	parts := make([]string, len(word))
+	for i, s := range word {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ".")
+}
+
+func (l *learner) addSuffix(word []Symbol) {
+	k := key(word)
+	for _, e := range l.suffixes {
+		if key(e) == k {
+			return
+		}
+	}
+	l.suffixes = append(l.suffixes, append([]Symbol{}, word...))
+}
+
+func (l *learner) addPrefix(word []Symbol) {
+	k := key(word)
+	for _, p := range l.prefixes {
+		if key(p) == k {
+			return
+		}
+	}
+	l.prefixes = append(l.prefixes, append([]Symbol{}, word...))
+}
+
+// query runs a membership query (with caching) and returns the output
+// word.
+func (l *learner) query(word []Symbol) ([]Output, error) {
+	k := key(word)
+	if out, ok := l.cache[k]; ok {
+		return out, nil
+	}
+	l.stats.MembershipQueries++
+	l.stats.Resets++
+	if err := l.sul.Reset(); err != nil {
+		return nil, fmt.Errorf("learner: reset: %w", err)
+	}
+	out := make([]Output, 0, len(word))
+	for _, sym := range word {
+		l.stats.InputSymbolsSent++
+		o, err := l.sul.Step(sym)
+		if err != nil {
+			return nil, fmt.Errorf("learner: step %s: %w", sym, err)
+		}
+		out = append(out, o)
+	}
+	l.cache[k] = out
+	return out, nil
+}
+
+// row computes the observation-table row of a prefix: the concatenated
+// suffix outputs.
+func (l *learner) row(prefix []Symbol) (string, error) {
+	var parts []string
+	for _, e := range l.suffixes {
+		word := append(append([]Symbol{}, prefix...), e...)
+		out, err := l.query(word)
+		if err != nil {
+			return "", err
+		}
+		// Only the suffix's outputs distinguish rows.
+		tail := out[len(prefix):]
+		strs := make([]string, len(tail))
+		for i, o := range tail {
+			strs[i] = string(o)
+		}
+		parts = append(parts, strings.Join(strs, ","))
+	}
+	return strings.Join(parts, ";"), nil
+}
+
+func (l *learner) fill() error {
+	for _, p := range l.prefixes {
+		if _, err := l.row(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close ensures every one-step extension of a prefix has a matching row;
+// new rows become new prefixes (states).
+func (l *learner) close() error {
+	for {
+		rows := make(map[string]bool)
+		for _, p := range l.prefixes {
+			r, err := l.row(p)
+			if err != nil {
+				return err
+			}
+			rows[r] = true
+		}
+		added := false
+		for _, p := range l.prefixes {
+			for _, a := range l.alphabet {
+				ext := append(append([]Symbol{}, p...), a)
+				r, err := l.row(ext)
+				if err != nil {
+					return err
+				}
+				if !rows[r] {
+					l.addPrefix(ext)
+					rows[r] = true
+					added = true
+				}
+			}
+		}
+		if !added {
+			return nil
+		}
+	}
+}
+
+// hypothesis builds the Mealy machine from the closed table.
+func (l *learner) hypothesis() *Mealy {
+	// Map row signatures to state ids, keeping the empty prefix first.
+	rowOf := func(p []Symbol) string {
+		r, _ := l.row(p) // cached by now
+		return r
+	}
+	stateID := map[string]int{}
+	var reps [][]Symbol
+	for _, p := range l.prefixes {
+		r := rowOf(p)
+		if _, ok := stateID[r]; !ok {
+			stateID[r] = len(reps)
+			reps = append(reps, p)
+		}
+	}
+	m := &Mealy{Alphabet: l.alphabet, NumStates: len(reps)}
+	m.Trans = make([]map[Symbol]int, len(reps))
+	m.Out = make([]map[Symbol]Output, len(reps))
+	for i, rep := range reps {
+		m.Trans[i] = make(map[Symbol]int, len(l.alphabet))
+		m.Out[i] = make(map[Symbol]Output, len(l.alphabet))
+		for _, a := range l.alphabet {
+			ext := append(append([]Symbol{}, rep...), a)
+			m.Trans[i][a] = stateID[rowOf(ext)]
+			out, _ := l.query(ext)
+			m.Out[i][a] = out[len(out)-1]
+		}
+	}
+	return m
+}
+
+// findCounterexample approximates the equivalence oracle by conformance
+// testing: every word up to the test depth is run on both machine and
+// SUL.
+func (l *learner) findCounterexample(m *Mealy) ([]Symbol, error) {
+	var words [][]Symbol
+	var build func(prefix []Symbol, depth int)
+	build = func(prefix []Symbol, depth int) {
+		if depth == 0 {
+			return
+		}
+		for _, a := range l.alphabet {
+			w := append(append([]Symbol{}, prefix...), a)
+			words = append(words, w)
+			build(w, depth-1)
+		}
+	}
+	build(nil, l.opts.testDepth())
+	// Longer words first expose deeper divergence less often; keep
+	// deterministic order for reproducibility.
+	sort.Slice(words, func(i, j int) bool {
+		if len(words[i]) != len(words[j]) {
+			return len(words[i]) < len(words[j])
+		}
+		return key(words[i]) < key(words[j])
+	})
+	for _, w := range words {
+		real, err := l.query(w)
+		if err != nil {
+			return nil, err
+		}
+		predicted := m.Walk(w)
+		for i := range real {
+			if real[i] != predicted[i] {
+				return w, nil
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,249 @@
+package learner
+
+import (
+	"fmt"
+
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/ue"
+)
+
+// The abstract input alphabet of the UE SUL: each symbol is concretised
+// by the mapper, which owns the network-side session cryptography —
+// the standard mapper construction of TLS/SSH state learning.
+const (
+	InTriggerAttach     Symbol = "trigger_attach"
+	InAuthFresh         Symbol = "auth_request_fresh"
+	InAuthStale         Symbol = "auth_request_stale"
+	InAuthBadMAC        Symbol = "auth_request_bad_mac"
+	InSMC               Symbol = "security_mode_command"
+	InAttachAccept      Symbol = "attach_accept"
+	InGUTIRealloc       Symbol = "guti_reallocation_command"
+	InReplayLast        Symbol = "replay_last_protected"
+	InPlainGUTIRealloc  Symbol = "plain_guti_reallocation"
+	InPlainIdentityReq  Symbol = "plain_identity_request"
+	InPlainAttachReject Symbol = "plain_attach_reject"
+)
+
+// DefaultAlphabet is the input set used for the baseline comparison.
+func DefaultAlphabet() []Symbol {
+	return []Symbol{
+		InTriggerAttach, InAuthFresh, InAuthStale, InAuthBadMAC,
+		InSMC, InAttachAccept, InGUTIRealloc, InReplayLast,
+		InPlainGUTIRealloc, InPlainIdentityReq, InPlainAttachReject,
+	}
+}
+
+// ueSUL drives a live UE implementation as a black box.
+type ueSUL struct {
+	profile ue.Profile
+	imsi    string
+	k       security.Key
+	caps    uint8
+
+	dev *ue.UE
+	// Network-side mirror the mapper maintains.
+	gen        *sqn.Generator
+	ctx        nas.Context
+	pending    *security.Hierarchy
+	challenges []nas.Packet // minted challenges, oldest first
+	lastProt   *nas.Packet  // last protected packet delivered
+	gutiSeq    uint32
+	randSeq    byte
+}
+
+// NewUESUL builds a black-box harness around a UE implementation profile.
+func NewUESUL(profile ue.Profile) SUL {
+	return &ueSUL{
+		profile: profile,
+		imsi:    "001010123456789",
+		k:       security.KeyFromBytes([]byte("sul-subscriber")),
+		caps:    0x7,
+	}
+}
+
+// Reset implements SUL.
+func (s *ueSUL) Reset() error {
+	dev, err := ue.New(ue.Config{Profile: s.profile, IMSI: s.imsi, K: s.k, UECaps: s.caps})
+	if err != nil {
+		return fmt.Errorf("learner: building UE: %w", err)
+	}
+	gen, err := sqn.NewGenerator(sqn.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	s.dev = dev
+	s.gen = gen
+	s.ctx = nas.Context{}
+	s.pending = nil
+	s.challenges = nil
+	s.lastProt = nil
+	s.gutiSeq = 0x9000
+	s.randSeq = 0
+	return nil
+}
+
+// Step implements SUL.
+func (s *ueSUL) Step(sym Symbol) (Output, error) {
+	if s.dev == nil {
+		return NoOutput, fmt.Errorf("learner: Step before Reset")
+	}
+	switch sym {
+	case InTriggerAttach:
+		p, err := s.dev.StartAttach()
+		if err != nil {
+			return NoOutput, nil // blocked or already registered: silence
+		}
+		return s.labelPackets([]nas.Packet{p}), nil
+	case InAuthFresh:
+		pkt, err := s.mintChallenge(s.gen.Next())
+		if err != nil {
+			return NoOutput, err
+		}
+		s.challenges = append(s.challenges, pkt)
+		return s.deliver(pkt)
+	case InAuthStale:
+		if len(s.challenges) == 0 {
+			return NoOutput, nil
+		}
+		return s.deliver(s.challenges[0])
+	case InAuthBadMAC:
+		var pkt nas.Packet
+		bogus := &nas.AuthRequest{}
+		bogus.RAND[0] = 0xAA
+		bogus.AUTN[0] = 0xBB
+		pkt, err := (&nas.Context{}).Seal(bogus, nas.HeaderPlain, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	case InSMC:
+		if s.pending == nil {
+			return NoOutput, nil
+		}
+		tmp := nas.Context{Keys: *s.pending, Active: true, DLCount: s.ctx.DLCount}
+		pkt, err := tmp.Seal(&nas.SecurityModeCommand{IntAlg: 2, EncAlg: 2, ReplayedCaps: s.caps}, nas.HeaderIntegrity, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		out, err := s.deliver(pkt)
+		if err != nil {
+			return out, err
+		}
+		if out == Output(spec.SecurityModeComplet) {
+			// The UE activated the context: mirror it.
+			s.ctx = nas.Context{Keys: *s.pending, Active: true, DLCount: tmp.DLCount}
+			s.pending = nil
+		}
+		return out, nil
+	case InAttachAccept:
+		if !s.ctx.Active {
+			return NoOutput, nil
+		}
+		s.gutiSeq++
+		pkt, err := s.ctx.Seal(&nas.AttachAccept{GUTI: s.gutiSeq, TAC: 1}, nas.HeaderIntegrityCiphered, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	case InGUTIRealloc:
+		if !s.ctx.Active {
+			return NoOutput, nil
+		}
+		s.gutiSeq++
+		pkt, err := s.ctx.Seal(&nas.GUTIReallocationCommand{GUTI: s.gutiSeq}, nas.HeaderIntegrityCiphered, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	case InReplayLast:
+		if s.lastProt == nil {
+			return NoOutput, nil
+		}
+		replay := *s.lastProt
+		out, err := s.replayDeliver(replay)
+		return out, err
+	case InPlainGUTIRealloc:
+		pkt, err := (&nas.Context{}).Seal(&nas.GUTIReallocationCommand{GUTI: 0x6666}, nas.HeaderPlain, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	case InPlainIdentityReq:
+		pkt, err := (&nas.Context{}).Seal(&nas.IdentityRequest{IDType: nas.IDTypeIMSI}, nas.HeaderPlain, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	case InPlainAttachReject:
+		pkt, err := (&nas.Context{}).Seal(&nas.AttachReject{Cause: nas.CauseIllegalUE}, nas.HeaderPlain, nas.DirDownlink)
+		if err != nil {
+			return NoOutput, err
+		}
+		return s.deliver(pkt)
+	default:
+		return NoOutput, fmt.Errorf("learner: unknown symbol %q", sym)
+	}
+}
+
+// mintChallenge builds a genuine authentication_request for the given
+// SQN, remembering the derived hierarchy as pending keys.
+func (s *ueSUL) mintChallenge(seq uint64) (nas.Packet, error) {
+	s.randSeq++
+	var rand [security.RANDSize]byte
+	rand[0] = s.randSeq
+	v := security.GenerateVector(s.k, rand, seq)
+	h := security.DeriveHierarchy(s.k, rand[:])
+	s.pending = &h
+	return (&nas.Context{}).Seal(&nas.AuthRequest{RAND: v.RAND, AUTN: v.AUTN}, nas.HeaderPlain, nas.DirDownlink)
+}
+
+// deliver hands a packet to the UE and labels its response.
+func (s *ueSUL) deliver(pkt nas.Packet) (Output, error) {
+	if pkt.Header != nas.HeaderPlain {
+		cp := pkt
+		s.lastProt = &cp
+	}
+	return s.labelPackets(s.dev.HandleDownlink(pkt)), nil
+}
+
+// replayDeliver is deliver without updating lastProt (a replay does not
+// become "the last genuine message").
+func (s *ueSUL) replayDeliver(pkt nas.Packet) (Output, error) {
+	return s.labelPackets(s.dev.HandleDownlink(pkt)), nil
+}
+
+// labelPackets classifies the UE's replies the way a black-box harness
+// can: plain messages by type, protected ones decoded with the mirror
+// context when possible.
+func (s *ueSUL) labelPackets(replies []nas.Packet) Output {
+	if len(replies) == 0 {
+		return NoOutput
+	}
+	p := replies[0]
+	if p.Header == nas.HeaderPlain {
+		if m, err := nas.Unmarshal(p.Payload); err == nil {
+			return Output(m.Name())
+		}
+		return Output("plain")
+	}
+	// Try the active mirror context, then the pending keys.
+	for _, ctx := range []*nas.Context{&s.ctx, s.pendingCtx()} {
+		if ctx == nil || !ctx.Active {
+			continue
+		}
+		if m, _, err := ctx.Open(p, nas.DirUplink); err == nil {
+			return Output(m.Name())
+		}
+	}
+	return Output("protected")
+}
+
+func (s *ueSUL) pendingCtx() *nas.Context {
+	if s.pending == nil {
+		return nil
+	}
+	return &nas.Context{Keys: *s.pending, Active: true}
+}

@@ -1,0 +1,169 @@
+// Package ltemodels provides the hand-constructed models the paper relies
+// on where no implementation source is available:
+//
+//   - MME: the network-side FSM derived by Hussain et al. (LTEInspector)
+//     from the 3GPP standard, used as the peer machine when composing the
+//     threat-instrumented model — the paper does the same because it has
+//     no access to a core-network implementation;
+//   - LTEInspectorUE: the coarse UE model of LTEInspector, the baseline
+//     for the RQ2 refinement comparison and the Figure 8 timing
+//     comparison;
+//   - UEStateMapping: the state mapping from LTEInspector's UE states to
+//     the TS 24.301 states the automated extraction produces.
+package ltemodels
+
+import (
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+)
+
+// LTEInspector UE state names, as used in that paper.
+const (
+	UEDeregistered   fsmodel.State = "ue_deregistered"
+	UERegisterInit   fsmodel.State = "ue_register_initiated"
+	UERegistered     fsmodel.State = "ue_registered"
+	UEDeregInitiated fsmodel.State = "ue_dereg_initiated"
+)
+
+func t(from, to fsmodel.State, cond spec.MessageName, actions ...spec.MessageName) fsmodel.Transition {
+	if len(actions) == 0 {
+		actions = []spec.MessageName{spec.NullAction}
+	}
+	return fsmodel.Transition{
+		From: from, To: to,
+		Cond:    fsmodel.Condition{Message: cond},
+		Actions: actions,
+	}
+}
+
+// MME returns the network-side EMM machine (MMEᵘ): conditions are uplink
+// messages, actions downlink ones; internal_event transitions model
+// network-initiated procedures (paging, identification,
+// re-authentication, detach).
+func MME() *fsmodel.FSM {
+	m := fsmodel.New("MME/LTEInspector", fsmodel.State(spec.MMEDeregistered))
+	deregistered := fsmodel.State(spec.MMEDeregistered)
+	commonProc := fsmodel.State(spec.MMECommonProcInit)
+	waitAttach := fsmodel.State(spec.MMEWaitAttachCompl)
+	registered := fsmodel.State(spec.MMERegistered)
+	deregInit := fsmodel.State(spec.MMEDeregInitiated)
+
+	for _, tr := range []fsmodel.Transition{
+		t(deregistered, commonProc, spec.AttachRequest, spec.AuthRequest),
+		t(commonProc, commonProc, spec.AuthResponse, spec.SecurityModeCommand),
+		t(commonProc, commonProc, spec.AuthSyncFailure, spec.AuthRequest),
+		t(commonProc, deregistered, spec.AuthMACFailure),
+		t(commonProc, waitAttach, spec.SecurityModeComplet, spec.AttachAccept),
+		t(commonProc, deregistered, spec.SecurityModeReject),
+		t(waitAttach, registered, spec.AttachComplete),
+		t(registered, registered, spec.GUTIRealloComplete),
+		t(registered, registered, spec.TAURequest, spec.TAUAccept),
+		t(registered, registered, spec.TAUComplete),
+		t(registered, registered, spec.ServiceRequest, spec.ServiceAccept),
+		t(registered, registered, spec.IdentityResponse),
+		t(registered, deregistered, spec.DetachRequestUE, spec.DetachAccept),
+		t(deregInit, deregistered, spec.DetachAccept),
+		// Re-authentication of a registered UE.
+		t(registered, commonProc, spec.InternalEvent, spec.AuthRequest),
+		// Network-initiated procedures.
+		t(registered, registered, spec.InternalEvent, spec.Paging),
+		t(registered, registered, spec.InternalEvent, spec.IdentityRequest),
+		t(registered, deregInit, spec.InternalEvent, spec.DetachRequestNW),
+	} {
+		m.AddTransition(tr)
+	}
+	return m
+}
+
+// LTEInspectorUE returns the coarse UE model (LTEᵘ) used as the RQ2/RQ3
+// comparison baseline: message-level conditions, no data predicates, no
+// sub-states.
+func LTEInspectorUE() *fsmodel.FSM {
+	m := fsmodel.New("UE/LTEInspector", UEDeregistered)
+	for _, tr := range []fsmodel.Transition{
+		t(UEDeregistered, UERegisterInit, spec.InternalEvent, spec.AttachRequest),
+		t(UERegisterInit, UERegisterInit, spec.AuthRequest, spec.AuthResponse),
+		t(UERegisterInit, UERegisterInit, spec.SecurityModeCommand, spec.SecurityModeComplet),
+		t(UERegisterInit, UERegistered, spec.AttachAccept, spec.AttachComplete),
+		t(UERegisterInit, UEDeregistered, spec.AttachReject),
+		t(UERegisterInit, UEDeregistered, spec.AuthReject),
+		t(UERegistered, UERegistered, spec.AuthRequest, spec.AuthResponse),
+		t(UERegistered, UERegistered, spec.GUTIRealloCommand, spec.GUTIRealloComplete),
+		t(UERegistered, UERegistered, spec.InternalEvent, spec.TAURequest),
+		t(UERegistered, UERegistered, spec.TAUAccept, spec.TAUComplete),
+		t(UERegistered, UEDeregistered, spec.TAUReject),
+		t(UERegistered, UERegistered, spec.Paging, spec.ServiceRequest),
+		t(UERegistered, UERegistered, spec.ServiceAccept),
+		t(UERegistered, UERegistered, spec.IdentityRequest, spec.IdentityResponse),
+		t(UEDeregistered, UEDeregistered, spec.IdentityRequest, spec.IdentityResponse),
+		t(UERegistered, UEDeregistered, spec.DetachRequestNW, spec.DetachAccept),
+		t(UERegistered, UEDeregInitiated, spec.InternalEvent, spec.DetachRequestUE),
+		t(UEDeregInitiated, UEDeregistered, spec.DetachAccept),
+	} {
+		m.AddTransition(tr)
+	}
+	return m
+}
+
+// MME-side ESM (bearer management) states for the session-management
+// layer composition.
+const (
+	MMEESMInactive        fsmodel.State = "MME_ESM_BEARER_INACTIVE"
+	MMEESMActivatePending fsmodel.State = "MME_ESM_BEARER_ACTIVE_PENDING"
+	MMEESMActive          fsmodel.State = "MME_ESM_BEARER_ACTIVE"
+	MMEESMDeactPending    fsmodel.State = "MME_ESM_BEARER_INACTIVE_PENDING"
+)
+
+// MMEESM returns the network-side ESM machine used to compose the
+// session-management layer's threat model (the EMM layer's MME() sibling
+// for challenge C4's per-layer verification).
+func MMEESM() *fsmodel.FSM {
+	m := fsmodel.New("MME-ESM/handbuilt", MMEESMInactive)
+	for _, tr := range []fsmodel.Transition{
+		t(MMEESMInactive, MMEESMActivatePending, spec.PDNConnectivityReq, spec.ActDefaultBearerReq),
+		// The admission check may also reject the request outright.
+		t(MMEESMInactive, MMEESMInactive, spec.PDNConnectivityReq, spec.PDNConnectivityRej),
+		t(MMEESMActivatePending, MMEESMActive, spec.ActDefaultBearerAcc),
+		t(MMEESMActivatePending, MMEESMInactive, spec.ActDefaultBearerRej),
+		t(MMEESMActive, MMEESMDeactPending, spec.InternalEvent, spec.DeactBearerRequest),
+		t(MMEESMDeactPending, MMEESMInactive, spec.DeactBearerAccept),
+		t(MMEESMActive, MMEESMActive, spec.InternalEvent, spec.ESMInformationReq),
+		t(MMEESMActive, MMEESMActive, spec.ESMInformationRespon),
+	} {
+		m.AddTransition(tr)
+	}
+	return m
+}
+
+// UEESMInternal returns the UE-initiated ESM transitions merged into the
+// session-management composition (starting PDN connectivity).
+func UEESMInternal() []fsmodel.Transition {
+	return []fsmodel.Transition{
+		t(fsmodel.State(spec.BearerInactive), fsmodel.State(spec.BearerActivePending),
+			spec.InternalEvent, spec.PDNConnectivityReq),
+	}
+}
+
+// UEStateMapping maps LTEInspector's coarse UE states onto the TS 24.301
+// states of the automatically extracted models (one-to-many where the
+// extraction surfaces sub-states).
+func UEStateMapping() fsmodel.StateMapping {
+	return fsmodel.StateMapping{
+		UEDeregistered: {
+			fsmodel.State(spec.EMMDeregistered),
+			fsmodel.State(spec.EMMDeregisteredAttachNeeded),
+		},
+		UERegisterInit: {
+			fsmodel.State(spec.EMMRegisteredInitiated),
+		},
+		UERegistered: {
+			fsmodel.State(spec.EMMRegistered),
+			fsmodel.State(spec.EMMRegisteredNormalService),
+			fsmodel.State(spec.EMMTAUInitiated),
+			fsmodel.State(spec.EMMServiceReqInitiated),
+		},
+		UEDeregInitiated: {
+			fsmodel.State(spec.EMMDeregInitiated),
+		},
+	}
+}

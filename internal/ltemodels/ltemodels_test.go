@@ -1,0 +1,91 @@
+package ltemodels
+
+import (
+	"testing"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+)
+
+func TestMMEModelStructure(t *testing.T) {
+	m := MME()
+	if m.Initial != fsmodel.State(spec.MMEDeregistered) {
+		t.Errorf("initial = %s", m.Initial)
+	}
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("MME model problems: %v", problems)
+	}
+	s, c, a, tr := m.Size()
+	if s != 5 {
+		t.Errorf("states = %d, want 5", s)
+	}
+	if c < 10 || a < 5 || tr < 15 {
+		t.Errorf("model too small: %d conditions, %d actions, %d transitions", c, a, tr)
+	}
+}
+
+func TestMMEAttachPathExists(t *testing.T) {
+	m := MME()
+	// Deregistered --attach_request--> common procedure with an
+	// authentication challenge.
+	found := false
+	for _, tr := range m.OutgoingFrom(fsmodel.State(spec.MMEDeregistered)) {
+		if tr.Cond.Message == spec.AttachRequest {
+			found = true
+			if len(tr.Actions) != 1 || tr.Actions[0] != spec.AuthRequest {
+				t.Errorf("attach_request transition actions = %v", tr.Actions)
+			}
+		}
+	}
+	if !found {
+		t.Error("no attach_request transition from deregistered")
+	}
+}
+
+func TestLTEInspectorUEStructure(t *testing.T) {
+	m := LTEInspectorUE()
+	if m.Initial != UEDeregistered {
+		t.Errorf("initial = %s", m.Initial)
+	}
+	if problems := m.Validate(); len(problems) != 0 {
+		t.Errorf("UE model problems: %v", problems)
+	}
+	s, _, _, _ := m.Size()
+	if s != 4 {
+		t.Errorf("states = %d, want 4 (the coarse LTEInspector shape)", s)
+	}
+	// The coarse model carries no data predicates — that is its defining
+	// contrast with the extracted models.
+	for _, c := range m.Conditions() {
+		if len(c.Predicates) != 0 {
+			t.Errorf("coarse condition %s has predicates", c)
+		}
+	}
+}
+
+func TestUEStateMappingCoversCoarseStates(t *testing.T) {
+	mapping := UEStateMapping()
+	for _, s := range LTEInspectorUE().States() {
+		if len(mapping[s]) == 0 {
+			t.Errorf("coarse state %s unmapped", s)
+		}
+	}
+	// Sub-states are one-to-many.
+	if len(mapping[UEDeregistered]) < 2 {
+		t.Error("ue_deregistered should map onto multiple TS 24.301 states")
+	}
+}
+
+func TestModelsHaveInternalTriggers(t *testing.T) {
+	for name, m := range map[string]*fsmodel.FSM{"UE": LTEInspectorUE(), "MME": MME()} {
+		found := false
+		for _, tr := range m.Transitions() {
+			if tr.Cond.Message == spec.InternalEvent {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s model lacks internal-event transitions", name)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package mme
+
+import (
+	"errors"
+	"fmt"
+
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+)
+
+// ESM (session management) handling on the network side: PDN
+// connectivity admission, default-bearer activation and deactivation.
+
+// blockedAPN is rejected with ESM cause 27 (unknown APN), giving the
+// conformance suite a reject path to exercise.
+const blockedAPN = "blocked.example"
+
+// BearerActive reports whether the session's default bearer is up.
+func (m *MME) BearerActive() bool { return m.bearerActive }
+
+func (m *MME) recvPDNConnectivityRequest(t *nas.PDNConnectivityRequest, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.PDNConnectivityReq)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	if m.state != spec.MMERegistered {
+		return m.respond(nil, &nas.PDNConnectivityReject{PTI: t.PTI, Cause: nas.ESMCauseActivationRejected}, m.protectedHeader())
+	}
+	if t.APN == blockedAPN {
+		m.rec.LocalBool("apn_allowed", false)
+		return m.respond(nil, &nas.PDNConnectivityReject{PTI: t.PTI, Cause: nas.ESMCauseUnknownAPN}, m.protectedHeader())
+	}
+	m.rec.LocalBool("apn_allowed", true)
+	m.bearerSeq++
+	m.pendingBearer = m.bearerSeq
+	return m.respond(nil, &nas.ActivateDefaultBearerRequest{PTI: t.PTI, BearerID: m.pendingBearer, APN: t.APN}, m.protectedHeader())
+}
+
+func (m *MME) recvActivateBearerAccept(t *nas.ActivateDefaultBearerAccept, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.ActDefaultBearerAcc)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	if t.BearerID != m.pendingBearer {
+		return nil
+	}
+	m.bearerActive = true
+	m.bearerID = t.BearerID
+	m.pendingBearer = 0
+	return nil
+}
+
+func (m *MME) recvActivateBearerReject(t *nas.ActivateDefaultBearerReject, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.ActDefaultBearerRej)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	m.rec.LocalInt("esm_cause", int(t.Cause))
+	m.pendingBearer = 0
+	return nil
+}
+
+func (m *MME) recvDeactivateBearerAccept(t *nas.DeactivateBearerAccept, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.DeactBearerAccept)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	if t.BearerID != m.bearerID {
+		return nil
+	}
+	m.bearerActive = false
+	m.bearerID = 0
+	return nil
+}
+
+func (m *MME) recvESMInformationResponse(t *nas.ESMInformationResponse, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.ESMInformationRespon)
+	defer m.rec.ExitFunc(sig)
+	m.admit(insp)
+	return nil
+}
+
+// StartBearerDeactivation tears down the active default bearer.
+func (m *MME) StartBearerDeactivation() (nas.Packet, error) {
+	if !m.bearerActive {
+		return nas.Packet{}, errors.New("mme: no active bearer to deactivate")
+	}
+	return m.seal(&nas.DeactivateBearerRequest{BearerID: m.bearerID, Cause: nas.ESMCauseInsufficientResources}, m.protectedHeader())
+}
+
+// SendESMInformationRequest asks the UE for deferred protocol options.
+func (m *MME) SendESMInformationRequest(pti uint8) (nas.Packet, error) {
+	if !m.ctx.Active {
+		return nas.Packet{}, fmt.Errorf("mme: ESM information request requires a security context")
+	}
+	return m.seal(&nas.ESMInformationRequest{PTI: pti}, m.protectedHeader())
+}

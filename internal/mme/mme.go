@@ -1,0 +1,651 @@
+// Package mme implements the network-side NAS (EMM) entity: subscriber
+// database, authentication-vector generation over the Annex C SQN scheme,
+// the attach / security-mode / GUTI-reallocation / TAU / paging / detach
+// procedures, and the T3450/T3460-style retransmission supervision whose
+// bounded retries make the P3 selective-denial attack possible.
+//
+// Like the UE package, the MME is instrumented: its handlers emit
+// information-rich log records so its FSM can be extracted the same way
+// (the paper uses a community-built MME model because it lacked core
+// source access; we have our own implementation and can extract both).
+package mme
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/trace"
+)
+
+// MaxProcedureRetries is how many times a supervised procedure message is
+// retransmitted before the procedure is aborted: per TS 24.301, the
+// retransmission "is repeated four times, i.e. on the fifth expiry of
+// timer T3450, the network shall abort the procedure".
+const MaxProcedureRetries = 4
+
+// Config parameterises an MME instance.
+type Config struct {
+	// Subscribers maps IMSI -> permanent key K (the HSS database).
+	Subscribers map[string]security.Key
+	// SQN configures the per-subscriber vector generators; the zero
+	// value selects sqn.DefaultConfig().
+	SQN sqn.Config
+	// Recorder receives the instrumentation log; optional.
+	Recorder *trace.Recorder
+	// TAC is the tracking area code the MME serves.
+	TAC uint16
+}
+
+// pendingProc tracks a running supervised common procedure.
+type pendingProc struct {
+	name    spec.MessageName
+	packet  nas.Packet
+	retries int
+}
+
+// MME is an instrumented network-side EMM entity serving a single UE
+// session, which matches the paper's one-UE-one-MME protocol model.
+type MME struct {
+	subscribers map[string]security.Key
+	gens        map[string]*sqn.Generator
+	sqnCfg      sqn.Config
+	rec         *trace.Recorder
+	style       spec.SignatureStyle
+	tac         uint16
+
+	state spec.MMEState
+	imsi  string
+	guti  uint32
+	ctx   nas.Context
+	// vector is the outstanding authentication vector.
+	vector     *security.Vector
+	vectorRAND [security.RANDSize]byte
+	// pendingKeys holds the hierarchy derived for the outstanding vector.
+	pendingKeys *security.Hierarchy
+	// attachInProgress distinguishes initial attach from re-auth.
+	attachInProgress bool
+	// pending is the supervised procedure awaiting completion.
+	pending *pendingProc
+	// aborted records procedures abandoned after exhausting retries.
+	aborted []spec.MessageName
+	// replayedCaps echoes the UE capability bitmap in
+	// security_mode_command for bidding-down protection.
+	replayedCaps uint8
+	// ESM bearer bookkeeping.
+	bearerActive  bool
+	bearerID      uint8
+	pendingBearer uint8
+	bearerSeq     uint8
+	// gutiSeq feeds fresh GUTI values.
+	gutiSeq uint32
+	// randSeq feeds deterministic RAND values.
+	randSeq uint64
+}
+
+// New builds an MME.
+func New(cfg Config) (*MME, error) {
+	if len(cfg.Subscribers) == 0 {
+		return nil, errors.New("mme: Config.Subscribers is required")
+	}
+	if cfg.SQN == (sqn.Config{}) {
+		cfg.SQN = sqn.DefaultConfig()
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = &trace.Recorder{}
+	}
+	subs := make(map[string]security.Key, len(cfg.Subscribers))
+	gens := make(map[string]*sqn.Generator, len(cfg.Subscribers))
+	for imsi, k := range cfg.Subscribers {
+		subs[imsi] = k
+		g, err := sqn.NewGenerator(cfg.SQN)
+		if err != nil {
+			return nil, fmt.Errorf("mme: building SQN generator for %s: %w", imsi, err)
+		}
+		gens[imsi] = g
+	}
+	return &MME{
+		subscribers: subs,
+		gens:        gens,
+		sqnCfg:      cfg.SQN,
+		rec:         rec,
+		style:       spec.StyleClosed,
+		tac:         cfg.TAC,
+		state:       spec.MMEDeregistered,
+		gutiSeq:     0x1000,
+	}, nil
+}
+
+// State returns the current network-side EMM state.
+func (m *MME) State() spec.MMEState { return m.state }
+
+// GUTI returns the GUTI currently assigned to the session (0 if none).
+func (m *MME) GUTI() uint32 { return m.guti }
+
+// SecurityContextActive reports whether the NAS security context is
+// established on the network side.
+func (m *MME) SecurityContextActive() bool { return m.ctx.Active }
+
+// Keys returns the network-side NAS key hierarchy.
+func (m *MME) Keys() security.Hierarchy { return m.ctx.Keys }
+
+// Recorder returns the instrumentation recorder.
+func (m *MME) Recorder() *trace.Recorder { return m.rec }
+
+// AbortedProcedures lists supervised procedures abandoned after
+// exhausting their retransmissions — P3's observable effect.
+func (m *MME) AbortedProcedures() []spec.MessageName {
+	out := make([]spec.MessageName, len(m.aborted))
+	copy(out, m.aborted)
+	return out
+}
+
+func (m *MME) logGlobals() {
+	m.rec.Global("emm_state", string(m.state))
+	m.rec.Global("guti", fmt.Sprintf("%#x", m.guti))
+	m.rec.GlobalBool("sec_ctx_active", m.ctx.Active)
+}
+
+func (m *MME) setState(s spec.MMEState) {
+	m.state = s
+	m.rec.Global("emm_state", string(s))
+}
+
+func (m *MME) seal(msg nas.Message, header nas.SecurityHeader) (nas.Packet, error) {
+	sig := m.style.Send(msg.Name())
+	m.rec.EnterFunc(sig)
+	defer m.rec.ExitFunc(sig)
+	p, err := m.ctx.Seal(msg, header, nas.DirDownlink)
+	if err != nil {
+		return nas.Packet{}, fmt.Errorf("mme: %w", err)
+	}
+	return p, nil
+}
+
+func (m *MME) respond(replies []nas.Packet, msg nas.Message, header nas.SecurityHeader) []nas.Packet {
+	p, err := m.seal(msg, header)
+	if err != nil {
+		m.rec.Note("seal failure: " + err.Error())
+		return replies
+	}
+	return append(replies, p)
+}
+
+func (m *MME) protectedHeader() nas.SecurityHeader {
+	if m.ctx.Active {
+		return nas.HeaderIntegrityCiphered
+	}
+	return nas.HeaderPlain
+}
+
+// nextRAND derives a deterministic, non-repeating RAND so runs are
+// reproducible without global randomness.
+func (m *MME) nextRAND(imsi string) [security.RANDSize]byte {
+	m.randSeq++
+	h := sha256.New()
+	h.Write([]byte(imsi))
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], m.randSeq)
+	h.Write(seq[:])
+	var out [security.RANDSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// buildAuthRequest generates a fresh vector for the subscriber and the
+// corresponding authentication_request packet.
+func (m *MME) buildAuthRequest(imsi string) (nas.Packet, error) {
+	k, ok := m.subscribers[imsi]
+	if !ok {
+		return nas.Packet{}, fmt.Errorf("mme: unknown subscriber %q", imsi)
+	}
+	rand := m.nextRAND(imsi)
+	seq := m.gens[imsi].Next()
+	v := security.GenerateVector(k, rand, seq)
+	m.vector = &v
+	m.vectorRAND = rand
+	keys := security.DeriveHierarchy(k, rand[:])
+	m.pendingKeys = &keys
+	return m.seal(&nas.AuthRequest{RAND: v.RAND, AUTN: v.AUTN}, nas.HeaderPlain)
+}
+
+// HandleUplink is the MME's incoming-message dispatcher; it returns the
+// downlink packets sent in response.
+func (m *MME) HandleUplink(p nas.Packet) []nas.Packet {
+	m.rec.EnterFunc("mme_msg_handler")
+	defer m.rec.ExitFunc("mme_msg_handler")
+	msg, insp, err := m.open(p)
+	if err != nil {
+		m.rec.Note("undecodable packet discarded: " + err.Error())
+		return nil
+	}
+	switch t := msg.(type) {
+	case *nas.AttachRequest:
+		return m.recvAttachRequest(t, insp)
+	case *nas.AuthResponse:
+		return m.recvAuthResponse(t, insp)
+	case *nas.AuthMACFailure:
+		return m.recvAuthMACFailure(t, insp)
+	case *nas.AuthSyncFailure:
+		return m.recvAuthSyncFailure(t, insp)
+	case *nas.SecurityModeComplete:
+		return m.recvSecurityModeComplete(t, insp)
+	case *nas.SecurityModeReject:
+		return m.recvSecurityModeReject(t, insp)
+	case *nas.AttachComplete:
+		return m.recvAttachComplete(t, insp)
+	case *nas.IdentityResponse:
+		return m.recvIdentityResponse(t, insp)
+	case *nas.GUTIReallocationComplete:
+		return m.recvGUTIRealloComplete(t, insp)
+	case *nas.TAURequest:
+		return m.recvTAURequest(t, insp)
+	case *nas.TAUComplete:
+		return m.recvTAUComplete(t, insp)
+	case *nas.DetachRequestUE:
+		return m.recvDetachRequest(t, insp)
+	case *nas.DetachAccept:
+		return m.recvDetachAccept(t, insp)
+	case *nas.ServiceRequest:
+		return m.recvServiceRequest(t, insp)
+	case *nas.PDNConnectivityRequest:
+		return m.recvPDNConnectivityRequest(t, insp)
+	case *nas.ActivateDefaultBearerAccept:
+		return m.recvActivateBearerAccept(t, insp)
+	case *nas.ActivateDefaultBearerReject:
+		return m.recvActivateBearerReject(t, insp)
+	case *nas.DeactivateBearerAccept:
+		return m.recvDeactivateBearerAccept(t, insp)
+	case *nas.ESMInformationResponse:
+		return m.recvESMInformationResponse(t, insp)
+	default:
+		m.rec.Note("unhandled uplink message " + string(msg.Name()))
+		return nil
+	}
+}
+
+func (m *MME) open(p nas.Packet) (nas.Message, nas.Inspection, error) {
+	if p.Header == nas.HeaderPlain {
+		return (&nas.Context{}).Open(p, nas.DirUplink)
+	}
+	if m.ctx.Active {
+		return m.ctx.Open(p, nas.DirUplink)
+	}
+	if m.pendingKeys != nil {
+		tmp := nas.Context{Keys: *m.pendingKeys, Active: true, ULCount: m.ctx.ULCount}
+		return tmp.Open(p, nas.DirUplink)
+	}
+	return nil, nas.Inspection{}, errors.New("mme: protected packet without security context")
+}
+
+func (m *MME) enter(name spec.MessageName) string {
+	sig := m.style.Recv(name)
+	m.rec.EnterFunc(sig)
+	m.logGlobals()
+	return sig
+}
+
+// admit enforces the MME's acceptance policy: the network side is modelled
+// as conformant (replay and integrity checks always on).
+func (m *MME) admit(insp nas.Inspection) bool {
+	m.rec.LocalBool(string(spec.CondPlainHeader), insp.PlainHeader)
+	if insp.PlainHeader {
+		return !m.ctx.Active
+	}
+	m.rec.LocalBool(string(spec.CondMACValid), insp.MACValid)
+	m.rec.LocalBool(string(spec.CondCountFresh), insp.CountFresh)
+	if !insp.MACValid || !insp.CountFresh {
+		return false
+	}
+	m.ctx.Accept(insp, nas.DirUplink)
+	return true
+}
+
+func (m *MME) recvAttachRequest(t *nas.AttachRequest, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.AttachRequest)
+	defer m.rec.ExitFunc(sig)
+	if !insp.PlainHeader && !m.admit(insp) {
+		return nil
+	}
+	imsi := t.IMSI
+	if imsi == "" {
+		m.rec.Note("attach_request without IMSI; requesting identity")
+		m.setState(spec.MMECommonProcInit)
+		return m.respond(nil, &nas.IdentityRequest{IDType: nas.IDTypeIMSI}, nas.HeaderPlain)
+	}
+	if _, ok := m.subscribers[imsi]; !ok {
+		return m.respond(nil, &nas.AttachReject{Cause: nas.CauseIMSIUnknown}, nas.HeaderPlain)
+	}
+	m.imsi = imsi
+	m.replayedCaps = t.UECaps
+	m.attachInProgress = true
+	m.ctx = nas.Context{} // new attach: fresh security context
+	// A fresh attach invalidates any bearer from an earlier session.
+	m.bearerActive = false
+	m.bearerID = 0
+	m.setState(spec.MMECommonProcInit)
+	p, err := m.buildAuthRequest(imsi)
+	if err != nil {
+		m.rec.Note("vector generation failed: " + err.Error())
+		return nil
+	}
+	return []nas.Packet{p}
+}
+
+func (m *MME) recvAuthResponse(t *nas.AuthResponse, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.AuthResponse)
+	defer m.rec.ExitFunc(sig)
+	if m.vector == nil {
+		m.rec.Note("unexpected authentication_response")
+		return nil
+	}
+	resOK := t.RES == m.vector.XRES
+	m.rec.LocalBool("res_match", resOK)
+	if !resOK {
+		m.setState(spec.MMEDeregistered)
+		return m.respond(nil, &nas.AuthReject{}, nas.HeaderPlain)
+	}
+	// AKA succeeded: run the security-mode procedure with the new keys.
+	m.ctx = nas.Context{Keys: *m.pendingKeys, Active: true}
+	m.pendingKeys = nil
+	m.vector = nil
+	smc := &nas.SecurityModeCommand{IntAlg: 2, EncAlg: 2, ReplayedCaps: 0}
+	// ReplayedCaps must echo what the UE sent in attach_request; the
+	// conformance environment sets it via SetReplayedCaps when needed.
+	smc.ReplayedCaps = m.replayedCaps
+	return m.respond(nil, smc, nas.HeaderIntegrity)
+}
+
+// SetReplayedCaps records the UE capability bitmap to echo in
+// security_mode_command.
+func (m *MME) SetReplayedCaps(caps uint8) { m.replayedCaps = caps }
+
+func (m *MME) recvAuthMACFailure(_ *nas.AuthMACFailure, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.AuthMACFailure)
+	defer m.rec.ExitFunc(sig)
+	m.vector = nil
+	m.pendingKeys = nil
+	m.setState(spec.MMEDeregistered)
+	return nil
+}
+
+func (m *MME) recvAuthSyncFailure(t *nas.AuthSyncFailure, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.AuthSyncFailure)
+	defer m.rec.ExitFunc(sig)
+	if m.imsi == "" {
+		return nil
+	}
+	// AUTS is verified against the RAND of the most recent challenge;
+	// m.vector may already be consumed when the failing challenge was a
+	// replay of it.
+	k := m.subscribers[m.imsi]
+	sqnMS, err := security.OpenAUTS(k, m.vectorRAND, t.AUTS)
+	m.rec.LocalBool("auts_valid", err == nil)
+	if err != nil {
+		return nil
+	}
+	// Resynchronise and retry authentication with a fresh vector.
+	m.gens[m.imsi].Resync(sqnMS)
+	p, err := m.buildAuthRequest(m.imsi)
+	if err != nil {
+		m.rec.Note("resync vector generation failed: " + err.Error())
+		return nil
+	}
+	return []nas.Packet{p}
+}
+
+func (m *MME) recvSecurityModeComplete(_ *nas.SecurityModeComplete, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.SecurityModeComplet)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	m.clearPending(spec.SecurityModeCommand)
+	if !m.attachInProgress {
+		m.setState(spec.MMERegistered)
+		return nil
+	}
+	// Initial attach: assign a GUTI and send attach_accept.
+	m.gutiSeq++
+	m.guti = m.gutiSeq
+	m.setState(spec.MMEWaitAttachCompl)
+	return m.respond(nil, &nas.AttachAccept{GUTI: m.guti, TAC: m.tac, T3412: 6}, nas.HeaderIntegrityCiphered)
+}
+
+func (m *MME) recvSecurityModeReject(t *nas.SecurityModeReject, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.SecurityModeReject)
+	defer m.rec.ExitFunc(sig)
+	m.rec.LocalInt("emm_cause", int(t.Cause))
+	m.clearPending(spec.SecurityModeCommand)
+	m.ctx = nas.Context{}
+	m.attachInProgress = false
+	m.setState(spec.MMEDeregistered)
+	return nil
+}
+
+func (m *MME) recvAttachComplete(_ *nas.AttachComplete, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.AttachComplete)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	m.attachInProgress = false
+	m.setState(spec.MMERegistered)
+	return nil
+}
+
+func (m *MME) recvIdentityResponse(t *nas.IdentityResponse, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.IdentityResponse)
+	defer m.rec.ExitFunc(sig)
+	if m.ctx.Active && !m.admit(insp) {
+		return nil
+	}
+	if t.IDType != nas.IDTypeIMSI || t.IMSI == "" {
+		return nil
+	}
+	if _, ok := m.subscribers[t.IMSI]; !ok {
+		return m.respond(nil, &nas.AttachReject{Cause: nas.CauseIMSIUnknown}, nas.HeaderPlain)
+	}
+	m.imsi = t.IMSI
+	m.attachInProgress = true
+	p, err := m.buildAuthRequest(t.IMSI)
+	if err != nil {
+		return nil
+	}
+	return []nas.Packet{p}
+}
+
+func (m *MME) recvGUTIRealloComplete(_ *nas.GUTIReallocationComplete, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.GUTIRealloComplete)
+	defer m.rec.ExitFunc(sig)
+	if !m.admit(insp) {
+		return nil
+	}
+	m.clearPending(spec.GUTIRealloCommand)
+	return nil
+}
+
+func (m *MME) recvTAURequest(t *nas.TAURequest, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.TAURequest)
+	defer m.rec.ExitFunc(sig)
+	if m.ctx.Active {
+		if !m.admit(insp) {
+			return nil
+		}
+	} else if t.GUTI == 0 || t.GUTI != m.guti {
+		return m.respond(nil, &nas.TAUReject{Cause: nas.CauseIMSIUnknown}, nas.HeaderPlain)
+	}
+	m.gutiSeq++
+	m.guti = m.gutiSeq
+	return m.respond(nil, &nas.TAUAccept{GUTI: m.guti, TAC: m.tac}, m.protectedHeader())
+}
+
+func (m *MME) recvTAUComplete(_ *nas.TAUComplete, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.TAUComplete)
+	defer m.rec.ExitFunc(sig)
+	m.admit(insp)
+	return nil
+}
+
+func (m *MME) recvDetachRequest(t *nas.DetachRequestUE, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.DetachRequestUE)
+	defer m.rec.ExitFunc(sig)
+	if m.ctx.Active && !m.admit(insp) {
+		return nil
+	}
+	var replies []nas.Packet
+	if !t.SwitchOff {
+		replies = m.respond(replies, &nas.DetachAccept{}, m.protectedHeader())
+	}
+	m.ctx = nas.Context{}
+	m.pendingKeys = nil
+	m.guti = 0
+	m.attachInProgress = false
+	m.bearerActive = false
+	m.bearerID = 0
+	m.setState(spec.MMEDeregistered)
+	return replies
+}
+
+func (m *MME) recvDetachAccept(_ *nas.DetachAccept, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.DetachAccept)
+	defer m.rec.ExitFunc(sig)
+	if m.state != spec.MMEDeregInitiated {
+		return nil
+	}
+	m.ctx = nas.Context{}
+	m.guti = 0
+	m.setState(spec.MMEDeregistered)
+	return nil
+}
+
+func (m *MME) recvServiceRequest(t *nas.ServiceRequest, insp nas.Inspection) []nas.Packet {
+	sig := m.enter(spec.ServiceRequest)
+	defer m.rec.ExitFunc(sig)
+	if m.ctx.Active && !m.admit(insp) {
+		return nil
+	}
+	if m.state != spec.MMERegistered || t.GUTI != m.guti {
+		return m.respond(nil, &nas.ServiceReject{Cause: nas.CauseIMSIUnknown}, m.protectedHeader())
+	}
+	return m.respond(nil, &nas.ServiceAccept{}, m.protectedHeader())
+}
+
+// --- Network-initiated procedures ---
+
+// StartGUTIReallocation begins a supervised GUTI reallocation; the
+// returned packet is the first transmission of guti_reallocation_command.
+func (m *MME) StartGUTIReallocation() (nas.Packet, error) {
+	if !m.ctx.Active || m.state != spec.MMERegistered {
+		return nas.Packet{}, errors.New("mme: GUTI reallocation requires a registered, secured session")
+	}
+	m.gutiSeq++
+	newGUTI := m.gutiSeq
+	p, err := m.seal(&nas.GUTIReallocationCommand{GUTI: newGUTI}, nas.HeaderIntegrityCiphered)
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	m.guti = newGUTI
+	m.pending = &pendingProc{name: spec.GUTIRealloCommand, packet: p}
+	return p, nil
+}
+
+// StartSecurityModeControl re-runs the security-mode procedure (rekeying)
+// under supervision, as after a re-authentication.
+func (m *MME) StartSecurityModeControl() (nas.Packet, error) {
+	if m.pendingKeys == nil && !m.ctx.Active {
+		return nas.Packet{}, errors.New("mme: no keys available for security mode control")
+	}
+	if m.pendingKeys != nil {
+		m.ctx = nas.Context{Keys: *m.pendingKeys, Active: true}
+	}
+	p, err := m.seal(&nas.SecurityModeCommand{IntAlg: 2, EncAlg: 2, ReplayedCaps: m.replayedCaps}, nas.HeaderIntegrity)
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	m.pending = &pendingProc{name: spec.SecurityModeCommand, packet: p}
+	return p, nil
+}
+
+// StartReauthentication sends a fresh authentication_request to an
+// already-registered UE.
+func (m *MME) StartReauthentication() (nas.Packet, error) {
+	if m.imsi == "" {
+		return nas.Packet{}, errors.New("mme: no active subscriber to re-authenticate")
+	}
+	// attachInProgress is left untouched: when used as an
+	// authentication retry during attach, completion must still end in
+	// attach_accept.
+	return m.buildAuthRequest(m.imsi)
+}
+
+// StartDetach begins a network-originated detach.
+func (m *MME) StartDetach(detachType uint8) (nas.Packet, error) {
+	p, err := m.seal(&nas.DetachRequestNW{Type: detachType}, m.protectedHeader())
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	m.setState(spec.MMEDeregInitiated)
+	return p, nil
+}
+
+// Page emits a paging_request for the session's UE, by GUTI normally or
+// by IMSI when byIMSI is set.
+func (m *MME) Page(byIMSI bool) (nas.Packet, error) {
+	req := &nas.PagingRequest{IDType: nas.IDTypeGUTI, GUTI: m.guti}
+	if byIMSI {
+		req = &nas.PagingRequest{IDType: nas.IDTypeIMSI, IMSI: m.imsi}
+	}
+	return m.seal(req, nas.HeaderPlain)
+}
+
+// SendIdentityRequest asks the UE for an identity outside of attach.
+func (m *MME) SendIdentityRequest(idType uint8) (nas.Packet, error) {
+	return m.seal(&nas.IdentityRequest{IDType: idType}, m.protectedHeader())
+}
+
+// SendEMMInformation sends a protected informational message.
+func (m *MME) SendEMMInformation() (nas.Packet, error) {
+	return m.seal(&nas.EMMInformation{}, m.protectedHeader())
+}
+
+// TickTimer models one expiry of the supervision timer (T3450 for GUTI
+// reallocation, T3460 for security mode control). While retransmissions
+// remain it returns the retransmitted packet and true; on the fifth
+// expiry it aborts the procedure (recording it in AbortedProcedures) and
+// returns false.
+func (m *MME) TickTimer() (nas.Packet, bool) {
+	if m.pending == nil {
+		return nas.Packet{}, false
+	}
+	if m.pending.retries < MaxProcedureRetries {
+		m.pending.retries++
+		m.rec.Note(fmt.Sprintf("timer expiry %d: retransmitting %s", m.pending.retries, m.pending.name))
+		return m.pending.packet, true
+	}
+	m.rec.Note(fmt.Sprintf("timer expiry %d: aborting %s", m.pending.retries+1, m.pending.name))
+	m.aborted = append(m.aborted, m.pending.name)
+	m.pending = nil
+	return nas.Packet{}, false
+}
+
+// PendingProcedure reports the supervised procedure currently awaiting
+// completion ("" when none).
+func (m *MME) PendingProcedure() spec.MessageName {
+	if m.pending == nil {
+		return ""
+	}
+	return m.pending.name
+}
+
+func (m *MME) clearPending(name spec.MessageName) {
+	if m.pending != nil && m.pending.name == name {
+		m.pending = nil
+	}
+}

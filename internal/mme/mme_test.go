@@ -1,0 +1,240 @@
+package mme_test
+
+import (
+	"testing"
+
+	"prochecker/internal/conformance"
+	"prochecker/internal/mme"
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+func newEnv(t *testing.T) *conformance.Env {
+	t.Helper()
+	env, err := conformance.NewEnv(ue.ProfileConformant, nil)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func attach(t *testing.T, env *conformance.Env) {
+	t.Helper()
+	if err := env.Attach(); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := mme.New(mme.Config{}); err == nil {
+		t.Error("empty subscriber DB accepted")
+	}
+}
+
+func TestAttachAssignsFreshGUTI(t *testing.T) {
+	env := newEnv(t)
+	attach(t, env)
+	first := env.MME.GUTI()
+	if first == 0 {
+		t.Fatal("no GUTI assigned")
+	}
+	// Detach and re-attach: the GUTI must change.
+	req, err := env.UE.StartDetach(false)
+	if err != nil {
+		t.Fatalf("StartDetach: %v", err)
+	}
+	env.SendUplink(req)
+	attach(t, env)
+	if env.MME.GUTI() == first {
+		t.Error("GUTI reused across attaches")
+	}
+}
+
+func TestUnknownIMSIRejected(t *testing.T) {
+	env := newEnv(t)
+	req, err := (&nas.Context{}).Seal(&nas.AttachRequest{IMSI: "404"}, nas.HeaderPlain, nas.DirUplink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	replies := env.MME.HandleUplink(req)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d, want 1 attach_reject", len(replies))
+	}
+	m, err := nas.Unmarshal(replies[0].Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if m.Name() != spec.AttachReject {
+		t.Errorf("reply = %s, want attach_reject", m.Name())
+	}
+}
+
+func TestWrongRESGetsAuthReject(t *testing.T) {
+	env := newEnv(t)
+	req, err := env.UE.StartAttach()
+	if err != nil {
+		t.Fatalf("StartAttach: %v", err)
+	}
+	// Deliver attach_request by hand; intercept the challenge and answer
+	// with a wrong RES.
+	challenges := env.MME.HandleUplink(req)
+	if len(challenges) != 1 {
+		t.Fatalf("challenges = %d, want 1", len(challenges))
+	}
+	bad, err := (&nas.Context{}).Seal(&nas.AuthResponse{RES: [8]byte{0xde, 0xad}}, nas.HeaderPlain, nas.DirUplink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	replies := env.MME.HandleUplink(bad)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d, want 1", len(replies))
+	}
+	m, err := nas.Unmarshal(replies[0].Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if m.Name() != spec.AuthReject {
+		t.Errorf("reply = %s, want authentication_reject", m.Name())
+	}
+	if env.MME.State() != spec.MMEDeregistered {
+		t.Errorf("MME state = %s, want deregistered", env.MME.State())
+	}
+}
+
+func TestSyncFailureTriggersResync(t *testing.T) {
+	env := newEnv(t)
+	attach(t, env)
+	// Re-authenticate: the first challenge is consumed by the USIM;
+	// replaying it yields auth_sync_failure, and the MME must answer with
+	// a *fresh* challenge.
+	p, err := env.MME.StartReauthentication()
+	if err != nil {
+		t.Fatalf("StartReauthentication: %v", err)
+	}
+	replies := env.UE.HandleDownlink(p) // auth_response
+	if len(replies) != 1 {
+		t.Fatalf("expected auth_response, got %d replies", len(replies))
+	}
+	env.MME.HandleUplink(replies[0]) // MME sends SMC, ignore it here
+	// Replay the consumed challenge to the UE: now it answers sync
+	// failure.
+	sync := env.UE.HandleDownlink(p)
+	if len(sync) != 1 {
+		t.Fatalf("expected auth_sync_failure, got %d replies", len(sync))
+	}
+	m, err := nas.Unmarshal(sync[0].Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if m.Name() != spec.AuthSyncFailure {
+		t.Fatalf("UE reply = %s, want auth_sync_failure", m.Name())
+	}
+	fresh := env.MME.HandleUplink(sync[0])
+	if len(fresh) != 1 {
+		t.Fatalf("MME did not answer sync failure with a new challenge")
+	}
+	fm, err := nas.Unmarshal(fresh[0].Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if fm.Name() != spec.AuthRequest {
+		t.Errorf("MME reply = %s, want authentication_request", fm.Name())
+	}
+}
+
+func TestTimerRetransmitsThenAborts(t *testing.T) {
+	env := newEnv(t)
+	attach(t, env)
+	if _, err := env.MME.StartGUTIReallocation(); err != nil {
+		t.Fatalf("StartGUTIReallocation: %v", err)
+	}
+	for i := 0; i < mme.MaxProcedureRetries; i++ {
+		if _, ok := env.MME.TickTimer(); !ok {
+			t.Fatalf("expiry %d did not retransmit", i+1)
+		}
+	}
+	if _, ok := env.MME.TickTimer(); ok {
+		t.Fatal("fifth expiry retransmitted instead of aborting")
+	}
+	aborted := env.MME.AbortedProcedures()
+	if len(aborted) != 1 || aborted[0] != spec.GUTIRealloCommand {
+		t.Errorf("aborted = %v, want [guti_reallocation_command]", aborted)
+	}
+	if env.MME.PendingProcedure() != "" {
+		t.Error("procedure still pending after abort")
+	}
+}
+
+func TestTickTimerIdleIsNoop(t *testing.T) {
+	env := newEnv(t)
+	if _, ok := env.MME.TickTimer(); ok {
+		t.Error("idle TickTimer retransmitted")
+	}
+}
+
+func TestGUTIReallocationRequiresRegistered(t *testing.T) {
+	env := newEnv(t)
+	if _, err := env.MME.StartGUTIReallocation(); err == nil {
+		t.Error("GUTI reallocation allowed before attach")
+	}
+}
+
+func TestReplayedUplinkDiscarded(t *testing.T) {
+	// The MME is conformant: a replayed protected uplink packet must not
+	// be processed twice.
+	env := newEnv(t)
+	attach(t, env)
+	req, err := env.UE.StartTAU(7)
+	if err != nil {
+		t.Fatalf("StartTAU: %v", err)
+	}
+	first := env.MME.HandleUplink(req)
+	if len(first) == 0 {
+		t.Fatal("TAU request not answered")
+	}
+	replay := env.MME.HandleUplink(req)
+	if len(replay) != 0 {
+		t.Errorf("replayed tau_request answered with %d packets", len(replay))
+	}
+}
+
+func TestPageByIMSIAndGUTI(t *testing.T) {
+	env := newEnv(t)
+	attach(t, env)
+	byGUTI, err := env.MME.Page(false)
+	if err != nil {
+		t.Fatalf("Page(false): %v", err)
+	}
+	m, err := nas.Unmarshal(byGUTI.Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if pr := m.(*nas.PagingRequest); pr.IDType != nas.IDTypeGUTI || pr.GUTI != env.MME.GUTI() {
+		t.Errorf("page by GUTI = %+v", pr)
+	}
+	byIMSI, err := env.MME.Page(true)
+	if err != nil {
+		t.Fatalf("Page(true): %v", err)
+	}
+	m, err = nas.Unmarshal(byIMSI.Payload)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if pr := m.(*nas.PagingRequest); pr.IDType != nas.IDTypeIMSI || pr.IMSI != conformance.DefaultIMSI {
+		t.Errorf("page by IMSI = %+v", pr)
+	}
+}
+
+func TestKeysMatchUEAfterAttach(t *testing.T) {
+	env := newEnv(t)
+	attach(t, env)
+	var zero security.Hierarchy
+	if env.MME.Keys() == zero {
+		t.Fatal("MME has zero keys after attach")
+	}
+	if env.MME.Keys() != env.UE.Keys() {
+		t.Error("UE and MME keys differ after attach")
+	}
+}

@@ -1,0 +1,187 @@
+package nas
+
+import (
+	"bytes"
+
+	"prochecker/internal/spec"
+)
+
+// ESM (EPS Session Management, TS 24.301 clause 6) messages: the second
+// NAS sub-layer, carried over the same security envelope as EMM. They
+// exist so the per-layer extraction requirement (challenge C4) can be
+// demonstrated: the same execution log yields a separate ESM machine.
+
+// ESM cause codes (TS 24.301 6.x, abridged).
+const (
+	ESMCauseInsufficientResources uint8 = 26
+	ESMCauseUnknownAPN            uint8 = 27
+	ESMCauseActivationRejected    uint8 = 31
+	ESMCauseProtocolError         uint8 = 111
+)
+
+// PDNConnectivityRequest asks for a default bearer towards an APN.
+type PDNConnectivityRequest struct {
+	PTI uint8 // procedure transaction identity
+	APN string
+}
+
+// PDNConnectivityReject denies the PDN connectivity request.
+type PDNConnectivityReject struct {
+	PTI   uint8
+	Cause uint8
+}
+
+// ActivateDefaultBearerRequest activates the default EPS bearer.
+type ActivateDefaultBearerRequest struct {
+	PTI      uint8
+	BearerID uint8
+	APN      string
+}
+
+// ActivateDefaultBearerAccept acknowledges bearer activation.
+type ActivateDefaultBearerAccept struct{ BearerID uint8 }
+
+// ActivateDefaultBearerReject refuses bearer activation.
+type ActivateDefaultBearerReject struct {
+	BearerID uint8
+	Cause    uint8
+}
+
+// DeactivateBearerRequest tears a bearer down.
+type DeactivateBearerRequest struct {
+	BearerID uint8
+	Cause    uint8
+}
+
+// DeactivateBearerAccept acknowledges bearer deactivation.
+type DeactivateBearerAccept struct{ BearerID uint8 }
+
+// ESMInformationRequest asks the UE for protocol options (sent when the
+// UE deferred them during attach).
+type ESMInformationRequest struct{ PTI uint8 }
+
+// ESMInformationResponse answers an esm_information_request.
+type ESMInformationResponse struct {
+	PTI uint8
+	APN string
+}
+
+// Name implementations.
+func (*PDNConnectivityRequest) Name() spec.MessageName       { return spec.PDNConnectivityReq }
+func (*PDNConnectivityReject) Name() spec.MessageName        { return spec.PDNConnectivityRej }
+func (*ActivateDefaultBearerRequest) Name() spec.MessageName { return spec.ActDefaultBearerReq }
+func (*ActivateDefaultBearerAccept) Name() spec.MessageName  { return spec.ActDefaultBearerAcc }
+func (*ActivateDefaultBearerReject) Name() spec.MessageName  { return spec.ActDefaultBearerRej }
+func (*DeactivateBearerRequest) Name() spec.MessageName      { return spec.DeactBearerRequest }
+func (*DeactivateBearerAccept) Name() spec.MessageName       { return spec.DeactBearerAccept }
+func (*ESMInformationRequest) Name() spec.MessageName        { return spec.ESMInformationReq }
+func (*ESMInformationResponse) Name() spec.MessageName       { return spec.ESMInformationRespon }
+
+func (m *PDNConnectivityRequest) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.PTI)
+	putString(buf, m.APN)
+}
+
+func (m *PDNConnectivityRequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.PTI, err = getByte(r); err != nil {
+		return err
+	}
+	m.APN, err = getString(r)
+	return err
+}
+
+func (m *PDNConnectivityReject) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.PTI)
+	buf.WriteByte(m.Cause)
+}
+
+func (m *PDNConnectivityReject) decode(r *bytes.Reader) error {
+	var err error
+	if m.PTI, err = getByte(r); err != nil {
+		return err
+	}
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *ActivateDefaultBearerRequest) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.PTI)
+	buf.WriteByte(m.BearerID)
+	putString(buf, m.APN)
+}
+
+func (m *ActivateDefaultBearerRequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.PTI, err = getByte(r); err != nil {
+		return err
+	}
+	if m.BearerID, err = getByte(r); err != nil {
+		return err
+	}
+	m.APN, err = getString(r)
+	return err
+}
+
+func (m *ActivateDefaultBearerAccept) encode(buf *bytes.Buffer) { buf.WriteByte(m.BearerID) }
+func (m *ActivateDefaultBearerAccept) decode(r *bytes.Reader) error {
+	var err error
+	m.BearerID, err = getByte(r)
+	return err
+}
+
+func (m *ActivateDefaultBearerReject) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.BearerID)
+	buf.WriteByte(m.Cause)
+}
+
+func (m *ActivateDefaultBearerReject) decode(r *bytes.Reader) error {
+	var err error
+	if m.BearerID, err = getByte(r); err != nil {
+		return err
+	}
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *DeactivateBearerRequest) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.BearerID)
+	buf.WriteByte(m.Cause)
+}
+
+func (m *DeactivateBearerRequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.BearerID, err = getByte(r); err != nil {
+		return err
+	}
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *DeactivateBearerAccept) encode(buf *bytes.Buffer) { buf.WriteByte(m.BearerID) }
+func (m *DeactivateBearerAccept) decode(r *bytes.Reader) error {
+	var err error
+	m.BearerID, err = getByte(r)
+	return err
+}
+
+func (m *ESMInformationRequest) encode(buf *bytes.Buffer) { buf.WriteByte(m.PTI) }
+func (m *ESMInformationRequest) decode(r *bytes.Reader) error {
+	var err error
+	m.PTI, err = getByte(r)
+	return err
+}
+
+func (m *ESMInformationResponse) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.PTI)
+	putString(buf, m.APN)
+}
+
+func (m *ESMInformationResponse) decode(r *bytes.Reader) error {
+	var err error
+	if m.PTI, err = getByte(r); err != nil {
+		return err
+	}
+	m.APN, err = getString(r)
+	return err
+}

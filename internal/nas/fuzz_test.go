@@ -1,0 +1,66 @@
+package nas
+
+import (
+	"reflect"
+	"testing"
+
+	"prochecker/internal/security"
+)
+
+// Native fuzz targets: run continuously with `go test -fuzz=FuzzUnmarshal
+// ./internal/nas`; the seed corpus below runs as part of the normal test
+// suite.
+
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range allMessages() {
+		b, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		// Decoded messages must re-encode and decode to the same value.
+		b2, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded %s failed: %v", m.Name(), err)
+		}
+		m2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-decode of %s failed: %v", m.Name(), err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("fixpoint broken: %#v != %#v", m, m2)
+		}
+	})
+}
+
+func FuzzOpenPacket(f *testing.F) {
+	k := security.KeyFromBytes([]byte("fuzz"))
+	h := security.DeriveHierarchy(k, []byte("r"))
+	sender := &Context{Keys: h, Active: true}
+	for _, m := range allMessages() {
+		p, err := sender.Seal(m, HeaderIntegrityCiphered, DirDownlink)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(MarshalPacket(p))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := UnmarshalPacket(raw)
+		if err != nil {
+			return
+		}
+		receiver := &Context{Keys: h, Active: true}
+		// Must never panic; any error or inspection outcome is fine.
+		_, _, _ = receiver.Open(p, DirDownlink)
+		plain := &Context{}
+		_, _, _ = plain.Open(Packet{Header: HeaderPlain, Payload: p.Payload}, DirDownlink)
+	})
+}

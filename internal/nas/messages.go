@@ -1,0 +1,605 @@
+// Package nas defines the NAS-layer (EPS Mobility Management) messages
+// exchanged between UE and MME, their binary wire encoding, and the
+// security-protected packet envelope (security header, NAS sequence
+// number, MAC, optional ciphering) of TS 24.301.
+//
+// The envelope deliberately separates mechanism from policy: Open reports
+// *what was observed* (MAC validity, header type, sequence number) and the
+// UE/MME implementations decide what to accept. That split is what lets
+// the three behaviour profiles reproduce the paper's implementation
+// deviations (I1-I6) on top of a single shared codec.
+package nas
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+)
+
+// Message is any NAS EMM message.
+type Message interface {
+	// Name returns the TS 24.301 message name.
+	Name() spec.MessageName
+	// encode appends the message body (without the type code) to buf.
+	encode(buf *bytes.Buffer)
+	// decode parses the message body from r.
+	decode(r *bytes.Reader) error
+}
+
+// EMM cause codes (TS 24.301 Annex A, abridged).
+const (
+	CauseIMSIUnknown         uint8 = 2
+	CauseIllegalUE           uint8 = 3
+	CauseEPSNotAllowed       uint8 = 7
+	CausePLMNNotAllowed      uint8 = 11
+	CauseTANotAllowed        uint8 = 12
+	CauseCongestion          uint8 = 22
+	CauseMACFailure          uint8 = 20
+	CauseSynchFailure        uint8 = 21
+	CauseSecurityModeReject  uint8 = 23
+	CauseProtocolUnspecified uint8 = 111
+)
+
+// Identity types for identity_request/response.
+const (
+	IDTypeIMSI uint8 = 1
+	IDTypeGUTI uint8 = 2
+	IDTypeIMEI uint8 = 3
+)
+
+// Detach types.
+const (
+	DetachEPS      uint8 = 1
+	DetachReattach uint8 = 2
+)
+
+// AttachRequest initiates registration. GUTI is zero when the UE attaches
+// with its IMSI.
+type AttachRequest struct {
+	IMSI   string
+	GUTI   uint32
+	UECaps uint8
+}
+
+// AttachAccept completes attach from the network side and assigns a GUTI.
+type AttachAccept struct {
+	GUTI  uint32
+	TAC   uint16
+	T3412 uint8
+}
+
+// AttachComplete acknowledges an attach_accept.
+type AttachComplete struct{}
+
+// AttachReject denies registration with an EMM cause.
+type AttachReject struct{ Cause uint8 }
+
+// AuthRequest carries the AKA challenge.
+type AuthRequest struct {
+	RAND [security.RANDSize]byte
+	AUTN [security.AUTNSize]byte
+	KSI  uint8
+}
+
+// AuthResponse carries the AKA response RES.
+type AuthResponse struct{ RES [security.RESSize]byte }
+
+// AuthMACFailure reports an AUTN MAC verification failure (EMM cause 20).
+type AuthMACFailure struct{}
+
+// AuthSyncFailure reports an SQN out-of-range condition with the AUTS
+// resynchronisation token (EMM cause 21).
+type AuthSyncFailure struct{ AUTS [security.AUTSSize]byte }
+
+// AuthReject aborts authentication from the network side.
+type AuthReject struct{}
+
+// SecurityModeCommand selects NAS security algorithms and replays the UE
+// capabilities for bidding-down protection.
+type SecurityModeCommand struct {
+	IntAlg       uint8
+	EncAlg       uint8
+	ReplayedCaps uint8
+}
+
+// SecurityModeComplete acknowledges a security_mode_command.
+type SecurityModeComplete struct{}
+
+// SecurityModeReject refuses a security_mode_command.
+type SecurityModeReject struct{ Cause uint8 }
+
+// IdentityRequest asks the UE for an identity of the given type.
+type IdentityRequest struct{ IDType uint8 }
+
+// IdentityResponse answers an identity_request.
+type IdentityResponse struct {
+	IDType uint8
+	IMSI   string
+	GUTI   uint32
+}
+
+// GUTIReallocationCommand assigns a fresh GUTI.
+type GUTIReallocationCommand struct{ GUTI uint32 }
+
+// GUTIReallocationComplete acknowledges a GUTI reallocation.
+type GUTIReallocationComplete struct{}
+
+// TAURequest starts a tracking-area update.
+type TAURequest struct {
+	GUTI uint32
+	TAC  uint16
+}
+
+// TAUAccept completes a tracking-area update; GUTI may be zero when the
+// network does not reassign one.
+type TAUAccept struct {
+	GUTI uint32
+	TAC  uint16
+}
+
+// TAUComplete acknowledges a tau_accept that assigned a GUTI.
+type TAUComplete struct{}
+
+// TAUReject denies a tracking-area update.
+type TAUReject struct{ Cause uint8 }
+
+// DetachRequestUE is a UE-originated detach.
+type DetachRequestUE struct{ SwitchOff bool }
+
+// DetachRequestNW is a network-originated detach.
+type DetachRequestNW struct{ Type uint8 }
+
+// DetachAccept acknowledges a detach.
+type DetachAccept struct{}
+
+// ServiceRequest asks for user-plane service while registered.
+type ServiceRequest struct{ GUTI uint32 }
+
+// ServiceAccept grants a service request.
+type ServiceAccept struct{}
+
+// ServiceReject denies a service request.
+type ServiceReject struct{ Cause uint8 }
+
+// PagingRequest pages a UE by GUTI (IDType=IDTypeGUTI) or, abusively, by
+// IMSI — the distinction behind the IMSI-paging linkability attack.
+type PagingRequest struct {
+	IDType uint8
+	IMSI   string
+	GUTI   uint32
+}
+
+// EMMInformation is a network-to-UE informational message.
+type EMMInformation struct{}
+
+// Name implementations.
+func (*AttachRequest) Name() spec.MessageName            { return spec.AttachRequest }
+func (*AttachAccept) Name() spec.MessageName             { return spec.AttachAccept }
+func (*AttachComplete) Name() spec.MessageName           { return spec.AttachComplete }
+func (*AttachReject) Name() spec.MessageName             { return spec.AttachReject }
+func (*AuthRequest) Name() spec.MessageName              { return spec.AuthRequest }
+func (*AuthResponse) Name() spec.MessageName             { return spec.AuthResponse }
+func (*AuthMACFailure) Name() spec.MessageName           { return spec.AuthMACFailure }
+func (*AuthSyncFailure) Name() spec.MessageName          { return spec.AuthSyncFailure }
+func (*AuthReject) Name() spec.MessageName               { return spec.AuthReject }
+func (*SecurityModeCommand) Name() spec.MessageName      { return spec.SecurityModeCommand }
+func (*SecurityModeComplete) Name() spec.MessageName     { return spec.SecurityModeComplet }
+func (*SecurityModeReject) Name() spec.MessageName       { return spec.SecurityModeReject }
+func (*IdentityRequest) Name() spec.MessageName          { return spec.IdentityRequest }
+func (*IdentityResponse) Name() spec.MessageName         { return spec.IdentityResponse }
+func (*GUTIReallocationCommand) Name() spec.MessageName  { return spec.GUTIRealloCommand }
+func (*GUTIReallocationComplete) Name() spec.MessageName { return spec.GUTIRealloComplete }
+func (*TAURequest) Name() spec.MessageName               { return spec.TAURequest }
+func (*TAUAccept) Name() spec.MessageName                { return spec.TAUAccept }
+func (*TAUComplete) Name() spec.MessageName              { return spec.TAUComplete }
+func (*TAUReject) Name() spec.MessageName                { return spec.TAUReject }
+func (*DetachRequestUE) Name() spec.MessageName          { return spec.DetachRequestUE }
+func (*DetachRequestNW) Name() spec.MessageName          { return spec.DetachRequestNW }
+func (*DetachAccept) Name() spec.MessageName             { return spec.DetachAccept }
+func (*ServiceRequest) Name() spec.MessageName           { return spec.ServiceRequest }
+func (*ServiceAccept) Name() spec.MessageName            { return spec.ServiceAccept }
+func (*ServiceReject) Name() spec.MessageName            { return spec.ServiceReject }
+func (*PagingRequest) Name() spec.MessageName            { return spec.Paging }
+func (*EMMInformation) Name() spec.MessageName           { return spec.EMMInformation }
+
+// typeCode is the on-wire numeric message type.
+type typeCode uint8
+
+// registry maps type codes to constructors; codes are stable wire ABI.
+var registry = map[typeCode]func() Message{
+	1:  func() Message { return &AttachRequest{} },
+	2:  func() Message { return &AttachAccept{} },
+	3:  func() Message { return &AttachComplete{} },
+	4:  func() Message { return &AttachReject{} },
+	5:  func() Message { return &AuthRequest{} },
+	6:  func() Message { return &AuthResponse{} },
+	7:  func() Message { return &AuthMACFailure{} },
+	8:  func() Message { return &AuthSyncFailure{} },
+	9:  func() Message { return &AuthReject{} },
+	10: func() Message { return &SecurityModeCommand{} },
+	11: func() Message { return &SecurityModeComplete{} },
+	12: func() Message { return &SecurityModeReject{} },
+	13: func() Message { return &IdentityRequest{} },
+	14: func() Message { return &IdentityResponse{} },
+	15: func() Message { return &GUTIReallocationCommand{} },
+	16: func() Message { return &GUTIReallocationComplete{} },
+	17: func() Message { return &TAURequest{} },
+	18: func() Message { return &TAUAccept{} },
+	19: func() Message { return &TAUComplete{} },
+	20: func() Message { return &TAUReject{} },
+	21: func() Message { return &DetachRequestUE{} },
+	22: func() Message { return &DetachRequestNW{} },
+	23: func() Message { return &DetachAccept{} },
+	24: func() Message { return &ServiceRequest{} },
+	25: func() Message { return &ServiceAccept{} },
+	26: func() Message { return &ServiceReject{} },
+	27: func() Message { return &PagingRequest{} },
+	28: func() Message { return &EMMInformation{} },
+	// ESM (session management) messages continue the range.
+	29: func() Message { return &PDNConnectivityRequest{} },
+	30: func() Message { return &PDNConnectivityReject{} },
+	31: func() Message { return &ActivateDefaultBearerRequest{} },
+	32: func() Message { return &ActivateDefaultBearerAccept{} },
+	33: func() Message { return &ActivateDefaultBearerReject{} },
+	34: func() Message { return &DeactivateBearerRequest{} },
+	35: func() Message { return &DeactivateBearerAccept{} },
+	36: func() Message { return &ESMInformationRequest{} },
+	37: func() Message { return &ESMInformationResponse{} },
+}
+
+// codeOf returns the wire type code for a message.
+func codeOf(m Message) (typeCode, error) {
+	for code, mk := range registry {
+		if mk().Name() == m.Name() {
+			return code, nil
+		}
+	}
+	return 0, fmt.Errorf("nas: message %q not registered", m.Name())
+}
+
+// Encoding helpers.
+func putString(buf *bytes.Buffer, s string) {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	buf.WriteByte(uint8(len(s)))
+	buf.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	n, err := r.ReadByte()
+	if err != nil {
+		return "", fmt.Errorf("nas: reading string length: %w", err)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b := make([]byte, n)
+	// io.ReadFull rejects truncated bodies; a bare Read would silently
+	// accept a partial read and NUL-pad the value.
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("nas: reading string body: %w", err)
+	}
+	return string(b), nil
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func getU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("nas: reading u32: %w", err)
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func putU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func getU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("nas: reading u16: %w", err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func getByte(r *bytes.Reader) (uint8, error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("nas: reading byte: %w", err)
+	}
+	return b, nil
+}
+
+func getBytes(r *bytes.Reader, out []byte) error {
+	if len(out) == 0 {
+		return nil
+	}
+	if _, err := io.ReadFull(r, out); err != nil {
+		return fmt.Errorf("nas: reading %d bytes: %w", len(out), err)
+	}
+	return nil
+}
+
+// encode/decode implementations.
+
+func (m *AttachRequest) encode(buf *bytes.Buffer) {
+	putString(buf, m.IMSI)
+	putU32(buf, m.GUTI)
+	buf.WriteByte(m.UECaps)
+}
+
+func (m *AttachRequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.IMSI, err = getString(r); err != nil {
+		return err
+	}
+	if m.GUTI, err = getU32(r); err != nil {
+		return err
+	}
+	m.UECaps, err = getByte(r)
+	return err
+}
+
+func (m *AttachAccept) encode(buf *bytes.Buffer) {
+	putU32(buf, m.GUTI)
+	putU16(buf, m.TAC)
+	buf.WriteByte(m.T3412)
+}
+
+func (m *AttachAccept) decode(r *bytes.Reader) error {
+	var err error
+	if m.GUTI, err = getU32(r); err != nil {
+		return err
+	}
+	if m.TAC, err = getU16(r); err != nil {
+		return err
+	}
+	m.T3412, err = getByte(r)
+	return err
+}
+
+func (m *AttachComplete) encode(*bytes.Buffer)       {}
+func (m *AttachComplete) decode(*bytes.Reader) error { return nil }
+
+func (m *AttachReject) encode(buf *bytes.Buffer) { buf.WriteByte(m.Cause) }
+func (m *AttachReject) decode(r *bytes.Reader) error {
+	var err error
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *AuthRequest) encode(buf *bytes.Buffer) {
+	buf.Write(m.RAND[:])
+	buf.Write(m.AUTN[:])
+	buf.WriteByte(m.KSI)
+}
+
+func (m *AuthRequest) decode(r *bytes.Reader) error {
+	if err := getBytes(r, m.RAND[:]); err != nil {
+		return err
+	}
+	if err := getBytes(r, m.AUTN[:]); err != nil {
+		return err
+	}
+	var err error
+	m.KSI, err = getByte(r)
+	return err
+}
+
+func (m *AuthResponse) encode(buf *bytes.Buffer)        { buf.Write(m.RES[:]) }
+func (m *AuthResponse) decode(r *bytes.Reader) error    { return getBytes(r, m.RES[:]) }
+func (m *AuthMACFailure) encode(*bytes.Buffer)          {}
+func (m *AuthMACFailure) decode(*bytes.Reader) error    { return nil }
+func (m *AuthSyncFailure) encode(buf *bytes.Buffer)     { buf.Write(m.AUTS[:]) }
+func (m *AuthSyncFailure) decode(r *bytes.Reader) error { return getBytes(r, m.AUTS[:]) }
+func (m *AuthReject) encode(*bytes.Buffer)              {}
+func (m *AuthReject) decode(*bytes.Reader) error        { return nil }
+
+func (m *SecurityModeCommand) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.IntAlg)
+	buf.WriteByte(m.EncAlg)
+	buf.WriteByte(m.ReplayedCaps)
+}
+
+func (m *SecurityModeCommand) decode(r *bytes.Reader) error {
+	var err error
+	if m.IntAlg, err = getByte(r); err != nil {
+		return err
+	}
+	if m.EncAlg, err = getByte(r); err != nil {
+		return err
+	}
+	m.ReplayedCaps, err = getByte(r)
+	return err
+}
+
+func (m *SecurityModeComplete) encode(*bytes.Buffer)       {}
+func (m *SecurityModeComplete) decode(*bytes.Reader) error { return nil }
+
+func (m *SecurityModeReject) encode(buf *bytes.Buffer) { buf.WriteByte(m.Cause) }
+func (m *SecurityModeReject) decode(r *bytes.Reader) error {
+	var err error
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *IdentityRequest) encode(buf *bytes.Buffer) { buf.WriteByte(m.IDType) }
+func (m *IdentityRequest) decode(r *bytes.Reader) error {
+	var err error
+	m.IDType, err = getByte(r)
+	return err
+}
+
+func (m *IdentityResponse) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.IDType)
+	putString(buf, m.IMSI)
+	putU32(buf, m.GUTI)
+}
+
+func (m *IdentityResponse) decode(r *bytes.Reader) error {
+	var err error
+	if m.IDType, err = getByte(r); err != nil {
+		return err
+	}
+	if m.IMSI, err = getString(r); err != nil {
+		return err
+	}
+	m.GUTI, err = getU32(r)
+	return err
+}
+
+func (m *GUTIReallocationCommand) encode(buf *bytes.Buffer) { putU32(buf, m.GUTI) }
+func (m *GUTIReallocationCommand) decode(r *bytes.Reader) error {
+	var err error
+	m.GUTI, err = getU32(r)
+	return err
+}
+
+func (m *GUTIReallocationComplete) encode(*bytes.Buffer)       {}
+func (m *GUTIReallocationComplete) decode(*bytes.Reader) error { return nil }
+
+func (m *TAURequest) encode(buf *bytes.Buffer) {
+	putU32(buf, m.GUTI)
+	putU16(buf, m.TAC)
+}
+
+func (m *TAURequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.GUTI, err = getU32(r); err != nil {
+		return err
+	}
+	m.TAC, err = getU16(r)
+	return err
+}
+
+func (m *TAUAccept) encode(buf *bytes.Buffer) {
+	putU32(buf, m.GUTI)
+	putU16(buf, m.TAC)
+}
+
+func (m *TAUAccept) decode(r *bytes.Reader) error {
+	var err error
+	if m.GUTI, err = getU32(r); err != nil {
+		return err
+	}
+	m.TAC, err = getU16(r)
+	return err
+}
+
+func (m *TAUComplete) encode(*bytes.Buffer)       {}
+func (m *TAUComplete) decode(*bytes.Reader) error { return nil }
+
+func (m *TAUReject) encode(buf *bytes.Buffer) { buf.WriteByte(m.Cause) }
+func (m *TAUReject) decode(r *bytes.Reader) error {
+	var err error
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *DetachRequestUE) encode(buf *bytes.Buffer) {
+	if m.SwitchOff {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+}
+
+func (m *DetachRequestUE) decode(r *bytes.Reader) error {
+	b, err := getByte(r)
+	m.SwitchOff = b == 1
+	return err
+}
+
+func (m *DetachRequestNW) encode(buf *bytes.Buffer) { buf.WriteByte(m.Type) }
+func (m *DetachRequestNW) decode(r *bytes.Reader) error {
+	var err error
+	m.Type, err = getByte(r)
+	return err
+}
+
+func (m *DetachAccept) encode(*bytes.Buffer)       {}
+func (m *DetachAccept) decode(*bytes.Reader) error { return nil }
+
+func (m *ServiceRequest) encode(buf *bytes.Buffer) { putU32(buf, m.GUTI) }
+func (m *ServiceRequest) decode(r *bytes.Reader) error {
+	var err error
+	m.GUTI, err = getU32(r)
+	return err
+}
+
+func (m *ServiceAccept) encode(*bytes.Buffer)       {}
+func (m *ServiceAccept) decode(*bytes.Reader) error { return nil }
+
+func (m *ServiceReject) encode(buf *bytes.Buffer) { buf.WriteByte(m.Cause) }
+func (m *ServiceReject) decode(r *bytes.Reader) error {
+	var err error
+	m.Cause, err = getByte(r)
+	return err
+}
+
+func (m *PagingRequest) encode(buf *bytes.Buffer) {
+	buf.WriteByte(m.IDType)
+	putString(buf, m.IMSI)
+	putU32(buf, m.GUTI)
+}
+
+func (m *PagingRequest) decode(r *bytes.Reader) error {
+	var err error
+	if m.IDType, err = getByte(r); err != nil {
+		return err
+	}
+	if m.IMSI, err = getString(r); err != nil {
+		return err
+	}
+	m.GUTI, err = getU32(r)
+	return err
+}
+
+func (m *EMMInformation) encode(*bytes.Buffer)       {}
+func (m *EMMInformation) decode(*bytes.Reader) error { return nil }
+
+// Marshal encodes a message (type code + body).
+func Marshal(m Message) ([]byte, error) {
+	code, err := codeOf(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(uint8(code))
+	m.encode(&buf)
+	return buf.Bytes(), nil
+}
+
+// ErrTruncated indicates a message body shorter than its type requires.
+var ErrTruncated = errors.New("nas: truncated message")
+
+// Unmarshal decodes a message (type code + body).
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("nas: empty buffer: %w", ErrTruncated)
+	}
+	mk, ok := registry[typeCode(b[0])]
+	if !ok {
+		return nil, fmt.Errorf("nas: unknown message type code %d", b[0])
+	}
+	m := mk()
+	r := bytes.NewReader(b[1:])
+	if err := m.decode(r); err != nil {
+		return nil, fmt.Errorf("nas: decoding %s: %w", m.Name(), errors.Join(err, ErrTruncated))
+	}
+	return m, nil
+}

@@ -1,0 +1,347 @@
+package nas
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+)
+
+func allMessages() []Message {
+	return []Message{
+		&AttachRequest{IMSI: "001010123456789", GUTI: 0xdeadbeef, UECaps: 0x7},
+		&AttachAccept{GUTI: 0x1234, TAC: 42, T3412: 6},
+		&AttachComplete{},
+		&AttachReject{Cause: CauseIllegalUE},
+		&AuthRequest{RAND: [16]byte{1, 2, 3}, AUTN: [16]byte{4, 5, 6}, KSI: 2},
+		&AuthResponse{RES: [8]byte{9, 8, 7}},
+		&AuthMACFailure{},
+		&AuthSyncFailure{AUTS: [14]byte{1, 1, 2, 3}},
+		&AuthReject{},
+		&SecurityModeCommand{IntAlg: 2, EncAlg: 1, ReplayedCaps: 0x7},
+		&SecurityModeComplete{},
+		&SecurityModeReject{Cause: CauseSecurityModeReject},
+		&IdentityRequest{IDType: IDTypeIMSI},
+		&IdentityResponse{IDType: IDTypeIMSI, IMSI: "001010123456789"},
+		&GUTIReallocationCommand{GUTI: 0xcafe},
+		&GUTIReallocationComplete{},
+		&TAURequest{GUTI: 0xcafe, TAC: 7},
+		&TAUAccept{GUTI: 0xbeef, TAC: 7},
+		&TAUComplete{},
+		&TAUReject{Cause: CauseTANotAllowed},
+		&DetachRequestUE{SwitchOff: true},
+		&DetachRequestNW{Type: DetachReattach},
+		&DetachAccept{},
+		&ServiceRequest{GUTI: 0xcafe},
+		&ServiceAccept{},
+		&ServiceReject{Cause: CauseCongestion},
+		&PagingRequest{IDType: IDTypeGUTI, GUTI: 0xcafe},
+		&EMMInformation{},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		t.Run(string(m.Name()), func(t *testing.T) {
+			b, err := Marshal(m)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			got, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("round trip = %#v, want %#v", got, m)
+			}
+		})
+	}
+}
+
+func TestRegistryCoversEveryMessageOnce(t *testing.T) {
+	seen := make(map[spec.MessageName]bool)
+	for _, mk := range registry {
+		n := mk().Name()
+		if seen[n] {
+			t.Errorf("message %q registered twice", n)
+		}
+		seen[n] = true
+	}
+	for _, m := range allMessages() {
+		if !seen[m.Name()] {
+			t.Errorf("message %q not registered", m.Name())
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"unknown code", []byte{0xff}},
+		{"truncated attach_request", []byte{1, 5, 'a'}},
+		{"truncated auth_request", []byte{5, 1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if m, err := Unmarshal(tt.in); err == nil {
+				t.Errorf("Unmarshal(%v) = %v, want error", tt.in, m)
+			}
+		})
+	}
+}
+
+func TestLongIMSITruncatedNotPanic(t *testing.T) {
+	long := bytes.Repeat([]byte("9"), 300)
+	m := &AttachRequest{IMSI: string(long)}
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got.(*AttachRequest).IMSI) != 255 {
+		t.Errorf("IMSI length = %d, want truncation to 255", len(got.(*AttachRequest).IMSI))
+	}
+}
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	p := Packet{Header: HeaderIntegrity, Seq: 9, MAC: [4]byte{1, 2, 3, 4}, Payload: []byte{5, 6}}
+	got, err := UnmarshalPacket(MarshalPacket(p))
+	if err != nil {
+		t.Fatalf("UnmarshalPacket: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip = %+v, want %+v", got, p)
+	}
+}
+
+func TestPacketUnmarshalTooShort(t *testing.T) {
+	if _, err := UnmarshalPacket([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+}
+
+func TestPacketPropertyRoundTrip(t *testing.T) {
+	prop := func(hdr uint8, seq uint8, mac [4]byte, payload []byte) bool {
+		p := Packet{Header: SecurityHeader(hdr % 3), Seq: seq, MAC: mac, Payload: payload}
+		got, err := UnmarshalPacket(MarshalPacket(p))
+		if err != nil {
+			return false
+		}
+		if len(p.Payload) == 0 {
+			return len(got.Payload) == 0 && got.Header == p.Header && got.Seq == p.Seq && got.MAC == p.MAC
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testContexts(t *testing.T) (ueCtx, mmeCtx *Context) {
+	t.Helper()
+	k := security.KeyFromBytes([]byte("subscriber"))
+	h := security.DeriveHierarchy(k, []byte("rand"))
+	return &Context{Keys: h, Active: true}, &Context{Keys: h, Active: true}
+}
+
+func TestSealOpenIntegrity(t *testing.T) {
+	ueCtx, mmeCtx := testContexts(t)
+	msg := &GUTIReallocationCommand{GUTI: 0x42}
+	p, err := mmeCtx.Seal(msg, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, insp, err := ueCtx.Open(p, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !insp.MACValid || !insp.CountFresh || !insp.WellFormed {
+		t.Errorf("inspection = %+v, want all valid", insp)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("message = %#v, want %#v", got, msg)
+	}
+}
+
+func TestSealOpenCiphered(t *testing.T) {
+	ueCtx, mmeCtx := testContexts(t)
+	msg := &IdentityResponse{IDType: IDTypeIMSI, IMSI: "001019999999999"}
+	p, err := ueCtx.Seal(msg, HeaderIntegrityCiphered, DirUplink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// Ciphered payload must not leak the IMSI.
+	if bytes.Contains(p.Payload, []byte("001019999999999")) {
+		t.Error("IMSI visible in ciphered payload")
+	}
+	got, insp, err := mmeCtx.Open(p, DirUplink)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !insp.MACValid {
+		t.Error("MAC invalid on genuine ciphered packet")
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("message = %#v, want %#v", got, msg)
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	ueCtx, mmeCtx := testContexts(t)
+	p, err := mmeCtx.Seal(&AttachAccept{GUTI: 7}, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	p.Payload[len(p.Payload)-1] ^= 0x1
+	_, insp, err := ueCtx.Open(p, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if insp.MACValid {
+		t.Error("tampered packet has valid MAC")
+	}
+}
+
+func TestReplayDetectedByCountFresh(t *testing.T) {
+	ueCtx, mmeCtx := testContexts(t)
+	p1, err := mmeCtx.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal 1: %v", err)
+	}
+	_, insp1, err := ueCtx.Open(p1, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open 1: %v", err)
+	}
+	ueCtx.Accept(insp1, DirDownlink)
+
+	p2, err := mmeCtx.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal 2: %v", err)
+	}
+	_, insp2, err := ueCtx.Open(p2, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open 2: %v", err)
+	}
+	ueCtx.Accept(insp2, DirDownlink)
+
+	// Replay of p1: MAC still verifies (it is a genuine packet) but the
+	// count is stale — exactly the condition a conformant UE must reject
+	// and srsUE (I1) does not.
+	_, inspReplay, err := ueCtx.Open(p1, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open replay: %v", err)
+	}
+	if !inspReplay.MACValid {
+		t.Error("replayed genuine packet should still MAC-verify")
+	}
+	if inspReplay.CountFresh {
+		t.Error("replayed packet reported as count-fresh")
+	}
+}
+
+func TestResetReceiveCountModelsCounterReset(t *testing.T) {
+	ueCtx, mmeCtx := testContexts(t)
+	p1, _ := mmeCtx.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink)
+	_, insp1, err := ueCtx.Open(p1, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ueCtx.Accept(insp1, DirDownlink)
+	if ueCtx.DLCount != 1 {
+		t.Fatalf("DLCount = %d, want 1", ueCtx.DLCount)
+	}
+	// srsUE behaviour (I1): reset the downlink counter to the replayed
+	// packet's value.
+	ueCtx.ResetReceiveCount(insp1, DirDownlink)
+	if ueCtx.DLCount != 0 {
+		t.Errorf("DLCount after reset = %d, want 0", ueCtx.DLCount)
+	}
+}
+
+func TestSealPlainNeedsNoContext(t *testing.T) {
+	c := &Context{}
+	p, err := c.Seal(&AttachRequest{IMSI: "1"}, HeaderPlain, DirUplink)
+	if err != nil {
+		t.Fatalf("Seal plain: %v", err)
+	}
+	if p.Header != HeaderPlain {
+		t.Errorf("header = %v, want plain", p.Header)
+	}
+	msg, insp, err := (&Context{}).Open(p, DirUplink)
+	if err != nil {
+		t.Fatalf("Open plain: %v", err)
+	}
+	if !insp.PlainHeader || insp.MACValid {
+		t.Errorf("inspection = %+v, want plain header without MAC validity", insp)
+	}
+	if msg.Name() != spec.AttachRequest {
+		t.Errorf("message = %s, want attach_request", msg.Name())
+	}
+}
+
+func TestSealProtectedWithoutContextFails(t *testing.T) {
+	c := &Context{}
+	if _, err := c.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink); err == nil {
+		t.Error("protected seal without context succeeded")
+	}
+}
+
+func TestOpenProtectedWithoutContextFails(t *testing.T) {
+	_, mmeCtx := testContexts(t)
+	p, err := mmeCtx.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, _, err := (&Context{}).Open(p, DirDownlink); err == nil {
+		t.Error("protected open without context succeeded")
+	}
+}
+
+func TestSecurityHeaderString(t *testing.T) {
+	tests := []struct {
+		h    SecurityHeader
+		want string
+	}{
+		{HeaderPlain, "plain-NAS(0x0)"},
+		{HeaderIntegrity, "integrity-protected(0x1)"},
+		{HeaderIntegrityCiphered, "integrity-protected-and-ciphered(0x2)"},
+		{SecurityHeader(9), "unknown-header(0x9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.h.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.h, got, tt.want)
+		}
+	}
+}
+
+func TestCountJumpStillFresh(t *testing.T) {
+	// P3 precondition: the receiver accepts arbitrarily large forward
+	// jumps in COUNT — it only requires "greater", never "consecutive".
+	ueCtx, mmeCtx := testContexts(t)
+	for i := 0; i < 5; i++ {
+		if _, err := mmeCtx.Seal(&EMMInformation{}, HeaderIntegrity, DirDownlink); err != nil {
+			t.Fatalf("Seal %d: %v", i, err)
+		}
+	}
+	p, err := mmeCtx.Seal(&GUTIReallocationCommand{GUTI: 1}, HeaderIntegrity, DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	// The UE saw none of the five dropped packets; count jumps 0 -> 5.
+	_, insp, err := ueCtx.Open(p, DirDownlink)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !insp.MACValid || !insp.CountFresh {
+		t.Errorf("jumped-count packet: inspection = %+v, want valid and fresh", insp)
+	}
+}

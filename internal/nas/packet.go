@@ -1,0 +1,226 @@
+package nas
+
+import (
+	"bytes"
+	"fmt"
+
+	"prochecker/internal/security"
+)
+
+// SecurityHeader is the NAS security header type (TS 24.301 9.3.1).
+type SecurityHeader uint8
+
+// Security header types. HeaderPlain (0x0) after security-context
+// establishment is exactly the condition behind implementation issue I2.
+const (
+	HeaderPlain             SecurityHeader = 0x0
+	HeaderIntegrity         SecurityHeader = 0x1
+	HeaderIntegrityCiphered SecurityHeader = 0x2
+)
+
+// String implements fmt.Stringer.
+func (h SecurityHeader) String() string {
+	switch h {
+	case HeaderPlain:
+		return "plain-NAS(0x0)"
+	case HeaderIntegrity:
+		return "integrity-protected(0x1)"
+	case HeaderIntegrityCiphered:
+		return "integrity-protected-and-ciphered(0x2)"
+	default:
+		return fmt.Sprintf("unknown-header(%#x)", uint8(h))
+	}
+}
+
+// Direction of a NAS packet for COUNT binding.
+const (
+	DirUplink   uint8 = 0
+	DirDownlink uint8 = 1
+)
+
+// Packet is the on-air NAS PDU: security header, 8-bit NAS sequence
+// number, 32-bit MAC, and the (possibly ciphered) encoded message.
+type Packet struct {
+	Header  SecurityHeader
+	Seq     uint8
+	MAC     [security.MACSize]byte
+	Payload []byte
+}
+
+// MarshalPacket serialises a packet for the radio channel.
+func MarshalPacket(p Packet) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(uint8(p.Header))
+	buf.WriteByte(p.Seq)
+	buf.Write(p.MAC[:])
+	buf.Write(p.Payload)
+	return buf.Bytes()
+}
+
+// UnmarshalPacket parses a serialised packet.
+func UnmarshalPacket(b []byte) (Packet, error) {
+	const hdrLen = 2 + security.MACSize
+	if len(b) < hdrLen {
+		return Packet{}, fmt.Errorf("nas: packet of %d bytes shorter than header: %w", len(b), ErrTruncated)
+	}
+	var p Packet
+	p.Header = SecurityHeader(b[0])
+	p.Seq = b[1]
+	copy(p.MAC[:], b[2:2+security.MACSize])
+	p.Payload = append([]byte(nil), b[hdrLen:]...)
+	return p, nil
+}
+
+// Context is a NAS security context: the derived key hierarchy plus the
+// uplink and downlink NAS COUNTs.
+type Context struct {
+	Keys    security.Hierarchy
+	ULCount uint32
+	DLCount uint32
+	Active  bool
+	IntAlg  uint8
+	EncAlg  uint8
+}
+
+// count returns the full NAS COUNT to use for a given direction, with the
+// low 8 bits replaced by the on-wire sequence number.
+func (c *Context) count(dir uint8, seq uint8) uint32 {
+	base := c.ULCount
+	if dir == DirDownlink {
+		base = c.DLCount
+	}
+	return base&^0xff | uint32(seq)
+}
+
+// Seal protects msg for transmission in the given direction using the
+// context's current COUNT, then increments that COUNT. For HeaderPlain the
+// message is sent unprotected and COUNT is untouched.
+func (c *Context) Seal(msg Message, header SecurityHeader, dir uint8) (Packet, error) {
+	body, err := Marshal(msg)
+	if err != nil {
+		return Packet{}, fmt.Errorf("nas: sealing %s: %w", msg.Name(), err)
+	}
+	if header == HeaderPlain {
+		return Packet{Header: HeaderPlain, Payload: body}, nil
+	}
+	if !c.Active {
+		return Packet{}, fmt.Errorf("nas: sealing %s with header %s: no active security context", msg.Name(), header)
+	}
+	count := c.ULCount
+	if dir == DirDownlink {
+		count = c.DLCount
+	}
+	payload := body
+	if header == HeaderIntegrityCiphered {
+		payload, err = security.Encrypt(c.Keys.KNASenc, count, dir, body)
+		if err != nil {
+			return Packet{}, fmt.Errorf("nas: ciphering %s: %w", msg.Name(), err)
+		}
+	}
+	p := Packet{
+		Header:  header,
+		Seq:     uint8(count & 0xff),
+		Payload: payload,
+	}
+	p.MAC = security.NASMAC(c.Keys.KNASint, count, dir, payload)
+	if dir == DirDownlink {
+		c.DLCount++
+	} else {
+		c.ULCount++
+	}
+	return p, nil
+}
+
+// Inspection reports everything Open observed about a received packet.
+// Policy decisions — whether to accept a plain packet after context
+// establishment, whether to require a fresh COUNT — are left to the
+// caller, so that implementation profiles can deviate exactly as the
+// evaluated stacks do.
+type Inspection struct {
+	// Header is the received security header type.
+	Header SecurityHeader
+	// PlainHeader is true for HeaderPlain (0x0) packets.
+	PlainHeader bool
+	// MACValid is true when the integrity check passed under the received
+	// sequence number.
+	MACValid bool
+	// CountFresh is true when the received sequence implies a COUNT
+	// strictly greater than the last accepted receive COUNT.
+	CountFresh bool
+	// Count is the full receive COUNT reconstructed from the sequence
+	// number.
+	Count uint32
+	// WellFormed is true when the payload decoded into a known message.
+	WellFormed bool
+}
+
+// Open decodes a received packet arriving from direction dir (the
+// *sender's* direction: DirDownlink for packets a UE receives). It
+// verifies integrity and deciphers as the header dictates but does not
+// enforce acceptance policy; it reports observations in Inspection.
+//
+// Open never advances the receive COUNT — the caller commits the count via
+// Accept once its policy admits the packet.
+func (c *Context) Open(p Packet, dir uint8) (Message, Inspection, error) {
+	insp := Inspection{Header: p.Header, PlainHeader: p.Header == HeaderPlain}
+	if p.Header == HeaderPlain {
+		msg, err := Unmarshal(p.Payload)
+		if err != nil {
+			return nil, insp, fmt.Errorf("nas: opening plain packet: %w", err)
+		}
+		insp.WellFormed = true
+		return msg, insp, nil
+	}
+	if !c.Active {
+		// Protected packet without a context: cannot verify or decipher.
+		return nil, insp, fmt.Errorf("nas: protected packet received without active security context")
+	}
+	count := c.count(dir, p.Seq)
+	insp.Count = count
+	last := c.ULCount
+	if dir == DirDownlink {
+		last = c.DLCount
+	}
+	insp.CountFresh = count >= last
+	insp.MACValid = security.VerifyNASMAC(c.Keys.KNASint, count, dir, p.Payload, p.MAC)
+	body := p.Payload
+	if p.Header == HeaderIntegrityCiphered {
+		var err error
+		body, err = security.Decrypt(c.Keys.KNASenc, count, dir, p.Payload)
+		if err != nil {
+			return nil, insp, fmt.Errorf("nas: deciphering packet: %w", err)
+		}
+	}
+	msg, err := Unmarshal(body)
+	if err != nil {
+		return nil, insp, fmt.Errorf("nas: opening protected packet: %w", err)
+	}
+	insp.WellFormed = true
+	return msg, insp, nil
+}
+
+// Accept commits a received packet's COUNT as consumed, advancing the
+// receive COUNT for direction dir to one past it. A conformant receiver
+// calls Accept only for packets whose Inspection it admitted.
+func (c *Context) Accept(insp Inspection, dir uint8) {
+	if insp.PlainHeader {
+		return
+	}
+	next := insp.Count + 1
+	if dir == DirDownlink {
+		c.DLCount = next
+	} else {
+		c.ULCount = next
+	}
+}
+
+// ResetReceiveCount forcibly rewinds the receive COUNT for dir to the
+// given packet's count. No conformant stack does this; it models the
+// srsUE counter-reset behaviour behind implementation issues I1/I3.
+func (c *Context) ResetReceiveCount(insp Inspection, dir uint8) {
+	if dir == DirDownlink {
+		c.DLCount = insp.Count
+	} else {
+		c.ULCount = insp.Count
+	}
+}

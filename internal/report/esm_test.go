@@ -1,0 +1,85 @@
+package report
+
+import (
+	"testing"
+
+	"prochecker/internal/core/props"
+	"prochecker/internal/ue"
+)
+
+func esmVerdict(t *testing.T, profile ue.Profile, propID string) Verdict {
+	t.Helper()
+	m, err := BuildESMModel(profile)
+	if err != nil {
+		t.Fatalf("BuildESMModel(%s): %v", profile, err)
+	}
+	ev := NewEvaluator(m)
+	for _, p := range props.ESMCatalogue() {
+		if p.ID != propID {
+			continue
+		}
+		v, err := ev.Evaluate(p)
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", propID, err)
+		}
+		return v
+	}
+	t.Fatalf("ESM property %s not found", propID)
+	return Verdict{}
+}
+
+func TestESMModelBuilds(t *testing.T) {
+	m, err := BuildESMModel(ue.ProfileConformant)
+	if err != nil {
+		t.Fatalf("BuildESMModel: %v", err)
+	}
+	if m.Stats.Transitions < 3 {
+		t.Errorf("ESM transitions = %d, want >= 3", m.Stats.Transitions)
+	}
+}
+
+// TestESMPlainActivationOnlyOAI: I2's reach into the session-management
+// layer, verified on the per-layer composition.
+func TestESMPlainActivationOnlyOAI(t *testing.T) {
+	if v := esmVerdict(t, ue.ProfileOAI, "E01"); !v.Detected {
+		t.Errorf("oai: E01 missed: %s", v.Detail)
+	}
+	if v := esmVerdict(t, ue.ProfileConformant, "E01"); v.Detected {
+		t.Errorf("conformant: E01 falsely detected: %s", v.Detail)
+	}
+}
+
+// TestESMReplayOnlyQuirkyProfiles: I1 at the ESM layer.
+func TestESMReplayOnlyQuirkyProfiles(t *testing.T) {
+	if v := esmVerdict(t, ue.ProfileSRS, "E02"); !v.Detected {
+		t.Errorf("srs: E02 missed: %s", v.Detail)
+	}
+	if v := esmVerdict(t, ue.ProfileOAI, "E02"); !v.Detected {
+		t.Errorf("oai: E02 missed: %s", v.Detail)
+	}
+	if v := esmVerdict(t, ue.ProfileConformant, "E02"); v.Detected {
+		t.Errorf("conformant: E02 falsely detected: %s", v.Detail)
+	}
+}
+
+// TestESMDenialOfService: dropping bearer activations denies PDN
+// connectivity (the P3 pattern at the session layer).
+func TestESMDenialOfService(t *testing.T) {
+	if v := esmVerdict(t, ue.ProfileConformant, "E03"); !v.Detected {
+		t.Errorf("E03 (PDN connectivity completes) not violated under drops: %s", v.Detail)
+	}
+}
+
+// TestESMForgeryDischarged: the CEGAR loop refutes forged activations on
+// the ESM composition too.
+func TestESMForgeryDischarged(t *testing.T) {
+	if v := esmVerdict(t, ue.ProfileSRS, "E04"); !v.Verified {
+		t.Errorf("E04 not verified: %s", v.Detail)
+	}
+}
+
+func TestESMAPNConfidentiality(t *testing.T) {
+	if v := esmVerdict(t, ue.ProfileConformant, "E05"); !v.Verified {
+		t.Errorf("E05 not verified: %s", v.Detail)
+	}
+}

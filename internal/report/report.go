@@ -1,0 +1,573 @@
+// Package report assembles the paper's evaluation artifacts from the
+// library's components: the attack-detection matrix (Table I), the
+// LTEInspector-common property list (Table II), the per-property
+// verification timings (Figure 8), the RQ2 refinement comparison
+// (Section VII-B and Figure 7), NAS coverage, and the SQN staleness
+// analysis of Section VII-A.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prochecker/internal/conformance"
+	"prochecker/internal/core/cegar"
+	"prochecker/internal/core/extract"
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/core/props"
+	"prochecker/internal/core/threat"
+	"prochecker/internal/ltemodels"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+// Model bundles everything built for one implementation profile.
+type Model struct {
+	Profile  ue.Profile
+	Suite    *conformance.Report
+	FSM      *fsmodel.FSM
+	Stats    extract.Stats
+	Composed *threat.Composed
+}
+
+// BuildModel runs the full extraction pipeline for one profile:
+// conformance suite -> information-rich log -> Algorithm 1 -> threat
+// composition with the community MME model.
+func BuildModel(profile ue.Profile) (*Model, error) {
+	suite, err := conformance.RunSuite(profile, true)
+	if err != nil {
+		return nil, fmt.Errorf("report: running conformance suite: %w", err)
+	}
+	sig := spec.UESignatures(ue.StyleFor(profile))
+	fsm, stats, err := extract.ModelWithStats(suite.Log, sig, extract.Options{Name: "UE/" + profile.String()})
+	if err != nil {
+		return nil, fmt.Errorf("report: extracting model: %w", err)
+	}
+	composed, err := threat.Compose(threat.Config{
+		Name:                 "IMP/" + profile.String(),
+		UE:                   fsm,
+		MME:                  ltemodels.MME(),
+		SuperviseGUTIRealloc: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: composing threat model: %w", err)
+	}
+	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed}, nil
+}
+
+// BuildESMModel runs the per-layer pipeline for the session-management
+// layer: the same conformance log, dissected with the ESM signatures,
+// composed with the hand-built network-side ESM machine.
+func BuildESMModel(profile ue.Profile) (*Model, error) {
+	suite, err := conformance.RunSuite(profile, true)
+	if err != nil {
+		return nil, fmt.Errorf("report: running conformance suite: %w", err)
+	}
+	sig := spec.ESMSignatures(ue.StyleFor(profile))
+	fsm, stats, err := extract.ModelWithStats(suite.Log, sig, extract.Options{
+		Name:    "UE-ESM/" + profile.String(),
+		Initial: fsmodel.State(spec.BearerInactive),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: extracting ESM model: %w", err)
+	}
+	composed, err := threat.Compose(threat.Config{
+		Name:       "IMP-ESM/" + profile.String(),
+		UE:         fsm,
+		MME:        ltemodels.MMEESM(),
+		UEInternal: ltemodels.UEESMInternal(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: composing ESM threat model: %w", err)
+	}
+	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed}, nil
+}
+
+// ESMVerdicts evaluates the session-management property extension on one
+// profile.
+func ESMVerdicts(profile ue.Profile) ([]Verdict, error) {
+	m, err := BuildESMModel(profile)
+	if err != nil {
+		return nil, err
+	}
+	ev := NewEvaluator(m)
+	var out []Verdict
+	for _, p := range props.ESMCatalogue() {
+		v, err := ev.Evaluate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Verdict is one property's outcome on one implementation.
+type Verdict struct {
+	PropertyID string
+	Verified   bool
+	Detected   bool
+	Detail     string
+	Duration   time.Duration
+	States     int
+	Iterations int
+}
+
+// Evaluator runs properties against a built model, caching outcomes.
+type Evaluator struct {
+	model *Model
+	cfg   cegar.Config
+	cache map[string]Verdict
+}
+
+// NewEvaluator builds an evaluator with the paper's threat configuration
+// (pre-capture phase enabled, COTS SQN scheme without freshness limit).
+func NewEvaluator(m *Model) *Evaluator {
+	return &Evaluator{
+		model: m,
+		cfg:   cegar.Config{PreCapture: true},
+		cache: make(map[string]Verdict),
+	}
+}
+
+// Evaluate runs one catalogue property.
+func (e *Evaluator) Evaluate(p props.Property) (Verdict, error) {
+	if v, ok := e.cache[p.ID]; ok {
+		return v, nil
+	}
+	start := time.Now()
+	var v Verdict
+	v.PropertyID = p.ID
+	switch p.Kind {
+	case props.KindMC:
+		out, err := cegar.Verify(e.model.Composed, p.MC(), e.cfg)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("report: verifying %s: %w", p.ID, err)
+		}
+		v.Verified = out.Verified
+		v.Detected = out.Attack != nil
+		v.States = out.StatesExplored
+		v.Iterations = out.Iterations
+		switch {
+		case out.Attack != nil:
+			v.Detail = fmt.Sprintf("attack in %d step(s) after %d iteration(s)", len(out.Attack.Steps), out.Iterations)
+		case out.Unknown:
+			v.Detail = "inconclusive (bound hit)"
+		default:
+			v.Detail = fmt.Sprintf("verified over %d states", out.StatesExplored)
+		}
+	case props.KindEquivalence:
+		res, err := props.EvaluateEquivalence(*p.Equivalence, e.model.Profile)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("report: equivalence %s: %w", p.ID, err)
+		}
+		v.Verified = res.Verified
+		v.Detected = !res.Verified
+		v.Detail = res.Detail
+	case props.KindKnowledge:
+		res := props.EvaluateKnowledge(*p.Knowledge)
+		v.Verified = res.Verified
+		v.Detected = !res.Verified
+		v.Detail = res.Detail
+	default:
+		return Verdict{}, fmt.Errorf("report: property %s has unknown kind %q", p.ID, p.Kind)
+	}
+	v.Duration = time.Since(start)
+	e.cache[p.ID] = v
+	return v, nil
+}
+
+// AttackInfo is one Table I row's metadata.
+type AttackInfo struct {
+	ID          string
+	Name        string
+	PropType    string // Security / Privacy / Security-Privacy
+	Implication string
+	VulnType    string // Standards / Implementation
+	New         bool
+}
+
+// TableIAttacks lists the 23 Table I rows in paper order.
+func TableIAttacks() []AttackInfo {
+	return []AttackInfo{
+		{props.AttackP1, "(P1) Service disruption using authentication_request", "Security", "Service disruption", "Standards", true},
+		{props.AttackP2, "(P2) Linkability using authentication_response", "Privacy", "Location privacy leakage", "Standards", true},
+		{props.AttackP3, "(P3) Selective service dropping", "Security", "Surreptitious service disruption", "Standards", true},
+		{props.AttackI1, "(I1) Broken replay protection with all protected messages", "Security", "Broken replay protection", "Implementation", true},
+		{props.AttackI2, "(I2) Broken integrity, confidentiality with all protected messages", "Security-Privacy", "Integrity, encryption broken", "Implementation", true},
+		{props.AttackI3, "(I3) Counter-reset with replayed authentication_request", "Security", "Breaks replay protection", "Implementation", true},
+		{props.AttackI4, "(I4) Security bypass with reject messages", "Security", "Security bypass", "Implementation", true},
+		{props.AttackI5, "(I5) Privacy leakage with identity request", "Privacy", "IMSI leaking", "Implementation", true},
+		{props.AttackI6, "(I6) Linkability with security_mode_command", "Privacy", "Location tracking", "Implementation", true},
+		{props.AttackAuthSyncDoS, "Authentication sync. failure [2]", "Security", "Denial of Service", "Standards", false},
+		{props.AttackKickOff, "Stealthy kicking-off [2]", "Security", "Detaching victim surreptitiously", "Standards", false},
+		{props.AttackPanic, "Panic attack [2]", "Security", "Creating artificial chaos", "Standards", false},
+		{props.AttackTMSILink, "Linkability using TMSI_reallocation [26]", "Privacy", "Location privacy leak", "Standards", false},
+		{props.AttackIMSIPaging, "Linkability IMSI to GUTI using paging_request [25]", "Privacy", "Location privacy leak", "Standards", false},
+		{props.AttackSyncFailLink, "Linkability using auth_sync_failure [25]", "Privacy", "Location privacy leak", "Standards", false},
+		{props.AttackAuthRelay, "Authentication relay [2]", "Security-Privacy", "DoS, location history poisoning", "Standards", false},
+		{props.AttackNumb, "Numb attack [2]", "Security", "Prolonged DoS, battery depletion", "Standards", false},
+		{props.AttackTAUDowngrade, "Downgrade using tracking_area_reject [6]", "Security", "DoS", "Standards", false},
+		{props.AttackDenialAll, "Denial of all services [6]", "Security", "DoS", "Standards", false},
+		{props.AttackPagingHijack, "Paging hijacking [2]", "Security", "Stealthy DoS, panic", "Standards", false},
+		{props.AttackDetachDown, "Detach/Downgrade [2]", "Security", "DoS, battery depletion", "Standards", false},
+		{props.AttackServiceDenial, "Service Denial [2]", "Security", "DoS", "Standards", false},
+		{props.AttackGUTILink, "Linkability (GUTI/TMSI) [2]", "Privacy", "Location Tracking", "Standards", false},
+	}
+}
+
+// Detection is one Table I cell.
+type Detection struct {
+	Detected bool
+	Via      string // property ID that witnessed the attack
+}
+
+// AttackRow is one assembled Table I row.
+type AttackRow struct {
+	AttackInfo
+	PerProfile map[ue.Profile]Detection
+}
+
+// TableI runs the full detection matrix: for every attack and profile,
+// the attack's detecting properties are evaluated until one reports a
+// realizable counterexample. The per-profile pipelines are independent
+// and run concurrently.
+func TableI(profiles []ue.Profile) ([]AttackRow, error) {
+	type profileResult struct {
+		detections map[string]Detection // attack ID -> cell
+		err        error
+	}
+	results := make([]profileResult, len(profiles))
+	var wg sync.WaitGroup
+	for i, profile := range profiles {
+		wg.Add(1)
+		go func(i int, profile ue.Profile) {
+			defer wg.Done()
+			m, err := BuildModel(profile)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			eval := NewEvaluator(m)
+			detections := make(map[string]Detection)
+			for _, info := range TableIAttacks() {
+				for _, prop := range props.Detecting(info.ID) {
+					v, err := eval.Evaluate(prop)
+					if err != nil {
+						results[i].err = err
+						return
+					}
+					if v.Detected {
+						detections[info.ID] = Detection{Detected: true, Via: prop.ID}
+						break
+					}
+				}
+			}
+			results[i].detections = detections
+		}(i, profile)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	var rows []AttackRow
+	for _, info := range TableIAttacks() {
+		row := AttackRow{AttackInfo: info, PerProfile: make(map[ue.Profile]Detection, len(profiles))}
+		for i, profile := range profiles {
+			row.PerProfile[profile] = results[i].detections[info.ID]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableI renders the matrix in the paper's layout (● detected,
+// ○ not detected).
+func RenderTableI(rows []AttackRow, profiles []ue.Profile) string {
+	var b strings.Builder
+	b.WriteString("TABLE I: Attacks detected by ProChecker\n\n")
+	fmt.Fprintf(&b, "%-68s %-10s %-15s", "Attack", "Type", "Vulnerability")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, " %-12s", p)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 96+13*len(profiles)) + "\n")
+	section := true
+	for _, r := range rows {
+		if section && !r.New {
+			b.WriteString(strings.Repeat("-", 40) + " previous attacks " + strings.Repeat("-", 40) + "\n")
+			section = false
+		}
+		fmt.Fprintf(&b, "%-68s %-10s %-15s", r.Name, r.PropType, r.VulnType)
+		for _, p := range profiles {
+			d := r.PerProfile[p]
+			mark := "○"
+			if d.Detected {
+				mark = "● (" + d.Via + ")"
+			}
+			fmt.Fprintf(&b, " %-12s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTableII renders the LTEInspector-common property list.
+func RenderTableII() string {
+	var b strings.Builder
+	b.WriteString("TABLE II: Common properties of ProChecker and LTEInspector\n\n")
+	for i, p := range props.CommonWithLTEInspector() {
+		fmt.Fprintf(&b, "%2d. [%s] %s\n    %s\n", i+1, p.ID, p.CommonLTEInspector, p.Text)
+	}
+	return b.String()
+}
+
+// TimingRow is one Figure 8 data point.
+type TimingRow struct {
+	Index      int
+	PropertyID string
+	Pro        time.Duration
+	LTE        time.Duration
+	ProStates  int
+	LTEStates  int
+}
+
+// Figure8 verifies the 14 common properties on the extracted model of the
+// given profile (Proᵘ) and on the LTEInspector model (LTEᵘ), recording
+// execution times — the RQ3 scalability experiment.
+func Figure8(profile ue.Profile) ([]TimingRow, error) {
+	pro, err := BuildModel(profile)
+	if err != nil {
+		return nil, err
+	}
+	lte, err := threat.Compose(threat.Config{
+		Name:                 "IMP/LTEInspector",
+		UE:                   ltemodels.LTEInspectorUE(),
+		MME:                  ltemodels.MME(),
+		UEInternal:           []fsmodel.Transition{},
+		SuperviseGUTIRealloc: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := cegar.Config{PreCapture: true}
+	var rows []TimingRow
+	for i, p := range props.CommonWithLTEInspector() {
+		row := TimingRow{Index: i + 1, PropertyID: p.ID}
+
+		start := time.Now()
+		proOut, err := cegar.Verify(pro.Composed, p.MC(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("report: fig8 %s on Pro: %w", p.ID, err)
+		}
+		row.Pro = time.Since(start)
+		row.ProStates = proOut.StatesExplored
+
+		start = time.Now()
+		lteOut, err := cegar.Verify(lte, p.MC(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("report: fig8 %s on LTE: %w", p.ID, err)
+		}
+		row.LTE = time.Since(start)
+		row.LTEStates = lteOut.StatesExplored
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure8 renders the timing comparison as an ASCII chart.
+func RenderFigure8(rows []TimingRow) string {
+	var b strings.Builder
+	b.WriteString("FIGURE 8: Execution time of the common properties (ProChecker vs LTEInspector model)\n\n")
+	var maxDur time.Duration
+	for _, r := range rows {
+		if r.Pro > maxDur {
+			maxDur = r.Pro
+		}
+		if r.LTE > maxDur {
+			maxDur = r.LTE
+		}
+	}
+	if maxDur == 0 {
+		maxDur = time.Millisecond
+	}
+	const width = 40
+	bar := func(d time.Duration) string {
+		n := int(int64(d) * width / int64(maxDur))
+		return strings.Repeat("#", n)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%2d %-4s Pro %-40s %8.1fms (%d states)\n", r.Index, r.PropertyID, bar(r.Pro), float64(r.Pro.Microseconds())/1000, r.ProStates)
+		fmt.Fprintf(&b, "        LTE %-40s %8.1fms (%d states)\n", bar(r.LTE), float64(r.LTE.Microseconds())/1000, r.LTEStates)
+	}
+	var proTotal, lteTotal time.Duration
+	for _, r := range rows {
+		proTotal += r.Pro
+		lteTotal += r.LTE
+	}
+	ratio := float64(proTotal) / float64(lteTotal)
+	fmt.Fprintf(&b, "\ntotal: ProChecker %v, LTEInspector %v (ratio %.2fx)\n", proTotal.Round(time.Millisecond), lteTotal.Round(time.Millisecond), ratio)
+	return b.String()
+}
+
+// RefinementResult packages the RQ2 comparison.
+type RefinementResult struct {
+	Report  *fsmodel.Report
+	Profile ue.Profile
+	// CoarseSize / RefinedSize are (states, conditions, actions,
+	// transitions) of each model.
+	CoarseSize  [4]int
+	RefinedSize [4]int
+}
+
+// Refinement runs the RQ2 comparison: the extracted model of the profile
+// (plus the composition's internal transitions, which LTEInspector's
+// model also contains) against the LTEInspector UE model.
+func Refinement(profile ue.Profile) (*RefinementResult, error) {
+	m, err := BuildModel(profile)
+	if err != nil {
+		return nil, err
+	}
+	refined := m.FSM.Clone()
+	for _, tr := range threat.DefaultUEInternal() {
+		refined.AddTransition(tr)
+	}
+	coarse := ltemodels.LTEInspectorUE()
+	rep := fsmodel.CheckRefinement(coarse, refined, ltemodels.UEStateMapping())
+	res := &RefinementResult{Report: rep, Profile: profile}
+	s, c, a, t := coarse.Size()
+	res.CoarseSize = [4]int{s, c, a, t}
+	s, c, a, t = refined.Size()
+	res.RefinedSize = [4]int{s, c, a, t}
+	return res, nil
+}
+
+// RenderRefinement renders the RQ2 report including the Figure 7 mapping
+// examples.
+func RenderRefinement(res *RefinementResult) string {
+	var b strings.Builder
+	rep := res.Report
+	fmt.Fprintf(&b, "RQ2: Refinement of LTEInspector's model by the extracted %s model\n\n", res.Profile)
+	fmt.Fprintf(&b, "LTEInspector model: %d states, %d conditions, %d actions, %d transitions\n",
+		res.CoarseSize[0], res.CoarseSize[1], res.CoarseSize[2], res.CoarseSize[3])
+	fmt.Fprintf(&b, "ProChecker model:   %d states, %d conditions, %d actions, %d transitions\n\n",
+		res.RefinedSize[0], res.RefinedSize[1], res.RefinedSize[2], res.RefinedSize[3])
+	fmt.Fprintf(&b, "refines: %v\n", rep.Refines())
+	counts := rep.CountByKind()
+	fmt.Fprintf(&b, "transition mappings: %d direct, %d stricter-condition, %d split-via-new-states\n",
+		counts[fsmodel.MappedDirect], counts[fsmodel.MappedStricter], counts[fsmodel.MappedSplit])
+	fmt.Fprintf(&b, "new states: %v\n", rep.NewStates)
+	fmt.Fprintf(&b, "new condition messages: %v\n", rep.NewConditionMessages)
+	fmt.Fprintf(&b, "new predicates: %v\n\n", rep.NewPredicates)
+	b.WriteString("Figure 7-style mapping examples:\n")
+	shown := 0
+	for _, m := range rep.Mappings {
+		if m.Kind == fsmodel.MappedDirect || shown >= 4 {
+			continue
+		}
+		fmt.Fprintf(&b, "  (%s)\n    LTE: %s\n", m.Kind, m.Coarse)
+		for _, r := range m.Refined {
+			fmt.Fprintf(&b, "    Pro: %s\n", r)
+		}
+		shown++
+	}
+	if problems := rep.Problems(); len(problems) > 0 {
+		b.WriteString("\nproblems:\n")
+		for _, p := range problems {
+			b.WriteString("  " + p + "\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderCoverage renders the per-profile NAS coverage, base suite vs the
+// suite extended with the paper's added test cases.
+func RenderCoverage() (string, error) {
+	var b strings.Builder
+	b.WriteString("NAS-layer coverage by conformance suite (Section VI)\n\n")
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		full, err := conformance.RunSuite(p, true)
+		if err != nil {
+			return "", err
+		}
+		base, err := conformance.RunSuite(p, false)
+		if err != nil {
+			return "", err
+		}
+		added := len(conformance.SuiteFor(p, true)) - len(conformance.SuiteFor(p, false))
+		fmt.Fprintf(&b, "%-12s base suite: %s\n", p.String()+":", base.Coverage)
+		fmt.Fprintf(&b, "%-12s +%d cases:  %s\n", "", added, full.Coverage)
+		if misses := full.Coverage.MissingTestHints(); len(misses) > 0 {
+			sort.Strings(misses)
+			fmt.Fprintf(&b, "%-12s missing-test hints: %d (e.g. %s)\n", "", len(misses), misses[0])
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// RenderDeviations diffs each open-source profile's extracted model
+// against the conformant one, surfacing the implementation deviations
+// (the I1-I6 behaviour) directly from the models — before any property
+// is even checked.
+func RenderDeviations() (string, error) {
+	reference, err := BuildModel(ue.ProfileConformant)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Implementation deviations by FSM diff (subject vs conformant reference)\n\n")
+	for _, p := range []ue.Profile{ue.ProfileSRS, ue.ProfileOAI} {
+		subject, err := BuildModel(p)
+		if err != nil {
+			return "", err
+		}
+		rep := fsmodel.Deviations(subject.FSM, reference.FSM)
+		b.WriteString(rep.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// VerifyAllProperties evaluates the complete 62-property catalogue on one
+// profile, returning verdicts in catalogue order.
+func VerifyAllProperties(profile ue.Profile) ([]Verdict, error) {
+	m, err := BuildModel(profile)
+	if err != nil {
+		return nil, err
+	}
+	ev := NewEvaluator(m)
+	var out []Verdict
+	for _, p := range props.Catalogue() {
+		v, err := ev.Evaluate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// RenderVerdicts summarises a full catalogue run.
+func RenderVerdicts(profile ue.Profile, verdicts []Verdict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Property verdicts for %s (%d properties)\n\n", profile, len(verdicts))
+	detected := 0
+	for _, v := range verdicts {
+		mark := "verified"
+		if v.Detected {
+			mark = "ATTACK"
+			detected++
+		} else if !v.Verified {
+			mark = "inconclusive"
+		}
+		fmt.Fprintf(&b, "  %-4s %-12s %s\n", v.PropertyID, mark, v.Detail)
+	}
+	fmt.Fprintf(&b, "\n%d/%d properties violated (attacks)\n", detected, len(verdicts))
+	return b.String()
+}

@@ -1,0 +1,261 @@
+// Package security implements the cryptographic substrate of the 4G LTE
+// NAS layer used by the in-repo UE and MME implementations: the EPS key
+// hierarchy (K -> CK/IK -> K_ASME -> NAS keys), an EIA-style integrity
+// algorithm (HMAC-SHA-256 truncated to 32 bits, standing in for
+// 128-EIA2), an EEA-style ciphering algorithm (AES-CTR, standing in for
+// 128-EEA2), and MILENAGE-like f1..f5* authentication functions.
+//
+// The algorithms are functionally faithful stand-ins: the paper's analysis
+// never depends on the concrete ciphers, only on the Dolev-Yao contract
+// that MACs are unforgeable without the key and ciphertext is opaque
+// without the key.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the byte length of every key in the simulated hierarchy.
+const KeySize = 32
+
+// MACSize is the byte length of the NAS message authentication code
+// (4 bytes, as in 128-EIA2).
+const MACSize = 4
+
+// Key is a symmetric key in the EPS key hierarchy.
+type Key [KeySize]byte
+
+// ErrShortKeyMaterial is returned when provided key material is too short
+// to derive a Key.
+var ErrShortKeyMaterial = errors.New("security: key material shorter than KeySize")
+
+// KeyFromBytes builds a Key from arbitrary-length material by hashing it,
+// so test fixtures can use short human-readable seeds.
+func KeyFromBytes(material []byte) Key {
+	return Key(sha256.Sum256(material))
+}
+
+// Derive computes a child key from k using a labelled KDF
+// (HMAC-SHA-256(k, label || ctx)), mirroring the TS 33.401 KDF structure.
+func (k Key) Derive(label string, ctx []byte) Key {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte(label))
+	mac.Write(ctx)
+	var out Key
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Hierarchy holds the derived key set for one EPS security context.
+type Hierarchy struct {
+	KASME   Key // anchor key derived from CK/IK
+	KNASint Key // NAS integrity key
+	KNASenc Key // NAS ciphering key
+}
+
+// DeriveHierarchy derives the EPS key hierarchy from the permanent key K
+// and the authentication RAND, following the K -> CK/IK -> K_ASME -> NAS
+// keys chain of TS 33.401.
+func DeriveHierarchy(k Key, rand []byte) Hierarchy {
+	ck := k.Derive("CK", rand)
+	ik := k.Derive("IK", rand)
+	kasme := ck.Derive("KASME", ik[:])
+	return Hierarchy{
+		KASME:   kasme,
+		KNASint: kasme.Derive("NAS-int", nil),
+		KNASenc: kasme.Derive("NAS-enc", nil),
+	}
+}
+
+// NASMAC computes the 4-byte NAS integrity MAC over msg bound to the given
+// NAS COUNT and direction (0 = uplink, 1 = downlink), like 128-EIA2.
+func NASMAC(kint Key, count uint32, direction uint8, msg []byte) [MACSize]byte {
+	mac := hmac.New(sha256.New, kint[:])
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], count)
+	hdr[4] = direction
+	mac.Write(hdr[:])
+	mac.Write(msg)
+	var out [MACSize]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// VerifyNASMAC reports whether got is the correct MAC for msg under kint,
+// count and direction. Comparison is constant time.
+func VerifyNASMAC(kint Key, count uint32, direction uint8, msg []byte, got [MACSize]byte) bool {
+	want := NASMAC(kint, count, direction, msg)
+	return hmac.Equal(want[:], got[:])
+}
+
+// Encrypt ciphers msg with AES-CTR keyed by kenc, with the counter block
+// bound to the NAS COUNT and direction (128-EEA2 structure). Encryption is
+// its own inverse with the same parameters.
+func Encrypt(kenc Key, count uint32, direction uint8, msg []byte) ([]byte, error) {
+	block, err := aes.NewCipher(kenc[:16])
+	if err != nil {
+		return nil, fmt.Errorf("security: building cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint32(iv[:4], count)
+	iv[4] = direction
+	stream := cipher.NewCTR(block, iv[:])
+	out := make([]byte, len(msg))
+	stream.XORKeyStream(out, msg)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt with the same parameters.
+func Decrypt(kenc Key, count uint32, direction uint8, ct []byte) ([]byte, error) {
+	return Encrypt(kenc, count, direction, ct)
+}
+
+// AKA vector field sizes.
+const (
+	RANDSize = 16
+	RESSize  = 8
+	AUTNSize = 16
+	AKSize   = 6
+	AMFSize  = 2
+	MACASize = 8
+)
+
+// Vector is an EPS authentication vector as produced by the home network's
+// f1..f5 functions for a given RAND and SQN.
+type Vector struct {
+	RAND [RANDSize]byte
+	AUTN [AUTNSize]byte // (SQN xor AK) || AMF || MAC-A
+	XRES [RESSize]byte
+}
+
+// f computes a labelled PRF output of the given size, the common core of
+// the MILENAGE-like f1..f5* stand-ins.
+func f(k Key, label string, rand []byte, extra []byte, size int) []byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte(label))
+	mac.Write(rand)
+	mac.Write(extra)
+	return mac.Sum(nil)[:size]
+}
+
+// F1 is the network authentication function: MAC-A over (SQN, RAND, AMF).
+func F1(k Key, rand []byte, sqn uint64, amf [AMFSize]byte) [MACASize]byte {
+	var sqnb [8]byte
+	binary.BigEndian.PutUint64(sqnb[:], sqn)
+	var out [MACASize]byte
+	copy(out[:], f(k, "f1", rand, append(sqnb[:], amf[:]...), MACASize))
+	return out
+}
+
+// F2 is the response function: RES/XRES.
+func F2(k Key, rand []byte) [RESSize]byte {
+	var out [RESSize]byte
+	copy(out[:], f(k, "f2", rand, nil, RESSize))
+	return out
+}
+
+// F5 is the anonymity-key function used to conceal SQN inside AUTN.
+func F5(k Key, rand []byte) [AKSize]byte {
+	var out [AKSize]byte
+	copy(out[:], f(k, "f5", rand, nil, AKSize))
+	return out
+}
+
+// F1Star is the resynchronisation MAC function (MAC-S) used in AUTS.
+func F1Star(k Key, rand []byte, sqn uint64) [MACASize]byte {
+	var sqnb [8]byte
+	binary.BigEndian.PutUint64(sqnb[:], sqn)
+	var out [MACASize]byte
+	copy(out[:], f(k, "f1*", rand, sqnb[:], MACASize))
+	return out
+}
+
+// F5Star is the resynchronisation anonymity-key function.
+func F5Star(k Key, rand []byte) [AKSize]byte {
+	var out [AKSize]byte
+	copy(out[:], f(k, "f5*", rand, nil, AKSize))
+	return out
+}
+
+// GenerateVector builds an authentication vector for the subscriber key k,
+// challenge rand and sequence number sqn (48-bit), as the HSS/MME does.
+func GenerateVector(k Key, rand [RANDSize]byte, sqn uint64) Vector {
+	amf := [AMFSize]byte{0x80, 0x00}
+	maca := F1(k, rand[:], sqn, amf)
+	ak := F5(k, rand[:])
+
+	var v Vector
+	v.RAND = rand
+	v.XRES = F2(k, rand[:])
+	// AUTN = (SQN xor AK)(6) || AMF(2) || MAC-A(8)
+	var sqnb [8]byte
+	binary.BigEndian.PutUint64(sqnb[:], sqn)
+	for i := 0; i < AKSize; i++ {
+		v.AUTN[i] = sqnb[2+i] ^ ak[i]
+	}
+	copy(v.AUTN[AKSize:AKSize+AMFSize], amf[:])
+	copy(v.AUTN[AKSize+AMFSize:], maca[:])
+	return v
+}
+
+// OpenAUTN verifies AUTN against k and rand, returning the concealed SQN.
+// It fails with ErrMACMismatch when MAC-A does not verify — the condition
+// that makes a UE answer auth_mac_failure.
+func OpenAUTN(k Key, rand [RANDSize]byte, autn [AUTNSize]byte) (uint64, error) {
+	ak := F5(k, rand[:])
+	var sqnb [8]byte
+	for i := 0; i < AKSize; i++ {
+		sqnb[2+i] = autn[i] ^ ak[i]
+	}
+	sqn := binary.BigEndian.Uint64(sqnb[:])
+	var amf [AMFSize]byte
+	copy(amf[:], autn[AKSize:AKSize+AMFSize])
+	want := F1(k, rand[:], sqn, amf)
+	if !hmac.Equal(want[:], autn[AKSize+AMFSize:]) {
+		return 0, ErrMACMismatch
+	}
+	return sqn, nil
+}
+
+// ErrMACMismatch indicates an AUTN or NAS MAC that fails verification.
+var ErrMACMismatch = errors.New("security: MAC mismatch")
+
+// AUTSSize is the byte length of the resynchronisation token.
+const AUTSSize = AKSize + MACASize
+
+// GenerateAUTS builds the resynchronisation token the USIM returns in an
+// auth_sync_failure: (SQN_MS xor AK*) || MAC-S.
+func GenerateAUTS(k Key, rand [RANDSize]byte, sqnMS uint64) [AUTSSize]byte {
+	akStar := F5Star(k, rand[:])
+	macS := F1Star(k, rand[:], sqnMS)
+	var out [AUTSSize]byte
+	var sqnb [8]byte
+	binary.BigEndian.PutUint64(sqnb[:], sqnMS)
+	for i := 0; i < AKSize; i++ {
+		out[i] = sqnb[2+i] ^ akStar[i]
+	}
+	copy(out[AKSize:], macS[:])
+	return out
+}
+
+// OpenAUTS verifies an AUTS token and recovers SQN_MS, as the HSS does
+// during resynchronisation.
+func OpenAUTS(k Key, rand [RANDSize]byte, auts [AUTSSize]byte) (uint64, error) {
+	akStar := F5Star(k, rand[:])
+	var sqnb [8]byte
+	for i := 0; i < AKSize; i++ {
+		sqnb[2+i] = auts[i] ^ akStar[i]
+	}
+	sqnMS := binary.BigEndian.Uint64(sqnb[:])
+	want := F1Star(k, rand[:], sqnMS)
+	if !hmac.Equal(want[:], auts[AKSize:]) {
+		return 0, ErrMACMismatch
+	}
+	return sqnMS, nil
+}

@@ -1,0 +1,228 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(seed string) Key { return KeyFromBytes([]byte(seed)) }
+
+func TestDeriveDeterministicAndDistinct(t *testing.T) {
+	k := testKey("subscriber-k")
+	a := k.Derive("CK", []byte{1, 2, 3})
+	b := k.Derive("CK", []byte{1, 2, 3})
+	c := k.Derive("IK", []byte{1, 2, 3})
+	d := k.Derive("CK", []byte{1, 2, 4})
+	if a != b {
+		t.Error("same label+ctx produced different keys")
+	}
+	if a == c {
+		t.Error("different labels produced same key")
+	}
+	if a == d {
+		t.Error("different ctx produced same key")
+	}
+}
+
+func TestDeriveHierarchyStable(t *testing.T) {
+	k := testKey("k")
+	h1 := DeriveHierarchy(k, []byte("rand-1"))
+	h2 := DeriveHierarchy(k, []byte("rand-1"))
+	h3 := DeriveHierarchy(k, []byte("rand-2"))
+	if h1 != h2 {
+		t.Error("hierarchy derivation not deterministic")
+	}
+	if h1.KASME == h3.KASME {
+		t.Error("different RAND produced same KASME")
+	}
+	if h1.KNASint == h1.KNASenc {
+		t.Error("integrity and ciphering keys collide")
+	}
+}
+
+func TestNASMACRoundTrip(t *testing.T) {
+	k := testKey("int")
+	msg := []byte("attach_accept payload")
+	mac := NASMAC(k, 7, 1, msg)
+	if !VerifyNASMAC(k, 7, 1, msg, mac) {
+		t.Error("valid MAC rejected")
+	}
+	tests := []struct {
+		name  string
+		count uint32
+		dir   uint8
+		msg   []byte
+	}{
+		{"wrong count", 8, 1, msg},
+		{"wrong direction", 7, 0, msg},
+		{"tampered message", 7, 1, []byte("attach_accept payloaD")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if VerifyNASMAC(k, tt.count, tt.dir, tt.msg, mac) {
+				t.Error("invalid MAC accepted")
+			}
+		})
+	}
+}
+
+func TestNASMACWrongKeyRejected(t *testing.T) {
+	msg := []byte("m")
+	mac := NASMAC(testKey("a"), 0, 0, msg)
+	if VerifyNASMAC(testKey("b"), 0, 0, msg, mac) {
+		t.Error("MAC verified under wrong key")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey("enc")
+	msg := []byte("secret NAS payload with some length to cross block boundaries....")
+	ct, err := Encrypt(k, 3, 0, msg)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Equal(ct, msg) {
+		t.Error("ciphertext equals plaintext")
+	}
+	pt, err := Decrypt(k, 3, 0, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Errorf("round trip = %q, want %q", pt, msg)
+	}
+}
+
+func TestDecryptWrongParamsGarbles(t *testing.T) {
+	k := testKey("enc")
+	msg := []byte("payload")
+	ct, err := Encrypt(k, 3, 0, msg)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	pt, err := Decrypt(k, 4, 0, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if bytes.Equal(pt, msg) {
+		t.Error("decrypt with wrong count still recovered plaintext")
+	}
+}
+
+func TestEncryptPropertyRoundTrip(t *testing.T) {
+	k := testKey("quick")
+	prop := func(msg []byte, count uint32, dir bool) bool {
+		d := uint8(0)
+		if dir {
+			d = 1
+		}
+		ct, err := Encrypt(k, count, d, msg)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(k, count, d, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorVerifies(t *testing.T) {
+	k := testKey("usim-k")
+	var rand [RANDSize]byte
+	copy(rand[:], "0123456789abcdef")
+	v := GenerateVector(k, rand, 42)
+
+	sqn, err := OpenAUTN(k, rand, v.AUTN)
+	if err != nil {
+		t.Fatalf("OpenAUTN: %v", err)
+	}
+	if sqn != 42 {
+		t.Errorf("recovered SQN = %d, want 42", sqn)
+	}
+	if got := F2(k, rand[:]); got != v.XRES {
+		t.Error("XRES does not match F2 recomputation")
+	}
+}
+
+func TestOpenAUTNWrongKey(t *testing.T) {
+	var rand [RANDSize]byte
+	v := GenerateVector(testKey("right"), rand, 1)
+	if _, err := OpenAUTN(testKey("wrong"), rand, v.AUTN); err == nil {
+		t.Error("AUTN verified under wrong key")
+	}
+}
+
+func TestOpenAUTNTamperedMAC(t *testing.T) {
+	k := testKey("k")
+	var rand [RANDSize]byte
+	v := GenerateVector(k, rand, 9)
+	v.AUTN[AUTNSize-1] ^= 0xff
+	if _, err := OpenAUTN(k, rand, v.AUTN); err == nil {
+		t.Error("tampered AUTN accepted")
+	}
+}
+
+func TestAUTNConcealsSQN(t *testing.T) {
+	// Two vectors for different SQNs under the same RAND must differ, but
+	// the SQN must not appear in the clear (it is XORed with AK).
+	k := testKey("k")
+	var rand [RANDSize]byte
+	v1 := GenerateVector(k, rand, 5)
+	v2 := GenerateVector(k, rand, 6)
+	if v1.AUTN == v2.AUTN {
+		t.Error("different SQNs produced identical AUTN")
+	}
+	var plain [8]byte
+	plain[7] = 5
+	if bytes.Contains(v1.AUTN[:AKSize], plain[5:]) {
+		t.Error("SQN appears unconcealed in AUTN")
+	}
+}
+
+func TestAUTSRoundTrip(t *testing.T) {
+	k := testKey("k")
+	var rand [RANDSize]byte
+	copy(rand[:], "fedcba9876543210")
+	auts := GenerateAUTS(k, rand, 77)
+	sqnMS, err := OpenAUTS(k, rand, auts)
+	if err != nil {
+		t.Fatalf("OpenAUTS: %v", err)
+	}
+	if sqnMS != 77 {
+		t.Errorf("recovered SQN_MS = %d, want 77", sqnMS)
+	}
+}
+
+func TestAUTSWrongKeyRejected(t *testing.T) {
+	var rand [RANDSize]byte
+	auts := GenerateAUTS(testKey("a"), rand, 1)
+	if _, err := OpenAUTS(testKey("b"), rand, auts); err == nil {
+		t.Error("AUTS verified under wrong key")
+	}
+}
+
+func TestVectorPropertySQNRoundTrip(t *testing.T) {
+	k := testKey("prop")
+	prop := func(seed [RANDSize]byte, sqn uint32) bool {
+		v := GenerateVector(k, seed, uint64(sqn))
+		got, err := OpenAUTN(k, seed, v.AUTN)
+		return err == nil && got == uint64(sqn)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFromBytesShortSeedOK(t *testing.T) {
+	a := KeyFromBytes([]byte("x"))
+	b := KeyFromBytes([]byte("y"))
+	if a == b {
+		t.Error("distinct seeds produced same key")
+	}
+}

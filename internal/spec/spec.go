@@ -1,0 +1,519 @@
+// Package spec captures the 3GPP-standard vocabulary that ProChecker's
+// model extraction relies on: EMM state names from TS 24.301, NAS message
+// names, the send_/recv_ function-signature conventions observed across
+// implementations, and the condition-variable vocabulary that appears in
+// information-rich logs.
+//
+// The paper's key insight (Section IV-A) is that implementations reuse the
+// standard names for states and messages verbatim, and prefix protocol
+// message names consistently (e.g. send_/recv_ or emm_send_/emm_recv_) in
+// function signatures. This package is the single source of truth for
+// those names.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EMMState is a UE-side EPS Mobility Management state as named in
+// TS 24.301 section 5.1.3.2. The extractor matches these names against
+// global-variable values in execution logs.
+type EMMState string
+
+// UE-side EMM states (TS 24.301 5.1.3.2.2). The *_INIT sub-states appear
+// in implementations exactly as the paper's running example shows
+// (UE_REGISTERED_INIT -> UE_REGISTERED).
+const (
+	EMMNull                EMMState = "EMM_NULL"
+	EMMDeregistered        EMMState = "EMM_DEREGISTERED"
+	EMMRegisteredInitiated EMMState = "EMM_REGISTERED_INITIATED"
+	EMMRegistered          EMMState = "EMM_REGISTERED"
+	EMMDeregInitiated      EMMState = "EMM_DEREGISTERED_INITIATED"
+	EMMTAUInitiated        EMMState = "EMM_TRACKING_AREA_UPDATING_INITIATED"
+	EMMServiceReqInitiated EMMState = "EMM_SERVICE_REQUEST_INITIATED"
+
+	// Sub-states that the automated extraction surfaces (Section VII-B):
+	// ProChecker's model is a refinement of LTEInspector's partly because
+	// it discovers sub-states like these.
+	EMMRegisteredNormalService  EMMState = "EMM_REGISTERED_NORMAL_SERVICE"
+	EMMRegisteredUpdateNeeded   EMMState = "EMM_REGISTERED_UPDATE_NEEDED"
+	EMMDeregisteredAttachNeeded EMMState = "EMM_DEREGISTERED_ATTACH_NEEDED"
+	EMMDeregisteredNormal       EMMState = "EMM_DEREGISTERED_NORMAL_SERVICE"
+)
+
+// MMEState is a network-side EMM state (TS 24.301 5.1.3.4).
+type MMEState string
+
+// Network-side EMM states.
+const (
+	MMEDeregistered    MMEState = "MME_EMM_DEREGISTERED"
+	MMECommonProcInit  MMEState = "MME_EMM_COMMON_PROCEDURE_INITIATED"
+	MMERegistered      MMEState = "MME_EMM_REGISTERED"
+	MMEDeregInitiated  MMEState = "MME_EMM_DEREGISTERED_INITIATED"
+	MMEWaitAttachCompl MMEState = "MME_EMM_WAIT_ATTACH_COMPLETE"
+)
+
+// UEStates lists every UE-side state name the extractor should recognise,
+// in a stable order.
+func UEStates() []EMMState {
+	return []EMMState{
+		EMMNull,
+		EMMDeregistered,
+		EMMRegisteredInitiated,
+		EMMRegistered,
+		EMMDeregInitiated,
+		EMMTAUInitiated,
+		EMMServiceReqInitiated,
+		EMMRegisteredNormalService,
+		EMMRegisteredUpdateNeeded,
+		EMMDeregisteredAttachNeeded,
+		EMMDeregisteredNormal,
+	}
+}
+
+// MMEStates lists every network-side state name, in a stable order.
+func MMEStates() []MMEState {
+	return []MMEState{
+		MMEDeregistered,
+		MMECommonProcInit,
+		MMERegistered,
+		MMEDeregInitiated,
+		MMEWaitAttachCompl,
+	}
+}
+
+// ESMState is a UE-side EPS Session Management (bearer context) state
+// (TS 24.301 6.1.3.3). The ESM layer is the second NAS sub-layer; the
+// paper's layered-extraction requirement (challenge C4) is demonstrated
+// by extracting it separately from the same execution log.
+type ESMState string
+
+// UE-side ESM bearer-context states.
+const (
+	BearerInactive        ESMState = "BEARER_CONTEXT_INACTIVE"
+	BearerActivePending   ESMState = "BEARER_CONTEXT_ACTIVE_PENDING"
+	BearerActive          ESMState = "BEARER_CONTEXT_ACTIVE"
+	BearerInactivePending ESMState = "BEARER_CONTEXT_INACTIVE_PENDING"
+)
+
+// ESMStates lists the ESM states in stable order.
+func ESMStates() []ESMState {
+	return []ESMState{
+		BearerInactive, BearerActivePending, BearerActive, BearerInactivePending,
+	}
+}
+
+// MessageName is a NAS protocol message name as written in TS 24.301,
+// lower-cased with underscores — the form used in the paper and, per its
+// observation, in implementation function signatures.
+type MessageName string
+
+// Uplink (UE -> MME) NAS messages.
+const (
+	AttachRequest       MessageName = "attach_request"
+	AttachComplete      MessageName = "attach_complete"
+	AuthResponse        MessageName = "authentication_response"
+	AuthFailure         MessageName = "authentication_failure"
+	AuthSyncFailure     MessageName = "auth_sync_failure"
+	AuthMACFailure      MessageName = "auth_mac_failure"
+	SecurityModeComplet MessageName = "security_mode_complete"
+	SecurityModeReject  MessageName = "security_mode_reject"
+	IdentityResponse    MessageName = "identity_response"
+	GUTIRealloComplete  MessageName = "guti_reallocation_complete"
+	TAURequest          MessageName = "tracking_area_update_request"
+	TAUComplete         MessageName = "tracking_area_update_complete"
+	DetachRequestUE     MessageName = "detach_request_ue"
+	DetachAccept        MessageName = "detach_accept"
+	ServiceRequest      MessageName = "service_request"
+	UplinkNASTransport  MessageName = "uplink_nas_transport"
+)
+
+// Downlink (MME -> UE) NAS messages.
+const (
+	AttachAccept        MessageName = "attach_accept"
+	AttachReject        MessageName = "attach_reject"
+	AuthRequest         MessageName = "authentication_request"
+	AuthReject          MessageName = "authentication_reject"
+	SecurityModeCommand MessageName = "security_mode_command"
+	IdentityRequest     MessageName = "identity_request"
+	GUTIRealloCommand   MessageName = "guti_reallocation_command"
+	TAUAccept           MessageName = "tracking_area_update_accept"
+	TAUReject           MessageName = "tracking_area_update_reject"
+	DetachRequestNW     MessageName = "detach_request_nw"
+	ServiceAccept       MessageName = "service_accept"
+	ServiceReject       MessageName = "service_reject"
+	Paging              MessageName = "paging_request"
+	EMMInformation      MessageName = "emm_information"
+	DownlinkNASTranspor MessageName = "downlink_nas_transport"
+)
+
+// ESM (session management) messages, uplink.
+const (
+	PDNConnectivityReq   MessageName = "pdn_connectivity_request"
+	ActDefaultBearerAcc  MessageName = "activate_default_eps_bearer_context_accept"
+	ActDefaultBearerRej  MessageName = "activate_default_eps_bearer_context_reject"
+	DeactBearerAccept    MessageName = "deactivate_eps_bearer_context_accept"
+	ESMInformationRespon MessageName = "esm_information_response"
+)
+
+// ESM messages, downlink.
+const (
+	PDNConnectivityRej  MessageName = "pdn_connectivity_reject"
+	ActDefaultBearerReq MessageName = "activate_default_eps_bearer_context_request"
+	DeactBearerRequest  MessageName = "deactivate_eps_bearer_context_request"
+	ESMInformationReq   MessageName = "esm_information_request"
+)
+
+// ESMUplinkMessages lists the UE->MME ESM messages in stable order.
+func ESMUplinkMessages() []MessageName {
+	return []MessageName{
+		PDNConnectivityReq, ActDefaultBearerAcc, ActDefaultBearerRej,
+		DeactBearerAccept, ESMInformationRespon,
+	}
+}
+
+// ESMDownlinkMessages lists the MME->UE ESM messages in stable order.
+func ESMDownlinkMessages() []MessageName {
+	return []MessageName{
+		PDNConnectivityRej, ActDefaultBearerReq, DeactBearerRequest,
+		ESMInformationReq,
+	}
+}
+
+// ESMSignatures builds the signature sets for extracting a UE-side ESM
+// FSM — the per-layer extraction of challenge C4: the same execution log
+// yields the ESM machine when dissected with these signatures instead of
+// the EMM ones.
+func ESMSignatures(style SignatureStyle) Signatures {
+	sig := Signatures{
+		Style:    style,
+		Incoming: make(map[string]MessageName),
+		Outgoing: make(map[string]MessageName),
+	}
+	for _, st := range ESMStates() {
+		sig.States = append(sig.States, string(st))
+	}
+	for _, m := range ESMDownlinkMessages() {
+		sig.Incoming[style.Recv(m)] = m
+	}
+	for _, m := range ESMUplinkMessages() {
+		sig.Outgoing[style.Send(m)] = m
+	}
+	return sig
+}
+
+// NullAction is the action recorded on an FSM transition when the incoming
+// message triggers no response (Algorithm 1, lines 20-21).
+const NullAction MessageName = "null_action"
+
+// InternalEvent is the pseudo-condition of transitions triggered by the
+// entity itself (timer expiry, upper-layer request) rather than by a
+// received message — e.g. the UE deciding to attach. Both the hand-built
+// models and the threat composer use it.
+const InternalEvent MessageName = "internal_event"
+
+// UplinkMessages lists the UE->MME message names in a stable order.
+func UplinkMessages() []MessageName {
+	return []MessageName{
+		AttachRequest, AttachComplete, AuthResponse, AuthFailure,
+		AuthSyncFailure, AuthMACFailure, SecurityModeComplet,
+		SecurityModeReject, IdentityResponse, GUTIRealloComplete,
+		TAURequest, TAUComplete, DetachRequestUE, DetachAccept,
+		ServiceRequest, UplinkNASTransport,
+	}
+}
+
+// DownlinkMessages lists the MME->UE message names in a stable order.
+func DownlinkMessages() []MessageName {
+	return []MessageName{
+		AttachAccept, AttachReject, AuthRequest, AuthReject,
+		SecurityModeCommand, IdentityRequest, GUTIRealloCommand,
+		TAUAccept, TAUReject, DetachRequestNW, ServiceAccept,
+		ServiceReject, Paging, EMMInformation, DownlinkNASTranspor,
+	}
+}
+
+// IsUplink reports whether m travels UE -> MME.
+func IsUplink(m MessageName) bool {
+	for _, u := range UplinkMessages() {
+		if u == m {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDownlink reports whether m travels MME -> UE.
+func IsDownlink(m MessageName) bool {
+	for _, d := range DownlinkMessages() {
+		if d == m {
+			return true
+		}
+	}
+	return false
+}
+
+// SignatureStyle is a per-implementation function-naming convention for
+// message handlers. Section IX of the paper notes srsLTE uses
+// send_/parse_ and OAI uses emm_send_/emm_recv_; the closed-source stack
+// uses send_/recv_.
+type SignatureStyle struct {
+	// RecvPrefix is prepended to a message name for the incoming handler.
+	RecvPrefix string
+	// SendPrefix is prepended to a message name for the outgoing handler.
+	SendPrefix string
+}
+
+// Signature styles observed across the three evaluated implementations.
+var (
+	StyleClosed = SignatureStyle{RecvPrefix: "recv_", SendPrefix: "send_"}
+	StyleSRS    = SignatureStyle{RecvPrefix: "parse_", SendPrefix: "send_"}
+	StyleOAI    = SignatureStyle{RecvPrefix: "emm_recv_", SendPrefix: "emm_send_"}
+)
+
+// Recv returns the incoming-handler function signature for message m.
+func (s SignatureStyle) Recv(m MessageName) string { return s.RecvPrefix + string(m) }
+
+// Send returns the outgoing-handler function signature for message m.
+func (s SignatureStyle) Send(m MessageName) string { return s.SendPrefix + string(m) }
+
+// ParseRecv reports whether fn is an incoming-handler signature in this
+// style and, if so, which message it handles.
+func (s SignatureStyle) ParseRecv(fn string) (MessageName, bool) {
+	return s.parse(fn, s.RecvPrefix, IsDownlink, IsUplink)
+}
+
+// ParseSend reports whether fn is an outgoing-handler signature in this
+// style and, if so, which message it sends.
+func (s SignatureStyle) ParseSend(fn string) (MessageName, bool) {
+	return s.parse(fn, s.SendPrefix, IsUplink, IsDownlink)
+}
+
+// parse strips prefix from fn and accepts the remainder if it names any
+// known NAS message. The primary/secondary direction predicates are both
+// consulted because a UE's recv handlers take downlink messages while an
+// MME's recv handlers take uplink ones; signature parsing is direction
+// agnostic.
+func (s SignatureStyle) parse(fn, prefix string, dir1, dir2 func(MessageName) bool) (MessageName, bool) {
+	if !strings.HasPrefix(fn, prefix) {
+		return "", false
+	}
+	m := MessageName(strings.TrimPrefix(fn, prefix))
+	if dir1(m) || dir2(m) {
+		return m, true
+	}
+	return "", false
+}
+
+// Signatures bundles the name sets Algorithm 1 consumes: state signatures,
+// incoming-message signatures and outgoing-message signatures.
+type Signatures struct {
+	Style SignatureStyle
+	// States holds every state-name string to match against global
+	// variable values in the log.
+	States []string
+	// Incoming and Outgoing map full function signatures to message names.
+	Incoming map[string]MessageName
+	Outgoing map[string]MessageName
+}
+
+// UESignatures builds the signature sets for extracting a UE-side FSM
+// under the given naming style: incoming handlers receive downlink
+// messages, outgoing handlers send uplink messages.
+func UESignatures(style SignatureStyle) Signatures {
+	sig := Signatures{
+		Style:    style,
+		Incoming: make(map[string]MessageName),
+		Outgoing: make(map[string]MessageName),
+	}
+	for _, st := range UEStates() {
+		sig.States = append(sig.States, string(st))
+	}
+	for _, m := range DownlinkMessages() {
+		sig.Incoming[style.Recv(m)] = m
+	}
+	// detach_accept is bidirectional: the MME sends it downlink to
+	// acknowledge a UE-initiated detach.
+	sig.Incoming[style.Recv(DetachAccept)] = DetachAccept
+	for _, m := range UplinkMessages() {
+		sig.Outgoing[style.Send(m)] = m
+	}
+	return sig
+}
+
+// MMESignatures builds the signature sets for extracting a network-side
+// FSM: incoming handlers receive uplink messages, outgoing handlers send
+// downlink messages.
+func MMESignatures(style SignatureStyle) Signatures {
+	sig := Signatures{
+		Style:    style,
+		Incoming: make(map[string]MessageName),
+		Outgoing: make(map[string]MessageName),
+	}
+	for _, st := range MMEStates() {
+		sig.States = append(sig.States, string(st))
+	}
+	for _, m := range UplinkMessages() {
+		sig.Incoming[style.Recv(m)] = m
+	}
+	for _, m := range DownlinkMessages() {
+		sig.Outgoing[style.Send(m)] = m
+	}
+	return sig
+}
+
+// PlainOnAir reports whether a message type travels unprotected on the
+// air in our protocol model: either it can only occur before security
+// activation (attach_request, AKA messages) or the standard's 4.4.4.2
+// exception list permits processing it unprotected (the reject messages,
+// paging, and network-initiated detach — the surface several prior
+// attacks build on).
+func PlainOnAir(m MessageName) bool {
+	switch m {
+	case AttachRequest, AuthRequest, AuthResponse, AuthFailure,
+		AuthSyncFailure, AuthMACFailure, AuthReject, AttachReject,
+		IdentityRequest, IdentityResponse, TAUReject, ServiceReject,
+		Paging, DetachRequestNW:
+		return true
+	default:
+		return false
+	}
+}
+
+// ConditionVar names a sanity-check local variable that implementations
+// compute inside incoming-message handlers. The extractor lifts these into
+// FSM transition conditions; the threat instrumentor gives each a
+// semantics in the composed model.
+type ConditionVar string
+
+// The condition-variable vocabulary shared by the three implementations.
+const (
+	CondMACValid     ConditionVar = "mac_valid"
+	CondSQNInRange   ConditionVar = "sqn_in_range"
+	CondSQNFresh     ConditionVar = "sqn_fresh"
+	CondCountFresh   ConditionVar = "count_fresh"
+	CondPlainHeader  ConditionVar = "plain_header"
+	CondCipherOK     ConditionVar = "cipher_ok"
+	CondSecCtxActive ConditionVar = "sec_ctx_active"
+	CondIntegrityOK  ConditionVar = "integrity_ok"
+	CondTypeOK       ConditionVar = "msg_type_ok"
+	CondWellFormed   ConditionVar = "well_formed"
+)
+
+// ConditionVars lists the recognised condition variables in stable order.
+func ConditionVars() []ConditionVar {
+	return []ConditionVar{
+		CondMACValid, CondSQNInRange, CondSQNFresh, CondCountFresh,
+		CondPlainHeader, CondCipherOK, CondSecCtxActive, CondIntegrityOK,
+		CondTypeOK, CondWellFormed,
+	}
+}
+
+// IsConditionVar reports whether name is part of the recognised
+// condition-variable vocabulary.
+func IsConditionVar(name string) bool {
+	for _, c := range ConditionVars() {
+		if string(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizeStateName canonicalises a state-name string found in a log:
+// upper-cases it and maps the common UE_ prefixed shorthand used in the
+// paper's running example (UE_REGISTERED_INIT) onto TS 24.301 names.
+func NormalizeStateName(s string) (string, bool) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	aliases := map[string]string{
+		"UE_REGISTERED_INIT":  string(EMMRegisteredInitiated),
+		"UE_REGISTERED":       string(EMMRegistered),
+		"UE_DEREGISTERED":     string(EMMDeregistered),
+		"UE_DEREG_INITIATED":  string(EMMDeregInitiated),
+		"UE_NULL":             string(EMMNull),
+		"UE_TAU_INITIATED":    string(EMMTAUInitiated),
+		"UE_SERVICE_REQ_INIT": string(EMMServiceReqInitiated),
+	}
+	if full, ok := aliases[u]; ok {
+		return full, true
+	}
+	for _, st := range UEStates() {
+		if string(st) == u {
+			return u, true
+		}
+	}
+	for _, st := range MMEStates() {
+		if string(st) == u {
+			return u, true
+		}
+	}
+	for _, st := range ESMStates() {
+		if string(st) == u {
+			return u, true
+		}
+	}
+	return "", false
+}
+
+// ProcedureName identifies a NAS procedure for coverage accounting.
+type ProcedureName string
+
+// NAS procedures tracked by the conformance coverage report.
+const (
+	ProcAttach         ProcedureName = "attach"
+	ProcAuthentication ProcedureName = "authentication"
+	ProcSecurityMode   ProcedureName = "security_mode_control"
+	ProcGUTIRealloc    ProcedureName = "guti_reallocation"
+	ProcTAU            ProcedureName = "tracking_area_update"
+	ProcPaging         ProcedureName = "paging"
+	ProcDetach         ProcedureName = "detach"
+	ProcServiceReq     ProcedureName = "service_request"
+	ProcIdentity       ProcedureName = "identification"
+	// ESM procedures.
+	ProcPDNConnectivity ProcedureName = "pdn_connectivity"
+	ProcBearerMgmt      ProcedureName = "eps_bearer_management"
+)
+
+// Procedures lists all tracked NAS procedures in stable order.
+func Procedures() []ProcedureName {
+	return []ProcedureName{
+		ProcAttach, ProcAuthentication, ProcSecurityMode, ProcGUTIRealloc,
+		ProcTAU, ProcPaging, ProcDetach, ProcServiceReq, ProcIdentity,
+	}
+}
+
+// ProcedureOf maps a message to the NAS procedure it belongs to.
+func ProcedureOf(m MessageName) (ProcedureName, error) {
+	byProc := map[ProcedureName][]MessageName{
+		ProcAttach:         {AttachRequest, AttachAccept, AttachComplete, AttachReject},
+		ProcAuthentication: {AuthRequest, AuthResponse, AuthFailure, AuthReject, AuthSyncFailure, AuthMACFailure},
+		ProcSecurityMode:   {SecurityModeCommand, SecurityModeComplet, SecurityModeReject},
+		ProcGUTIRealloc:    {GUTIRealloCommand, GUTIRealloComplete},
+		ProcTAU:            {TAURequest, TAUAccept, TAUComplete, TAUReject},
+		ProcPaging:         {Paging},
+		ProcDetach:         {DetachRequestUE, DetachRequestNW, DetachAccept},
+		ProcServiceReq:     {ServiceRequest, ServiceAccept, ServiceReject},
+		ProcIdentity:       {IdentityRequest, IdentityResponse},
+	}
+	for proc, msgs := range byProc {
+		for _, mm := range msgs {
+			if mm == m {
+				return proc, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("spec: message %q belongs to no tracked procedure", m)
+}
+
+// SortedMessageNames returns the given names sorted lexicographically;
+// convenient for deterministic rendering of sets.
+func SortedMessageNames(set map[MessageName]bool) []MessageName {
+	out := make([]MessageName, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

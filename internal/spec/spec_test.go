@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMessageDirectionsDisjoint(t *testing.T) {
+	for _, m := range UplinkMessages() {
+		if IsDownlink(m) {
+			t.Errorf("message %q is both uplink and downlink", m)
+		}
+	}
+	for _, m := range DownlinkMessages() {
+		if IsUplink(m) {
+			t.Errorf("message %q is both downlink and uplink", m)
+		}
+	}
+}
+
+func TestMessageNamesUnique(t *testing.T) {
+	seen := make(map[MessageName]bool)
+	for _, m := range append(UplinkMessages(), DownlinkMessages()...) {
+		if seen[m] {
+			t.Errorf("duplicate message name %q", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	styles := map[string]SignatureStyle{
+		"closed": StyleClosed,
+		"srs":    StyleSRS,
+		"oai":    StyleOAI,
+	}
+	for name, style := range styles {
+		t.Run(name, func(t *testing.T) {
+			for _, m := range append(UplinkMessages(), DownlinkMessages()...) {
+				got, ok := style.ParseRecv(style.Recv(m))
+				if !ok || got != m {
+					t.Errorf("ParseRecv(Recv(%q)) = %q, %v", m, got, ok)
+				}
+				got, ok = style.ParseSend(style.Send(m))
+				if !ok || got != m {
+					t.Errorf("ParseSend(Send(%q)) = %q, %v", m, got, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestParseRecvRejectsUnknown(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   string
+	}{
+		{"no prefix", "attach_accept"},
+		{"unknown message", "recv_bogus_message"},
+		{"wrong prefix", "handle_attach_accept"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if m, ok := StyleClosed.ParseRecv(tt.fn); ok {
+				t.Errorf("ParseRecv(%q) unexpectedly succeeded with %q", tt.fn, m)
+			}
+		})
+	}
+}
+
+func TestUESignaturesCoverAllMessages(t *testing.T) {
+	sig := UESignatures(StyleClosed)
+	// +1: detach_accept is bidirectional and appears in the UE's
+	// incoming set too.
+	if got, want := len(sig.Incoming), len(DownlinkMessages())+1; got != want {
+		t.Errorf("incoming signatures = %d, want %d", got, want)
+	}
+	if got, want := len(sig.Outgoing), len(UplinkMessages()); got != want {
+		t.Errorf("outgoing signatures = %d, want %d", got, want)
+	}
+	if got, want := len(sig.States), len(UEStates()); got != want {
+		t.Errorf("state signatures = %d, want %d", got, want)
+	}
+}
+
+func TestMMESignaturesFlipDirections(t *testing.T) {
+	sig := MMESignatures(StyleClosed)
+	if _, ok := sig.Incoming["recv_attach_request"]; !ok {
+		t.Error("MME incoming signatures missing recv_attach_request")
+	}
+	if _, ok := sig.Outgoing["send_authentication_request"]; !ok {
+		t.Error("MME outgoing signatures missing send_authentication_request")
+	}
+}
+
+func TestNormalizeStateName(t *testing.T) {
+	tests := []struct {
+		in     string
+		want   string
+		wantOK bool
+	}{
+		{"UE_REGISTERED_INIT", "EMM_REGISTERED_INITIATED", true},
+		{"ue_registered", "EMM_REGISTERED", true},
+		{" EMM_DEREGISTERED ", "EMM_DEREGISTERED", true},
+		{"MME_EMM_REGISTERED", "MME_EMM_REGISTERED", true},
+		{"NOT_A_STATE", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, ok := NormalizeStateName(tt.in)
+			if ok != tt.wantOK || got != tt.want {
+				t.Errorf("NormalizeStateName(%q) = %q, %v; want %q, %v",
+					tt.in, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestProcedureOfCoversEveryMessage(t *testing.T) {
+	skip := map[MessageName]bool{
+		UplinkNASTransport:  true,
+		DownlinkNASTranspor: true,
+		EMMInformation:      true,
+	}
+	for _, m := range append(UplinkMessages(), DownlinkMessages()...) {
+		if skip[m] {
+			continue
+		}
+		if _, err := ProcedureOf(m); err != nil {
+			t.Errorf("ProcedureOf(%q) error: %v", m, err)
+		}
+	}
+}
+
+func TestProcedureOfUnknown(t *testing.T) {
+	if _, err := ProcedureOf(MessageName("nonexistent")); err == nil {
+		t.Error("ProcedureOf(nonexistent) expected error")
+	}
+	if _, err := ProcedureOf(EMMInformation); err == nil {
+		t.Error("ProcedureOf(emm_information) expected error (untracked)")
+	}
+}
+
+func TestConditionVarVocabulary(t *testing.T) {
+	for _, c := range ConditionVars() {
+		if !IsConditionVar(string(c)) {
+			t.Errorf("IsConditionVar(%q) = false, want true", c)
+		}
+	}
+	if IsConditionVar("random_local") {
+		t.Error("IsConditionVar(random_local) = true, want false")
+	}
+}
+
+func TestStateNamesAreUpperSnake(t *testing.T) {
+	for _, st := range UEStates() {
+		s := string(st)
+		if s != strings.ToUpper(s) || strings.Contains(s, " ") {
+			t.Errorf("state %q not upper snake case", s)
+		}
+	}
+}
+
+func TestSortedMessageNames(t *testing.T) {
+	set := map[MessageName]bool{AuthRequest: true, AttachAccept: true, Paging: true}
+	got := SortedMessageNames(set)
+	want := []MessageName{AttachAccept, AuthRequest, Paging}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sorted[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package sqn implements the TS 33.102 Annex C sequence-number management
+// scheme for authentication vectors: SQN = SEQ || IND, a USIM-side array
+// of 2^IND-bits slots each holding the highest accepted SEQ for that
+// index, and the *optional* freshness limit L whose absence is the root
+// cause of the paper's P1 (service disruption) and P2 (linkability)
+// attacks.
+//
+// The network-side Generator increments both SEQ and IND for each fresh
+// vector; the USIM-side Verifier accepts a received SQN when its SEQ is
+// strictly greater than the stored SEQ at the received IND slot. Because
+// slots age independently, an adversary who captures-and-drops a vector
+// can replay it later and still have it accepted — up to 2^INDBits - 1
+// stale vectors, 31 for the 5-bit IND used by COTS UEs (Section VII-A).
+package sqn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultINDBits is the index width observed in COTS UEs (Section VII-A):
+// 5 bits, i.e. a 32-slot SQN array.
+const DefaultINDBits = 5
+
+// MaxINDBits bounds the index width to keep SQN in 48 bits overall.
+const MaxINDBits = 16
+
+// Config parameterises the Annex C scheme.
+type Config struct {
+	// INDBits is the width of the IND part; the SQN array has 2^INDBits
+	// slots.
+	INDBits uint
+	// FreshnessLimit is the optional limit L from Annex C 2.2: a received
+	// SEQ is rejected if seqMS - SEQ > L, where seqMS is the highest SEQ
+	// accepted in any slot. Zero means the check is disabled — the
+	// default, since the standard leaves L optional and undefined, and no
+	// major vendor implements it.
+	FreshnessLimit uint64
+}
+
+// DefaultConfig mirrors the COTS behaviour: 5 IND bits, no freshness
+// limit.
+func DefaultConfig() Config { return Config{INDBits: DefaultINDBits} }
+
+func (c Config) validate() error {
+	if c.INDBits == 0 || c.INDBits > MaxINDBits {
+		return fmt.Errorf("sqn: INDBits must be in [1,%d], got %d", MaxINDBits, c.INDBits)
+	}
+	return nil
+}
+
+// slots returns the SQN-array length a = 2^INDBits.
+func (c Config) slots() uint64 { return 1 << c.INDBits }
+
+// Split decomposes an SQN value into its SEQ and IND parts under c.
+func (c Config) Split(sqn uint64) (seq, ind uint64) {
+	return sqn >> c.INDBits, sqn & (c.slots() - 1)
+}
+
+// Join composes SEQ and IND parts into an SQN value under c.
+func (c Config) Join(seq, ind uint64) uint64 {
+	return seq<<c.INDBits | (ind & (c.slots() - 1))
+}
+
+// Generator is the network-side (HSS) SQN source. For each fresh vector it
+// increments the global SEQ counter and advances IND cyclically, per the
+// paper's description of the scheme.
+type Generator struct {
+	cfg Config
+	seq uint64
+	ind uint64
+}
+
+// NewGenerator builds a network-side SQN generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// Next returns a fresh SQN: SEQ is incremented and IND advances to the
+// next slot modulo the array size.
+func (g *Generator) Next() uint64 {
+	g.seq++
+	g.ind = (g.ind + 1) % g.cfg.slots()
+	return g.cfg.Join(g.seq, g.ind)
+}
+
+// Peek returns the SQN that the most recent Next produced, without
+// advancing. It is zero before the first Next.
+func (g *Generator) Peek() uint64 { return g.cfg.Join(g.seq, g.ind) }
+
+// Resync fast-forwards the generator after an auth_sync_failure: the next
+// SQN's SEQ part will be strictly greater than the SEQ of the sqnMS value
+// reported by the USIM. A Resync to an older SEQ is a no-op.
+func (g *Generator) Resync(sqnMS uint64) {
+	seq, _ := g.cfg.Split(sqnMS)
+	if seq > g.seq {
+		g.seq = seq
+	}
+}
+
+// Verification errors.
+var (
+	// ErrSQNOutOfRange means the received SEQ was not greater than the
+	// stored SEQ for its IND slot: the USIM must answer with an
+	// auth_sync_failure carrying AUTS.
+	ErrSQNOutOfRange = errors.New("sqn: received SEQ not greater than stored SEQ for its IND")
+	// ErrSQNTooOld means the optional freshness-limit check L rejected
+	// the value (only possible when Config.FreshnessLimit > 0).
+	ErrSQNTooOld = errors.New("sqn: received SEQ older than freshness limit L")
+)
+
+// Verifier is the USIM-side SQN checker holding the per-IND slot array.
+type Verifier struct {
+	cfg   Config
+	slot  []uint64 // highest accepted SEQ per IND
+	seqMS uint64   // highest accepted SEQ across all slots
+	used  []bool   // whether the slot has ever accepted a SEQ
+}
+
+// NewVerifier builds a USIM-side verifier with an empty SQN array.
+func NewVerifier(cfg Config) (*Verifier, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.slots()
+	return &Verifier{cfg: cfg, slot: make([]uint64, n), used: make([]bool, n)}, nil
+}
+
+// Verify checks a received SQN per Annex C and, on success, records it.
+// On ErrSQNOutOfRange the caller should trigger resynchronisation using
+// HighestAccepted as SQN_MS.
+func (v *Verifier) Verify(sqn uint64) error {
+	seq, ind := v.cfg.Split(sqn)
+	if v.used[ind] && seq <= v.slot[ind] {
+		return ErrSQNOutOfRange
+	}
+	if v.cfg.FreshnessLimit > 0 && v.seqMS > seq && v.seqMS-seq > v.cfg.FreshnessLimit {
+		// Annex C 2.2: optional limit on accepted SQN age. Disabled by
+		// default, which is precisely what P1 exploits.
+		return ErrSQNTooOld
+	}
+	v.slot[ind] = seq
+	v.used[ind] = true
+	if seq > v.seqMS {
+		v.seqMS = seq
+	}
+	return nil
+}
+
+// WouldAccept reports whether Verify(sqn) would succeed, without mutating
+// the array. The threat model uses this to label transitions.
+func (v *Verifier) WouldAccept(sqn uint64) bool {
+	seq, ind := v.cfg.Split(sqn)
+	if v.used[ind] && seq <= v.slot[ind] {
+		return false
+	}
+	if v.cfg.FreshnessLimit > 0 && v.seqMS > seq && v.seqMS-seq > v.cfg.FreshnessLimit {
+		return false
+	}
+	return true
+}
+
+// HighestAccepted returns SQN_MS: the highest previously accepted SQN
+// anywhere in the array, used to build the resynchronisation token.
+func (v *Verifier) HighestAccepted() uint64 {
+	var bestSeq, bestInd uint64
+	found := false
+	for ind, ok := range v.used {
+		if !ok {
+			continue
+		}
+		if !found || v.slot[ind] > bestSeq {
+			bestSeq = v.slot[ind]
+			bestInd = uint64(ind)
+			found = true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return v.cfg.Join(bestSeq, bestInd)
+}
+
+// Snapshot returns a copy of the per-slot SEQ values (index = IND).
+func (v *Verifier) Snapshot() []uint64 {
+	out := make([]uint64, len(v.slot))
+	copy(out, v.slot)
+	return out
+}
+
+// Config returns the scheme parameters of the verifier.
+func (v *Verifier) Config() Config { return v.cfg }
+
+// AgingReport quantifies the staleness window the scheme leaves open,
+// reproducing the paper's operational-trace analysis (Section VII-A):
+// with 5-bit IND, a USIM accepts up to 31 previously captured stale
+// authentication requests, and at observed network rates that corresponds
+// to vectors that are days old.
+type AgingReport struct {
+	INDBits uint
+	// ArraySize is 2^INDBits.
+	ArraySize uint64
+	// MaxStaleAccepted is how many captured-and-dropped vectors remain
+	// acceptable after the network has moved on: ArraySize - 1.
+	MaxStaleAccepted uint64
+	// AuthRequestsPerDay parameterises the synthetic operational trace.
+	AuthRequestsPerDay float64
+	// StaleWindowDays is how old an accepted stale vector can be.
+	StaleWindowDays float64
+}
+
+// Aging computes the staleness analysis for the scheme under an assumed
+// auth-request arrival rate (requests/day, must be > 0).
+func Aging(cfg Config, authRequestsPerDay float64) (AgingReport, error) {
+	if err := cfg.validate(); err != nil {
+		return AgingReport{}, err
+	}
+	if authRequestsPerDay <= 0 {
+		return AgingReport{}, fmt.Errorf("sqn: authRequestsPerDay must be positive, got %v", authRequestsPerDay)
+	}
+	a := cfg.slots()
+	return AgingReport{
+		INDBits:            cfg.INDBits,
+		ArraySize:          a,
+		MaxStaleAccepted:   a - 1,
+		AuthRequestsPerDay: authRequestsPerDay,
+		StaleWindowDays:    float64(a-1) / authRequestsPerDay,
+	}, nil
+}
+
+// StaleReplayDemo runs the P1 core scenario end to end on the raw scheme:
+// the network issues `captured` vectors that an attacker captures and
+// drops, then issues one more that the UE accepts; the attacker then
+// replays the captured vectors. It returns how many of the stale vectors
+// the verifier accepts.
+func StaleReplayDemo(cfg Config, captured int) (accepted int, err error) {
+	if captured < 0 {
+		return 0, fmt.Errorf("sqn: captured must be non-negative, got %d", captured)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ver, err := NewVerifier(cfg)
+	if err != nil {
+		return 0, err
+	}
+	stale := make([]uint64, 0, captured)
+	for i := 0; i < captured; i++ {
+		stale = append(stale, gen.Next())
+	}
+	// The network moves on: the UE accepts a fresh, newer vector.
+	if err := ver.Verify(gen.Next()); err != nil {
+		return 0, fmt.Errorf("sqn: fresh vector unexpectedly rejected: %w", err)
+	}
+	// Replay newest-first: each IND slot then accepts at most one stale
+	// vector, so acceptance is capped at ArraySize-1 (31 for 5-bit IND),
+	// matching the paper's analysis.
+	for i := len(stale) - 1; i >= 0; i-- {
+		if ver.Verify(stale[i]) == nil {
+			accepted++
+		}
+	}
+	return accepted, nil
+}

@@ -1,0 +1,261 @@
+package sqn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func mustVer(t *testing.T, cfg Config) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(cfg)
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	return v
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{INDBits: 0}); err == nil {
+		t.Error("INDBits=0 accepted")
+	}
+	if _, err := NewVerifier(Config{INDBits: MaxINDBits + 1}); err == nil {
+		t.Error("INDBits too large accepted")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	prop := func(seq uint32, ind uint8) bool {
+		i := uint64(ind) % cfg.slots()
+		sqn := cfg.Join(uint64(seq), i)
+		s2, i2 := cfg.Split(sqn)
+		return s2 == uint64(seq) && i2 == i
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorIncrementsBothParts(t *testing.T) {
+	g := mustGen(t, DefaultConfig())
+	cfg := DefaultConfig()
+	prevSeq := uint64(0)
+	for i := 1; i <= 70; i++ {
+		seq, ind := cfg.Split(g.Next())
+		if seq != prevSeq+1 {
+			t.Fatalf("step %d: SEQ = %d, want %d", i, seq, prevSeq+1)
+		}
+		if want := uint64(i) % cfg.slots(); ind != want {
+			t.Fatalf("step %d: IND = %d, want %d", i, ind, want)
+		}
+		prevSeq = seq
+	}
+}
+
+func TestVerifierAcceptsFreshSequence(t *testing.T) {
+	cfg := DefaultConfig()
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+	for i := 0; i < 100; i++ {
+		if err := v.Verify(g.Next()); err != nil {
+			t.Fatalf("fresh vector %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestVerifierRejectsExactReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+	s := g.Next()
+	if err := v.Verify(s); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := v.Verify(s); !errors.Is(err, ErrSQNOutOfRange) {
+		t.Errorf("replay of same SQN: err = %v, want ErrSQNOutOfRange", err)
+	}
+}
+
+// TestStaleAcceptedAtOtherIndex is the crux of P1: a captured-and-dropped
+// SQN remains acceptable because its IND slot was never updated.
+func TestStaleAcceptedAtOtherIndex(t *testing.T) {
+	cfg := DefaultConfig()
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+
+	captured := g.Next() // attacker captures and drops this vector
+	fresh := g.Next()    // network moves on; UE accepts the next one
+	if err := v.Verify(fresh); err != nil {
+		t.Fatalf("fresh rejected: %v", err)
+	}
+	if err := v.Verify(captured); err != nil {
+		t.Errorf("stale captured vector rejected (%v); P1 precondition broken", err)
+	}
+	seqFresh, _ := cfg.Split(fresh)
+	seqCaptured, _ := cfg.Split(captured)
+	if seqCaptured >= seqFresh {
+		t.Fatal("test setup wrong: captured should be older")
+	}
+}
+
+func TestFreshnessLimitClosesTheHole(t *testing.T) {
+	cfg := Config{INDBits: DefaultINDBits, FreshnessLimit: 1}
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+
+	captured := g.Next()
+	_ = g.Next()
+	_ = g.Next()
+	newest := g.Next()
+	if err := v.Verify(newest); err != nil {
+		t.Fatalf("fresh rejected: %v", err)
+	}
+	if err := v.Verify(captured); !errors.Is(err, ErrSQNTooOld) {
+		t.Errorf("with L=1, stale replay err = %v, want ErrSQNTooOld", err)
+	}
+}
+
+func TestHighestAccepted(t *testing.T) {
+	cfg := DefaultConfig()
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+	if v.HighestAccepted() != 0 {
+		t.Error("empty verifier should report 0")
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last = g.Next()
+		if err := v.Verify(last); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+	}
+	if got := v.HighestAccepted(); got != last {
+		t.Errorf("HighestAccepted = %d, want %d", got, last)
+	}
+}
+
+func TestWouldAcceptDoesNotMutate(t *testing.T) {
+	cfg := DefaultConfig()
+	g := mustGen(t, cfg)
+	v := mustVer(t, cfg)
+	s := g.Next()
+	if !v.WouldAccept(s) {
+		t.Fatal("WouldAccept(fresh) = false")
+	}
+	// Still acceptable: WouldAccept must not have recorded it.
+	if err := v.Verify(s); err != nil {
+		t.Errorf("Verify after WouldAccept failed: %v", err)
+	}
+	if v.WouldAccept(s) {
+		t.Error("WouldAccept(replayed) = true")
+	}
+}
+
+// TestStaleReplayDemoMatchesPaper reproduces Section VII-A: with 5-bit IND
+// (32-slot array), the USIM accepts up to 31 previously captured stale
+// authentication requests.
+func TestStaleReplayDemoMatchesPaper(t *testing.T) {
+	tests := []struct {
+		name     string
+		captured int
+		want     int
+	}{
+		{"single captured", 1, 1},
+		{"ten captured", 10, 10},
+		{"array-1 captured", 31, 31},
+		{"beyond array", 100, 31},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := StaleReplayDemo(DefaultConfig(), tt.captured)
+			if err != nil {
+				t.Fatalf("StaleReplayDemo: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("accepted = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStaleReplayDemoWithFreshnessLimit(t *testing.T) {
+	cfg := Config{INDBits: DefaultINDBits, FreshnessLimit: 2}
+	got, err := StaleReplayDemo(cfg, 31)
+	if err != nil {
+		t.Fatalf("StaleReplayDemo: %v", err)
+	}
+	if got > 2 {
+		t.Errorf("with L=2, accepted = %d, want <= 2", got)
+	}
+}
+
+func TestStaleReplayDemoRejectsNegative(t *testing.T) {
+	if _, err := StaleReplayDemo(DefaultConfig(), -1); err == nil {
+		t.Error("negative captured accepted")
+	}
+}
+
+func TestAgingReport(t *testing.T) {
+	rep, err := Aging(DefaultConfig(), 10) // ~10 auth requests/day
+	if err != nil {
+		t.Fatalf("Aging: %v", err)
+	}
+	if rep.ArraySize != 32 || rep.MaxStaleAccepted != 31 {
+		t.Errorf("array = %d / stale = %d, want 32 / 31", rep.ArraySize, rep.MaxStaleAccepted)
+	}
+	// Paper: "it takes at least a few days" to cycle the array — with 10
+	// requests/day the stale window is ~3 days.
+	if rep.StaleWindowDays < 1 {
+		t.Errorf("stale window = %v days, want >= 1 (days-old vectors accepted)", rep.StaleWindowDays)
+	}
+}
+
+func TestAgingRejectsBadRate(t *testing.T) {
+	if _, err := Aging(DefaultConfig(), 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// TestPropertyMonotonePerSlot: after any accepted sequence, each slot
+// holds the max SEQ it ever accepted, and verification of anything <= that
+// fails for that slot.
+func TestPropertyMonotonePerSlot(t *testing.T) {
+	cfg := Config{INDBits: 3}
+	prop := func(seqs []uint16) bool {
+		v, err := NewVerifier(cfg)
+		if err != nil {
+			return false
+		}
+		maxPerSlot := make(map[uint64]uint64)
+		for i, s := range seqs {
+			sqn := cfg.Join(uint64(s), uint64(i)%cfg.slots())
+			seq, ind := cfg.Split(sqn)
+			if v.Verify(sqn) == nil {
+				if prev, ok := maxPerSlot[ind]; ok && seq <= prev {
+					return false // accepted a non-increasing SEQ in-slot
+				}
+				maxPerSlot[ind] = seq
+			}
+		}
+		snap := v.Snapshot()
+		for ind, want := range maxPerSlot {
+			if snap[ind] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

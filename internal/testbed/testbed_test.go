@@ -1,0 +1,119 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"prochecker/internal/core/cegar"
+	"prochecker/internal/core/threat"
+	"prochecker/internal/ltemodels"
+	"prochecker/internal/mc"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+// TestValidateP1AllProfiles: the service-disruption attack is a
+// standards-level flaw and must succeed end to end on every
+// implementation.
+func TestValidateP1AllProfiles(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := ValidateP1(p)
+			if err != nil {
+				t.Fatalf("ValidateP1: %v", err)
+			}
+			if !res.StaleChallengeAccepted {
+				t.Error("stale challenge rejected")
+			}
+			if !res.KeysDesynchronised {
+				t.Error("keys did not desynchronise")
+			}
+			if !res.ServiceDisrupted {
+				t.Error("service not disrupted")
+			}
+			if !res.Succeeded() {
+				t.Errorf("P1 validation failed: %+v", res)
+			}
+		})
+	}
+}
+
+func TestValidateP3AllProfiles(t *testing.T) {
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := ValidateP3(p)
+			if err != nil {
+				t.Fatalf("ValidateP3: %v", err)
+			}
+			if res.CommandsDropped != 5 {
+				t.Errorf("dropped %d commands, want 5 (1 initial + 4 retransmissions)", res.CommandsDropped)
+			}
+			if !res.ProcedureAborted {
+				t.Error("procedure not aborted")
+			}
+			if !res.GUTIUnchangedAtUE {
+				t.Error("GUTI changed despite denial")
+			}
+			if !res.Succeeded() {
+				t.Errorf("P3 validation failed: %+v", res)
+			}
+		})
+	}
+}
+
+// TestReplayVerifierTrace closes the loop: a realizable counterexample
+// from the CEGAR pipeline is replayed against the live implementation.
+func TestReplayVerifierTrace(t *testing.T) {
+	composed, err := threat.Compose(threat.Config{
+		UE:  ltemodels.LTEInspectorUE(),
+		MME: ltemodels.MME(),
+	})
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	prop := mc.NeverFires{
+		PropName: "ue-never-deregistered-by-injected-attach-reject",
+		Match: func(name string) bool {
+			return strings.Contains(name, ":recv:attach_reject@inject")
+		},
+	}
+	out, err := cegar.Verify(composed, prop, cegar.Config{PreCapture: true})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if out.Verified || out.Attack == nil {
+		t.Fatalf("expected an attack, got %+v", out)
+	}
+	res, err := ReplayTrace(ue.ProfileConformant, out.Attack)
+	if err != nil {
+		t.Fatalf("ReplayTrace: %v", err)
+	}
+	if res.AdversaryActions == 0 {
+		t.Error("no adversary action was executed on the testbed")
+	}
+	// The injected attach_reject deregisters the live UE too.
+	if res.FinalUEState != spec.EMMDeregistered {
+		t.Errorf("final UE state = %s, want EMM_DEREGISTERED", res.FinalUEState)
+	}
+}
+
+func TestReplayTraceNil(t *testing.T) {
+	if _, err := ReplayTrace(ue.ProfileConformant, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestForgeCoversPlainMessages(t *testing.T) {
+	for _, m := range []spec.MessageName{
+		spec.AttachReject, spec.TAUReject, spec.ServiceReject,
+		spec.AuthReject, spec.DetachRequestNW, spec.IdentityRequest,
+		spec.Paging, spec.AttachRequest,
+	} {
+		if _, ok := forge(m); !ok {
+			t.Errorf("forge(%s) failed", m)
+		}
+	}
+	if _, ok := forge(spec.AttachAccept); ok {
+		t.Error("forged a protected attach_accept")
+	}
+}

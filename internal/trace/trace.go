@@ -1,0 +1,261 @@
+// Package trace defines ProChecker's information-rich execution log: the
+// record kinds the instrumentation emits (function entry/exit, global
+// variable values, local variable values, test-case boundaries), a
+// concurrency-safe Recorder the instrumented implementations write to, and
+// a line-oriented text serialisation with a parser.
+//
+// The text format matches the paper's running example (Figure 3(d)):
+//
+//	[TEST] tc_attach_accept_valid_mac
+//	[FUNC] recv_attach_accept
+//	[GLOBAL] emm_state = EMM_REGISTERED_INITIATED
+//	[LOCAL] mac_valid = 1
+//	[GLOBAL] emm_state = EMM_REGISTERED
+//	[FUNC] send_attach_complete
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a log record.
+type Kind uint8
+
+// Record kinds. FuncEntry lines carry handler signatures the extractor
+// matches against incoming/outgoing message signatures; Global lines carry
+// protocol state; Local lines carry sanity-check condition variables.
+const (
+	KindFuncEntry Kind = iota + 1
+	KindFuncExit
+	KindGlobal
+	KindLocal
+	KindTestCase
+	KindNote
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFuncEntry:
+		return "FUNC"
+	case KindFuncExit:
+		return "EXIT"
+	case KindGlobal:
+		return "GLOBAL"
+	case KindLocal:
+		return "LOCAL"
+	case KindTestCase:
+		return "TEST"
+	case KindNote:
+		return "NOTE"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// kindFromTag parses a serialized tag back into a Kind.
+func kindFromTag(tag string) (Kind, bool) {
+	switch tag {
+	case "FUNC":
+		return KindFuncEntry, true
+	case "EXIT":
+		return KindFuncExit, true
+	case "GLOBAL":
+		return KindGlobal, true
+	case "LOCAL":
+		return KindLocal, true
+	case "TEST":
+		return KindTestCase, true
+	case "NOTE":
+		return KindNote, true
+	default:
+		return 0, false
+	}
+}
+
+// Record is one line of the information-rich log.
+type Record struct {
+	Kind Kind
+	// Name is the function signature (FuncEntry/FuncExit), the variable
+	// name (Global/Local), the test-case name (TestCase) or free text
+	// (Note).
+	Name string
+	// Value is the variable value for Global/Local records, empty
+	// otherwise.
+	Value string
+}
+
+// String renders the record in the on-disk line format.
+func (r Record) String() string {
+	switch r.Kind {
+	case KindGlobal, KindLocal:
+		return fmt.Sprintf("[%s] %s = %s", r.Kind, r.Name, r.Value)
+	default:
+		return fmt.Sprintf("[%s] %s", r.Kind, r.Name)
+	}
+}
+
+// Log is an ordered sequence of records — the unit the model extractor
+// consumes.
+type Log []Record
+
+// Render serialises the log in the line format.
+func (l Log) Render() string {
+	var b strings.Builder
+	for _, r := range l {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads a serialised log. Unrecognised or blank lines are skipped,
+// mirroring how the paper's extractor tolerates interleaved output from
+// un-instrumented code.
+func Parse(r io.Reader) (Log, error) {
+	var log Log
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		rec, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		log = append(log, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning log: %w", err)
+	}
+	return log, nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (Log, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(line string) (Record, bool) {
+	line = strings.TrimSpace(line)
+	if len(line) < 3 || line[0] != '[' {
+		return Record{}, false
+	}
+	close := strings.IndexByte(line, ']')
+	if close < 0 {
+		return Record{}, false
+	}
+	kind, ok := kindFromTag(line[1:close])
+	if !ok {
+		return Record{}, false
+	}
+	rest := strings.TrimSpace(line[close+1:])
+	rec := Record{Kind: kind}
+	switch kind {
+	case KindGlobal, KindLocal:
+		name, value, found := strings.Cut(rest, "=")
+		if !found {
+			return Record{}, false
+		}
+		rec.Name = strings.TrimSpace(name)
+		rec.Value = strings.TrimSpace(value)
+	default:
+		rec.Name = rest
+	}
+	if rec.Name == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Recorder accumulates records from an instrumented implementation. The
+// zero value is ready to use. It is safe for concurrent use, since NAS
+// handlers and timers may fire from different goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	records Log
+}
+
+// EnterFunc records entry into a handler with the given signature.
+func (r *Recorder) EnterFunc(signature string) {
+	r.append(Record{Kind: KindFuncEntry, Name: signature})
+}
+
+// ExitFunc records exit from a handler.
+func (r *Recorder) ExitFunc(signature string) {
+	r.append(Record{Kind: KindFuncExit, Name: signature})
+}
+
+// Global records the value of a global (state) variable.
+func (r *Recorder) Global(name, value string) {
+	r.append(Record{Kind: KindGlobal, Name: name, Value: value})
+}
+
+// GlobalBool records a boolean global as 0/1.
+func (r *Recorder) GlobalBool(name string, v bool) {
+	r.Global(name, boolVal(v))
+}
+
+// Local records the value of a local (condition) variable.
+func (r *Recorder) Local(name, value string) {
+	r.append(Record{Kind: KindLocal, Name: name, Value: value})
+}
+
+// LocalBool records a boolean local as 0/1, the convention the paper's
+// logs use for sanity-check variables (mac_valid = 1).
+func (r *Recorder) LocalBool(name string, v bool) {
+	r.Local(name, boolVal(v))
+}
+
+// LocalInt records an integer local.
+func (r *Recorder) LocalInt(name string, v int) {
+	r.Local(name, fmt.Sprintf("%d", v))
+}
+
+// TestCase records a test-case boundary.
+func (r *Recorder) TestCase(name string) {
+	r.append(Record{Kind: KindTestCase, Name: name})
+}
+
+// Note records free-text diagnostics ignored by the extractor.
+func (r *Recorder) Note(text string) {
+	r.append(Record{Kind: KindNote, Name: text})
+}
+
+func (r *Recorder) append(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = append(r.records, rec)
+}
+
+// Snapshot returns a copy of the accumulated log.
+func (r *Recorder) Snapshot() Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Log, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// Len returns the number of accumulated records.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Reset discards all accumulated records.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = nil
+}
+
+func boolVal(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordString(t *testing.T) {
+	tests := []struct {
+		rec  Record
+		want string
+	}{
+		{Record{Kind: KindFuncEntry, Name: "recv_attach_accept"}, "[FUNC] recv_attach_accept"},
+		{Record{Kind: KindFuncExit, Name: "recv_attach_accept"}, "[EXIT] recv_attach_accept"},
+		{Record{Kind: KindGlobal, Name: "emm_state", Value: "EMM_REGISTERED"}, "[GLOBAL] emm_state = EMM_REGISTERED"},
+		{Record{Kind: KindLocal, Name: "mac_valid", Value: "1"}, "[LOCAL] mac_valid = 1"},
+		{Record{Kind: KindTestCase, Name: "tc_1"}, "[TEST] tc_1"},
+		{Record{Kind: KindNote, Name: "hello"}, "[NOTE] hello"},
+	}
+	for _, tt := range tests {
+		if got := tt.rec.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	log := Log{
+		{Kind: KindTestCase, Name: "tc_attach"},
+		{Kind: KindFuncEntry, Name: "recv_attach_accept"},
+		{Kind: KindGlobal, Name: "emm_state", Value: "EMM_REGISTERED_INITIATED"},
+		{Kind: KindLocal, Name: "mac_valid", Value: "1"},
+		{Kind: KindGlobal, Name: "emm_state", Value: "EMM_REGISTERED"},
+		{Kind: KindFuncEntry, Name: "send_attach_complete"},
+		{Kind: KindFuncExit, Name: "recv_attach_accept"},
+	}
+	got, err := ParseString(log.Render())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got) != len(log) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(log))
+	}
+	for i := range log {
+		if got[i] != log[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], log[i])
+		}
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	in := strings.Join([]string{
+		"random uninstrumented output",
+		"",
+		"[FUNC] recv_attach_accept",
+		"[BOGUS] nope",
+		"[GLOBAL] missing_equals_sign",
+		"[GLOBAL] ok = 1",
+		"[FUNC]",   // empty name
+		"[FUNC] x", // fine
+		"not [FUNC] at start",
+	}, "\n")
+	got, err := ParseString(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "recv_attach_accept" || got[1].Name != "ok" || got[2].Name != "x" {
+		t.Errorf("unexpected records: %+v", got)
+	}
+}
+
+func TestParseValueWithEquals(t *testing.T) {
+	got, err := ParseString("[LOCAL] expr = a=b\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "expr" || got[0].Value != "a=b" {
+		t.Errorf("got %+v, want expr = a=b", got)
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	var r Recorder
+	r.TestCase("tc")
+	r.EnterFunc("recv_x")
+	r.Global("emm_state", "EMM_NULL")
+	r.GlobalBool("attached", false)
+	r.LocalBool("mac_valid", true)
+	r.LocalInt("retries", 3)
+	r.Note("note")
+	r.ExitFunc("recv_x")
+
+	log := r.Snapshot()
+	if len(log) != 8 {
+		t.Fatalf("len = %d, want 8", len(log))
+	}
+	if log[3].Value != "0" || log[4].Value != "1" || log[5].Value != "3" {
+		t.Errorf("bool/int encodings wrong: %+v", log[3:6])
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", r.Len())
+	}
+}
+
+func TestRecorderSnapshotIsCopy(t *testing.T) {
+	var r Recorder
+	r.EnterFunc("a")
+	snap := r.Snapshot()
+	r.EnterFunc("b")
+	if len(snap) != 1 {
+		t.Errorf("snapshot mutated by later writes: %+v", snap)
+	}
+}
+
+func TestRecorderConcurrentSafe(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.EnterFunc("f")
+				r.LocalBool("v", j%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != 1600 {
+		t.Errorf("Len = %d, want 1600", got)
+	}
+}
+
+func TestPropertyRoundTripArbitraryNames(t *testing.T) {
+	// Any record whose name/value fit on one line survives a round trip.
+	prop := func(nameSeed, valueSeed uint8) bool {
+		name := "var_" + strings.Repeat("x", int(nameSeed%10)+1)
+		value := "V" + strings.Repeat("y", int(valueSeed%10))
+		log := Log{{Kind: KindGlobal, Name: name, Value: value}}
+		got, err := ParseString(log.Render())
+		return err == nil && len(got) == 1 && got[0] == log[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if got := Kind(99).String(); got != "KIND(99)" {
+		t.Errorf("Kind(99).String() = %q", got)
+	}
+}

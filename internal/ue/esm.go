@@ -1,0 +1,110 @@
+package ue
+
+import (
+	"fmt"
+
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+)
+
+// ESM (session management) sub-layer of the UE: bearer-context state,
+// PDN connectivity, and the default-bearer activation/deactivation
+// handlers. Instrumented like the EMM layer — the esm_state global is
+// dumped alongside emm_state, and the per-layer signature sets let the
+// extractor lift a *separate* ESM machine from the same log (challenge
+// C4).
+
+// ESMState returns the current bearer-context state.
+func (u *UE) ESMState() spec.ESMState { return u.esmState }
+
+// BearerID returns the active default bearer's identity (0 when none).
+func (u *UE) BearerID() uint8 { return u.bearerID }
+
+// setESMState changes the ESM state and logs the new value.
+func (u *UE) setESMState(s spec.ESMState) {
+	u.esmState = s
+	u.rec.Global("esm_state", string(s))
+}
+
+// StartPDNConnectivity requests a default bearer towards the APN; the UE
+// must be registered (ESM rides on the secured EMM session).
+func (u *UE) StartPDNConnectivity(apn string) (nas.Packet, error) {
+	if !u.registered() {
+		return nas.Packet{}, fmt.Errorf("ue: PDN connectivity requires registration, in %s", u.state)
+	}
+	if u.esmState != spec.BearerInactive {
+		return nas.Packet{}, fmt.Errorf("ue: bearer context busy (%s)", u.esmState)
+	}
+	u.rec.EnterFunc("esm_start_pdn_connectivity")
+	u.logGlobals()
+	u.pti++
+	u.apn = apn
+	u.setESMState(spec.BearerActivePending)
+	p, err := u.seal(&nas.PDNConnectivityRequest{PTI: u.pti, APN: apn}, u.protectedHeader())
+	u.rec.ExitFunc("esm_start_pdn_connectivity")
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	return p, nil
+}
+
+func (u *UE) recvActivateDefaultBearer(m *nas.ActivateDefaultBearerRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.ActDefaultBearerReq)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.ActDefaultBearerReq, insp) {
+		return nil
+	}
+	if insp.PlainHeader && !u.quirks.AcceptPlainAfterCtx {
+		// ESM signalling is never processed unprotected.
+		return nil
+	}
+	if m.BearerID == 0 {
+		u.rec.LocalBool(string(spec.CondWellFormed), false)
+		return u.respond(nil, &nas.ActivateDefaultBearerReject{BearerID: m.BearerID, Cause: nas.ESMCauseProtocolError}, u.protectedHeader())
+	}
+	u.rec.LocalBool(string(spec.CondWellFormed), true)
+	u.bearerID = m.BearerID
+	u.setESMState(spec.BearerActive)
+	return u.respond(nil, &nas.ActivateDefaultBearerAccept{BearerID: m.BearerID}, u.protectedHeader())
+}
+
+func (u *UE) recvDeactivateBearer(m *nas.DeactivateBearerRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.DeactBearerRequest)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.DeactBearerRequest, insp) {
+		return nil
+	}
+	if u.esmState != spec.BearerActive || m.BearerID != u.bearerID {
+		return nil
+	}
+	u.rec.LocalInt("esm_cause", int(m.Cause))
+	u.bearerID = 0
+	u.setESMState(spec.BearerInactive)
+	return u.respond(nil, &nas.DeactivateBearerAccept{BearerID: m.BearerID}, u.protectedHeader())
+}
+
+func (u *UE) recvESMInformationRequest(m *nas.ESMInformationRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.ESMInformationReq)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.ESMInformationReq, insp) {
+		return nil
+	}
+	if insp.PlainHeader && !u.quirks.AcceptPlainAfterCtx {
+		return nil
+	}
+	return u.respond(nil, &nas.ESMInformationResponse{PTI: m.PTI, APN: u.apn}, u.protectedHeader())
+}
+
+func (u *UE) recvPDNConnectivityReject(m *nas.PDNConnectivityReject, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.PDNConnectivityRej)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.PDNConnectivityRej, insp) {
+		return nil
+	}
+	if u.esmState != spec.BearerActivePending || m.PTI != u.pti {
+		return nil
+	}
+	u.rec.LocalInt("esm_cause", int(m.Cause))
+	u.setESMState(spec.BearerInactive)
+	return nil
+}

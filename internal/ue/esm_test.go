@@ -1,0 +1,190 @@
+package ue_test
+
+import (
+	"testing"
+
+	"prochecker/internal/conformance"
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+func attachAndConnect(t *testing.T, p ue.Profile) *conformance.Env {
+	t.Helper()
+	env := newEnv(t, p)
+	attach(t, env)
+	req, err := env.UE.StartPDNConnectivity("internet.example")
+	if err != nil {
+		t.Fatalf("StartPDNConnectivity: %v", err)
+	}
+	env.SendUplink(req)
+	return env
+}
+
+func TestPDNConnectivityLifecycle(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	if got := env.UE.ESMState(); got != spec.BearerActive {
+		t.Fatalf("ESM state = %s, want active", got)
+	}
+	if env.UE.BearerID() == 0 {
+		t.Error("no bearer ID recorded")
+	}
+	if !env.MME.BearerActive() {
+		t.Error("MME does not record the bearer")
+	}
+	deact, err := env.MME.StartBearerDeactivation()
+	if err != nil {
+		t.Fatalf("StartBearerDeactivation: %v", err)
+	}
+	env.SendDownlink(deact)
+	if got := env.UE.ESMState(); got != spec.BearerInactive {
+		t.Errorf("ESM state after deactivation = %s", got)
+	}
+	if env.MME.BearerActive() {
+		t.Error("MME still records the bearer")
+	}
+}
+
+func TestPDNConnectivityRequiresRegistration(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	if _, err := env.UE.StartPDNConnectivity("internet.example"); err == nil {
+		t.Error("PDN connectivity allowed before attach")
+	}
+}
+
+func TestPDNConnectivityBusyBearer(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	if _, err := env.UE.StartPDNConnectivity("second.example"); err == nil {
+		t.Error("second PDN connectivity allowed with an active bearer")
+	}
+}
+
+func TestPDNConnectivityRejected(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	req, err := env.UE.StartPDNConnectivity("blocked.example")
+	if err != nil {
+		t.Fatalf("StartPDNConnectivity: %v", err)
+	}
+	env.SendUplink(req)
+	if got := env.UE.ESMState(); got != spec.BearerInactive {
+		t.Errorf("ESM state = %s, want inactive after reject", got)
+	}
+}
+
+func TestMalformedBearerActivationRejected(t *testing.T) {
+	// A bearer activation with BearerID 0 is malformed; the UE answers
+	// activate_default_eps_bearer_context_reject.
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	// Build the packet under the session keys (mirroring the network's
+	// context) so only the malformed field is under test.
+	ctx := &nas.Context{Keys: env.UE.Keys(), Active: true, DLCount: env.UE.DownlinkCount()}
+	pkt, err := ctx.Seal(&nas.ActivateDefaultBearerRequest{PTI: 1, BearerID: 0, APN: "x"}, nas.HeaderIntegrityCiphered, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	replies := env.UE.HandleDownlink(pkt)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d, want 1 reject", len(replies))
+	}
+	if got := env.UE.ESMState(); got == spec.BearerActive {
+		t.Error("malformed activation activated a bearer")
+	}
+}
+
+func TestDeactivateWrongBearerIgnored(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	ctx := &nas.Context{Keys: env.UE.Keys(), Active: true, DLCount: env.UE.DownlinkCount()}
+	pkt, err := ctx.Seal(&nas.DeactivateBearerRequest{BearerID: 99}, nas.HeaderIntegrityCiphered, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.UE.HandleDownlink(pkt)
+	if got := env.UE.ESMState(); got != spec.BearerActive {
+		t.Errorf("wrong-bearer deactivation changed state to %s", got)
+	}
+}
+
+func TestESMInformationAnswered(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	req, err := env.MME.SendESMInformationRequest(7)
+	if err != nil {
+		t.Fatalf("SendESMInformationRequest: %v", err)
+	}
+	replies := env.UE.HandleDownlink(req)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d, want 1", len(replies))
+	}
+}
+
+func TestPlainESMSignallingIgnoredByConformant(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	pkt, err := (&nas.Context{}).Seal(&nas.ActivateDefaultBearerRequest{PTI: 1, BearerID: 5, APN: "evil"}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if replies := env.UE.HandleDownlink(pkt); len(replies) != 0 {
+		t.Error("plain bearer activation was answered")
+	}
+	if env.UE.ESMState() != spec.BearerInactive {
+		t.Error("plain bearer activation changed ESM state")
+	}
+}
+
+func TestPlainESMAcceptedByOAIQuirk(t *testing.T) {
+	// I2's reach extends to the ESM layer on OAI: plaintext session
+	// management is processed after security establishment.
+	env := newEnv(t, ue.ProfileOAI)
+	attach(t, env)
+	pkt, err := (&nas.Context{}).Seal(&nas.ActivateDefaultBearerRequest{PTI: 1, BearerID: 5, APN: "evil"}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if replies := env.UE.HandleDownlink(pkt); len(replies) == 0 {
+		t.Error("OAI quirk did not accept plain bearer activation")
+	}
+	if env.UE.ESMState() != spec.BearerActive {
+		t.Error("OAI quirk did not activate the bearer")
+	}
+}
+
+func TestDetachClearsBearer(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	req, err := env.MME.StartDetach(nas.DetachEPS)
+	if err != nil {
+		t.Fatalf("StartDetach: %v", err)
+	}
+	env.SendDownlink(req)
+	if got := env.UE.ESMState(); got != spec.BearerInactive {
+		t.Errorf("ESM state after detach = %s, want inactive", got)
+	}
+	if env.UE.BearerID() != 0 {
+		t.Error("bearer ID survives detach")
+	}
+}
+
+func TestPowerCycleClearsBearer(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	env.UE.PowerCycle(false)
+	if got := env.UE.ESMState(); got != spec.BearerInactive {
+		t.Errorf("ESM state after power cycle = %s, want inactive", got)
+	}
+}
+
+func TestReattachResetsMMEBearer(t *testing.T) {
+	env := attachAndConnect(t, ue.ProfileConformant)
+	// Reject path (no detach): the UE loses its state.
+	rej, err := (&nas.Context{}).Seal(&nas.AttachReject{Cause: nas.CauseIllegalUE}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.UE.HandleDownlink(rej)
+	if err := env.Attach(); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if env.MME.BearerActive() {
+		t.Error("MME kept the dead session's bearer across re-attach")
+	}
+}

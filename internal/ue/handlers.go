@@ -1,0 +1,545 @@
+package ue
+
+import (
+	"prochecker/internal/nas"
+	"prochecker/internal/spec"
+	"prochecker/internal/usim"
+)
+
+// HandleDownlink is the UE's air_msg_handler: it takes one downlink NAS
+// packet, routes it to the corresponding incoming-message handler, and
+// returns the uplink packets sent in response (empty for null_action).
+func (u *UE) HandleDownlink(p nas.Packet) []nas.Packet {
+	u.rec.EnterFunc("air_msg_handler")
+	defer u.rec.ExitFunc("air_msg_handler")
+
+	msg, insp, viaPending, err := u.open(p)
+	if err != nil {
+		u.rec.Note("undecodable packet discarded: " + err.Error())
+		return nil
+	}
+	switch m := msg.(type) {
+	case *nas.AuthRequest:
+		return u.recvAuthRequest(m, insp)
+	case *nas.SecurityModeCommand:
+		return u.recvSecurityModeCommand(m, insp, viaPending)
+	case *nas.AttachAccept:
+		return u.recvAttachAccept(m, insp)
+	case *nas.AttachReject:
+		return u.recvAttachReject(m, insp)
+	case *nas.AuthReject:
+		return u.recvAuthReject(m, insp)
+	case *nas.IdentityRequest:
+		return u.recvIdentityRequest(m, insp)
+	case *nas.GUTIReallocationCommand:
+		return u.recvGUTIRealloc(m, insp)
+	case *nas.TAUAccept:
+		return u.recvTAUAccept(m, insp)
+	case *nas.TAUReject:
+		return u.recvTAUReject(m, insp)
+	case *nas.DetachRequestNW:
+		return u.recvDetachRequest(m, insp)
+	case *nas.DetachAccept:
+		return u.recvDetachAccept(m, insp)
+	case *nas.ServiceAccept:
+		return u.recvServiceAccept(m, insp)
+	case *nas.ServiceReject:
+		return u.recvServiceReject(m, insp)
+	case *nas.PagingRequest:
+		return u.recvPaging(m, insp)
+	case *nas.EMMInformation:
+		return u.recvEMMInformation(m, insp)
+	case *nas.ActivateDefaultBearerRequest:
+		return u.recvActivateDefaultBearer(m, insp)
+	case *nas.DeactivateBearerRequest:
+		return u.recvDeactivateBearer(m, insp)
+	case *nas.ESMInformationRequest:
+		return u.recvESMInformationRequest(m, insp)
+	case *nas.PDNConnectivityReject:
+		return u.recvPDNConnectivityReject(m, insp)
+	default:
+		u.rec.Note("unhandled downlink message " + string(msg.Name()))
+		return nil
+	}
+}
+
+// open decodes a packet: plain packets with a throwaway context, protected
+// packets with the active context, falling back to the pending (post-AKA,
+// pre-SMC) keys — the path a fresh security_mode_command takes.
+func (u *UE) open(p nas.Packet) (nas.Message, nas.Inspection, bool, error) {
+	if p.Header == nas.HeaderPlain {
+		msg, insp, err := (&nas.Context{}).Open(p, nas.DirDownlink)
+		return msg, insp, false, err
+	}
+	if u.ctx.Active {
+		msg, insp, err := u.ctx.Open(p, nas.DirDownlink)
+		if err == nil && (insp.MACValid || u.pending == nil) {
+			return msg, insp, false, nil
+		}
+		// MAC failed under the active context (or undecodable) but new
+		// keys are pending: a security_mode_command after re-auth is
+		// protected with the *new* keys, so retry below.
+		if u.pending == nil {
+			return msg, insp, false, err
+		}
+	}
+	if u.pending != nil {
+		tmp := nas.Context{Keys: *u.pending, Active: true}
+		msg, insp, err := tmp.Open(p, nas.DirDownlink)
+		return msg, insp, true, err
+	}
+	return nil, nas.Inspection{}, false, errProtectedNoCtx
+}
+
+var errProtectedNoCtx = errNoCtx{}
+
+type errNoCtx struct{}
+
+func (errNoCtx) Error() string {
+	return "ue: protected packet received without active or pending security context"
+}
+
+// plainAllowedPreCtx lists messages a UE processes unprotected before any
+// security context exists.
+func plainAllowedPreCtx(name spec.MessageName) bool {
+	switch name {
+	case spec.AuthRequest, spec.AuthReject, spec.AttachReject,
+		spec.IdentityRequest, spec.TAUReject, spec.ServiceReject,
+		spec.Paging, spec.DetachRequestNW, spec.AttachAccept:
+		// attach_accept plain pre-ctx is processed (and then fails the
+		// security checks inside the handler) — the UE cannot know yet
+		// that protection was required.
+		return true
+	default:
+		return false
+	}
+}
+
+// plainAllowedPostCtx lists messages TS 24.301 4.4.4.2 permits a UE to
+// process even unprotected after security activation — the
+// standards-level weakness several prior attacks (downgrade, numb,
+// stealthy kick-off) build on.
+func plainAllowedPostCtx(name spec.MessageName) bool {
+	switch name {
+	case spec.AuthRequest, spec.AuthReject, spec.AttachReject,
+		spec.TAUReject, spec.ServiceReject, spec.Paging,
+		spec.DetachRequestNW, spec.IdentityRequest:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit applies the per-profile acceptance policy to a received packet and
+// logs the condition variables a real implementation would compute. It
+// commits the NAS COUNT when it accepts a protected packet.
+func (u *UE) admit(name spec.MessageName, insp nas.Inspection) bool {
+	u.rec.LocalBool(string(spec.CondPlainHeader), insp.PlainHeader)
+	if insp.PlainHeader {
+		if !u.ctx.Active {
+			return plainAllowedPreCtx(name)
+		}
+		if u.quirks.AcceptPlainAfterCtx {
+			// I2 (OAI): all protected messages accepted in plain text
+			// after security establishment.
+			return true
+		}
+		return plainAllowedPostCtx(name)
+	}
+	u.rec.LocalBool(string(spec.CondMACValid), insp.MACValid)
+	u.rec.LocalBool(string(spec.CondCountFresh), insp.CountFresh)
+	if !insp.MACValid {
+		return false
+	}
+	if insp.CountFresh {
+		u.ctx.Accept(insp, nas.DirDownlink)
+		return true
+	}
+	// Stale COUNT: a replay. Conformant stacks discard; the open-source
+	// quirks of I1 accept.
+	switch {
+	case u.quirks.AcceptAnyReplay:
+		if u.quirks.ResetCountOnReplay {
+			u.ctx.ResetReceiveCount(insp, nas.DirDownlink)
+			u.ctx.Accept(insp, nas.DirDownlink)
+		}
+		return true
+	case u.quirks.AcceptLastReplay && insp.Count+1 == u.ctx.DLCount:
+		return true
+	default:
+		return false
+	}
+}
+
+// enter/exit bracket one incoming-message handler with the global dumps
+// the instrumentation inserts.
+func (u *UE) enter(name spec.MessageName) string {
+	sig := u.style.Recv(name)
+	u.rec.EnterFunc(sig)
+	u.logGlobals()
+	return sig
+}
+
+func (u *UE) recvAuthRequest(m *nas.AuthRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.AuthRequest)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.AuthRequest, insp) {
+		return nil
+	}
+	res := u.usim.Challenge(m.RAND, m.AUTN)
+	u.rec.LocalBool(string(spec.CondMACValid), res.Outcome != usim.ChallengeMACFailure)
+	u.rec.LocalBool(string(spec.CondSQNInRange), res.Outcome == usim.ChallengeOK)
+	switch res.Outcome {
+	case usim.ChallengeMACFailure:
+		return u.respond(nil, &nas.AuthMACFailure{}, nas.HeaderPlain)
+	case usim.ChallengeSyncFailure:
+		if u.quirks.AcceptSameSQN && u.hasLastSQN && res.SQN == u.lastSQN {
+			// I3 (srsUE): the same sequence number is accepted again and
+			// the counters are reset.
+			forced := u.usim.ChallengeIgnoringSQN(m.RAND, m.AUTN)
+			if forced.Outcome == usim.ChallengeOK {
+				u.rec.Note("quirk: accepting replayed SQN, resetting counters")
+				return u.acceptChallenge(forced)
+			}
+		}
+		return u.respond(nil, &nas.AuthSyncFailure{AUTS: res.AUTS}, nas.HeaderPlain)
+	default:
+		return u.acceptChallenge(res)
+	}
+}
+
+// acceptChallenge commits a successful AKA run: remembers the SQN, stages
+// the new key hierarchy, and — when a context was already active —
+// replaces the session keys immediately, which is the key-desynchronising
+// effect P1 exploits with a stale challenge.
+func (u *UE) acceptChallenge(res usim.ChallengeResult) []nas.Packet {
+	u.lastSQN = res.SQN
+	u.hasLastSQN = true
+	keys := res.Keys
+	u.pending = &keys
+	if u.ctx.Active {
+		u.ctx.Keys = keys
+		u.ctx.ULCount = 0
+		u.ctx.DLCount = 0
+	}
+	return u.respond(nil, &nas.AuthResponse{RES: res.RES}, nas.HeaderPlain)
+}
+
+func (u *UE) recvSecurityModeCommand(m *nas.SecurityModeCommand, insp nas.Inspection, viaPending bool) []nas.Packet {
+	sig := u.enter(spec.SecurityModeCommand)
+	defer u.rec.ExitFunc(sig)
+	u.rec.LocalBool(string(spec.CondPlainHeader), insp.PlainHeader)
+	u.rec.LocalBool(string(spec.CondMACValid), insp.MACValid)
+	if insp.PlainHeader || !insp.MACValid {
+		return nil // discard: SMC must arrive integrity protected
+	}
+	if viaPending {
+		// Fresh SMC protected with the pending (post-AKA) keys: its COUNT
+		// starts the new context and is fresh by construction.
+		u.rec.LocalBool(string(spec.CondCountFresh), true)
+		capsMatch := m.ReplayedCaps == u.uecaps
+		u.rec.LocalBool("caps_match", capsMatch)
+		if !capsMatch {
+			return u.respond(nil, &nas.SecurityModeReject{Cause: nas.CauseSecurityModeReject}, nas.HeaderPlain)
+		}
+		u.ctx = nas.Context{
+			Keys:    *u.pending,
+			Active:  true,
+			DLCount: insp.Count + 1,
+			IntAlg:  m.IntAlg,
+			EncAlg:  m.EncAlg,
+		}
+		u.pending = nil
+		return u.respond(nil, &nas.SecurityModeComplete{}, nas.HeaderIntegrityCiphered)
+	}
+	// SMC under the active context.
+	u.rec.LocalBool(string(spec.CondCountFresh), insp.CountFresh)
+	if insp.CountFresh {
+		u.ctx.Accept(insp, nas.DirDownlink)
+		return u.respond(nil, &nas.SecurityModeComplete{}, nas.HeaderIntegrityCiphered)
+	}
+	if u.quirks.AcceptReplayedSMC {
+		// I6: a replayed security_mode_command is accepted and answered,
+		// giving the adversary a linkable response.
+		u.rec.Note("quirk: answering replayed security_mode_command")
+		return u.respond(nil, &nas.SecurityModeComplete{}, nas.HeaderIntegrityCiphered)
+	}
+	return nil
+}
+
+func (u *UE) recvAttachAccept(m *nas.AttachAccept, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.AttachAccept)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.AttachAccept, insp) {
+		return nil
+	}
+	if !insp.PlainHeader || u.quirks.AcceptPlainAfterCtx && u.ctx.Active {
+		u.guti = m.GUTI
+		u.setState(spec.EMMRegistered)
+		return u.respond(nil, &nas.AttachComplete{}, u.protectedHeader())
+	}
+	// A plain attach_accept without protection: processed but failing the
+	// security checks; no transition (null_action).
+	return nil
+}
+
+// clearBearers drops the session-management state; bearer contexts do
+// not outlive the EMM registration.
+func (u *UE) clearBearers() {
+	u.bearerID = 0
+	if u.esmState != spec.BearerInactive {
+		u.setESMState(spec.BearerInactive)
+	}
+}
+
+func (u *UE) recvAttachReject(m *nas.AttachReject, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.AttachReject)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.AttachReject, insp) {
+		return nil
+	}
+	u.rec.LocalInt("emm_cause", int(m.Cause))
+	if u.quirks.KeepCtxAfterReject {
+		// I4 (srsUE): the security context survives the reject, so a
+		// later attach can skip authentication and SMC entirely.
+		u.rec.Note("quirk: retaining security context after reject")
+	} else {
+		u.ctx = nas.Context{}
+		u.pending = nil
+		u.guti = 0
+	}
+	u.clearBearers()
+	u.setState(spec.EMMDeregistered)
+	return nil
+}
+
+func (u *UE) recvAuthReject(_ *nas.AuthReject, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.AuthReject)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.AuthReject, insp) {
+		return nil
+	}
+	// TS 24.301: consider the USIM invalid; no reattach until reboot.
+	u.blocked = true
+	u.ctx = nas.Context{}
+	u.pending = nil
+	u.guti = 0
+	u.clearBearers()
+	u.setState(spec.EMMDeregistered)
+	return nil
+}
+
+func (u *UE) recvIdentityRequest(m *nas.IdentityRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.IdentityRequest)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.IdentityRequest, insp) {
+		return nil
+	}
+	u.rec.LocalInt("id_type", int(m.IDType))
+	switch {
+	case !u.ctx.Active:
+		// Identification before security establishment is
+		// standards-sanctioned (and the classic IMSI-catcher surface).
+		return u.respond(nil, u.identity(m.IDType), nas.HeaderPlain)
+	case insp.PlainHeader && u.quirks.LeakIMSIAfterCtx:
+		// I5 (OAI): plaintext IMSI disclosure even after the security
+		// context is established.
+		u.rec.Note("quirk: leaking IMSI in plaintext after security establishment")
+		return u.respond(nil, u.identity(m.IDType), nas.HeaderPlain)
+	case !insp.PlainHeader:
+		return u.respond(nil, u.identity(m.IDType), nas.HeaderIntegrityCiphered)
+	default:
+		return nil
+	}
+}
+
+func (u *UE) identity(idType uint8) *nas.IdentityResponse {
+	resp := &nas.IdentityResponse{IDType: idType}
+	switch idType {
+	case nas.IDTypeGUTI:
+		resp.GUTI = u.guti
+		if u.guti == 0 {
+			resp.IMSI = u.imsi // no GUTI yet: fall back to IMSI
+			resp.IDType = nas.IDTypeIMSI
+		}
+	default:
+		resp.IMSI = u.imsi
+	}
+	return resp
+}
+
+func (u *UE) recvGUTIRealloc(m *nas.GUTIReallocationCommand, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.GUTIRealloCommand)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.GUTIRealloCommand, insp) {
+		return nil
+	}
+	if insp.PlainHeader && !u.quirks.AcceptPlainAfterCtx {
+		return nil
+	}
+	u.guti = m.GUTI
+	return u.respond(nil, &nas.GUTIReallocationComplete{}, u.protectedHeader())
+}
+
+func (u *UE) recvTAUAccept(m *nas.TAUAccept, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.TAUAccept)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.TAUAccept, insp) {
+		return nil
+	}
+	if !u.tauPending {
+		return nil
+	}
+	u.tauPending = false
+	var replies []nas.Packet
+	if m.GUTI != 0 {
+		u.guti = m.GUTI
+		replies = u.respond(replies, &nas.TAUComplete{}, u.protectedHeader())
+	}
+	u.setState(spec.EMMRegistered)
+	return replies
+}
+
+func (u *UE) recvTAUReject(m *nas.TAUReject, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.TAUReject)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.TAUReject, insp) {
+		return nil
+	}
+	if !u.tauPending {
+		// No TAU in progress: a tau_reject is only meaningful while the
+		// procedure runs.
+		return nil
+	}
+	u.rec.LocalInt("emm_cause", int(m.Cause))
+	u.tauPending = false
+	// Severe causes force the UE to deregister — the downgrade /
+	// denial-of-service surface of tau_reject (Table I prior attacks).
+	switch m.Cause {
+	case nas.CauseIllegalUE, nas.CauseEPSNotAllowed, nas.CausePLMNNotAllowed, nas.CauseTANotAllowed:
+		u.ctx = nas.Context{}
+		u.pending = nil
+		u.guti = 0
+		u.clearBearers()
+		u.setState(spec.EMMDeregistered)
+	default:
+		u.setState(spec.EMMRegistered)
+	}
+	return nil
+}
+
+func (u *UE) recvDetachRequest(m *nas.DetachRequestNW, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.DetachRequestNW)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.DetachRequestNW, insp) {
+		return nil
+	}
+	u.rec.LocalInt("detach_type", int(m.Type))
+	replies := u.respond(nil, &nas.DetachAccept{}, u.protectedHeader())
+	if !u.quirks.KeepCtxAfterReject {
+		u.ctx = nas.Context{}
+		u.pending = nil
+	}
+	u.guti = 0
+	if m.Type == nas.DetachReattach {
+		// TS 24.301 sub-state: deregistered but an attach is required.
+		// The automated extraction surfaces this as the intermediate
+		// state of Figure 7(ii)'s refinement example.
+		u.clearBearers()
+		u.setState(spec.EMMDeregisteredAttachNeeded)
+	} else {
+		u.clearBearers()
+		u.setState(spec.EMMDeregistered)
+	}
+	return replies
+}
+
+func (u *UE) recvDetachAccept(_ *nas.DetachAccept, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.DetachAccept)
+	defer u.rec.ExitFunc(sig)
+	if u.state != spec.EMMDeregInitiated {
+		return nil
+	}
+	if !insp.PlainHeader && !insp.MACValid {
+		return nil
+	}
+	u.ctx = nas.Context{}
+	u.pending = nil
+	u.guti = 0
+	u.clearBearers()
+	u.setState(spec.EMMDeregistered)
+	return nil
+}
+
+func (u *UE) recvServiceAccept(_ *nas.ServiceAccept, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.ServiceAccept)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.ServiceAccept, insp) {
+		return nil
+	}
+	if !u.serviceReqPending {
+		return nil
+	}
+	u.serviceReqPending = false
+	// Sub-state of EMM_REGISTERED: user-plane service is up.
+	u.setState(spec.EMMRegisteredNormalService)
+	return nil
+}
+
+func (u *UE) recvServiceReject(m *nas.ServiceReject, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.ServiceReject)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.ServiceReject, insp) {
+		return nil
+	}
+	if !u.serviceReqPending {
+		return nil
+	}
+	u.rec.LocalInt("emm_cause", int(m.Cause))
+	u.serviceReqPending = false
+	switch m.Cause {
+	case nas.CauseIllegalUE, nas.CauseEPSNotAllowed:
+		u.ctx = nas.Context{}
+		u.pending = nil
+		u.guti = 0
+		u.clearBearers()
+		u.setState(spec.EMMDeregistered)
+	default:
+		u.setState(spec.EMMRegistered)
+	}
+	return nil
+}
+
+func (u *UE) recvPaging(m *nas.PagingRequest, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.Paging)
+	defer u.rec.ExitFunc(sig)
+	if !u.admit(spec.Paging, insp) {
+		return nil
+	}
+	if !u.registered() {
+		return nil
+	}
+	matched := false
+	switch m.IDType {
+	case nas.IDTypeGUTI:
+		matched = m.GUTI != 0 && m.GUTI == u.guti
+	case nas.IDTypeIMSI:
+		// Paging by IMSI is answered too — the standards-level surface of
+		// the IMSI-to-GUTI linkability attack.
+		matched = m.IMSI == u.imsi
+	}
+	u.rec.LocalBool("paging_id_match", matched)
+	if !matched {
+		return nil
+	}
+	u.setState(spec.EMMServiceReqInitiated)
+	u.serviceReqPending = true
+	return u.respond(nil, &nas.ServiceRequest{GUTI: u.guti}, u.protectedHeader())
+}
+
+func (u *UE) recvEMMInformation(_ *nas.EMMInformation, insp nas.Inspection) []nas.Packet {
+	sig := u.enter(spec.EMMInformation)
+	defer u.rec.ExitFunc(sig)
+	u.admit(spec.EMMInformation, insp)
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package ue implements the UE-side NAS (EPS Mobility Management) state
+// machine in three behaviour profiles that mirror the implementations the
+// paper evaluates: a conformant profile standing in for the closed-source
+// commercial stack, an srsLTE/srsUE-like profile, and an
+// OpenAirInterface-like profile. The two open-source profiles reproduce
+// the paper's implementation issues I1-I6; the protocol-level flaws P1-P3
+// are present in all three because they stem from the standard itself.
+//
+// Every handler is instrumented: it emits function-entry records with the
+// profile's signature style, global-state records around each transition,
+// and local-variable records for every sanity check — producing exactly
+// the information-rich log ProChecker's model extractor consumes.
+package ue
+
+import "prochecker/internal/spec"
+
+// Profile selects which implementation's behaviour the UE reproduces.
+type Profile uint8
+
+// The three evaluated implementation profiles.
+const (
+	// ProfileConformant models the closed-source commercial stack: no
+	// implementation deviations, only standards-level behaviour.
+	ProfileConformant Profile = iota + 1
+	// ProfileSRS models srsLTE's srsUE.
+	ProfileSRS
+	// ProfileOAI models OpenAirInterface's UE.
+	ProfileOAI
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case ProfileConformant:
+		return "conformant"
+	case ProfileSRS:
+		return "srsLTE"
+	case ProfileOAI:
+		return "OAI"
+	default:
+		return "unknown-profile"
+	}
+}
+
+// Quirks enumerates the implementation deviations of Table I. Each field
+// maps to one of the paper's implementation issues.
+type Quirks struct {
+	// AcceptAnyReplay (I1, srsUE): accept any replayed
+	// integrity-protected message even though its NAS COUNT is stale.
+	AcceptAnyReplay bool
+	// ResetCountOnReplay (I1/I3, srsUE): on accepting a replayed message,
+	// reset the downlink counter to the counter value in the replayed
+	// packet.
+	ResetCountOnReplay bool
+	// AcceptLastReplay (I1, OAI): accept a replay of exactly the last
+	// received message (COUNT == last accepted COUNT).
+	AcceptLastReplay bool
+	// AcceptPlainAfterCtx (I2, OAI): accept plain-NAS(0x0) messages even
+	// after the security context is established, breaking integrity and
+	// confidentiality.
+	AcceptPlainAfterCtx bool
+	// AcceptSameSQN (I3, srsUE): accept a replayed
+	// authentication_request whose SQN equals an already-accepted one,
+	// re-deriving keys and resetting counters.
+	AcceptSameSQN bool
+	// KeepCtxAfterReject (I4, srsUE): keep the security context alive
+	// after a reject/release message instead of deleting it, so the UE
+	// can move deregistered -> registered without fresh authentication
+	// and security-mode procedures.
+	KeepCtxAfterReject bool
+	// LeakIMSIAfterCtx (I5, OAI): answer a plain identity_request for
+	// IMSI even after GUTI assignment and security-context
+	// establishment.
+	LeakIMSIAfterCtx bool
+	// AcceptReplayedSMC (I6, both): accept a replayed
+	// security_mode_command and answer it, giving an adversary a
+	// distinguishable response for linkability.
+	AcceptReplayedSMC bool
+}
+
+// QuirksFor returns the deviation set of a profile, matching the
+// filled circles of Table I.
+func QuirksFor(p Profile) Quirks {
+	switch p {
+	case ProfileSRS:
+		return Quirks{
+			AcceptAnyReplay:    true,
+			ResetCountOnReplay: true,
+			AcceptSameSQN:      true,
+			KeepCtxAfterReject: true,
+			AcceptReplayedSMC:  true,
+		}
+	case ProfileOAI:
+		return Quirks{
+			AcceptLastReplay:    true,
+			AcceptPlainAfterCtx: true,
+			LeakIMSIAfterCtx:    true,
+			AcceptReplayedSMC:   true,
+		}
+	default:
+		return Quirks{}
+	}
+}
+
+// StyleFor returns the handler-signature naming convention each
+// implementation uses (Section IX: srsLTE uses send_/parse_, OAI uses
+// emm_send_/emm_recv_, the closed-source stack send_/recv_).
+func StyleFor(p Profile) spec.SignatureStyle {
+	switch p {
+	case ProfileSRS:
+		return spec.StyleSRS
+	case ProfileOAI:
+		return spec.StyleOAI
+	default:
+		return spec.StyleClosed
+	}
+}

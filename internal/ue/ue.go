@@ -1,0 +1,285 @@
+package ue
+
+import (
+	"errors"
+	"fmt"
+
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/sqn"
+	"prochecker/internal/trace"
+	"prochecker/internal/usim"
+)
+
+// Config parameterises a UE instance.
+type Config struct {
+	// Profile selects the implementation behaviour; defaults to
+	// ProfileConformant.
+	Profile Profile
+	// IMSI is the subscriber identity stored on the USIM.
+	IMSI string
+	// K is the permanent subscriber key shared with the home network.
+	K security.Key
+	// SQN configures the USIM's Annex C scheme; the zero value selects
+	// sqn.DefaultConfig().
+	SQN sqn.Config
+	// Recorder receives the instrumentation log. Optional; a private
+	// recorder is created when nil so handlers can log unconditionally.
+	Recorder *trace.Recorder
+	// UECaps is the capability bitmap replayed in security_mode_command
+	// for bidding-down protection.
+	UECaps uint8
+}
+
+// UE is an instrumented UE-side NAS state machine. Create it with New.
+// Its methods are not safe for concurrent use; the conformance runner and
+// testbed drive it from a single goroutine, like the real stacks' NAS
+// task threads.
+type UE struct {
+	profile Profile
+	quirks  Quirks
+	style   spec.SignatureStyle
+	rec     *trace.Recorder
+
+	imsi   string
+	usim   *usim.USIM
+	uecaps uint8
+
+	// Protocol globals — the state the instrumentation dumps.
+	state spec.EMMState
+	guti  uint32
+	ctx   nas.Context
+
+	// pending holds the key hierarchy derived from the last successful
+	// AKA run, not yet activated by a security_mode_command.
+	pending    *security.Hierarchy
+	lastSQN    uint64
+	hasLastSQN bool
+	// ESM (session management) sub-layer globals.
+	esmState spec.ESMState
+	bearerID uint8
+	pti      uint8
+	apn      string
+
+	// tauPending/serviceReqPending track running UE-initiated procedures.
+	tauPending        bool
+	serviceReqPending bool
+	// blocked is set by authentication_reject: the UE considers the SIM
+	// invalid and will not reattach (the "numb" condition).
+	blocked bool
+}
+
+// New builds a UE. It returns an error for a missing IMSI or an invalid
+// SQN configuration.
+func New(cfg Config) (*UE, error) {
+	if cfg.Profile == 0 {
+		cfg.Profile = ProfileConformant
+	}
+	if cfg.IMSI == "" {
+		return nil, errors.New("ue: Config.IMSI is required")
+	}
+	if cfg.SQN == (sqn.Config{}) {
+		cfg.SQN = sqn.DefaultConfig()
+	}
+	card, err := usim.New(cfg.IMSI, cfg.K, cfg.SQN)
+	if err != nil {
+		return nil, fmt.Errorf("ue: building USIM: %w", err)
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = &trace.Recorder{}
+	}
+	return &UE{
+		profile:  cfg.Profile,
+		quirks:   QuirksFor(cfg.Profile),
+		style:    StyleFor(cfg.Profile),
+		rec:      rec,
+		imsi:     cfg.IMSI,
+		usim:     card,
+		uecaps:   cfg.UECaps,
+		state:    spec.EMMDeregistered,
+		esmState: spec.BearerInactive,
+	}, nil
+}
+
+// Accessors used by tests, the testbed and attack validation.
+
+// Profile returns the implementation profile.
+func (u *UE) Profile() Profile { return u.profile }
+
+// State returns the current EMM state.
+func (u *UE) State() spec.EMMState { return u.state }
+
+// GUTI returns the currently assigned GUTI (0 when none).
+func (u *UE) GUTI() uint32 { return u.guti }
+
+// IMSI returns the subscriber identity.
+func (u *UE) IMSI() string { return u.imsi }
+
+// SecurityContextActive reports whether a NAS security context is active.
+func (u *UE) SecurityContextActive() bool { return u.ctx.Active }
+
+// Keys returns the active NAS key hierarchy (zero value when inactive).
+func (u *UE) Keys() security.Hierarchy { return u.ctx.Keys }
+
+// DownlinkCount returns the next expected downlink NAS COUNT.
+func (u *UE) DownlinkCount() uint32 { return u.ctx.DLCount }
+
+// Blocked reports whether an authentication_reject has permanently
+// blocked the UE from reattaching.
+func (u *UE) Blocked() bool { return u.blocked }
+
+// Recorder returns the instrumentation recorder backing this UE.
+func (u *UE) Recorder() *trace.Recorder { return u.rec }
+
+// SignatureStyle returns the handler naming convention in use.
+func (u *UE) SignatureStyle() spec.SignatureStyle { return u.style }
+
+// logGlobals dumps the protocol's global variables, as the source
+// instrumentation does on handler entry and exit.
+func (u *UE) logGlobals() {
+	u.rec.Global("emm_state", string(u.state))
+	u.rec.Global("esm_state", string(u.esmState))
+	u.rec.Global("guti", fmt.Sprintf("%#x", u.guti))
+	u.rec.GlobalBool("sec_ctx_active", u.ctx.Active)
+}
+
+// setState changes the EMM state and logs the new value, producing the
+// second state signature of a log block (Algorithm 1 lines 9-10).
+func (u *UE) setState(s spec.EMMState) {
+	u.state = s
+	u.rec.Global("emm_state", string(s))
+}
+
+// seal wraps an outgoing message, logging the outgoing-handler signature.
+func (u *UE) seal(msg nas.Message, header nas.SecurityHeader) (nas.Packet, error) {
+	sig := u.style.Send(msg.Name())
+	u.rec.EnterFunc(sig)
+	p, err := u.ctx.Seal(msg, header, nas.DirUplink)
+	if err != nil {
+		u.rec.Note("seal failure: " + err.Error())
+		u.rec.ExitFunc(sig)
+		return nas.Packet{}, fmt.Errorf("ue: %w", err)
+	}
+	u.rec.ExitFunc(sig)
+	return p, nil
+}
+
+// respond is seal plus collection into a reply slice, recording
+// null_action-free transitions. A seal failure degrades to no response,
+// which the extractor records as null_action.
+func (u *UE) respond(replies []nas.Packet, msg nas.Message, header nas.SecurityHeader) []nas.Packet {
+	p, err := u.seal(msg, header)
+	if err != nil {
+		return replies
+	}
+	return append(replies, p)
+}
+
+// protectedHeader picks the header for post-SMC uplink signalling.
+func (u *UE) protectedHeader() nas.SecurityHeader {
+	if u.ctx.Active {
+		return nas.HeaderIntegrityCiphered
+	}
+	return nas.HeaderPlain
+}
+
+// registered reports whether the UE is in EMM_REGISTERED or one of its
+// sub-states.
+func (u *UE) registered() bool {
+	return u.state == spec.EMMRegistered || u.state == spec.EMMRegisteredNormalService
+}
+
+// Registered reports whether the UE is in EMM_REGISTERED or one of its
+// sub-states.
+func (u *UE) Registered() bool { return u.registered() }
+
+// StartAttach begins the attach procedure: the UE enters
+// EMM_REGISTERED_INITIATED and emits a plain attach_request. It fails when
+// the UE is blocked by a previous authentication_reject or already
+// registered.
+func (u *UE) StartAttach() (nas.Packet, error) {
+	if u.blocked {
+		return nas.Packet{}, errors.New("ue: blocked by authentication_reject; not attaching")
+	}
+	if u.registered() {
+		return nas.Packet{}, fmt.Errorf("ue: already registered")
+	}
+	u.rec.EnterFunc("emm_start_attach")
+	u.logGlobals()
+	u.setState(spec.EMMRegisteredInitiated)
+	req := &nas.AttachRequest{IMSI: u.imsi, GUTI: u.guti, UECaps: u.uecaps}
+	p, err := u.seal(req, nas.HeaderPlain)
+	u.rec.ExitFunc("emm_start_attach")
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	return p, nil
+}
+
+// StartDetach begins a UE-originated detach.
+func (u *UE) StartDetach(switchOff bool) (nas.Packet, error) {
+	u.rec.EnterFunc("emm_start_detach")
+	u.logGlobals()
+	u.setState(spec.EMMDeregInitiated)
+	p, err := u.seal(&nas.DetachRequestUE{SwitchOff: switchOff}, u.protectedHeader())
+	u.rec.ExitFunc("emm_start_detach")
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	return p, nil
+}
+
+// StartTAU begins a tracking-area update; the UE must be registered.
+func (u *UE) StartTAU(tac uint16) (nas.Packet, error) {
+	if !u.registered() {
+		return nas.Packet{}, fmt.Errorf("ue: TAU requires EMM_REGISTERED, in %s", u.state)
+	}
+	u.rec.EnterFunc("emm_start_tau")
+	u.logGlobals()
+	u.setState(spec.EMMTAUInitiated)
+	u.tauPending = true
+	p, err := u.seal(&nas.TAURequest{GUTI: u.guti, TAC: tac}, u.protectedHeader())
+	u.rec.ExitFunc("emm_start_tau")
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	return p, nil
+}
+
+// StartServiceRequest asks for service while registered (also invoked
+// internally in response to paging).
+func (u *UE) StartServiceRequest() (nas.Packet, error) {
+	if !u.registered() {
+		return nas.Packet{}, fmt.Errorf("ue: service request requires EMM_REGISTERED, in %s", u.state)
+	}
+	u.rec.EnterFunc("emm_start_service_request")
+	u.logGlobals()
+	u.setState(spec.EMMServiceReqInitiated)
+	u.serviceReqPending = true
+	p, err := u.seal(&nas.ServiceRequest{GUTI: u.guti}, u.protectedHeader())
+	u.rec.ExitFunc("emm_start_service_request")
+	if err != nil {
+		return nas.Packet{}, err
+	}
+	return p, nil
+}
+
+// PowerCycle models a reboot: volatile state is lost but the USIM's SQN
+// array and any stored security context survive (as on a real SIM/NV).
+// The blocked flag survives too, per the "SIM invalid until reboot of the
+// network side" semantics used in the numb attack; pass clearBlock to
+// model swapping the SIM.
+func (u *UE) PowerCycle(clearBlock bool) {
+	u.rec.Note("power cycle")
+	u.state = spec.EMMDeregistered
+	u.tauPending = false
+	u.serviceReqPending = false
+	// Bearer contexts are volatile: they do not survive a reboot.
+	u.esmState = spec.BearerInactive
+	u.bearerID = 0
+	if clearBlock {
+		u.blocked = false
+	}
+}

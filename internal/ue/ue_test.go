@@ -1,0 +1,363 @@
+package ue_test
+
+import (
+	"testing"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/conformance"
+	"prochecker/internal/nas"
+	"prochecker/internal/security"
+	"prochecker/internal/spec"
+	"prochecker/internal/trace"
+	"prochecker/internal/ue"
+)
+
+func newEnv(t *testing.T, p ue.Profile) *conformance.Env {
+	t.Helper()
+	env, err := conformance.NewEnv(p, nil)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func attach(t *testing.T, env *conformance.Env) {
+	t.Helper()
+	if err := env.Attach(); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := ue.New(ue.Config{}); err == nil {
+		t.Error("missing IMSI accepted")
+	}
+	u, err := ue.New(ue.Config{IMSI: "1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if u.Profile() != ue.ProfileConformant {
+		t.Errorf("default profile = %v, want conformant", u.Profile())
+	}
+	if u.State() != spec.EMMDeregistered {
+		t.Errorf("initial state = %v", u.State())
+	}
+}
+
+func TestQuirksMatchTableI(t *testing.T) {
+	tests := []struct {
+		profile ue.Profile
+		want    ue.Quirks
+	}{
+		{ue.ProfileConformant, ue.Quirks{}},
+		{ue.ProfileSRS, ue.Quirks{
+			AcceptAnyReplay: true, ResetCountOnReplay: true,
+			AcceptSameSQN: true, KeepCtxAfterReject: true, AcceptReplayedSMC: true,
+		}},
+		{ue.ProfileOAI, ue.Quirks{
+			AcceptLastReplay: true, AcceptPlainAfterCtx: true,
+			LeakIMSIAfterCtx: true, AcceptReplayedSMC: true,
+		}},
+	}
+	for _, tt := range tests {
+		if got := ue.QuirksFor(tt.profile); got != tt.want {
+			t.Errorf("QuirksFor(%v) = %+v, want %+v", tt.profile, got, tt.want)
+		}
+	}
+}
+
+func TestSignatureStylesPerProfile(t *testing.T) {
+	if got := ue.StyleFor(ue.ProfileSRS).Recv(spec.AttachAccept); got != "parse_attach_accept" {
+		t.Errorf("srs recv signature = %q", got)
+	}
+	if got := ue.StyleFor(ue.ProfileOAI).Send(spec.AttachComplete); got != "emm_send_attach_complete" {
+		t.Errorf("oai send signature = %q", got)
+	}
+	if got := ue.StyleFor(ue.ProfileConformant).Recv(spec.AuthRequest); got != "recv_authentication_request" {
+		t.Errorf("closed recv signature = %q", got)
+	}
+}
+
+func TestStartAttachWhenRegisteredFails(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	if _, err := env.UE.StartAttach(); err == nil {
+		t.Error("StartAttach while registered succeeded")
+	}
+}
+
+func TestStartTAURequiresRegistered(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	if _, err := env.UE.StartTAU(1); err == nil {
+		t.Error("StartTAU while deregistered succeeded")
+	}
+}
+
+func TestPlainAttachAcceptIgnored(t *testing.T) {
+	// An unprotected attach_accept must never register the UE.
+	env := newEnv(t, ue.ProfileConformant)
+	req, err := env.UE.StartAttach()
+	if err != nil {
+		t.Fatalf("StartAttach: %v", err)
+	}
+	_ = req // never delivered; inject a forged plain accept instead
+	forged, err := (&nas.Context{}).Seal(&nas.AttachAccept{GUTI: 0x666}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	replies := env.UE.HandleDownlink(forged)
+	if len(replies) != 0 {
+		t.Errorf("UE responded to forged plain attach_accept: %d replies", len(replies))
+	}
+	if env.UE.State() == spec.EMMRegistered {
+		t.Error("UE registered from forged plain attach_accept")
+	}
+}
+
+func TestTamperedProtectedMessageDiscarded(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	cmd, err := env.MME.StartGUTIReallocation()
+	if err != nil {
+		t.Fatalf("StartGUTIReallocation: %v", err)
+	}
+	cmd.Payload[0] ^= 0xFF
+	before := env.UE.GUTI()
+	replies := env.UE.HandleDownlink(cmd)
+	if len(replies) != 0 || env.UE.GUTI() != before {
+		t.Error("tampered guti_reallocation_command was processed")
+	}
+}
+
+func TestI2PlainAfterCtx(t *testing.T) {
+	// OAI accepts a plain command post-ctx; conformant and srs do not.
+	for _, tt := range []struct {
+		profile ue.Profile
+		want    bool
+	}{
+		{ue.ProfileConformant, false},
+		{ue.ProfileSRS, false},
+		{ue.ProfileOAI, true},
+	} {
+		t.Run(tt.profile.String(), func(t *testing.T) {
+			env := newEnv(t, tt.profile)
+			attach(t, env)
+			cmd, err := (&nas.Context{}).Seal(&nas.GUTIReallocationCommand{GUTI: 0x7777}, nas.HeaderPlain, nas.DirDownlink)
+			if err != nil {
+				t.Fatalf("Seal: %v", err)
+			}
+			env.UE.HandleDownlink(cmd)
+			if got := env.UE.GUTI() == 0x7777; got != tt.want {
+				t.Errorf("plain command accepted = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestI5IMSILeak(t *testing.T) {
+	for _, tt := range []struct {
+		profile ue.Profile
+		want    bool // plaintext IMSI response expected?
+	}{
+		{ue.ProfileConformant, false},
+		{ue.ProfileSRS, false},
+		{ue.ProfileOAI, true},
+	} {
+		t.Run(tt.profile.String(), func(t *testing.T) {
+			env := newEnv(t, tt.profile)
+			attach(t, env)
+			req, err := (&nas.Context{}).Seal(&nas.IdentityRequest{IDType: nas.IDTypeIMSI}, nas.HeaderPlain, nas.DirDownlink)
+			if err != nil {
+				t.Fatalf("Seal: %v", err)
+			}
+			replies := env.UE.HandleDownlink(req)
+			leaked := false
+			for _, r := range replies {
+				if r.Header != nas.HeaderPlain {
+					continue
+				}
+				m, err := nas.Unmarshal(r.Payload)
+				if err != nil {
+					continue
+				}
+				if ir, ok := m.(*nas.IdentityResponse); ok && ir.IMSI == env.UE.IMSI() {
+					leaked = true
+				}
+			}
+			if leaked != tt.want {
+				t.Errorf("IMSI leaked = %v, want %v", leaked, tt.want)
+			}
+		})
+	}
+}
+
+func TestI4SecurityBypassAfterReject(t *testing.T) {
+	run := func(t *testing.T, p ue.Profile) bool {
+		t.Helper()
+		env := newEnv(t, p)
+		attach(t, env)
+		// Capture the genuine attach_accept for replay.
+		var accept *nas.Packet
+		for _, c := range env.Link.Captured(channel.Downlink) {
+			if c.Header == nas.HeaderIntegrityCiphered {
+				cc := c
+				accept = &cc
+				break
+			}
+		}
+		if accept == nil {
+			t.Fatal("no ciphered attach_accept captured")
+		}
+		rej, err := (&nas.Context{}).Seal(&nas.AttachReject{Cause: nas.CauseIllegalUE}, nas.HeaderPlain, nas.DirDownlink)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		env.UE.HandleDownlink(rej)
+		if env.UE.State() != spec.EMMDeregistered {
+			t.Fatalf("UE not deregistered after reject: %s", env.UE.State())
+		}
+		env.UE.HandleDownlink(*accept)
+		return env.UE.State() == spec.EMMRegistered
+	}
+	if run(t, ue.ProfileConformant) {
+		t.Error("conformant UE re-registered from replayed attach_accept after reject")
+	}
+	if !run(t, ue.ProfileSRS) {
+		t.Error("srs UE did not exhibit I4 security bypass")
+	}
+}
+
+func TestI6ReplayedSMCAnswered(t *testing.T) {
+	run := func(t *testing.T, p ue.Profile) bool {
+		t.Helper()
+		env := newEnv(t, p)
+		attach(t, env)
+		var smc *nas.Packet
+		for _, c := range env.Link.Captured(channel.Downlink) {
+			if c.Header == nas.HeaderIntegrity {
+				cc := c
+				smc = &cc
+				break
+			}
+		}
+		if smc == nil {
+			t.Fatal("no security_mode_command captured")
+		}
+		replies := env.UE.HandleDownlink(*smc)
+		return len(replies) > 0
+	}
+	if run(t, ue.ProfileConformant) {
+		t.Error("conformant UE answered a replayed security_mode_command")
+	}
+	if !run(t, ue.ProfileSRS) {
+		t.Error("srs UE silent on replayed SMC; I6 not reproduced")
+	}
+	if !run(t, ue.ProfileOAI) {
+		t.Error("oai UE silent on replayed SMC; I6 not reproduced")
+	}
+}
+
+func TestP1StaleAuthAcceptedAndDesyncs(t *testing.T) {
+	// All profiles accept a stale (captured-and-dropped) challenge: the
+	// flaw is in the standard's SQN scheme.
+	for _, p := range []ue.Profile{ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI} {
+		t.Run(p.String(), func(t *testing.T) {
+			env := newEnv(t, p)
+			// Build two challenges; deliver only the second, then replay
+			// the first.
+			k := env.K
+			stale := security.GenerateVector(k, [16]byte{1}, 0b000001_00001) // SEQ=1, IND=1
+			fresh := security.GenerateVector(k, [16]byte{2}, 0b000010_00010) // SEQ=2, IND=2
+
+			mkPkt := func(v security.Vector) nas.Packet {
+				p, err := (&nas.Context{}).Seal(&nas.AuthRequest{RAND: v.RAND, AUTN: v.AUTN}, nas.HeaderPlain, nas.DirDownlink)
+				if err != nil {
+					t.Fatalf("Seal: %v", err)
+				}
+				return p
+			}
+			if got := env.UE.HandleDownlink(mkPkt(fresh)); len(got) == 0 {
+				t.Fatal("fresh challenge not answered")
+			}
+			replies := env.UE.HandleDownlink(mkPkt(stale))
+			if len(replies) == 0 {
+				t.Fatal("stale challenge not answered at all")
+			}
+			m, err := nas.Unmarshal(replies[0].Payload)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if m.Name() != spec.AuthResponse {
+				t.Errorf("stale challenge answered with %s, want authentication_response (P1)", m.Name())
+			}
+		})
+	}
+}
+
+func TestBlockedUEPowerCycle(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	rej, err := (&nas.Context{}).Seal(&nas.AuthReject{}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.UE.HandleDownlink(rej)
+	if !env.UE.Blocked() {
+		t.Fatal("UE not blocked")
+	}
+	env.UE.PowerCycle(false)
+	if !env.UE.Blocked() {
+		t.Error("blocked flag did not survive power cycle")
+	}
+	env.UE.PowerCycle(true)
+	if env.UE.Blocked() {
+		t.Error("clearBlock did not clear the flag")
+	}
+}
+
+func TestRecorderSeesHandlerSignatures(t *testing.T) {
+	rec := &trace.Recorder{}
+	u, err := ue.New(ue.Config{Profile: ue.ProfileOAI, IMSI: "1", Recorder: rec})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	req, err := (&nas.Context{}).Seal(&nas.IdentityRequest{IDType: nas.IDTypeIMSI}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	u.HandleDownlink(req)
+	var sawRecv, sawSend bool
+	for _, r := range rec.Snapshot() {
+		if r.Kind == trace.KindFuncEntry {
+			if r.Name == "emm_recv_identity_request" {
+				sawRecv = true
+			}
+			if r.Name == "emm_send_identity_response" {
+				sawSend = true
+			}
+		}
+	}
+	if !sawRecv || !sawSend {
+		t.Errorf("recorder missing OAI-style signatures: recv=%v send=%v", sawRecv, sawSend)
+	}
+}
+
+func TestPagingWrongIdentityIgnored(t *testing.T) {
+	env := newEnv(t, ue.ProfileConformant)
+	attach(t, env)
+	page, err := (&nas.Context{}).Seal(&nas.PagingRequest{IDType: nas.IDTypeGUTI, GUTI: 0xBAD}, nas.HeaderPlain, nas.DirDownlink)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if replies := env.UE.HandleDownlink(page); len(replies) != 0 {
+		t.Error("UE answered a page for a different GUTI")
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	if ue.ProfileConformant.String() != "conformant" ||
+		ue.ProfileSRS.String() != "srsLTE" ||
+		ue.ProfileOAI.String() != "OAI" ||
+		ue.Profile(99).String() != "unknown-profile" {
+		t.Error("profile strings wrong")
+	}
+}

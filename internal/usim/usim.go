@@ -1,0 +1,116 @@
+// Package usim simulates the USIM application: it stores the subscriber
+// identity and permanent key, verifies AKA challenges (AUTN MAC and the
+// Annex C SQN scheme), computes RES, and generates resynchronisation
+// tokens. Its SQN handling is the component whose acceptance of
+// out-of-order sequence numbers enables attacks P1 and P2.
+package usim
+
+import (
+	"errors"
+	"fmt"
+
+	"prochecker/internal/security"
+	"prochecker/internal/sqn"
+)
+
+// USIM is a simulated SIM application. Create it with New.
+type USIM struct {
+	imsi     string
+	k        security.Key
+	verifier *sqn.Verifier
+}
+
+// New builds a USIM for the given IMSI and permanent key, using cfg for
+// the Annex C SQN scheme.
+func New(imsi string, k security.Key, cfg sqn.Config) (*USIM, error) {
+	if imsi == "" {
+		return nil, errors.New("usim: empty IMSI")
+	}
+	v, err := sqn.NewVerifier(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("usim: building SQN verifier: %w", err)
+	}
+	return &USIM{imsi: imsi, k: k, verifier: v}, nil
+}
+
+// IMSI returns the stored subscriber identity.
+func (u *USIM) IMSI() string { return u.imsi }
+
+// ChallengeOutcome classifies the USIM's verdict on an AKA challenge.
+type ChallengeOutcome uint8
+
+// Challenge outcomes, in increasing severity of failure.
+const (
+	// ChallengeOK: MAC verified and SQN accepted; RES and keys follow.
+	ChallengeOK ChallengeOutcome = iota + 1
+	// ChallengeMACFailure: AUTN MAC did not verify — answer
+	// auth_mac_failure (EMM cause 20).
+	ChallengeMACFailure
+	// ChallengeSyncFailure: MAC verified but SQN out of range — answer
+	// auth_sync_failure with AUTS (EMM cause 21).
+	ChallengeSyncFailure
+)
+
+// ChallengeResult is the USIM's full response to an AKA challenge.
+type ChallengeResult struct {
+	Outcome ChallengeOutcome
+	// RES is valid only for ChallengeOK.
+	RES [security.RESSize]byte
+	// Keys is the derived NAS key hierarchy, valid only for ChallengeOK.
+	Keys security.Hierarchy
+	// AUTS is valid only for ChallengeSyncFailure.
+	AUTS [security.AUTSSize]byte
+	// SQN is the sequence number recovered from AUTN (valid unless the
+	// MAC failed).
+	SQN uint64
+}
+
+// Challenge processes an authentication challenge (RAND, AUTN) exactly as
+// TS 33.102 prescribes: verify MAC-A first, then check SQN against the
+// slot array; on acceptance derive the key hierarchy.
+func (u *USIM) Challenge(rand [security.RANDSize]byte, autn [security.AUTNSize]byte) ChallengeResult {
+	seq, err := security.OpenAUTN(u.k, rand, autn)
+	if err != nil {
+		return ChallengeResult{Outcome: ChallengeMACFailure}
+	}
+	res := ChallengeResult{SQN: seq}
+	if err := u.verifier.Verify(seq); err != nil {
+		res.Outcome = ChallengeSyncFailure
+		res.AUTS = security.GenerateAUTS(u.k, rand, u.verifier.HighestAccepted())
+		return res
+	}
+	res.Outcome = ChallengeOK
+	res.RES = security.F2(u.k, rand[:])
+	res.Keys = security.DeriveHierarchy(u.k, rand[:])
+	return res
+}
+
+// ChallengeIgnoringSQN verifies only the AUTN MAC and, when it passes,
+// returns RES and keys regardless of the SQN verdict, without recording
+// the SQN. No conformant stack behaves this way: it models srsUE's I3
+// behaviour of accepting a replayed authentication_request with an
+// already-used sequence number (and subsequently resetting its counters).
+func (u *USIM) ChallengeIgnoringSQN(rand [security.RANDSize]byte, autn [security.AUTNSize]byte) ChallengeResult {
+	seq, err := security.OpenAUTN(u.k, rand, autn)
+	if err != nil {
+		return ChallengeResult{Outcome: ChallengeMACFailure}
+	}
+	return ChallengeResult{
+		Outcome: ChallengeOK,
+		SQN:     seq,
+		RES:     security.F2(u.k, rand[:]),
+		Keys:    security.DeriveHierarchy(u.k, rand[:]),
+	}
+}
+
+// WouldAcceptSQN reports whether the USIM's SQN array would currently
+// accept the given sequence number, without mutating state. Used by the
+// P1/P2 analyses to probe staleness windows.
+func (u *USIM) WouldAcceptSQN(seq uint64) bool {
+	return u.verifier.WouldAccept(seq)
+}
+
+// HighestAcceptedSQN exposes SQN_MS for diagnostics.
+func (u *USIM) HighestAcceptedSQN() uint64 {
+	return u.verifier.HighestAccepted()
+}

@@ -1,0 +1,172 @@
+package usim
+
+import (
+	"testing"
+
+	"prochecker/internal/security"
+	"prochecker/internal/sqn"
+)
+
+const testIMSI = "001010123456789"
+
+func newUSIM(t *testing.T) (*USIM, security.Key, *sqn.Generator) {
+	t.Helper()
+	k := security.KeyFromBytes([]byte("subscriber-key"))
+	u, err := New(testIMSI, k, sqn.DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g, err := sqn.NewGenerator(sqn.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return u, k, g
+}
+
+func challenge(k security.Key, seq uint64) ([security.RANDSize]byte, [security.AUTNSize]byte) {
+	var rand [security.RANDSize]byte
+	rand[0] = byte(seq)
+	rand[1] = byte(seq >> 8)
+	v := security.GenerateVector(k, rand, seq)
+	return v.RAND, v.AUTN
+}
+
+func TestNewValidation(t *testing.T) {
+	k := security.KeyFromBytes([]byte("k"))
+	if _, err := New("", k, sqn.DefaultConfig()); err == nil {
+		t.Error("empty IMSI accepted")
+	}
+	if _, err := New("imsi", k, sqn.Config{INDBits: 0}); err == nil {
+		t.Error("bad SQN config accepted")
+	}
+}
+
+func TestChallengeSuccess(t *testing.T) {
+	u, k, g := newUSIM(t)
+	seq := g.Next()
+	rand, autn := challenge(k, seq)
+	res := u.Challenge(rand, autn)
+	if res.Outcome != ChallengeOK {
+		t.Fatalf("outcome = %v, want ChallengeOK", res.Outcome)
+	}
+	if res.SQN != seq {
+		t.Errorf("SQN = %d, want %d", res.SQN, seq)
+	}
+	if res.RES != security.F2(k, rand[:]) {
+		t.Error("RES mismatch")
+	}
+	if res.Keys != security.DeriveHierarchy(k, rand[:]) {
+		t.Error("key hierarchy mismatch")
+	}
+	if u.IMSI() != testIMSI {
+		t.Errorf("IMSI = %q", u.IMSI())
+	}
+}
+
+func TestChallengeMACFailure(t *testing.T) {
+	u, k, g := newUSIM(t)
+	rand, autn := challenge(k, g.Next())
+	autn[15] ^= 0xff
+	res := u.Challenge(rand, autn)
+	if res.Outcome != ChallengeMACFailure {
+		t.Errorf("outcome = %v, want ChallengeMACFailure", res.Outcome)
+	}
+}
+
+func TestChallengeWrongKeyIsMACFailure(t *testing.T) {
+	u, _, g := newUSIM(t)
+	otherK := security.KeyFromBytes([]byte("different-operator"))
+	rand, autn := challenge(otherK, g.Next())
+	if res := u.Challenge(rand, autn); res.Outcome != ChallengeMACFailure {
+		t.Errorf("outcome = %v, want ChallengeMACFailure", res.Outcome)
+	}
+}
+
+func TestChallengeSyncFailureOnExactReplay(t *testing.T) {
+	u, k, g := newUSIM(t)
+	seq := g.Next()
+	rand, autn := challenge(k, seq)
+	if res := u.Challenge(rand, autn); res.Outcome != ChallengeOK {
+		t.Fatalf("first challenge: %v", res.Outcome)
+	}
+	res := u.Challenge(rand, autn)
+	if res.Outcome != ChallengeSyncFailure {
+		t.Fatalf("replayed challenge outcome = %v, want ChallengeSyncFailure", res.Outcome)
+	}
+	// AUTS must verify and carry SQN_MS (the highest accepted).
+	sqnMS, err := security.OpenAUTS(k, rand, res.AUTS)
+	if err != nil {
+		t.Fatalf("OpenAUTS: %v", err)
+	}
+	if sqnMS != u.HighestAcceptedSQN() {
+		t.Errorf("AUTS SQN_MS = %d, want %d", sqnMS, u.HighestAcceptedSQN())
+	}
+}
+
+// TestStaleChallengeAccepted reproduces the P1 core at USIM level: a
+// captured-and-dropped challenge remains acceptable after a newer one was
+// accepted, because its IND slot is untouched.
+func TestStaleChallengeAccepted(t *testing.T) {
+	u, k, g := newUSIM(t)
+	staleSeq := g.Next()
+	staleRand, staleAUTN := challenge(k, staleSeq)
+	freshSeq := g.Next()
+	freshRand, freshAUTN := challenge(k, freshSeq)
+
+	if res := u.Challenge(freshRand, freshAUTN); res.Outcome != ChallengeOK {
+		t.Fatalf("fresh challenge: %v", res.Outcome)
+	}
+	if !u.WouldAcceptSQN(staleSeq) {
+		t.Fatal("WouldAcceptSQN(stale) = false; P1 precondition broken")
+	}
+	res := u.Challenge(staleRand, staleAUTN)
+	if res.Outcome != ChallengeOK {
+		t.Errorf("stale challenge outcome = %v, want ChallengeOK (the P1 vulnerability)", res.Outcome)
+	}
+	if res.SQN >= freshSeq {
+		t.Error("test setup wrong: stale SQN should be lower than fresh")
+	}
+}
+
+// TestStaleChallengeKeyDesync shows the P1 consequence: accepting the
+// stale challenge re-derives a different key hierarchy, desynchronising
+// UE and network.
+func TestStaleChallengeKeyDesync(t *testing.T) {
+	u, k, g := newUSIM(t)
+	staleRand, staleAUTN := challenge(k, g.Next())
+	freshRand, freshAUTN := challenge(k, g.Next())
+
+	fresh := u.Challenge(freshRand, freshAUTN)
+	if fresh.Outcome != ChallengeOK {
+		t.Fatalf("fresh: %v", fresh.Outcome)
+	}
+	stale := u.Challenge(staleRand, staleAUTN)
+	if stale.Outcome != ChallengeOK {
+		t.Fatalf("stale: %v", stale.Outcome)
+	}
+	if stale.Keys == fresh.Keys {
+		t.Error("stale challenge produced identical keys; no desync would occur")
+	}
+}
+
+func TestFreshnessLimitPreventsStaleAcceptance(t *testing.T) {
+	k := security.KeyFromBytes([]byte("subscriber-key"))
+	u, err := New(testIMSI, k, sqn.Config{INDBits: sqn.DefaultINDBits, FreshnessLimit: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g, err := sqn.NewGenerator(sqn.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	staleRand, staleAUTN := challenge(k, g.Next())
+	_ = g.Next()
+	_ = g.Next()
+	freshRand, freshAUTN := challenge(k, g.Next())
+	if res := u.Challenge(freshRand, freshAUTN); res.Outcome != ChallengeOK {
+		t.Fatalf("fresh: %v", res.Outcome)
+	}
+	if res := u.Challenge(staleRand, staleAUTN); res.Outcome != ChallengeSyncFailure {
+		t.Errorf("with L=1, stale challenge outcome = %v, want ChallengeSyncFailure", res.Outcome)
+	}
+}

@@ -1,0 +1,244 @@
+// Package prochecker is an automated security and privacy analysis
+// framework for 4G LTE protocol implementations, reproducing the system
+// of Karim, Hussain and Bertino (ICDCS 2021).
+//
+// The pipeline mirrors the paper's architecture (Figure 2):
+//
+//  1. the implementation under test runs its functional conformance test
+//     suite with source-level instrumentation, producing an
+//     information-rich execution log;
+//  2. the model extractor (Algorithm 1) lifts the log into a semantic
+//     finite-state machine;
+//  3. the adversarial model instrumentor composes the extracted UE
+//     machine with a network-side model over public channels under a
+//     Dolev-Yao adversary;
+//  4. a symbolic model checker and a cryptographic protocol verifier
+//     cooperate in a CEGAR loop to verify 62 security and privacy
+//     properties, reporting realizable counterexamples as attacks;
+//  5. attacks are validated end to end against the live implementation
+//     on an in-process testbed.
+//
+// Basic use:
+//
+//	a, err := prochecker.Analyze(prochecker.SRSLTE)
+//	...
+//	res, err := a.CheckProperty("S06") // the P1 property
+//	if res.AttackFound { fmt.Println(res.Detail) }
+package prochecker
+
+import (
+	"fmt"
+	"time"
+
+	"prochecker/internal/core/props"
+	"prochecker/internal/report"
+	"prochecker/internal/testbed"
+	"prochecker/internal/ue"
+)
+
+// Implementation selects which 4G LTE stack behaviour profile to analyse.
+type Implementation string
+
+// The three implementations the paper evaluates. Conformant stands in
+// for the closed-source commercial stack.
+const (
+	Conformant Implementation = "conformant"
+	SRSLTE     Implementation = "srsLTE"
+	OAI        Implementation = "OAI"
+)
+
+// Implementations lists all supported profiles.
+func Implementations() []Implementation {
+	return []Implementation{Conformant, SRSLTE, OAI}
+}
+
+func (i Implementation) profile() (ue.Profile, error) {
+	switch i {
+	case Conformant:
+		return ue.ProfileConformant, nil
+	case SRSLTE:
+		return ue.ProfileSRS, nil
+	case OAI:
+		return ue.ProfileOAI, nil
+	default:
+		return 0, fmt.Errorf("prochecker: unknown implementation %q", i)
+	}
+}
+
+// PropertyInfo describes one catalogue property.
+type PropertyInfo struct {
+	ID     string
+	Class  string // "security" or "privacy"
+	Kind   string
+	Text   string
+	Source string
+	// CommonLTEInspector is non-empty for the 14 Table II properties.
+	CommonLTEInspector string
+}
+
+// Properties lists the full 62-property catalogue.
+func Properties() []PropertyInfo {
+	var out []PropertyInfo
+	for _, p := range props.Catalogue() {
+		out = append(out, PropertyInfo{
+			ID:                 p.ID,
+			Class:              string(p.Class),
+			Kind:               string(p.Kind),
+			Text:               p.Text,
+			Source:             p.Source,
+			CommonLTEInspector: p.CommonLTEInspector,
+		})
+	}
+	return out
+}
+
+// PropertyResult is one property's verdict on one implementation.
+type PropertyResult struct {
+	ID          string
+	Class       string
+	Text        string
+	Verified    bool
+	AttackFound bool
+	Detail      string
+	Duration    time.Duration
+	// AttackTrace lists the counterexample steps for model-checked
+	// attacks (empty otherwise).
+	AttackTrace []string
+}
+
+// Analysis is a built pipeline for one implementation: extracted model,
+// threat composition and cached verdicts.
+type Analysis struct {
+	impl  Implementation
+	model *report.Model
+	eval  *report.Evaluator
+}
+
+// Analyze runs the extraction pipeline (conformance suite ->
+// instrumentation log -> Algorithm 1 -> threat composition) for the
+// given implementation.
+func Analyze(impl Implementation) (*Analysis, error) {
+	profile, err := impl.profile()
+	if err != nil {
+		return nil, err
+	}
+	m, err := report.BuildModel(profile)
+	if err != nil {
+		return nil, fmt.Errorf("prochecker: %w", err)
+	}
+	return &Analysis{impl: impl, model: m, eval: report.NewEvaluator(m)}, nil
+}
+
+// Implementation returns the analysed profile.
+func (a *Analysis) Implementation() Implementation { return a.impl }
+
+// ModelSize reports the extracted FSM's dimensions (states, conditions,
+// actions, transitions).
+func (a *Analysis) ModelSize() (states, conditions, actions, transitions int) {
+	return a.model.FSM.Size()
+}
+
+// FSMDOT renders the extracted FSM in Graphviz format.
+func (a *Analysis) FSMDOT() string { return a.model.FSM.DOT() }
+
+// SMV renders the threat-instrumented model in nuXmv-style syntax, like
+// the paper's model generator.
+func (a *Analysis) SMV() string { return a.model.Composed.System.SMV() }
+
+// Coverage summarises the NAS-layer coverage the conformance run
+// achieved.
+func (a *Analysis) Coverage() string { return a.model.Suite.Coverage.String() }
+
+// Log renders the information-rich execution log the model was extracted
+// from.
+func (a *Analysis) Log() string { return a.model.Suite.Log.Render() }
+
+// CheckProperty verifies one catalogue property by ID.
+func (a *Analysis) CheckProperty(id string) (PropertyResult, error) {
+	p, ok := props.ByID(id)
+	if !ok {
+		return PropertyResult{}, fmt.Errorf("prochecker: unknown property %q", id)
+	}
+	v, err := a.eval.Evaluate(p)
+	if err != nil {
+		return PropertyResult{}, fmt.Errorf("prochecker: %w", err)
+	}
+	return PropertyResult{
+		ID:          p.ID,
+		Class:       string(p.Class),
+		Text:        p.Text,
+		Verified:    v.Verified,
+		AttackFound: v.Detected,
+		Detail:      v.Detail,
+		Duration:    v.Duration,
+	}, nil
+}
+
+// CheckAll verifies the complete 62-property catalogue.
+func (a *Analysis) CheckAll() ([]PropertyResult, error) {
+	var out []PropertyResult
+	for _, p := range props.Catalogue() {
+		r, err := a.CheckProperty(p.ID)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AttackMatrix regenerates Table I for the given implementations (all
+// three when none are named), returning the rendered matrix.
+func AttackMatrix(impls ...Implementation) (string, error) {
+	if len(impls) == 0 {
+		impls = Implementations()
+	}
+	profiles := make([]ue.Profile, 0, len(impls))
+	for _, i := range impls {
+		p, err := i.profile()
+		if err != nil {
+			return "", err
+		}
+		profiles = append(profiles, p)
+	}
+	rows, err := report.TableI(profiles)
+	if err != nil {
+		return "", fmt.Errorf("prochecker: %w", err)
+	}
+	return report.RenderTableI(rows, profiles), nil
+}
+
+// P1Validation reports the end-to-end testbed validation of the
+// service-disruption attack.
+type P1Validation = testbed.P1Result
+
+// ValidateP1 replays the Figure 4 attack against the live
+// implementation.
+func ValidateP1(impl Implementation) (P1Validation, error) {
+	p, err := impl.profile()
+	if err != nil {
+		return P1Validation{}, err
+	}
+	res, err := testbed.ValidateP1(p)
+	if err != nil {
+		return P1Validation{}, fmt.Errorf("prochecker: %w", err)
+	}
+	return res, nil
+}
+
+// P3Validation reports the selective-denial testbed validation.
+type P3Validation = testbed.P3Result
+
+// ValidateP3 replays the selective security-procedure denial against the
+// live implementation.
+func ValidateP3(impl Implementation) (P3Validation, error) {
+	p, err := impl.profile()
+	if err != nil {
+		return P3Validation{}, err
+	}
+	res, err := testbed.ValidateP3(p)
+	if err != nil {
+		return P3Validation{}, fmt.Errorf("prochecker: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package prochecker
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPropertiesCatalogue(t *testing.T) {
+	all := Properties()
+	if len(all) != 62 {
+		t.Fatalf("properties = %d, want 62", len(all))
+	}
+	common := 0
+	for _, p := range all {
+		if p.CommonLTEInspector != "" {
+			common++
+		}
+	}
+	if common != 14 {
+		t.Errorf("common properties = %d, want 14", common)
+	}
+}
+
+func TestAnalyzeUnknownImplementation(t *testing.T) {
+	if _, err := Analyze("nokia"); err == nil {
+		t.Error("unknown implementation accepted")
+	}
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	a, err := Analyze(SRSLTE)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Implementation() != SRSLTE {
+		t.Errorf("Implementation = %v", a.Implementation())
+	}
+	s, c, _, tr := a.ModelSize()
+	if s < 4 || c < 5 || tr < 10 {
+		t.Errorf("model suspiciously small: %d states, %d conditions, %d transitions", s, c, tr)
+	}
+	if !strings.Contains(a.FSMDOT(), "digraph") {
+		t.Error("FSMDOT not DOT")
+	}
+	if !strings.Contains(a.SMV(), "MODULE main") {
+		t.Error("SMV output malformed")
+	}
+	if !strings.Contains(a.Coverage(), "coverage") {
+		t.Error("coverage summary malformed")
+	}
+	if !strings.Contains(a.Log(), "[FUNC]") {
+		t.Error("log rendering malformed")
+	}
+}
+
+func TestCheckPropertyP1(t *testing.T) {
+	a, err := Analyze(Conformant)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := a.CheckProperty("S06")
+	if err != nil {
+		t.Fatalf("CheckProperty: %v", err)
+	}
+	if !res.AttackFound {
+		t.Errorf("P1 not found: %s", res.Detail)
+	}
+	if _, err := a.CheckProperty("XX99"); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestValidateAttacks(t *testing.T) {
+	p1, err := ValidateP1(OAI)
+	if err != nil {
+		t.Fatalf("ValidateP1: %v", err)
+	}
+	if !p1.Succeeded() {
+		t.Errorf("P1 validation failed: %+v", p1)
+	}
+	p3, err := ValidateP3(Conformant)
+	if err != nil {
+		t.Fatalf("ValidateP3: %v", err)
+	}
+	if !p3.Succeeded() {
+		t.Errorf("P3 validation failed: %+v", p3)
+	}
+	if _, err := ValidateP1("bogus"); err == nil {
+		t.Error("bogus implementation accepted")
+	}
+}
