@@ -11,9 +11,11 @@
 package prochecker
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
 	"prochecker/internal/core/cegar"
 	"prochecker/internal/core/extract"
@@ -492,4 +494,38 @@ func BenchmarkModelChecker(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConformanceFaults measures the hardened conformance path
+// under the seeded drop+corrupt adversary mix — the BENCH_faults.json
+// baseline series. The run must complete every case (faults surface as
+// per-case failures, never as suite aborts), so the benchmark also
+// guards the no-crash contract while timing it.
+func BenchmarkConformanceFaults(b *testing.B) {
+	cfg := channel.FaultConfig{Seed: 42, Drop: 0.10, Corrupt: 0.10}
+	suiteLen := len(conformance.SuiteFor(ue.ProfileSRS, true))
+	for i := 0; i < b.N; i++ {
+		rep, err := conformance.RunSuiteContext(context.Background(), ue.ProfileSRS, true,
+			conformance.RunOptions{Adversary: cfg.AdversaryFactory()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != suiteLen {
+			b.Fatalf("suite ran %d of %d cases", len(rep.Results), suiteLen)
+		}
+	}
+}
+
+// BenchmarkConformanceBenign is the control series: the same suite on a
+// clean link, isolating the fault decorators' overhead.
+func BenchmarkConformanceBenign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := conformance.RunSuiteContext(context.Background(), ue.ProfileSRS, true, conformance.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Passed() != len(rep.Results) {
+			b.Fatalf("benign suite failed %d case(s)", len(rep.Results)-rep.Passed())
+		}
+	}
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the repo: static checks, the full test suite under the
+# race detector, and the fault-injection benchmark baseline.
+#
+#   ./ci.sh          # vet + build + race tests + refresh BENCH_faults.json
+#   ./ci.sh quick    # vet + build + plain tests (no race, no bench)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "== go test =="
+    go test ./...
+    exit 0
+fi
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fault-injection bench baseline =="
+bench_out=$(go test -run '^$' -bench 'BenchmarkConformance(Faults|Benign)$' -benchtime 20x .)
+echo "$bench_out"
+
+# Render the benchmark lines into BENCH_faults.json:
+#   BenchmarkConformanceFaults   20   4522434 ns/op
+echo "$bench_out" | awk '
+BEGIN { print "{"; print "  \"series\": \"fault-injected conformance suite (srsLTE, drop=0.10 corrupt=0.10, seed 42)\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ]"; print "}"
+}' > BENCH_faults.json
+echo "wrote BENCH_faults.json"

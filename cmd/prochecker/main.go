@@ -1,6 +1,7 @@
 // Command prochecker runs the analysis pipeline from the command line:
 // extract a model from an implementation profile, render it, verify
-// properties, and validate the headline attacks on the testbed.
+// properties, run the conformance suite under fault injection, and
+// validate the headline attacks on the testbed.
 //
 // Usage:
 //
@@ -10,20 +11,37 @@
 //	prochecker -impl srsLTE -check all      # verify the full catalogue
 //	prochecker -impl OAI -validate p1       # testbed validation
 //	prochecker -list                        # list the 62 properties
+//
+//	# run the conformance suite under a seeded fault-injection adversary
+//	prochecker -impl srsLTE -conformance -faults drop=0.05,corrupt=0.02 -seed 42
+//
+//	# bound any run with a deadline
+//	prochecker -impl OAI -check all -timeout 30s
+//
+// Exit codes follow the resilience taxonomy: 0 clean, 1 internal
+// error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
+// budget exhausted, 5 recovered test-case panic.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"prochecker"
+	"prochecker/internal/channel"
+	"prochecker/internal/conformance"
+	"prochecker/internal/resilience"
+	"prochecker/internal/ue"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "prochecker:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "prochecker: failure class: %s\n", resilience.Classify(err))
+		os.Exit(resilience.ExitCode(err))
 	}
 }
 
@@ -37,8 +55,19 @@ func run(args []string) error {
 	check := fs.String("check", "", "verify one property by ID, or 'all'")
 	validate := fs.String("validate", "", "validate an attack on the testbed: p1 | p3")
 	list := fs.Bool("list", false, "list the property catalogue")
+	runConf := fs.Bool("conformance", false, "run the conformance suite and report per-case outcomes")
+	faults := fs.String("faults", "", "fault-injection spec for -conformance, e.g. drop=0.05,corrupt=0.02,dup=0.01,reorder=0.1")
+	seed := fs.Int64("seed", 1, "base PRNG seed for -faults (runs are reproducible per seed)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *list {
@@ -53,6 +82,10 @@ func run(args []string) error {
 	}
 
 	implementation := prochecker.Implementation(*impl)
+
+	if *runConf {
+		return runConformance(ctx, implementation, *faults, *seed)
+	}
 
 	switch *validate {
 	case "":
@@ -87,7 +120,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	a, err := prochecker.Analyze(implementation)
+	a, err := prochecker.AnalyzeContext(ctx, implementation)
 	if err != nil {
 		return err
 	}
@@ -106,13 +139,13 @@ func run(args []string) error {
 	}
 
 	var results []prochecker.PropertyResult
+	var checkErr error
 	if *check == "all" {
-		results, err = a.CheckAll()
-		if err != nil {
-			return err
-		}
+		// Graceful degradation: report every completed verdict even when
+		// some properties failed or the deadline cut the catalogue short.
+		results, checkErr = a.CheckAllContext(ctx)
 	} else {
-		r, err := a.CheckProperty(*check)
+		r, err := a.CheckPropertyContext(ctx, *check)
 		if err != nil {
 			return err
 		}
@@ -129,8 +162,68 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-4s %-12s %6dms  %s\n", r.ID, verdict, r.Duration.Milliseconds(), r.Detail)
 	}
-	if len(results) > 1 {
-		fmt.Printf("\n%d/%d properties violated on %s\n", attacks, len(results), implementation)
+	if len(results) > 1 || checkErr != nil {
+		total := len(prochecker.Properties())
+		fmt.Printf("\n%d/%d properties violated on %s (%d of %d evaluated)\n",
+			attacks, len(results), implementation, len(results), total)
+	}
+	if checkErr != nil {
+		return fmt.Errorf("partial catalogue: %w", checkErr)
 	}
 	return nil
+}
+
+// runConformance executes the implementation's conformance suite —
+// optionally under a seeded fault-injection adversary — and reports
+// per-case outcomes. Fault-induced case failures are expected results,
+// not process failures; only pipeline-level errors (cancellation,
+// unknown profile, bad fault spec) are returned.
+func runConformance(ctx context.Context, impl prochecker.Implementation, faultSpec string, seed int64) error {
+	var profile ue.Profile
+	switch impl {
+	case prochecker.Conformant:
+		profile = ue.ProfileConformant
+	case prochecker.SRSLTE:
+		profile = ue.ProfileSRS
+	case prochecker.OAI:
+		profile = ue.ProfileOAI
+	default:
+		return fmt.Errorf("unknown implementation %q", impl)
+	}
+	cfg, err := channel.ParseFaultSpec(faultSpec, seed)
+	if err != nil {
+		return err
+	}
+	opts := conformance.RunOptions{}
+	if cfg.Enabled() {
+		opts.Adversary = cfg.AdversaryFactory()
+	}
+	rep, runErr := conformance.RunSuiteContext(ctx, profile, true, opts)
+	fmt.Printf("conformance suite on %s (faults: %s, seed %d)\n\n", impl, cfg, seed)
+	for _, res := range rep.Results {
+		mark := "PASS"
+		detail := ""
+		if res.Err != nil {
+			mark = "FAIL"
+			detail = "  " + firstLine(res.Err.Error())
+		}
+		fmt.Printf("  %-4s %-44s faults=%-3d%s\n", mark, res.Name, res.Faults, detail)
+	}
+	fmt.Printf("\n%d/%d cases passed, %d channel fault(s) injected\n",
+		rep.Passed(), len(rep.Results), rep.FaultCount())
+	if runErr != nil && errors.Is(runErr, resilience.ErrCancelled) {
+		return fmt.Errorf("partial suite: %w", runErr)
+	}
+	return runErr
+}
+
+// firstLine trims a multi-line error (e.g. a recovered panic with its
+// stack) to its headline for the per-case table.
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"prochecker/internal/resilience"
 )
 
 // capture runs f with stdout redirected and returns what it printed. The
@@ -90,5 +93,64 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-impl", "OAI", "-check", "NOPE"}); err == nil {
 		t.Error("unknown property accepted")
+	}
+	if err := run([]string{"-conformance", "-faults", "teleport=1"}); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	if err := run([]string{"-impl", "nokia", "-conformance"}); err == nil {
+		t.Error("unknown implementation accepted for -conformance")
+	}
+}
+
+func TestConformanceBenign(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "conformant", "-conformance"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "faults: none") || !strings.Contains(out, "cases passed") {
+		t.Errorf("conformance output:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("benign run reported failures:\n%s", out)
+	}
+}
+
+// TestConformanceUnderFaults is the end-to-end acceptance check: a full
+// suite run under seeded drop+corrupt fault injection completes without
+// a process crash and reports per-case failures.
+func TestConformanceUnderFaults(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-impl", "srsLTE", "-conformance", "-faults", "drop=0.2,corrupt=0.2", "-seed", "42"})
+	})
+	if err != nil {
+		t.Fatalf("faulted run errored at the process level: %v", err)
+	}
+	if !strings.Contains(out, "fault(s) injected") {
+		t.Errorf("missing fault summary:\n%s", out)
+	}
+	// The same seed must reproduce the same report byte for byte.
+	again, err := capture(t, func() error {
+		return run([]string{"-impl", "srsLTE", "-conformance", "-faults", "drop=0.2,corrupt=0.2", "-seed", "42"})
+	})
+	if err != nil {
+		t.Fatalf("second faulted run: %v", err)
+	}
+	if out != again {
+		t.Error("seeded fault runs printed different reports")
+	}
+}
+
+func TestTimeoutCancelsCatalogue(t *testing.T) {
+	// A 1ns deadline is dead before the pipeline starts: the run must
+	// fail with a cancellation, not hang or crash.
+	err := run([]string{"-impl", "conformant", "-check", "all", "-timeout", "1ns"})
+	if err == nil {
+		t.Fatal("expired deadline produced no error")
+	}
+	if !errors.Is(err, resilience.ErrCancelled) {
+		t.Errorf("want ErrCancelled, got %v", err)
+	}
+	if code := resilience.ExitCode(err); code != resilience.ExitCancelled {
+		t.Errorf("exit code %d, want %d", code, resilience.ExitCancelled)
 	}
 }

@@ -1,0 +1,248 @@
+package channel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"prochecker/internal/nas"
+)
+
+// mkPackets builds a deterministic stream of n distinct packets.
+func mkPackets(n int) []nas.Packet {
+	out := make([]nas.Packet, n)
+	for i := range out {
+		out[i] = nas.Packet{
+			Header:  nas.HeaderPlain,
+			Seq:     uint8(i),
+			Payload: []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)},
+		}
+	}
+	return out
+}
+
+// runThrough feeds the stream to adv on the downlink and renders the
+// delivered packets into a comparable transcript.
+func runThrough(adv Adversary, pkts []nas.Packet) string {
+	var b bytes.Buffer
+	for _, p := range pkts {
+		for _, d := range adv.Intercept(Downlink, p) {
+			fmt.Fprintf(&b, "%d:%x;", d.Seq, d.Payload)
+		}
+	}
+	return b.String()
+}
+
+func TestProbDropIsSeededAndDeterministic(t *testing.T) {
+	pkts := mkPackets(200)
+	a := runThrough(NewProbDrop(0, 0.3, 7), pkts)
+	b := runThrough(NewProbDrop(0, 0.3, 7), pkts)
+	if a != b {
+		t.Error("same seed produced different drop decisions")
+	}
+	c := runThrough(NewProbDrop(0, 0.3, 8), pkts)
+	if a == c {
+		t.Error("different seeds produced identical drop decisions (suspicious)")
+	}
+	d := NewProbDrop(0, 0.3, 7)
+	runThrough(d, pkts)
+	if d.Faults() == 0 || d.Faults() == len(pkts) {
+		t.Errorf("dropped %d of %d packets at p=0.3", d.Faults(), len(pkts))
+	}
+}
+
+func TestProbDropRespectsDirection(t *testing.T) {
+	d := NewProbDrop(Uplink, 1.0, 1)
+	if got := d.Intercept(Downlink, mkPackets(1)[0]); len(got) != 1 {
+		t.Errorf("downlink packet intercepted by uplink-only dropper: %d delivered", len(got))
+	}
+	if got := d.Intercept(Uplink, mkPackets(1)[0]); len(got) != 0 {
+		t.Errorf("uplink packet survived p=1.0 dropper")
+	}
+}
+
+func TestCorrupterFlipsExactlyOneByte(t *testing.T) {
+	c := NewCorrupter(0, 1.0, 3)
+	orig := mkPackets(1)[0]
+	out := c.Intercept(Downlink, orig)
+	if len(out) != 1 {
+		t.Fatalf("corrupter delivered %d packets, want 1", len(out))
+	}
+	if len(out[0].Payload) != len(orig.Payload) {
+		t.Fatalf("corruption changed payload length %d -> %d", len(orig.Payload), len(out[0].Payload))
+	}
+	diff := 0
+	for i := range orig.Payload {
+		if orig.Payload[i] != out[0].Payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	if c.Faults() != 1 {
+		t.Errorf("Faults() = %d, want 1", c.Faults())
+	}
+	// The original packet must not be mutated in place.
+	if !bytes.Equal(orig.Payload, []byte{0, 1, 2, 3}) {
+		t.Error("corrupter mutated the input packet")
+	}
+}
+
+func TestCorrupterSkipsEmptyPayload(t *testing.T) {
+	c := NewCorrupter(0, 1.0, 3)
+	out := c.Intercept(Downlink, nas.Packet{Header: nas.HeaderPlain})
+	if len(out) != 1 || c.Faults() != 0 {
+		t.Errorf("empty payload should pass untouched: %d delivered, %d faults", len(out), c.Faults())
+	}
+}
+
+func TestDuplicatorDelivers(t *testing.T) {
+	d := NewDuplicator(0, 1.0, 9)
+	out := d.Intercept(Uplink, mkPackets(1)[0])
+	if len(out) != 2 {
+		t.Fatalf("p=1.0 duplicator delivered %d packets, want 2", len(out))
+	}
+	if !bytes.Equal(out[0].Payload, out[1].Payload) {
+		t.Error("duplicate differs from original")
+	}
+}
+
+func TestReordererSwapsAdjacentPackets(t *testing.T) {
+	r := NewReorderer(0, 1.0, 5)
+	pkts := mkPackets(2)
+	first := r.Intercept(Downlink, pkts[0])
+	if len(first) != 0 {
+		t.Fatalf("p=1.0 reorderer should hold the first packet, delivered %d", len(first))
+	}
+	second := r.Intercept(Downlink, pkts[1])
+	if len(second) != 2 || second[0].Seq != 1 || second[1].Seq != 0 {
+		t.Fatalf("expected swapped delivery [1 0], got %v", seqs(second))
+	}
+	if r.Faults() != 1 {
+		t.Errorf("Faults() = %d, want 1", r.Faults())
+	}
+}
+
+func seqs(pkts []nas.Packet) []uint8 {
+	out := make([]uint8, len(pkts))
+	for i, p := range pkts {
+		out[i] = p.Seq
+	}
+	return out
+}
+
+func TestScheduledFault(t *testing.T) {
+	s := &ScheduledFault{Schedule: map[int]FaultOp{
+		1: OpDrop,
+		2: OpCorrupt,
+		3: OpDup,
+	}}
+	pkts := mkPackets(5)
+	var delivered [][]nas.Packet
+	for _, p := range pkts {
+		delivered = append(delivered, s.Intercept(Downlink, p))
+	}
+	if len(delivered[0]) != 1 {
+		t.Error("step 0 (unscheduled) should pass")
+	}
+	if len(delivered[1]) != 0 {
+		t.Error("step 1 should drop")
+	}
+	if len(delivered[2]) != 1 || bytes.Equal(delivered[2][0].Payload, pkts[2].Payload) {
+		t.Error("step 2 should corrupt the payload")
+	}
+	if len(delivered[3]) != 2 {
+		t.Error("step 3 should duplicate")
+	}
+	if len(delivered[4]) != 1 {
+		t.Error("step 4 (unscheduled) should pass")
+	}
+	if s.Faults() != 3 {
+		t.Errorf("Faults() = %d, want 3", s.Faults())
+	}
+}
+
+func TestChainComposesAndCounts(t *testing.T) {
+	ch := &Chain{Stages: []Adversary{
+		NewDuplicator(0, 1.0, 1),
+		NewProbDrop(0, 0.0, 2), // never drops: both duplicates survive
+	}}
+	out := ch.Intercept(Downlink, mkPackets(1)[0])
+	if len(out) != 2 {
+		t.Fatalf("chain delivered %d packets, want 2", len(out))
+	}
+	if got := Faults(ch); got != 1 {
+		t.Errorf("Faults(chain) = %d, want 1", got)
+	}
+	// A dropping tail stage suppresses everything.
+	ch.Stages[1] = NewProbDrop(0, 1.0, 2)
+	if out := ch.Intercept(Downlink, mkPackets(1)[0]); len(out) != 0 {
+		t.Errorf("chain with p=1.0 tail dropper delivered %d packets", len(out))
+	}
+}
+
+func TestFaultConfigBuildDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, Drop: 0.2, Corrupt: 0.2, Duplicate: 0.1, Reorder: 0.1}
+	pkts := mkPackets(300)
+	a := runThrough(cfg.Build(), pkts)
+	b := runThrough(cfg.Build(), pkts)
+	if a != b {
+		t.Error("equal configs produced different fault transcripts")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if a == runThrough(cfg2.Build(), pkts) {
+		t.Error("different seeds produced identical transcripts (suspicious)")
+	}
+}
+
+func TestFaultConfigFactoryPerCaseSeeds(t *testing.T) {
+	cfg := FaultConfig{Seed: 10, Drop: 0.5}
+	f := cfg.AdversaryFactory()
+	pkts := mkPackets(100)
+	if runThrough(f(0), pkts) != runThrough(f(0), pkts) {
+		t.Error("factory not deterministic per case index")
+	}
+	if runThrough(f(0), pkts) == runThrough(f(1), pkts) {
+		t.Error("distinct case indexes share fault decisions (suspicious)")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cfg, err := ParseFaultSpec("drop=0.05, corrupt=0.02,dup=0.01,reorder=0.1", 99)
+	if err != nil {
+		t.Fatalf("ParseFaultSpec: %v", err)
+	}
+	want := FaultConfig{Seed: 99, Drop: 0.05, Corrupt: 0.02, Duplicate: 0.01, Reorder: 0.1}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Error("parsed config should be enabled")
+	}
+	if empty, err := ParseFaultSpec("", 1); err != nil || empty.Enabled() {
+		t.Errorf("empty spec: cfg=%+v err=%v", empty, err)
+	}
+	for _, bad := range []string{"drop", "drop=x", "drop=1.5", "teleport=0.1"} {
+		if _, err := ParseFaultSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFaultAdversariesSlotIntoPair(t *testing.T) {
+	// The decorators must satisfy Adversary so Pair accepts them
+	// unchanged; a p=1.0 dropper counts as Pair-level drops too.
+	pair := NewPair(NewProbDrop(0, 1.0, 4))
+	pair.Send(Downlink, mkPackets(1)[0])
+	if pair.Pending(Downlink) != 0 {
+		t.Error("dropped packet still queued")
+	}
+	if pair.Dropped(Downlink) != 1 {
+		t.Errorf("Pair.Dropped = %d, want 1", pair.Dropped(Downlink))
+	}
+	if len(pair.Captured(Downlink)) != 1 {
+		t.Error("capture history should record the packet before the fault")
+	}
+}

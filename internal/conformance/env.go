@@ -52,6 +52,14 @@ type Env struct {
 // NewEnv builds an environment for the given UE profile. adv may be nil
 // for a benign link.
 func NewEnv(profile ue.Profile, adv channel.Adversary) (*Env, error) {
+	switch profile {
+	case ue.ProfileConformant, ue.ProfileSRS, ue.ProfileOAI:
+	default:
+		// ue.New would silently fall back to the conformant quirks; a
+		// suite run against a profile we cannot faithfully emulate must
+		// fail its cases instead.
+		return nil, fmt.Errorf("conformance: unsupported profile %v", profile)
+	}
 	rec := &trace.Recorder{}
 	k := security.KeyFromBytes([]byte("conformance-subscriber-key"))
 	u, err := ue.New(ue.Config{

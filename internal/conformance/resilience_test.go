@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"prochecker/internal/channel"
+	"prochecker/internal/resilience"
+	"prochecker/internal/spec"
+	"prochecker/internal/ue"
+)
+
+func TestPanickingCaseIsIsolated(t *testing.T) {
+	cases := []TestCase{
+		{Name: "tc_ok_before", Procedure: spec.ProcAttach, Run: func(e *Env) error { return e.Attach() }},
+		{Name: "tc_panics", Procedure: spec.ProcAttach, Run: func(e *Env) error { panic("boom") }},
+		{Name: "tc_ok_after", Procedure: spec.ProcAttach, Run: func(e *Env) error { return e.Attach() }},
+	}
+	rep, err := Run(ue.ProfileConformant, cases)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	if rep.Results[0].Err != nil || rep.Results[2].Err != nil {
+		t.Errorf("healthy cases failed: %v / %v", rep.Results[0].Err, rep.Results[2].Err)
+	}
+	pe := rep.Results[1].Err
+	if pe == nil {
+		t.Fatal("panicking case reported no error")
+	}
+	if !errors.Is(pe, resilience.ErrCasePanic) {
+		t.Errorf("panic error not tagged ErrCasePanic: %v", pe)
+	}
+	if rep.Passed() != 2 {
+		t.Errorf("Passed = %d, want 2", rep.Passed())
+	}
+}
+
+func TestEnvFailureRecordedPerCase(t *testing.T) {
+	// An invalid profile makes NewEnv fail for every case; the suite
+	// must record each failure and keep going instead of aborting.
+	bad := ue.Profile(99)
+	cases := []TestCase{
+		{Name: "tc_a", Run: func(e *Env) error { return nil }},
+		{Name: "tc_b", Run: func(e *Env) error { return nil }},
+	}
+	rep, err := Run(bad, cases)
+	if err != nil {
+		t.Fatalf("Run returned suite-level error: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2 (suite aborted early?)", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Err == nil {
+			t.Errorf("case %s: env failure not recorded", res.Name)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	cases := []TestCase{
+		{Name: "tc_first", Run: func(e *Env) error { ran++; cancel(); return nil }},
+		{Name: "tc_never", Run: func(e *Env) error { ran++; return nil }},
+	}
+	rep, err := RunContext(ctx, ue.ProfileConformant, cases, RunOptions{})
+	if err == nil || !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if ran != 1 {
+		t.Errorf("%d cases ran after cancellation, want 1", ran)
+	}
+	if len(rep.Results) != 1 {
+		t.Errorf("partial report has %d results, want 1", len(rep.Results))
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunContext(ctx, ue.ProfileConformant, SuiteFor(ue.ProfileConformant, true), RunOptions{})
+	if !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("already-cancelled run executed %d cases", len(rep.Results))
+	}
+}
+
+// TestSeededFaultRunIsReproducible is the regression for the
+// determinism guarantee: two suite runs under the same drop+corrupt
+// fault seed must produce byte-for-byte identical logs and identical
+// per-case outcomes.
+func TestSeededFaultRunIsReproducible(t *testing.T) {
+	cfg := channel.FaultConfig{Seed: 42, Drop: 0.10, Corrupt: 0.10}
+	run := func() *Report {
+		rep, err := RunSuiteContext(context.Background(), ue.ProfileSRS, true,
+			RunOptions{Adversary: cfg.AdversaryFactory()})
+		if err != nil {
+			t.Fatalf("RunSuiteContext: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Log.Render() != b.Log.Render() {
+		t.Error("seeded fault runs produced different logs")
+	}
+	if fmt.Sprint(a.Coverage) != fmt.Sprint(b.Coverage) {
+		t.Error("seeded fault runs produced different coverage")
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Name != rb.Name || (ra.Err == nil) != (rb.Err == nil) || ra.Faults != rb.Faults {
+			t.Errorf("case %d diverged: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Err != nil && rb.Err != nil && ra.Err.Error() != rb.Err.Error() {
+			t.Errorf("case %s error text diverged:\n  %v\n  %v", ra.Name, ra.Err, rb.Err)
+		}
+	}
+	if a.FaultCount() != b.FaultCount() {
+		t.Errorf("fault counts differ: %d vs %d", a.FaultCount(), b.FaultCount())
+	}
+}
+
+// TestFaultedSuiteSurvives is the acceptance check that a full
+// conformance run under seeded drop+corrupt fault injection completes
+// without a process crash and reports failures per case.
+func TestFaultedSuiteSurvives(t *testing.T) {
+	cfg := channel.FaultConfig{Seed: 7, Drop: 0.25, Corrupt: 0.25}
+	rep, err := RunSuiteContext(context.Background(), ue.ProfileSRS, true,
+		RunOptions{Adversary: cfg.AdversaryFactory()})
+	if err != nil {
+		t.Fatalf("faulted suite returned suite-level error: %v", err)
+	}
+	if len(rep.Results) != len(SuiteFor(ue.ProfileSRS, true)) {
+		t.Errorf("suite ran %d of %d cases", len(rep.Results), len(SuiteFor(ue.ProfileSRS, true)))
+	}
+	if rep.FaultCount() == 0 {
+		t.Error("no faults injected at p=0.25")
+	}
+	// Under this much loss at least one case should fail functionally —
+	// recorded in its CaseResult, not fatal.
+	if rep.Passed() == len(rep.Results) {
+		t.Log("note: every case passed despite faults (unusually lucky seed)")
+	}
+}

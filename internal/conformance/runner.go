@@ -1,9 +1,12 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"prochecker/internal/channel"
+	"prochecker/internal/resilience"
 	"prochecker/internal/trace"
 	"prochecker/internal/ue"
 )
@@ -12,6 +15,9 @@ import (
 type CaseResult struct {
 	Name string
 	Err  error
+	// Faults counts the channel faults the adversary injected during
+	// this case (zero on a benign link).
+	Faults int
 }
 
 // Report is the product of one suite run: per-case outcomes, the combined
@@ -44,29 +50,103 @@ func (r *Report) FirstFailure() (CaseResult, bool) {
 	return CaseResult{}, false
 }
 
+// FaultCount totals the channel faults injected across the suite.
+func (r *Report) FaultCount() int {
+	n := 0
+	for _, res := range r.Results {
+		n += res.Faults
+	}
+	return n
+}
+
+// RunOptions tunes a suite run.
+type RunOptions struct {
+	// Adversary builds the link adversary for each case (a fresh
+	// environment, and hence a fresh adversary, per case — stateful
+	// seeded adversaries restart deterministically). nil, or a nil
+	// return, means a benign link.
+	Adversary func(caseIndex int) channel.Adversary
+}
+
+func (o RunOptions) adversaryFor(i int) channel.Adversary {
+	if o.Adversary == nil {
+		return channel.PassThrough{}
+	}
+	if adv := o.Adversary(i); adv != nil {
+		return adv
+	}
+	return channel.PassThrough{}
+}
+
 // Run executes the given cases against a fresh environment per case (as
 // conformance suites do — each test case assumes a pristine UE) and
-// produces the combined log for model extraction.
+// produces the combined log for model extraction. Faults are expected
+// inputs, not fatal errors: an environment that fails to build and a
+// case that panics are both recorded in that case's CaseResult, and the
+// remaining cases still run.
 func Run(profile ue.Profile, cases []TestCase) (*Report, error) {
+	return RunContext(context.Background(), profile, cases, RunOptions{})
+}
+
+// RunContext is Run with cancellation and per-case adversary control.
+// When ctx is cancelled mid-suite it returns the report for the cases
+// already executed together with an error wrapping
+// resilience.ErrCancelled.
+func RunContext(ctx context.Context, profile ue.Profile, cases []TestCase, opts RunOptions) (*Report, error) {
 	rep := &Report{Profile: profile}
 	var combined trace.Log
-	for _, tc := range cases {
-		env, err := NewEnv(profile, channel.PassThrough{})
+	var cancelled error
+	for i, tc := range cases {
+		if err := ctx.Err(); err != nil {
+			cancelled = fmt.Errorf("conformance: suite stopped after %d of %d cases: %w",
+				len(rep.Results), len(cases), resilience.ErrCancelled)
+			break
+		}
+		adv := opts.adversaryFor(i)
+		env, err := NewEnv(profile, adv)
 		if err != nil {
-			return nil, fmt.Errorf("conformance: preparing %s: %w", tc.Name, err)
+			// Environment-setup failure is this case's failure, not the
+			// suite's: record it and keep running the rest.
+			rep.Results = append(rep.Results, CaseResult{
+				Name: tc.Name,
+				Err:  fmt.Errorf("conformance: preparing %s: %w", tc.Name, err),
+			})
+			continue
 		}
 		env.Rec.TestCase(tc.Name)
-		runErr := tc.Run(env)
-		rep.Results = append(rep.Results, CaseResult{Name: tc.Name, Err: runErr})
+		runErr := runCase(env, tc)
+		rep.Results = append(rep.Results, CaseResult{
+			Name:   tc.Name,
+			Err:    runErr,
+			Faults: channel.Faults(adv),
+		})
 		combined = append(combined, env.Rec.Snapshot()...)
 	}
 	rep.Log = combined
 	rep.Coverage = ComputeCoverage(combined, ue.StyleFor(profile))
-	return rep, nil
+	return rep, cancelled
+}
+
+// runCase executes one case with panic isolation: a panicking TestCase
+// is converted into that case's error (wrapping resilience.ErrCasePanic)
+// instead of killing the process.
+func runCase(env *Env, tc TestCase) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("conformance: %s: %w: %v\n%s",
+				tc.Name, resilience.ErrCasePanic, r, debug.Stack())
+		}
+	}()
+	return tc.Run(env)
 }
 
 // RunSuite runs the profile-appropriate suite: the full catalogue for the
 // closed-source profile, base-or-extended for the open-source ones.
 func RunSuite(profile ue.Profile, includeAdded bool) (*Report, error) {
 	return Run(profile, SuiteFor(profile, includeAdded))
+}
+
+// RunSuiteContext is RunSuite with cancellation and adversary control.
+func RunSuiteContext(ctx context.Context, profile ue.Profile, includeAdded bool, opts RunOptions) (*Report, error) {
+	return RunContext(ctx, profile, SuiteFor(profile, includeAdded), opts)
 }

@@ -10,11 +10,13 @@
 package cegar
 
 import (
+	"context"
 	"fmt"
 
 	"prochecker/internal/core/threat"
 	"prochecker/internal/cpv"
 	"prochecker/internal/mc"
+	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/sqn"
 	"prochecker/internal/ts"
@@ -100,6 +102,15 @@ type Outcome struct {
 
 // Verify runs the MC ⇄ CPV loop for one property on a composed model.
 func Verify(composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, error) {
+	return VerifyContext(context.Background(), composed, prop, cfg)
+}
+
+// VerifyContext is Verify with cancellation: the refinement loop checks
+// ctx before every model-checker run and, when cancelled, returns the
+// partial outcome so far together with an error wrapping
+// resilience.ErrCancelled — a distinct ending from the Unknown verdict
+// the iteration/exploration bounds produce.
+func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, error) {
 	if composed == nil || composed.System == nil {
 		return Outcome{}, fmt.Errorf("cegar: nil composed model")
 	}
@@ -107,6 +118,10 @@ func Verify(composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, e
 	out := Outcome{Property: prop.Name()}
 
 	for out.Iterations < cfg.maxIterations() {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("cegar: verifying %s after %d iteration(s): %w",
+				prop.Name(), out.Iterations, resilience.ErrCancelled)
+		}
 		out.Iterations++
 		res := mc.Check(sys, prop, cfg.MC)
 		out.StatesExplored = res.StatesExplored
@@ -233,13 +248,27 @@ func applyRefinement(sys *ts.System, ref Refinement) error {
 
 // VerifyAll runs the loop for each property in order.
 func VerifyAll(composed *threat.Composed, props []mc.Property, cfg Config) ([]Outcome, error) {
+	return VerifyAllContext(context.Background(), composed, props, cfg)
+}
+
+// VerifyAllContext runs the loop for each property in order with
+// graceful degradation: per-property failures are collected while the
+// remaining properties still run, and the completed outcomes are
+// returned alongside the aggregated error. Cancellation stops the
+// catalogue walk promptly.
+func VerifyAllContext(ctx context.Context, composed *threat.Composed, props []mc.Property, cfg Config) ([]Outcome, error) {
 	out := make([]Outcome, 0, len(props))
+	var errs resilience.Collector
 	for _, p := range props {
-		o, err := Verify(composed, p, cfg)
+		o, err := VerifyContext(ctx, composed, p, cfg)
 		if err != nil {
-			return out, fmt.Errorf("cegar: verifying %s: %w", p.Name(), err)
+			errs.Add(fmt.Errorf("cegar: verifying %s: %w", p.Name(), err))
+			if resilience.Cancelled(err) {
+				break
+			}
+			continue
 		}
 		out = append(out, o)
 	}
-	return out, nil
+	return out, errs.Err()
 }

@@ -2,6 +2,7 @@ package props
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,6 +10,7 @@ import (
 	"prochecker/internal/conformance"
 	"prochecker/internal/cpv"
 	"prochecker/internal/nas"
+	"prochecker/internal/resilience"
 	"prochecker/internal/security"
 	"prochecker/internal/spec"
 	"prochecker/internal/sqn"
@@ -78,22 +80,41 @@ type EquivalenceResult struct {
 // equivalent of posing the observational-equivalence query to ProVerif
 // and validating it on the testbed.
 func EvaluateEquivalence(q EquivalenceQuery, profile ue.Profile) (EquivalenceResult, error) {
+	return EvaluateEquivalenceContext(context.Background(), q, profile)
+}
+
+// EvaluateEquivalenceContext is EvaluateEquivalence with cancellation:
+// each scenario checks ctx before building its environments and again
+// between setup and the distinguishing probes, returning an error
+// wrapping resilience.ErrCancelled once ctx is done.
+func EvaluateEquivalenceContext(ctx context.Context, q EquivalenceQuery, profile ue.Profile) (EquivalenceResult, error) {
+	if err := cancelled(ctx, q.Scenario); err != nil {
+		return EquivalenceResult{}, err
+	}
 	switch q.Scenario {
 	case ScenarioAuthResponseLinkability:
-		return authReplayScenario(profile, false)
+		return authReplayScenario(ctx, profile, false)
 	case ScenarioSyncFailureLinkability:
-		return authReplayScenario(profile, true)
+		return authReplayScenario(ctx, profile, true)
 	case ScenarioSMCReplayLinkability:
-		return protectedReplayScenario(profile, nas.HeaderIntegrity)
+		return protectedReplayScenario(ctx, profile, nas.HeaderIntegrity)
 	case ScenarioGUTIRealloReplayLinkability:
-		return gutiRealloReplayScenario(profile)
+		return gutiRealloReplayScenario(ctx, profile)
 	case ScenarioAttachIdentityLinkability:
-		return attachIdentityScenario(profile)
+		return attachIdentityScenario(ctx, profile)
 	case ScenarioGUTICrossRealloc:
-		return gutiCrossReallocScenario(profile)
+		return gutiCrossReallocScenario(ctx, profile)
 	default:
 		return EquivalenceResult{}, fmt.Errorf("props: unknown equivalence scenario %q", q.Scenario)
 	}
+}
+
+// cancelled converts a done context into the typed cancellation error.
+func cancelled(ctx context.Context, scenario string) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("props: scenario %s: %w", scenario, resilience.ErrCancelled)
+	}
+	return nil
 }
 
 // responseLabel classifies a UE's reply packets for distinguishability.
@@ -117,7 +138,7 @@ func responseLabel(replies []nas.Packet) string {
 // When consumed is false the replayed challenge is stale-but-fresh for
 // the victim (P2); when true it was already consumed (sync-failure
 // linkability).
-func authReplayScenario(profile ue.Profile, consumed bool) (EquivalenceResult, error) {
+func authReplayScenario(ctx context.Context, profile ue.Profile, consumed bool) (EquivalenceResult, error) {
 	kVictim := security.KeyFromBytes([]byte("victim-k"))
 	kOther := security.KeyFromBytes([]byte("other-k"))
 	victim, err := ue.New(ue.Config{Profile: profile, IMSI: "001010000000001", K: kVictim})
@@ -140,6 +161,9 @@ func authReplayScenario(profile ue.Profile, consumed bool) (EquivalenceResult, e
 		return (&nas.Context{}).Seal(&nas.AuthRequest{RAND: v.RAND, AUTN: v.AUTN}, nas.HeaderPlain, nas.DirDownlink)
 	}
 
+	if err := cancelled(ctx, ScenarioAuthResponseLinkability); err != nil {
+		return EquivalenceResult{}, err
+	}
 	seq1 := gen.Next()
 	captured, err := mkChallenge(seq1, 1)
 	if err != nil {
@@ -172,13 +196,16 @@ func authReplayScenario(profile ue.Profile, consumed bool) (EquivalenceResult, e
 // protectedReplayScenario attaches a victim, captures a protected
 // downlink message with the given header, and replays it to the victim
 // and to a bystander from another session.
-func protectedReplayScenario(profile ue.Profile, header nas.SecurityHeader) (EquivalenceResult, error) {
+func protectedReplayScenario(ctx context.Context, profile ue.Profile, header nas.SecurityHeader) (EquivalenceResult, error) {
 	env, err := conformance.NewEnv(profile, nil)
 	if err != nil {
 		return EquivalenceResult{}, err
 	}
 	if err := env.Attach(); err != nil {
 		return EquivalenceResult{}, fmt.Errorf("props: attaching victim: %w", err)
+	}
+	if err := cancelled(ctx, ScenarioSMCReplayLinkability); err != nil {
+		return EquivalenceResult{}, err
 	}
 	var probe *nas.Packet
 	for _, p := range env.Link.Captured(channel.Downlink) {
@@ -207,12 +234,15 @@ func protectedReplayScenario(profile ue.Profile, header nas.SecurityHeader) (Equ
 
 // gutiRealloReplayScenario is protectedReplayScenario specialised to the
 // reallocation command (the EPS analogue of TMSI reallocation replay).
-func gutiRealloReplayScenario(profile ue.Profile) (EquivalenceResult, error) {
+func gutiRealloReplayScenario(ctx context.Context, profile ue.Profile) (EquivalenceResult, error) {
 	env, err := conformance.NewEnv(profile, nil)
 	if err != nil {
 		return EquivalenceResult{}, err
 	}
 	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := cancelled(ctx, ScenarioGUTIRealloReplayLinkability); err != nil {
 		return EquivalenceResult{}, err
 	}
 	cmd, err := env.MME.StartGUTIReallocation()
@@ -236,12 +266,15 @@ func gutiRealloReplayScenario(profile ue.Profile) (EquivalenceResult, error) {
 
 // attachIdentityScenario checks whether two consecutive attaches of the
 // same UE are linkable by a cleartext permanent identifier.
-func attachIdentityScenario(profile ue.Profile) (EquivalenceResult, error) {
+func attachIdentityScenario(ctx context.Context, profile ue.Profile) (EquivalenceResult, error) {
 	env, err := conformance.NewEnv(profile, nil)
 	if err != nil {
 		return EquivalenceResult{}, err
 	}
 	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := cancelled(ctx, ScenarioAttachIdentityLinkability); err != nil {
 		return EquivalenceResult{}, err
 	}
 	det, err := env.UE.StartDetach(false)
@@ -278,12 +311,15 @@ func attachIdentityScenario(profile ue.Profile) (EquivalenceResult, error) {
 
 // gutiCrossReallocScenario checks that the reallocated GUTI value never
 // appears on the air in cleartext.
-func gutiCrossReallocScenario(profile ue.Profile) (EquivalenceResult, error) {
+func gutiCrossReallocScenario(ctx context.Context, profile ue.Profile) (EquivalenceResult, error) {
 	env, err := conformance.NewEnv(profile, nil)
 	if err != nil {
 		return EquivalenceResult{}, err
 	}
 	if err := env.Attach(); err != nil {
+		return EquivalenceResult{}, err
+	}
+	if err := cancelled(ctx, ScenarioGUTICrossRealloc); err != nil {
 		return EquivalenceResult{}, err
 	}
 	cmd, err := env.MME.StartGUTIReallocation()

@@ -7,6 +7,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,7 +38,14 @@ type Model struct {
 // conformance suite -> information-rich log -> Algorithm 1 -> threat
 // composition with the community MME model.
 func BuildModel(profile ue.Profile) (*Model, error) {
-	suite, err := conformance.RunSuite(profile, true)
+	return BuildModelContext(context.Background(), profile)
+}
+
+// BuildModelContext is BuildModel with cancellation threaded through the
+// conformance run; a cancelled build returns an error wrapping
+// resilience.ErrCancelled.
+func BuildModelContext(ctx context.Context, profile ue.Profile) (*Model, error) {
+	suite, err := conformance.RunSuiteContext(ctx, profile, true, conformance.RunOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("report: running conformance suite: %w", err)
 	}
@@ -135,6 +143,13 @@ func NewEvaluator(m *Model) *Evaluator {
 
 // Evaluate runs one catalogue property.
 func (e *Evaluator) Evaluate(p props.Property) (Verdict, error) {
+	return e.EvaluateContext(context.Background(), p)
+}
+
+// EvaluateContext is Evaluate with cancellation threaded into the CEGAR
+// loop and the live equivalence scenarios. Cancelled evaluations are
+// not cached, so a later call with a live context re-runs the property.
+func (e *Evaluator) EvaluateContext(ctx context.Context, p props.Property) (Verdict, error) {
 	if v, ok := e.cache[p.ID]; ok {
 		return v, nil
 	}
@@ -143,7 +158,7 @@ func (e *Evaluator) Evaluate(p props.Property) (Verdict, error) {
 	v.PropertyID = p.ID
 	switch p.Kind {
 	case props.KindMC:
-		out, err := cegar.Verify(e.model.Composed, p.MC(), e.cfg)
+		out, err := cegar.VerifyContext(ctx, e.model.Composed, p.MC(), e.cfg)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("report: verifying %s: %w", p.ID, err)
 		}
@@ -160,7 +175,7 @@ func (e *Evaluator) Evaluate(p props.Property) (Verdict, error) {
 			v.Detail = fmt.Sprintf("verified over %d states", out.StatesExplored)
 		}
 	case props.KindEquivalence:
-		res, err := props.EvaluateEquivalence(*p.Equivalence, e.model.Profile)
+		res, err := props.EvaluateEquivalenceContext(ctx, *p.Equivalence, e.model.Profile)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("report: equivalence %s: %w", p.ID, err)
 		}

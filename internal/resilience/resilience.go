@@ -1,0 +1,209 @@
+// Package resilience provides the pipeline's failure taxonomy: typed
+// sentinel errors for the ways an analysis run can end short of a clean
+// verdict, a classifier mapping arbitrary errors onto that taxonomy, a
+// multi-error collector for graceful degradation (return every completed
+// result plus an aggregate of what failed), and the process exit codes
+// the CLI derives from a run's worst failure.
+//
+// The taxonomy distinguishes four non-fatal endings from a genuine
+// internal fault:
+//
+//   - Cancelled: the caller's context was cancelled or its deadline
+//     expired; partial results are valid as far as they go.
+//   - FaultInjected: an adversarial channel fault (drop, corruption,
+//     duplication, reordering) perturbed the run; failures are expected
+//     inputs under the Dolev-Yao threat model, not crashes.
+//   - BudgetExhausted: an exploration or iteration bound tripped; the
+//     verdict is Unknown rather than wrong.
+//   - CasePanic: a test case panicked and was isolated to its own
+//     result instead of killing the process.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors of the failure taxonomy. Wrap them with %w so
+// errors.Is classification survives annotation.
+var (
+	// ErrCancelled marks work cut short by context cancellation or a
+	// deadline, distinct from the Unknown/truncation outcomes of the
+	// model checker: the pipeline stopped, the bound did not trip.
+	ErrCancelled = errors.New("run cancelled")
+	// ErrFaultInjected marks a failure attributable to an adversarial
+	// channel fault rather than the implementation under test.
+	ErrFaultInjected = errors.New("fault injected")
+	// ErrBudgetExhausted marks an exploration/iteration bound tripping.
+	ErrBudgetExhausted = errors.New("analysis budget exhausted")
+	// ErrCasePanic marks a test case panic that was recovered and
+	// isolated to the case's own result.
+	ErrCasePanic = errors.New("test case panicked")
+)
+
+// Kind buckets a failure for reporting and exit-code selection.
+type Kind uint8
+
+// The failure kinds, ordered by severity: Classify on an aggregate
+// reports the most severe member, and Internal outranks the expected,
+// recoverable endings.
+const (
+	KindNone            Kind = iota // no failure
+	KindCancelled                   // context cancelled or deadline expired
+	KindFaultInjected               // adversarial channel fault
+	KindBudgetExhausted             // exploration/iteration bound hit
+	KindCasePanic                   // recovered test-case panic
+	KindInternal                    // genuine pipeline fault
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindCancelled:
+		return "cancelled"
+	case KindFaultInjected:
+		return "fault-injected"
+	case KindBudgetExhausted:
+		return "budget-exhausted"
+	case KindCasePanic:
+		return "case-panic"
+	case KindInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Classify maps an error onto the taxonomy. Aggregates (ErrorList,
+// errors.Join) classify as their most severe member; nil is KindNone.
+// Bare context errors classify as cancelled even when the sentinel was
+// never attached.
+func Classify(err error) Kind {
+	if err == nil {
+		return KindNone
+	}
+	worst := KindNone
+	for _, e := range flatten(err) {
+		worst = max(worst, classifyOne(e))
+	}
+	return worst
+}
+
+func classifyOne(err error) Kind {
+	switch {
+	case errors.Is(err, ErrCancelled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return KindCancelled
+	case errors.Is(err, ErrFaultInjected):
+		return KindFaultInjected
+	case errors.Is(err, ErrBudgetExhausted):
+		return KindBudgetExhausted
+	case errors.Is(err, ErrCasePanic):
+		return KindCasePanic
+	default:
+		return KindInternal
+	}
+}
+
+// flatten expands multi-error trees into leaves; a non-aggregate error
+// is its own single leaf.
+func flatten(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []error
+		for _, e := range u.Unwrap() {
+			out = append(out, flatten(e)...)
+		}
+		return out
+	}
+	return []error{err}
+}
+
+// Exit codes the CLI reports, keyed by the run's classified failure.
+const (
+	ExitOK              = 0
+	ExitInternal        = 1
+	ExitCancelled       = 2
+	ExitFaultInjected   = 3
+	ExitBudgetExhausted = 4
+	ExitCasePanic       = 5
+)
+
+// ExitCode selects the process exit code for a run that ended with err.
+func ExitCode(err error) int {
+	switch Classify(err) {
+	case KindNone:
+		return ExitOK
+	case KindCancelled:
+		return ExitCancelled
+	case KindFaultInjected:
+		return ExitFaultInjected
+	case KindBudgetExhausted:
+		return ExitBudgetExhausted
+	case KindCasePanic:
+		return ExitCasePanic
+	default:
+		return ExitInternal
+	}
+}
+
+// ErrorList aggregates the failures of a degraded run while the
+// completed results travel alongside. It unwraps to its members, so
+// errors.Is/As see through it.
+type ErrorList []error
+
+// Error implements error.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d errors:", len(l))
+	for _, e := range l {
+		b.WriteString("\n  - ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the members to errors.Is and errors.As.
+func (l ErrorList) Unwrap() []error { return l }
+
+// Collector accumulates failures during a run that keeps going.
+type Collector struct {
+	errs ErrorList
+}
+
+// Add records a failure; nil is ignored.
+func (c *Collector) Add(err error) {
+	if err != nil {
+		c.errs = append(c.errs, err)
+	}
+}
+
+// Len reports how many failures were recorded.
+func (c *Collector) Len() int { return len(c.errs) }
+
+// Err returns nil when nothing failed, the single failure unwrapped, or
+// the aggregate ErrorList.
+func (c *Collector) Err() error {
+	switch len(c.errs) {
+	case 0:
+		return nil
+	case 1:
+		return c.errs[0]
+	default:
+		return c.errs
+	}
+}
+
+// Cancelled reports whether err (or any member of an aggregate)
+// classifies as a cancellation.
+func Cancelled(err error) bool { return Classify(err) == KindCancelled }

@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifySentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Kind
+	}{
+		{nil, KindNone},
+		{ErrCancelled, KindCancelled},
+		{fmt.Errorf("wrapped: %w", ErrCancelled), KindCancelled},
+		{context.Canceled, KindCancelled},
+		{context.DeadlineExceeded, KindCancelled},
+		{ErrFaultInjected, KindFaultInjected},
+		{ErrBudgetExhausted, KindBudgetExhausted},
+		{fmt.Errorf("case x: %w: boom", ErrCasePanic), KindCasePanic},
+		{errors.New("plain failure"), KindInternal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %s, want %s", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyAggregateWorst(t *testing.T) {
+	agg := ErrorList{
+		fmt.Errorf("a: %w", ErrCancelled),
+		fmt.Errorf("b: %w", ErrFaultInjected),
+	}
+	if got := Classify(agg); got != KindFaultInjected {
+		t.Errorf("Classify(cancelled+fault) = %s, want %s", got, KindFaultInjected)
+	}
+	withInternal := ErrorList{agg, errors.New("broken")}
+	if got := Classify(withInternal); got != KindInternal {
+		t.Errorf("Classify(nested with internal) = %s, want %s", got, KindInternal)
+	}
+}
+
+func TestErrorListIsTransparent(t *testing.T) {
+	var c Collector
+	c.Add(nil)
+	c.Add(fmt.Errorf("p1: %w", ErrCancelled))
+	c.Add(fmt.Errorf("p2: %w", ErrBudgetExhausted))
+	err := c.Err()
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("errors.Is does not see through ErrorList: %v", err)
+	}
+	if errors.Is(err, ErrCasePanic) {
+		t.Error("errors.Is matched an absent sentinel")
+	}
+}
+
+func TestCollectorSingleAndEmpty(t *testing.T) {
+	var empty Collector
+	if empty.Err() != nil {
+		t.Errorf("empty collector Err = %v, want nil", empty.Err())
+	}
+	var one Collector
+	sentinel := errors.New("only")
+	one.Add(sentinel)
+	if one.Err() != sentinel {
+		t.Errorf("single-error collector should return the error unwrapped, got %v", one.Err())
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{fmt.Errorf("x: %w", ErrCancelled), ExitCancelled},
+		{fmt.Errorf("x: %w", ErrFaultInjected), ExitFaultInjected},
+		{fmt.Errorf("x: %w", ErrBudgetExhausted), ExitBudgetExhausted},
+		{fmt.Errorf("x: %w", ErrCasePanic), ExitCasePanic},
+		{errors.New("plain"), ExitInternal},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestCancelledHelper(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !Cancelled(fmt.Errorf("run: %w", ctx.Err())) {
+		t.Error("context.Canceled not recognised as cancellation")
+	}
+	if Cancelled(errors.New("other")) {
+		t.Error("plain error recognised as cancellation")
+	}
+}

@@ -11,6 +11,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,7 @@ import (
 	"prochecker/internal/conformance"
 	"prochecker/internal/mc"
 	"prochecker/internal/nas"
+	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/ue"
 )
@@ -194,11 +196,20 @@ type ReplayResult struct {
 // mapped to channel actions, and protocol steps happen through normal
 // delivery. Unmappable steps are recorded as skipped.
 func ReplayTrace(profile ue.Profile, trace *mc.Trace) (ReplayResult, error) {
+	return ReplayTraceContext(context.Background(), profile, trace, nil)
+}
+
+// ReplayTraceContext is ReplayTrace with cancellation and an optional
+// background link adversary (e.g. a seeded channel.FaultConfig chain),
+// replaying the counterexample over a faulty link. When ctx is
+// cancelled mid-replay the steps executed so far are returned together
+// with an error wrapping resilience.ErrCancelled.
+func ReplayTraceContext(ctx context.Context, profile ue.Profile, trace *mc.Trace, adv channel.Adversary) (ReplayResult, error) {
 	var out ReplayResult
 	if trace == nil {
 		return out, fmt.Errorf("testbed: nil trace")
 	}
-	env, err := conformance.NewEnv(profile, nil)
+	env, err := conformance.NewEnv(profile, adv)
 	if err != nil {
 		return out, fmt.Errorf("testbed: %w", err)
 	}
@@ -209,6 +220,12 @@ func ReplayTrace(profile ue.Profile, trace *mc.Trace) (ReplayResult, error) {
 		limit = len(trace.Steps)
 	}
 	for _, step := range trace.Steps[:limit] {
+		if ctx.Err() != nil {
+			out.FinalUEState = env.UE.State()
+			out.FinalMMEState = env.MME.State()
+			return out, fmt.Errorf("testbed: replay stopped after %d of %d steps: %w",
+				len(out.Steps), limit, resilience.ErrCancelled)
+		}
 		oc := StepOutcome{Rule: step.Rule}
 		switch {
 		case strings.HasPrefix(step.Rule, "ue:internal:"):

