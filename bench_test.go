@@ -496,6 +496,77 @@ func BenchmarkModelChecker(b *testing.B) {
 	})
 }
 
+// catalogueMCProperties collects the model-checked subset of the
+// 62-property catalogue — the workload of the BENCH_mc.json series.
+func catalogueMCProperties(b *testing.B) []mc.Property {
+	b.Helper()
+	var out []mc.Property
+	for _, p := range props.Catalogue() {
+		if p.Kind == props.KindMC {
+			out = append(out, p.MC())
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no model-checked catalogue properties")
+	}
+	return out
+}
+
+// BenchmarkCheckAllSequential is the pre-shared-frontier baseline: one
+// fresh exploration per property, strictly in order.
+func BenchmarkCheckAllSequential(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	list := catalogueMCProperties(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := mc.CheckAllSequential(sys, list, mc.Options{})
+		if len(results) != len(list) {
+			b.Fatalf("completed %d of %d", len(results), len(list))
+		}
+	}
+}
+
+// BenchmarkCheckAllParallel is the shared-frontier engine on the same
+// workload. A fresh engine per iteration means every iteration pays for
+// exactly one graph build plus the per-property passes — the honest
+// comparison against the baseline's N explorations.
+func BenchmarkCheckAllParallel(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	list := catalogueMCProperties(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := mc.NewEngine()
+		results, err := engine.CheckAllContext(context.Background(), sys, list, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(list) {
+			b.Fatalf("completed %d of %d", len(results), len(list))
+		}
+	}
+}
+
+// BenchmarkCEGARVerifyAll times the full MC ⇄ CPV loop over the same
+// property set, where unrefined properties share one cached exploration
+// via lazy clone-on-refine.
+func BenchmarkCEGARVerifyAll(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	list := catalogueMCProperties(b)
+	cfg := cegar.Config{PreCapture: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := cegar.VerifyAllContext(context.Background(), m.Composed, list, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != len(list) {
+			b.Fatalf("completed %d of %d", len(outs), len(list))
+		}
+	}
+}
+
 // BenchmarkConformanceFaults measures the hardened conformance path
 // under the seeded drop+corrupt adversary mix — the BENCH_faults.json
 // baseline series. The run must complete every case (faults surface as

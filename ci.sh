@@ -2,7 +2,7 @@
 # Tier-1 CI for the repo: static checks, the full test suite under the
 # race detector, and the fault-injection benchmark baseline.
 #
-#   ./ci.sh          # vet + build + race tests + refresh BENCH_faults.json
+#   ./ci.sh          # vet + build + race tests + refresh BENCH_faults.json + BENCH_mc.json
 #   ./ci.sh quick    # vet + build + plain tests (no race, no bench)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -40,3 +40,29 @@ END {
     print "  ]"; print "}"
 }' > BENCH_faults.json
 echo "wrote BENCH_faults.json"
+
+echo "== model-checker bench baseline =="
+mc_bench_out=$(go test -run '^$' -bench 'BenchmarkCheckAll(Sequential|Parallel)$|BenchmarkCEGARVerifyAll$' -benchtime 3x .)
+echo "$mc_bench_out"
+
+# Render into BENCH_mc.json, with the sequential/parallel speedup the
+# acceptance criterion reads (engine CheckAll vs per-property BFS):
+#   BenchmarkCheckAllSequential   3   6522434123 ns/op
+echo "$mc_bench_out" | awk '
+BEGIN { print "{"; print "  \"series\": \"shared-frontier model checking, full MC catalogue (conformant profile)\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    ns[$1] = $3
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ],"
+    if (ns["BenchmarkCheckAllSequential"] > 0 && ns["BenchmarkCheckAllParallel"] > 0)
+        printf "  \"checkall_speedup_vs_sequential\": %.2f\n", ns["BenchmarkCheckAllSequential"] / ns["BenchmarkCheckAllParallel"]
+    else
+        print "  \"checkall_speedup_vs_sequential\": null"
+    print "}"
+}' > BENCH_mc.json
+echo "wrote BENCH_mc.json"

@@ -18,6 +18,9 @@
 //	# bound any run with a deadline
 //	prochecker -impl OAI -check all -timeout 30s
 //
+//	# pin the catalogue/exploration worker pool (default: GOMAXPROCS)
+//	prochecker -impl srsLTE -check all -workers 4
+//
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
 // budget exhausted, 5 recovered test-case panic.
@@ -29,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"prochecker"
 	"prochecker/internal/channel"
@@ -59,8 +63,13 @@ func run(args []string) error {
 	faults := fs.String("faults", "", "fault-injection spec for -conformance, e.g. drop=0.05,corrupt=0.02,dup=0.01,reorder=0.1")
 	seed := fs.Int64("seed", 1, "base PRNG seed for -faults (runs are reproducible per seed)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool size for -check: bounds both property-level parallelism and the model checker's exploration pool (1 = fully sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
 	}
 
 	ctx := context.Background()
@@ -120,7 +129,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	a, err := prochecker.AnalyzeContext(ctx, implementation)
+	a, err := prochecker.AnalyzeContext(ctx, implementation, prochecker.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

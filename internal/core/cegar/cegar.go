@@ -11,7 +11,10 @@ package cegar
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"prochecker/internal/core/threat"
 	"prochecker/internal/cpv"
@@ -40,6 +43,10 @@ type Config struct {
 	MaxIterations int
 	// MC tunes the model checker.
 	MC mc.Options
+	// Workers bounds the property-level parallelism of VerifyAllContext
+	// and, unless MC.Workers overrides it, the checker's exploration
+	// pool. 0 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c Config) maxIterations() int {
@@ -47,6 +54,23 @@ func (c Config) maxIterations() int {
 		return c.MaxIterations
 	}
 	return DefaultMaxIterations
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mcOptions threads the catalogue-level worker budget down to the
+// checker when the caller has not tuned mc.Options.Workers explicitly.
+func (c Config) mcOptions() mc.Options {
+	opts := c.MC
+	if opts.Workers == 0 {
+		opts.Workers = c.Workers
+	}
+	return opts
 }
 
 func (c Config) sqnConfig() sqn.Config {
@@ -114,7 +138,12 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 	if composed == nil || composed.System == nil {
 		return Outcome{}, fmt.Errorf("cegar: nil composed model")
 	}
-	sys := composed.System.Clone()
+	// The composed system is used read-only until the first refinement
+	// actually mutates it; cloning lazily lets every property's first
+	// iteration share one cached reachability graph.
+	sys := composed.System
+	owned := false
+	opts := cfg.mcOptions()
 	out := Outcome{Property: prop.Name()}
 
 	for out.Iterations < cfg.maxIterations() {
@@ -123,8 +152,21 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 				prop.Name(), out.Iterations, resilience.ErrCancelled)
 		}
 		out.Iterations++
-		res := mc.Check(sys, prop, cfg.MC)
+		res, err := mc.CheckContext(ctx, sys, prop, opts)
 		out.StatesExplored = res.StatesExplored
+		if err != nil {
+			if resilience.Cancelled(err) {
+				return out, fmt.Errorf("cegar: verifying %s after %d iteration(s): %w",
+					prop.Name(), out.Iterations, resilience.ErrCancelled)
+			}
+			if errors.Is(err, resilience.ErrBudgetExhausted) {
+				// The bounded exploration could not settle the property;
+				// record the inconclusive verdict and surface the typed
+				// budget error instead of a silent Unknown.
+				out.Unknown = true
+			}
+			return out, err
+		}
 		if res.Truncated {
 			out.Unknown = true
 			return out, nil
@@ -133,11 +175,21 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 			out.Verified = true
 			return out, nil
 		}
+		if res.Counterexample == nil {
+			// The checker rejected the property without evidence (e.g. a
+			// condition referencing an unknown variable); refining blindly
+			// would loop forever.
+			return out, fmt.Errorf("cegar: %s: model checker returned neither verdict nor counterexample", prop.Name())
+		}
 		spurious, refinement, feasibility := validate(res.Counterexample, cfg)
 		if !spurious {
 			out.Attack = res.Counterexample
 			out.AttackFeasibility = feasibility
 			return out, nil
+		}
+		if !owned {
+			sys = sys.Clone()
+			owned = true
 		}
 		if err := applyRefinement(sys, refinement); err != nil {
 			return out, err
@@ -251,24 +303,78 @@ func VerifyAll(composed *threat.Composed, props []mc.Property, cfg Config) ([]Ou
 	return VerifyAllContext(context.Background(), composed, props, cfg)
 }
 
-// VerifyAllContext runs the loop for each property in order with
-// graceful degradation: per-property failures are collected while the
-// remaining properties still run, and the completed outcomes are
-// returned alongside the aggregated error. Cancellation stops the
-// catalogue walk promptly.
+// VerifyAllContext runs the loop for each property over a bounded worker
+// pool (cfg.Workers, default GOMAXPROCS) with graceful degradation:
+// per-property failures are collected while the remaining properties
+// still run, and the completed outcomes are returned in property order —
+// identical to a sequential walk — alongside the aggregated error.
+// Unrefined properties share one cached exploration of the composed
+// system, so the batch is cheaper than the sum of its parts.
+// Cancellation stops the catalogue walk promptly.
 func VerifyAllContext(ctx context.Context, composed *threat.Composed, props []mc.Property, cfg Config) ([]Outcome, error) {
-	out := make([]Outcome, 0, len(props))
-	var errs resilience.Collector
-	for _, p := range props {
-		o, err := VerifyContext(ctx, composed, p, cfg)
-		if err != nil {
-			errs.Add(fmt.Errorf("cegar: verifying %s: %w", p.Name(), err))
-			if resilience.Cancelled(err) {
+	type slot struct {
+		out  Outcome
+		err  error
+		done bool
+	}
+	slots := make([]slot, len(props))
+	workers := cfg.workers()
+	if workers > len(props) {
+		workers = len(props)
+	}
+
+	if workers <= 1 {
+		for i, p := range props {
+			if ctx.Err() != nil {
 				break
 			}
-			continue
+			slots[i].out, slots[i].err = VerifyContext(ctx, composed, p, cfg)
+			slots[i].done = true
 		}
-		out = append(out, o)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					slots[i].out, slots[i].err = VerifyContext(ctx, composed, props[i], cfg)
+					slots[i].done = true
+				}
+			}()
+		}
+		for i := range props {
+			if ctx.Err() != nil {
+				break
+			}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	out := make([]Outcome, 0, len(props))
+	var errs resilience.Collector
+	for i, p := range props {
+		s := slots[i]
+		switch {
+		case !s.done || resilience.Cancelled(s.err):
+			// Accounted for by the single catalogue-stopped entry below.
+		case s.err == nil:
+			out = append(out, s.out)
+		case errors.Is(s.err, resilience.ErrBudgetExhausted):
+			// The outcome still carries its Unknown verdict; keep it and
+			// surface the typed error alongside.
+			out = append(out, s.out)
+			errs.Add(fmt.Errorf("cegar: verifying %s: %w", p.Name(), s.err))
+		default:
+			errs.Add(fmt.Errorf("cegar: verifying %s: %w", p.Name(), s.err))
+		}
+	}
+	if ctx.Err() != nil {
+		errs.Add(fmt.Errorf("cegar: catalogue stopped after %d of %d properties: %w",
+			len(out), len(props), resilience.ErrCancelled))
 	}
 	return out, errs.Err()
 }

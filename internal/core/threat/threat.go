@@ -248,6 +248,18 @@ type Composed struct {
 	ULMessages []spec.MessageName
 }
 
+// Generation exposes the instrumented system's mutation counter so
+// callers holding a Composed (the CEGAR loop, exploration caches) can
+// detect refinement edits without reaching into the System: a cached
+// reachability graph of IMPᵘ is valid exactly while this value is
+// unchanged.
+func (c *Composed) Generation() uint64 {
+	if c == nil || c.System == nil {
+		return 0
+	}
+	return c.System.Generation()
+}
+
 // Compose builds IMPᵘ.
 func Compose(cfg Config) (*Composed, error) {
 	if cfg.UE == nil || cfg.MME == nil {

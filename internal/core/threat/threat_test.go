@@ -214,3 +214,31 @@ func TestSMVGenerationFromComposedModel(t *testing.T) {
 		}
 	}
 }
+
+// TestComposedGeneration pins the cache-invalidation hook: the composed
+// model's generation tracks its system's mutation counter, and the nil
+// receivers degrade to zero instead of panicking.
+func TestComposedGeneration(t *testing.T) {
+	c := composeLTE(t, false)
+	if c.Generation() != c.System.Generation() {
+		t.Fatalf("Generation() = %d, system reports %d", c.Generation(), c.System.Generation())
+	}
+	before := c.Generation()
+	rules := c.System.Rules()
+	if len(rules) == 0 {
+		t.Fatal("composed system has no rules")
+	}
+	if !c.System.RemoveRule(rules[0].Name) {
+		t.Fatal("RemoveRule failed")
+	}
+	if c.Generation() <= before {
+		t.Error("refinement edit did not advance the composed generation")
+	}
+	var nilComposed *Composed
+	if nilComposed.Generation() != 0 {
+		t.Error("nil Composed should report generation 0")
+	}
+	if (&Composed{}).Generation() != 0 {
+		t.Error("Composed without a system should report generation 0")
+	}
+}

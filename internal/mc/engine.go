@@ -1,0 +1,455 @@
+// The shared-frontier engine: property checks discharged on a cached
+// StateGraph. Invariant and NeverFires become single ordered passes over
+// the interned graph; Response reuses the interned states and edges for
+// its pending-product lasso search. The cache is keyed by system
+// identity plus ts.System.Generation(), so a CEGAR refinement (which
+// mutates the system) invalidates exactly the graphs it must.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prochecker/internal/resilience"
+	"prochecker/internal/ts"
+)
+
+// DefaultEngine backs the package-level Check/CheckAll entry points. A
+// process-wide cache is safe: entries are keyed by system pointer and
+// generation, bounded by engineCacheEntries, and concurrent builds of
+// the same graph are collapsed into one.
+var DefaultEngine = NewEngine()
+
+// engineCacheEntries bounds the graph cache; the oldest entry is evicted
+// beyond it. A CEGAR catalogue run keeps one graph per live refinement
+// clone, which stays far below this.
+const engineCacheEntries = 32
+
+// graphEntry is one cache slot; ready is closed when the build finishes.
+type graphEntry struct {
+	gen       uint64
+	maxStates int
+	ready     chan struct{}
+	graph     *StateGraph
+	err       error
+}
+
+// Engine checks properties against cached shared-exploration graphs.
+type Engine struct {
+	mu     sync.Mutex
+	cache  map[*ts.System]*graphEntry
+	order  []*ts.System // insertion order for eviction
+	hits   int
+	builds int
+}
+
+// NewEngine returns an engine with an empty graph cache. Most callers
+// should use the package-level functions (and thus DefaultEngine);
+// benchmarks build fresh engines to time cold explorations.
+func NewEngine() *Engine {
+	return &Engine{cache: make(map[*ts.System]*graphEntry)}
+}
+
+// CacheStats reports cache hits (a check served by an already-built or
+// in-flight graph) and builds (explorations actually run).
+func (e *Engine) CacheStats() (hits, builds int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.builds
+}
+
+// graphFor returns the cached graph for the system's current generation,
+// building it (once, even under concurrent callers) when missing.
+func (e *Engine) graphFor(ctx context.Context, sys *ts.System, opts Options) (*StateGraph, error) {
+	gen := sys.Generation()
+	maxStates := opts.maxStates()
+
+	e.mu.Lock()
+	ent := e.cache[sys]
+	if ent != nil && ent.gen == gen && ent.maxStates == maxStates {
+		e.hits++
+		e.mu.Unlock()
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("mc: waiting for shared exploration: %w", resilience.ErrCancelled)
+		}
+		return ent.graph, ent.err
+	}
+	ent = &graphEntry{gen: gen, maxStates: maxStates, ready: make(chan struct{})}
+	if _, replacing := e.cache[sys]; !replacing {
+		e.order = append(e.order, sys)
+		if len(e.order) > engineCacheEntries {
+			delete(e.cache, e.order[0])
+			e.order = e.order[1:]
+		}
+	}
+	e.cache[sys] = ent
+	e.builds++
+	e.mu.Unlock()
+
+	ent.graph, ent.err = buildGraph(ctx, sys, opts)
+	if ent.err != nil {
+		// Do not poison the cache: a cancelled or failed build must not
+		// answer later calls that arrive with a live context.
+		e.mu.Lock()
+		if e.cache[sys] == ent {
+			delete(e.cache, sys)
+			for i, s := range e.order {
+				if s == sys {
+					e.order = append(e.order[:i], e.order[i+1:]...)
+					break
+				}
+			}
+		}
+		e.mu.Unlock()
+	}
+	close(ent.ready)
+	return ent.graph, ent.err
+}
+
+// CheckContext verifies one property on the shared graph. Exploration
+// that hits Options.MaxStates returns the truncated Result alongside an
+// error wrapping resilience.ErrBudgetExhausted; cancellation returns an
+// error wrapping resilience.ErrCancelled.
+func (e *Engine) CheckContext(ctx context.Context, sys *ts.System, prop Property, opts Options) (Result, error) {
+	res := Result{Property: prop.Name(), Kind: prop.kind()}
+	g, err := e.graphFor(ctx, sys, opts)
+	if err != nil {
+		if resilience.Cancelled(err) {
+			return res, err
+		}
+		// Rule compilation failed: same unverified result the sequential
+		// checker reports, with the cause attached instead of swallowed.
+		return res, fmt.Errorf("mc: checking %s: %w", prop.Name(), err)
+	}
+	switch p := prop.(type) {
+	case Invariant:
+		res = g.checkInvariant(p)
+	case NeverFires:
+		res = g.checkNeverFires(p)
+	case Response:
+		res = g.checkResponse(p, opts)
+	default:
+		return res, nil
+	}
+	if res.Truncated {
+		return res, fmt.Errorf("mc: checking %s: exploration truncated at %d states (budget %d): %w",
+			prop.Name(), res.StatesExplored, opts.maxStates(), resilience.ErrBudgetExhausted)
+	}
+	return res, nil
+}
+
+// CheckAll verifies the properties concurrently, results in order.
+func (e *Engine) CheckAll(sys *ts.System, props []Property, opts Options) []Result {
+	out, _ := e.CheckAllContext(context.Background(), sys, props, opts)
+	return out
+}
+
+// CheckAllContext fans the property list out over a bounded worker pool
+// sharing one exploration. The result slice is indexed 1:1 with props —
+// ordering is deterministic regardless of worker interleaving — and the
+// aggregated error collects per-property budget exhaustion plus a single
+// cancellation entry when the walk was cut short.
+func (e *Engine) CheckAllContext(ctx context.Context, sys *ts.System, props []Property, opts Options) ([]Result, error) {
+	out := make([]Result, len(props))
+	perErr := make([]error, len(props))
+	workers := opts.workers()
+	if workers > len(props) {
+		workers = len(props)
+	}
+
+	if workers <= 1 {
+		for i, p := range props {
+			if ctx.Err() != nil {
+				break
+			}
+			out[i], perErr[i] = e.CheckContext(ctx, sys, p, opts)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], perErr[i] = e.CheckContext(ctx, sys, props[i], opts)
+				}
+			}()
+		}
+		for i := range props {
+			if ctx.Err() != nil {
+				break
+			}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var errs resilience.Collector
+	completed := 0
+	for i := range props {
+		switch {
+		case perErr[i] == nil && out[i].Property != "":
+			completed++
+		case perErr[i] != nil && !resilience.Cancelled(perErr[i]):
+			completed++ // truncated results still carry a (partial) verdict
+			errs.Add(perErr[i])
+		}
+	}
+	if ctx.Err() != nil {
+		errs.Add(fmt.Errorf("mc: catalogue stopped after %d of %d properties: %w",
+			completed, len(props), resilience.ErrCancelled))
+	}
+	return out, errs.Err()
+}
+
+// checkInvariant discharges AG p in one ordered pass over the graph: the
+// first state (in BFS intern order) violating the predicate is exactly
+// the state the sequential explorer would have flagged, so the parent
+// tree yields a byte-identical shortest counterexample.
+func (g *StateGraph) checkInvariant(p Invariant) Result {
+	res := Result{Property: p.PropName, Kind: "invariant"}
+	holds, err := g.Sys.CompileCond(p.Holds)
+	if err != nil {
+		return res
+	}
+	if !holds(g.States[0]) {
+		res.Counterexample = buildTrace(g.Sys, nil, -1)
+		return res
+	}
+	for id := 1; id < len(g.States); id++ {
+		if !holds(g.States[id]) {
+			res.StatesExplored = id + 1
+			res.Counterexample = buildTrace(g.Sys, g.pathTo(int32(id)), -1)
+			return res
+		}
+	}
+	res.StatesExplored = len(g.States)
+	if g.Truncated {
+		res.Truncated = true
+		return res
+	}
+	res.Verified = true
+	return res
+}
+
+// checkNeverFires scans states in BFS order and their edges in rule
+// order — the sequential dequeue order — so the first matching firing
+// and its counterexample are identical to the per-property exploration.
+func (g *StateGraph) checkNeverFires(p NeverFires) Result {
+	res := Result{Property: p.PropName, Kind: "never-fires"}
+	// Precompile the match verdict per rule once; the pattern is a pure
+	// function of the rule name, so no name is re-matched per state.
+	matched := make([]bool, len(g.Rules))
+	any := false
+	for i := range g.Rules {
+		matched[i] = p.Match(g.Rules[i].Name)
+		any = any || matched[i]
+	}
+	if any {
+		for id := range g.States {
+			for _, ed := range g.adj[id] {
+				if !matched[ed.rule] {
+					continue
+				}
+				res.StatesExplored = g.statesWhenProcessing(int32(id), ed.rule)
+				path := append(g.pathTo(int32(id)), g.Rules[ed.rule].Name)
+				res.Counterexample = buildTrace(g.Sys, path, -1)
+				return res
+			}
+		}
+	}
+	res.StatesExplored = len(g.States)
+	if g.Truncated {
+		res.Truncated = true
+		return res
+	}
+	res.Verified = true
+	return res
+}
+
+// checkResponse runs the pending-product lasso search over the interned
+// graph: product nodes are (state id, pending) pairs resolved through a
+// dense index instead of re-interning states, and edges come from the
+// precomputed adjacency, so no guard is re-evaluated and no state is
+// re-hashed. The product BFS and the pending-region DFS mirror the
+// sequential implementation exactly.
+func (g *StateGraph) checkResponse(p Response, opts Options) Result {
+	res := Result{Property: p.PropName, Kind: "response"}
+	if g.Truncated {
+		// Missing adjacency beyond the frontier would masquerade as
+		// deadlocks; a truncated graph cannot support the liveness search.
+		res.Truncated = true
+		res.StatesExplored = len(g.States)
+		return res
+	}
+	trigger := make([]bool, len(g.Rules))
+	goal := make([]bool, len(g.Rules))
+	for i := range g.Rules {
+		trigger[i] = p.Trigger(g.Rules[i].Name)
+		if p.Goal != nil {
+			goal[i] = p.Goal(g.Rules[i].Name)
+		}
+	}
+	var goalSat []bool
+	if p.GoalState != nil {
+		f, err := g.Sys.CompileCond(p.GoalState)
+		if err != nil {
+			return res
+		}
+		goalSat = make([]bool, len(g.States))
+		for i, s := range g.States {
+			goalSat[i] = f(s)
+		}
+	}
+
+	// Product interning: node id per (state id, pending bit), dense.
+	nodeID := make([]int32, 2*len(g.States))
+	for i := range nodeID {
+		nodeID[i] = -1
+	}
+	type pnode struct {
+		sid     int32
+		pending bool
+	}
+	type pedge struct {
+		to   int32
+		rule int32
+	}
+	var nodes []pnode
+	var padj [][]pedge
+	parent := []int32{-1}
+	parentRule := []int32{-1}
+
+	internNode := func(n pnode, from, rule int32) (int32, bool) {
+		slot := 2 * n.sid
+		if n.pending {
+			slot++
+		}
+		if id := nodeID[slot]; id >= 0 {
+			return id, false
+		}
+		id := int32(len(nodes))
+		nodeID[slot] = id
+		nodes = append(nodes, n)
+		padj = append(padj, nil)
+		if id > 0 {
+			parent = append(parent, from)
+			parentRule = append(parentRule, rule)
+		}
+		return id, true
+	}
+
+	startID, _ := internNode(pnode{sid: 0, pending: false}, -1, -1)
+	queue := []int32{startID}
+	maxStates := opts.maxStates()
+	for len(queue) > 0 {
+		if len(nodes) > maxStates {
+			res.Truncated = true
+			res.StatesExplored = len(nodes)
+			return res
+		}
+		id := queue[0]
+		queue = queue[1:]
+		n := nodes[id]
+		for _, ed := range g.adj[n.sid] {
+			pending := n.pending
+			if trigger[ed.rule] {
+				pending = true
+			}
+			if goal[ed.rule] {
+				pending = false
+			}
+			if pending && goalSat != nil && goalSat[ed.to] {
+				pending = false
+			}
+			nid, fresh := internNode(pnode{sid: ed.to, pending: pending}, id, ed.rule)
+			padj[id] = append(padj[id], pedge{to: nid, rule: ed.rule})
+			if fresh {
+				queue = append(queue, nid)
+			}
+		}
+	}
+	res.StatesExplored = len(nodes)
+
+	// nodePath reconstructs the rule path from the product start to id.
+	nodePath := func(id int32) []string {
+		var rev []string
+		for cur := id; cur > 0 && parent[cur] >= 0; cur = parent[cur] {
+			rev = append(rev, g.Rules[parentRule[cur]].Name)
+		}
+		out := make([]string, len(rev))
+		for i := range rev {
+			out[i] = rev[len(rev)-1-i]
+		}
+		return out
+	}
+
+	// Search the pending subgraph for a cycle or deadlock.
+	// colour: 0 unvisited, 1 on stack, 2 done.
+	colour := make([]uint8, len(nodes))
+	type frame struct {
+		id   int32
+		next int
+	}
+	for rootID := range nodes {
+		if !nodes[rootID].pending || colour[rootID] != 0 {
+			continue
+		}
+		stack := []frame{{id: int32(rootID)}}
+		colour[rootID] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(padj[f.id]) == 0 {
+				path := nodePath(f.id)
+				res.Counterexample = buildTrace(g.Sys, path, len(path))
+				return res
+			}
+			advanced := false
+			for f.next < len(padj[f.id]) {
+				ed := padj[f.id][f.next]
+				f.next++
+				if !nodes[ed.to].pending {
+					continue // leaving the pending region discharges along this edge
+				}
+				switch colour[ed.to] {
+				case 1:
+					path := nodePath(f.id)
+					loopEntry := len(nodePath(ed.to))
+					if loopEntry > len(path) {
+						loopEntry = len(path)
+					}
+					full := append(path, g.Rules[ed.rule].Name)
+					res.Counterexample = buildTrace(g.Sys, full, loopEntry)
+					return res
+				case 0:
+					colour[ed.to] = 1
+					stack = append(stack, frame{id: ed.to})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				colour[f.id] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	res.Verified = true
+	return res
+}
+
+// ErrBudgetExhausted re-exports the resilience sentinel that CheckContext
+// attaches to truncated explorations, so callers can errors.Is against
+// the mc package alone.
+var ErrBudgetExhausted = resilience.ErrBudgetExhausted
+
+// IsBudgetExhausted reports whether err marks a truncated exploration.
+func IsBudgetExhausted(err error) bool { return errors.Is(err, resilience.ErrBudgetExhausted) }

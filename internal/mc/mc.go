@@ -18,7 +18,9 @@
 package mc
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"prochecker/internal/ts"
@@ -129,6 +131,9 @@ type Result struct {
 // Options tunes the checker.
 type Options struct {
 	MaxStates int
+	// Workers bounds the exploration worker pool and the property-level
+	// parallelism of CheckAll; 0 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (o Options) maxStates() int {
@@ -138,8 +143,37 @@ func (o Options) maxStates() int {
 	return DefaultMaxStates
 }
 
-// Check verifies one property on the system.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Check verifies one property on the system using the shared-frontier
+// engine: the reachability graph is explored once per system generation
+// and cached, so repeated checks (the CEGAR loop, a catalogue run)
+// discharge on the cached graph instead of re-exploring. Results are
+// byte-identical to CheckSequential's, including counterexample traces.
 func Check(sys *ts.System, prop Property, opts Options) Result {
+	res, _ := DefaultEngine.CheckContext(context.Background(), sys, prop, opts)
+	return res
+}
+
+// CheckContext is Check with cancellation and a typed budget error: an
+// exploration that hits Options.MaxStates returns the truncated Result
+// together with an error wrapping resilience.ErrBudgetExhausted instead
+// of a silent incomplete verdict.
+func CheckContext(ctx context.Context, sys *ts.System, prop Property, opts Options) (Result, error) {
+	return DefaultEngine.CheckContext(ctx, sys, prop, opts)
+}
+
+// CheckSequential verifies one property with the original per-property
+// exploration: a fresh explicit-state BFS per call, no sharing, no
+// cache. It is the reference implementation the shared-frontier engine
+// is differentially tested against, and the baseline the BENCH_mc
+// series compares with.
+func CheckSequential(sys *ts.System, prop Property, opts Options) Result {
 	switch p := prop.(type) {
 	case Invariant:
 		return checkInvariant(sys, p, opts)
@@ -491,11 +525,27 @@ func indexOfNode(parent []int, parentRule []string, id int, path []string) int {
 	return depth
 }
 
-// CheckAll verifies a list of properties, returning results in order.
+// CheckAll verifies a list of properties concurrently on the shared
+// reachability graph, returning results in property order.
 func CheckAll(sys *ts.System, props []Property, opts Options) []Result {
+	out, _ := DefaultEngine.CheckAllContext(context.Background(), sys, props, opts)
+	return out
+}
+
+// CheckAllContext is CheckAll with cancellation and aggregated typed
+// errors (budget exhaustion per property, a single cancellation entry
+// when the catalogue walk is cut short).
+func CheckAllContext(ctx context.Context, sys *ts.System, props []Property, opts Options) ([]Result, error) {
+	return DefaultEngine.CheckAllContext(ctx, sys, props, opts)
+}
+
+// CheckAllSequential is the pre-shared-frontier batch path: one fresh
+// exploration per property, strictly in order. Kept as the differential
+// and benchmark baseline.
+func CheckAllSequential(sys *ts.System, props []Property, opts Options) []Result {
 	out := make([]Result, 0, len(props))
 	for _, p := range props {
-		out = append(out, Check(sys, p, opts))
+		out = append(out, CheckSequential(sys, p, opts))
 	}
 	return out
 }

@@ -9,6 +9,7 @@ package report
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"prochecker/internal/core/props"
 	"prochecker/internal/core/threat"
 	"prochecker/internal/ltemodels"
+	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/ue"
 )
@@ -125,20 +127,49 @@ type Verdict struct {
 }
 
 // Evaluator runs properties against a built model, caching outcomes.
+// It is safe for concurrent use: concurrent evaluations of distinct
+// properties proceed in parallel, while concurrent evaluations of the
+// same property are collapsed into one run.
 type Evaluator struct {
 	model *Model
 	cfg   cegar.Config
-	cache map[string]Verdict
+
+	mu       sync.Mutex
+	cache    map[string]Verdict
+	inflight map[string]*evalCall
+}
+
+// evalCall is one in-flight property evaluation; done is closed when the
+// verdict (or error) is available.
+type evalCall struct {
+	done chan struct{}
+	v    Verdict
+	err  error
 }
 
 // NewEvaluator builds an evaluator with the paper's threat configuration
 // (pre-capture phase enabled, COTS SQN scheme without freshness limit).
 func NewEvaluator(m *Model) *Evaluator {
 	return &Evaluator{
-		model: m,
-		cfg:   cegar.Config{PreCapture: true},
-		cache: make(map[string]Verdict),
+		model:    m,
+		cfg:      cegar.Config{PreCapture: true},
+		cache:    make(map[string]Verdict),
+		inflight: make(map[string]*evalCall),
 	}
+}
+
+// SetWorkers bounds the evaluator's property-level parallelism and the
+// model checker's exploration pool (0 restores the GOMAXPROCS default).
+// Call it before evaluations start; it is not synchronised with them.
+func (e *Evaluator) SetWorkers(n int) {
+	e.cfg.Workers = n
+}
+
+func (e *Evaluator) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Evaluate runs one catalogue property.
@@ -150,9 +181,38 @@ func (e *Evaluator) Evaluate(p props.Property) (Verdict, error) {
 // loop and the live equivalence scenarios. Cancelled evaluations are
 // not cached, so a later call with a live context re-runs the property.
 func (e *Evaluator) EvaluateContext(ctx context.Context, p props.Property) (Verdict, error) {
+	e.mu.Lock()
 	if v, ok := e.cache[p.ID]; ok {
+		e.mu.Unlock()
 		return v, nil
 	}
+	if c, ok := e.inflight[p.ID]; ok {
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.v, c.err
+		case <-ctx.Done():
+			return Verdict{}, fmt.Errorf("report: verifying %s: %w", p.ID, resilience.ErrCancelled)
+		}
+	}
+	c := &evalCall{done: make(chan struct{})}
+	e.inflight[p.ID] = c
+	e.mu.Unlock()
+
+	c.v, c.err = e.evaluate(ctx, p)
+
+	e.mu.Lock()
+	delete(e.inflight, p.ID)
+	if c.err == nil {
+		e.cache[p.ID] = c.v
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.v, c.err
+}
+
+// evaluate runs one property uncached.
+func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (Verdict, error) {
 	start := time.Now()
 	var v Verdict
 	v.PropertyID = p.ID
@@ -191,8 +251,59 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, p props.Property) (Verd
 		return Verdict{}, fmt.Errorf("report: property %s has unknown kind %q", p.ID, p.Kind)
 	}
 	v.Duration = time.Since(start)
-	e.cache[p.ID] = v
 	return v, nil
+}
+
+// EvaluateAllContext evaluates the properties over a bounded worker pool
+// (SetWorkers, default GOMAXPROCS), returning verdicts in list order.
+// The first evaluation error (in list order) is returned, matching a
+// sequential walk; cancellation surfaces as resilience.ErrCancelled.
+func (e *Evaluator) EvaluateAllContext(ctx context.Context, list []props.Property) ([]Verdict, error) {
+	verdicts := make([]Verdict, len(list))
+	errs := make([]error, len(list))
+	workers := e.workers()
+	if workers > len(list) {
+		workers = len(list)
+	}
+
+	if workers <= 1 {
+		for i, p := range list {
+			if ctx.Err() != nil {
+				break
+			}
+			verdicts[i], errs[i] = e.EvaluateContext(ctx, p)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					verdicts[i], errs[i] = e.EvaluateContext(ctx, list[i])
+				}
+			}()
+		}
+		for i := range list {
+			if ctx.Err() != nil {
+				break
+			}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("report: catalogue stopped: %w", resilience.ErrCancelled)
+	}
+	return verdicts, nil
 }
 
 // AttackInfo is one Table I row's metadata.
@@ -557,15 +668,7 @@ func VerifyAllProperties(profile ue.Profile) ([]Verdict, error) {
 		return nil, err
 	}
 	ev := NewEvaluator(m)
-	var out []Verdict
-	for _, p := range props.Catalogue() {
-		v, err := ev.Evaluate(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	return ev.EvaluateAllContext(context.Background(), props.Catalogue())
 }
 
 // RenderVerdicts summarises a full catalogue run.

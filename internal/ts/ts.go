@@ -173,7 +173,17 @@ type System struct {
 	valIdx   []map[string]uint8
 	initVals map[string]string
 	rules    []Rule
+	// gen counts structural mutations (variables, initial values, rules).
+	// Exploration caches key on it: a cached reachability graph is valid
+	// exactly while the generation it was built against is current.
+	gen uint64
 }
+
+// Generation reports the system's mutation counter. Every structural
+// edit — AddVar, SetInit, AddRule, RemoveRule, MapRules — bumps it, so
+// callers caching derived artifacts (compiled rules, reachability
+// graphs) can detect staleness without diffing the system.
+func (sys *System) Generation() uint64 { return sys.gen }
 
 // NewSystem creates an empty system.
 func NewSystem(name string) *System {
@@ -206,6 +216,7 @@ func (sys *System) AddVar(name string, domain ...string) error {
 	sys.varIdx[name] = len(sys.vars)
 	sys.vars = append(sys.vars, Var{Name: name, Domain: domain})
 	sys.valIdx = append(sys.valIdx, seen)
+	sys.gen++
 	return nil
 }
 
@@ -219,6 +230,7 @@ func (sys *System) SetInit(name, value string) error {
 		return fmt.Errorf("ts: value %s not in domain of %s", value, name)
 	}
 	sys.initVals[name] = value
+	sys.gen++
 	return nil
 }
 
@@ -240,6 +252,7 @@ func (sys *System) AddRule(r Rule) error {
 		r.Guard = True{}
 	}
 	sys.rules = append(sys.rules, r)
+	sys.gen++
 	return nil
 }
 
@@ -249,6 +262,7 @@ func (sys *System) RemoveRule(name string) bool {
 	for i, r := range sys.rules {
 		if r.Name == name {
 			sys.rules = append(sys.rules[:i], sys.rules[i+1:]...)
+			sys.gen++
 			return true
 		}
 	}
@@ -262,6 +276,7 @@ func (sys *System) MapRules(f func(Rule) Rule) {
 	for i := range sys.rules {
 		sys.rules[i] = f(sys.rules[i])
 	}
+	sys.gen++
 }
 
 // Rules returns the rule list (shared slice; callers must not mutate).

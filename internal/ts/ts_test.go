@@ -220,3 +220,61 @@ func TestStatsMentionsCounts(t *testing.T) {
 		t.Errorf("Stats = %q", stats)
 	}
 }
+
+// TestGenerationBumpsOnStructuralEdits pins the mutation counter the
+// exploration caches key on: every structural edit bumps it, reads and
+// failed edits leave it alone, and a clone starts an independent line.
+func TestGenerationBumpsOnStructuralEdits(t *testing.T) {
+	sys := NewSystem("gen")
+	g0 := sys.Generation()
+	if err := sys.AddVar("x", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Generation() <= g0 {
+		t.Fatal("AddVar did not bump the generation")
+	}
+	g1 := sys.Generation()
+	if err := sys.SetInit("x", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Generation() <= g1 {
+		t.Fatal("SetInit did not bump the generation")
+	}
+	g2 := sys.Generation()
+	if err := sys.AddRule(Rule{Name: "r", Guard: Eq{"x", "a"}, Assigns: []Assign{{"x", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Generation() <= g2 {
+		t.Fatal("AddRule did not bump the generation")
+	}
+	g3 := sys.Generation()
+	if sys.RemoveRule("absent") {
+		t.Fatal("RemoveRule of absent rule reported success")
+	}
+	if sys.Generation() != g3 {
+		t.Error("failed RemoveRule bumped the generation")
+	}
+	sys.MapRules(func(r Rule) Rule { return r })
+	if sys.Generation() <= g3 {
+		t.Error("MapRules did not bump the generation")
+	}
+	g4 := sys.Generation()
+	if !sys.RemoveRule("r") {
+		t.Fatal("RemoveRule failed")
+	}
+	if sys.Generation() <= g4 {
+		t.Error("RemoveRule did not bump the generation")
+	}
+	g5 := sys.Generation()
+	clone := sys.Clone()
+	gc := clone.Generation()
+	if err := clone.AddVar("y", "0"); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Generation() <= gc {
+		t.Error("clone edits do not bump its generation")
+	}
+	if sys.Generation() != g5 {
+		t.Error("editing the clone disturbed the original's generation")
+	}
+}

@@ -29,6 +29,8 @@ package prochecker
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"prochecker/internal/core/props"
@@ -111,22 +113,33 @@ type PropertyResult struct {
 // Analysis is a built pipeline for one implementation: extracted model,
 // threat composition and cached verdicts.
 type Analysis struct {
-	impl  Implementation
-	model *report.Model
-	eval  *report.Evaluator
+	impl    Implementation
+	model   *report.Model
+	eval    *report.Evaluator
+	workers int
+}
+
+// Option tunes an Analysis at construction time.
+type Option func(*Analysis)
+
+// WithWorkers bounds the property-level parallelism of CheckAll and the
+// model checker's exploration pool. 0 (the default) means
+// runtime.GOMAXPROCS(0); 1 forces a fully sequential run.
+func WithWorkers(n int) Option {
+	return func(a *Analysis) { a.workers = n }
 }
 
 // Analyze runs the extraction pipeline (conformance suite ->
 // instrumentation log -> Algorithm 1 -> threat composition) for the
 // given implementation.
-func Analyze(impl Implementation) (*Analysis, error) {
-	return AnalyzeContext(context.Background(), impl)
+func Analyze(impl Implementation, opts ...Option) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), impl, opts...)
 }
 
 // AnalyzeContext is Analyze with cancellation/deadline support threaded
 // through the conformance run. A cancelled build returns an error
 // wrapping resilience.ErrCancelled (see ErrCancelled).
-func AnalyzeContext(ctx context.Context, impl Implementation) (*Analysis, error) {
+func AnalyzeContext(ctx context.Context, impl Implementation, opts ...Option) (*Analysis, error) {
 	profile, err := impl.profile()
 	if err != nil {
 		return nil, err
@@ -135,7 +148,19 @@ func AnalyzeContext(ctx context.Context, impl Implementation) (*Analysis, error)
 	if err != nil {
 		return nil, fmt.Errorf("prochecker: %w", err)
 	}
-	return &Analysis{impl: impl, model: m, eval: report.NewEvaluator(m)}, nil
+	a := &Analysis{impl: impl, model: m, eval: report.NewEvaluator(m)}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.eval.SetWorkers(a.workers)
+	return a, nil
+}
+
+func (a *Analysis) workerCount() int {
+	if a.workers > 0 {
+		return a.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ErrCancelled marks analyses cut short by context cancellation or
@@ -205,26 +230,70 @@ func (a *Analysis) CheckAll() ([]PropertyResult, error) {
 
 // CheckAllContext is CheckAll with cancellation: the catalogue walk
 // stops promptly once ctx is done, returning the results completed so
-// far together with an error wrapping ErrCancelled.
+// far together with an error wrapping ErrCancelled. Properties are
+// evaluated over a bounded worker pool (WithWorkers, default
+// GOMAXPROCS); completed results come back in catalogue order, same as
+// a sequential walk.
 func (a *Analysis) CheckAllContext(ctx context.Context) ([]PropertyResult, error) {
 	catalogue := props.Catalogue()
-	var out []PropertyResult
-	var errs resilience.Collector
-	for _, p := range catalogue {
-		if ctx.Err() != nil {
-			errs.Add(fmt.Errorf("prochecker: catalogue stopped after %d of %d properties: %w",
-				len(out), len(catalogue), ErrCancelled))
-			break
-		}
-		r, err := a.CheckPropertyContext(ctx, p.ID)
-		if err != nil {
-			errs.Add(err)
-			if resilience.Cancelled(err) {
+	type slot struct {
+		res  PropertyResult
+		err  error
+		done bool
+	}
+	slots := make([]slot, len(catalogue))
+	workers := a.workerCount()
+	if workers > len(catalogue) {
+		workers = len(catalogue)
+	}
+
+	if workers <= 1 {
+		for i, p := range catalogue {
+			if ctx.Err() != nil {
 				break
 			}
-			continue
+			slots[i].res, slots[i].err = a.CheckPropertyContext(ctx, p.ID)
+			slots[i].done = true
 		}
-		out = append(out, r)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					slots[i].res, slots[i].err = a.CheckPropertyContext(ctx, catalogue[i].ID)
+					slots[i].done = true
+				}
+			}()
+		}
+		for i := range catalogue {
+			if ctx.Err() != nil {
+				break
+			}
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var out []PropertyResult
+	var errs resilience.Collector
+	for i := range catalogue {
+		s := slots[i]
+		switch {
+		case !s.done || resilience.Cancelled(s.err):
+			// Accounted for by the single catalogue-stopped entry below.
+		case s.err == nil:
+			out = append(out, s.res)
+		default:
+			errs.Add(s.err)
+		}
+	}
+	if ctx.Err() != nil {
+		errs.Add(fmt.Errorf("prochecker: catalogue stopped after %d of %d properties: %w",
+			len(out), len(catalogue), ErrCancelled))
 	}
 	return out, errs.Err()
 }
