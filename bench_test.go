@@ -536,6 +536,7 @@ func BenchmarkCheckAllParallel(b *testing.B) {
 	sys := m.Composed.System
 	list := catalogueMCProperties(b)
 	b.ResetTimer()
+	var hits, misses, evictions int
 	for i := 0; i < b.N; i++ {
 		engine := mc.NewEngine()
 		results, err := engine.CheckAllContext(context.Background(), sys, list, mc.Options{})
@@ -545,7 +546,12 @@ func BenchmarkCheckAllParallel(b *testing.B) {
 		if len(results) != len(list) {
 			b.Fatalf("completed %d of %d", len(results), len(list))
 		}
+		h, m, e := engine.CacheCounters()
+		hits, misses, evictions = hits+h, misses+m, evictions+e
 	}
+	b.ReportMetric(float64(hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(misses)/float64(b.N), "cache-misses/op")
+	b.ReportMetric(float64(evictions)/float64(b.N), "cache-evictions/op")
 }
 
 // BenchmarkCEGARVerifyAll times the full MC ⇄ CPV loop over the same

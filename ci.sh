@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 CI for the repo: static checks, the full test suite under the
-# race detector, and the fault-injection benchmark baseline.
+# race detector, the observability smoke run, and the benchmark
+# baselines.
 #
-#   ./ci.sh          # vet + build + race tests + refresh BENCH_faults.json + BENCH_mc.json
-#   ./ci.sh quick    # vet + build + plain tests (no race, no bench)
+#   ./ci.sh          # fmt + vet + build + race tests + smoke + refresh BENCH_faults.json + BENCH_mc.json
+#   ./ci.sh quick    # fmt + vet + build + plain tests (no race, no smoke, no bench)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: files need formatting:"
+    echo "$unformatted"
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -21,6 +30,47 @@ fi
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== observability smoke =="
+# Start a real run with the live metrics endpoint, scrape /debug/vars
+# from outside while -serve-wait keeps it up, and assert the core
+# pipeline metrics and a well-formed manifest came out.
+smoke_dir=$(mktemp -d)
+smoke_pid=""
+cleanup_smoke() {
+    [[ -n "$smoke_pid" ]] && kill "$smoke_pid" 2>/dev/null || true
+    rm -rf "$smoke_dir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smoke_dir/prochecker" ./cmd/prochecker
+"$smoke_dir/prochecker" -impl conformant -check S06 -quiet \
+    -manifest "$smoke_dir/run.json" -metrics-addr 127.0.0.1:0 -serve-wait \
+    2> "$smoke_dir/stderr.log" &
+smoke_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*serving metrics on http://\([^/]*\)/debug/vars.*#\1#p' "$smoke_dir/stderr.log" | head -1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "smoke: metrics endpoint never came up"; cat "$smoke_dir/stderr.log"; exit 1; }
+# The manifest is written when the run body completes, before
+# -serve-wait parks the process; wait for it so the scrape sees final
+# counts.
+for _ in $(seq 1 600); do
+    [[ -s "$smoke_dir/run.json" ]] && break
+    sleep 0.1
+done
+[[ -s "$smoke_dir/run.json" ]] || { echo "smoke: manifest never appeared"; exit 1; }
+vars=$(curl -sf "http://$addr/debug/vars")
+for metric in mc.states_explored mc.graph_cache_misses mc.check_ms \
+              report.properties_checked cegar.iterations conformance.cases; do
+    grep -q "$metric" <<<"$vars" || { echo "smoke: /debug/vars missing $metric"; exit 1; }
+done
+grep -q '"tool": "prochecker"' "$smoke_dir/run.json" || { echo "smoke: manifest malformed"; exit 1; }
+kill "$smoke_pid" && wait "$smoke_pid" 2>/dev/null || true
+smoke_pid=""
+echo "observability smoke OK (scraped http://$addr/debug/vars)"
 
 echo "== fault-injection bench baseline =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkConformance(Faults|Benign)$' -benchtime 20x .)
@@ -46,14 +96,24 @@ mc_bench_out=$(go test -run '^$' -bench 'BenchmarkCheckAll(Sequential|Parallel)$
 echo "$mc_bench_out"
 
 # Render into BENCH_mc.json, with the sequential/parallel speedup the
-# acceptance criterion reads (engine CheckAll vs per-property BFS):
-#   BenchmarkCheckAllSequential   3   6522434123 ns/op
+# acceptance criterion reads (engine CheckAll vs per-property BFS).
+# Benchmark lines carry (value, unit) pairs from field 3 on — ns/op
+# first, then any b.ReportMetric extras such as the graph-cache
+# counters:
+#   BenchmarkCheckAllParallel  3  652243412 ns/op  8.00 cache-hits/op  1.00 cache-misses/op
 echo "$mc_bench_out" | awk '
 BEGIN { print "{"; print "  \"series\": \"shared-frontier model checking, full MC catalogue (conformant profile)\","; print "  \"benchmarks\": [" }
 /^Benchmark/ {
     gsub(/-[0-9]+$/, "", $1)
     ns[$1] = $3
-    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3)
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i+1)
+        gsub(/\/op$/, "_per_op", unit)
+        gsub(/-/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
     lines[n++] = line
 }
 END {

@@ -21,6 +21,11 @@
 //	# pin the catalogue/exploration worker pool (default: GOMAXPROCS)
 //	prochecker -impl srsLTE -check all -workers 4
 //
+//	# observability: manifest, live metrics endpoint, verbosity
+//	prochecker -impl srsLTE -check all -manifest run.json -metrics-addr :6060
+//	prochecker -impl srsLTE -check all -v        # stream span events
+//	prochecker -impl srsLTE -check all -quiet    # results only
+//
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
 // budget exhausted, 5 recovered test-case panic.
@@ -32,11 +37,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
 
 	"prochecker"
 	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/ue"
 )
@@ -49,7 +60,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("prochecker", flag.ContinueOnError)
 	impl := fs.String("impl", string(prochecker.Conformant), "implementation profile: conformant | srsLTE | OAI")
 	dot := fs.Bool("dot", false, "print the extracted FSM in Graphviz DOT format")
@@ -65,18 +76,99 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"worker pool size for -check: bounds both property-level parallelism and the model checker's exploration pool (1 = fully sequential)")
+	quiet := fs.Bool("quiet", false, "suppress progress output on stderr (results only)")
+	verbose := fs.Bool("v", false, "stream span begin/end events to stderr as they happen")
+	manifestPath := fs.String("manifest", "", "write a machine-readable run manifest (JSON) to this path")
+	metricsAddr := fs.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. :6060 or 127.0.0.1:0")
+	serveWait := fs.Bool("serve-wait", false, "with -metrics-addr, keep the metrics endpoint up after the run completes until SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
 	}
+	if *quiet && *verbose {
+		return errors.New("-quiet and -v are mutually exclusive")
+	}
+	if *serveWait && *metricsAddr == "" {
+		return errors.New("-serve-wait requires -metrics-addr")
+	}
 
-	ctx := context.Background()
+	level := obs.LevelNormal
+	switch {
+	case *quiet:
+		level = obs.LevelQuiet
+	case *verbose:
+		level = obs.LevelVerbose
+	}
+
+	// The observer is built only when some output depends on it —
+	// manifest, metrics endpoint, verbose event stream, or the live
+	// progress line for a full catalogue run on an interactive stderr.
+	wantProgress := *check == "all" && level == obs.LevelNormal && stderrIsTTY()
+	var o *obs.Observer
+	if *manifestPath != "" || *metricsAddr != "" || *verbose || wantProgress {
+		o = obs.New(obs.WithEventSink(level, stderrSink()))
+	}
+
+	ctx := obs.NewContext(context.Background(), o)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *metricsAddr != "" {
+		srv, serr := obs.Serve(*metricsAddr, o.Metrics())
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "prochecker: serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr)
+		if *serveWait {
+			defer waitForShutdown(srv.Addr)
+		}
+	}
+
+	// Deferred manifest write: it runs on every exit path, so a
+	// cancelled or failed run still leaves a well-formed manifest with
+	// its failure classification and whatever spans were open.
+	var verdicts []obs.ManifestVerdict
+	if *manifestPath != "" {
+		cfg := map[string]string{"impl": *impl, "workers": strconv.Itoa(*workers)}
+		if *check != "" {
+			cfg["check"] = *check
+		}
+		if *runConf {
+			cfg["conformance"] = "true"
+		}
+		if *faults != "" {
+			cfg["faults"] = *faults
+			cfg["seed"] = strconv.FormatInt(*seed, 10)
+		}
+		if *timeout > 0 {
+			cfg["timeout"] = timeout.String()
+		}
+		defer func() {
+			m := o.Manifest()
+			m.Config = cfg
+			m.Verdicts = verdicts
+			if err != nil {
+				m.Failure = &obs.ManifestFailure{
+					Class:    resilience.Classify(err).String(),
+					ExitCode: resilience.ExitCode(err),
+					Errors:   errorStrings(err),
+				}
+			}
+			if werr := m.WriteFile(*manifestPath); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
+	if wantProgress && o != nil {
+		stop := startProgress(o.Metrics(), len(prochecker.Properties()))
+		defer stop()
 	}
 
 	if *list {
@@ -129,7 +221,8 @@ func run(args []string) error {
 		return nil
 	}
 
-	a, err := prochecker.AnalyzeContext(ctx, implementation, prochecker.WithWorkers(*workers))
+	a, err := prochecker.AnalyzeContext(ctx, implementation,
+		prochecker.WithWorkers(*workers), prochecker.WithObserver(o))
 	if err != nil {
 		return err
 	}
@@ -169,6 +262,12 @@ func run(args []string) error {
 		} else if !r.Verified {
 			verdict = "inconclusive"
 		}
+		verdicts = append(verdicts, obs.ManifestVerdict{
+			ID:      r.ID,
+			Verdict: manifestVerdict(r),
+			DurMS:   obs.DurMS(r.Duration),
+			Detail:  r.Detail,
+		})
 		fmt.Printf("%-4s %-12s %6dms  %s\n", r.ID, verdict, r.Duration.Milliseconds(), r.Detail)
 	}
 	if len(results) > 1 || checkErr != nil {
@@ -235,4 +334,106 @@ func firstLine(s string) string {
 		}
 	}
 	return s
+}
+
+// manifestVerdict maps a CLI result onto the manifest verdict
+// vocabulary.
+func manifestVerdict(r prochecker.PropertyResult) string {
+	switch {
+	case r.AttackFound:
+		return "attack"
+	case r.Verified:
+		return "verified"
+	default:
+		return "inconclusive"
+	}
+}
+
+// errorStrings flattens an aggregated run error into one message per
+// member for the manifest's failure record.
+func errorStrings(err error) []string {
+	var list resilience.ErrorList
+	if errors.As(err, &list) {
+		out := make([]string, 0, len(list))
+		for _, e := range list {
+			out = append(out, firstLine(e.Error()))
+		}
+		return out
+	}
+	return []string{firstLine(err.Error())}
+}
+
+// stderrIsTTY reports whether stderr is an interactive terminal — the
+// gate for the carriage-return progress line, which would garble piped
+// or redirected output.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// stderrSink renders observer events for -v: one line per span
+// begin/end (with duration and error) and free-form notes, serialised
+// through a mutex because spans end on worker goroutines.
+func stderrSink() func(obs.Event) {
+	var mu sync.Mutex
+	start := time.Now()
+	return func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		at := obs.DurMS(ev.Time.Sub(start))
+		switch ev.Kind {
+		case "begin":
+			fmt.Fprintf(os.Stderr, "[%9.1fms] begin %s\n", at, ev.Span)
+		case "end":
+			status := ""
+			if ev.Err != "" {
+				status = "  error: " + firstLine(ev.Err)
+			}
+			fmt.Fprintf(os.Stderr, "[%9.1fms] end   %s (%.1fms)%s\n", at, ev.Span, obs.DurMS(ev.Dur), status)
+		case "note":
+			fmt.Fprintf(os.Stderr, "[%9.1fms] %s\n", at, ev.Msg)
+		}
+	}
+}
+
+// startProgress redraws a single carriage-return progress line on
+// stderr every 250ms from the live metrics registry; the returned stop
+// function clears the line and waits for the drawer to exit.
+func startProgress(reg *obs.Registry, total int) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r%*s\r", 78, "")
+				return
+			case <-tick.C:
+				checked := reg.Counter("report.properties_checked").Value()
+				states := reg.Counter("mc.states_explored").Value()
+				rate := float64(states) / time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "\rchecking %d/%d properties · %d states explored · %.0f states/s ",
+					checked, total, states, rate)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// waitForShutdown blocks (from a deferred call, after the run body and
+// the manifest write) until SIGINT/SIGTERM so -serve-wait keeps the
+// metrics endpoint scrapeable after the run completes.
+func waitForShutdown(addr string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(ch)
+	fmt.Fprintf(os.Stderr, "prochecker: run complete; serving metrics on http://%s until interrupted\n", addr)
+	<-ch
 }

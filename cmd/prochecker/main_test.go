@@ -4,9 +4,11 @@ import (
 	"errors"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 )
 
@@ -137,6 +139,127 @@ func TestConformanceUnderFaults(t *testing.T) {
 	}
 	if out != again {
 		t.Error("seeded fault runs printed different reports")
+	}
+}
+
+func TestManifestWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-impl", "conformant", "-check", "S06", "-quiet", "-manifest", path})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m, err := obs.ReadManifestFile(path)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	if m.Tool != "prochecker" || m.SchemaVersion != obs.ManifestSchemaVersion {
+		t.Fatalf("manifest header = %+v", m)
+	}
+	if m.Config["impl"] != "conformant" || m.Config["check"] != "S06" {
+		t.Errorf("config = %v", m.Config)
+	}
+	if len(m.Verdicts) != 1 || m.Verdicts[0].ID != "S06" {
+		t.Fatalf("verdicts = %+v", m.Verdicts)
+	}
+	if m.Failure != nil {
+		t.Errorf("clean run recorded a failure: %+v", m.Failure)
+	}
+	names := map[string]bool{}
+	for _, n := range m.Spans.Names() {
+		names[n] = true
+	}
+	for _, phase := range []string{"analyze", "conformance.suite", "property.evaluate"} {
+		if !names[phase] {
+			t.Errorf("manifest missing span %q", phase)
+		}
+	}
+	if v, _ := m.Metrics["mc.states_explored"].(float64); v == 0 {
+		t.Errorf("manifest metrics missing mc.states_explored: %v", m.Metrics["mc.states_explored"])
+	}
+}
+
+// TestManifestOnFailure: a deadline-cut run still writes a well-formed
+// manifest carrying the failure taxonomy classification and exit code.
+func TestManifestOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{"-impl", "conformant", "-check", "all", "-timeout", "1ns", "-quiet", "-manifest", path})
+	if err == nil {
+		t.Fatal("expired deadline produced no error")
+	}
+	m, rerr := obs.ReadManifestFile(path)
+	if rerr != nil {
+		t.Fatalf("reading manifest after failure: %v", rerr)
+	}
+	if m.Failure == nil {
+		t.Fatal("failed run wrote no failure record")
+	}
+	if m.Failure.Class != resilience.KindCancelled.String() || m.Failure.ExitCode != resilience.ExitCancelled {
+		t.Errorf("failure = %+v", m.Failure)
+	}
+	if len(m.Failure.Errors) == 0 {
+		t.Error("failure record carries no error messages")
+	}
+}
+
+// TestMetricsAddrFlag exercises the -metrics-addr wiring: a bad
+// address fails the run up front, a valid ephemeral one serves without
+// disturbing the results. (The live /debug/vars scrape is covered by
+// obs's own TestServeEndpoint and by ci.sh's smoke run, which curls a
+// -serve-wait process from outside.)
+func TestMetricsAddrFlag(t *testing.T) {
+	if err := run([]string{"-impl", "conformant", "-check", "S06", "-quiet", "-metrics-addr", "256.0.0.1:0"}); err == nil {
+		t.Error("bad metrics address accepted")
+	}
+	// A valid ephemeral address must not disturb the run itself.
+	out, err := capture(t, func() error {
+		return run([]string{"-impl", "conformant", "-check", "S06", "-quiet", "-metrics-addr", "127.0.0.1:0"})
+	})
+	if err != nil {
+		t.Fatalf("run with metrics endpoint: %v", err)
+	}
+	if !strings.Contains(out, "S06") {
+		t.Errorf("results missing:\n%s", out)
+	}
+}
+
+func TestVerbosityFlagConflicts(t *testing.T) {
+	if err := run([]string{"-quiet", "-v", "-list"}); err == nil {
+		t.Error("-quiet -v accepted together")
+	}
+	if err := run([]string{"-serve-wait", "-list"}); err == nil {
+		t.Error("-serve-wait without -metrics-addr accepted")
+	}
+}
+
+// TestVerboseStreamsSpans checks -v writes span begin/end lines to
+// stderr.
+func TestVerboseStreamsSpans(t *testing.T) {
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	_, runErr := capture(t, func() error {
+		return run([]string{"-impl", "conformant", "-check", "S06", "-v"})
+	})
+	w.Close()
+	os.Stderr = old
+	stderr := <-done
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	for _, want := range []string{"begin run/analyze", "end   run/analyze", "property.evaluate"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("verbose stderr missing %q:\n%.500s", want, stderr)
+		}
 	}
 }
 

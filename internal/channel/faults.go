@@ -40,6 +40,42 @@ func Faults(adv Adversary) int {
 	}
 }
 
+// FaultsByKind breaks the fault count down per fault kind ("drop",
+// "corrupt", "dup", "reorder", "scheduled"), walking into Chain stages.
+// Adversaries that injected nothing contribute no key, so a benign run
+// yields an empty map.
+func FaultsByKind(adv Adversary) map[string]int {
+	out := make(map[string]int)
+	addFaultsByKind(adv, out)
+	return out
+}
+
+func addFaultsByKind(adv Adversary, out map[string]int) {
+	add := func(kind string, n int) {
+		if n > 0 {
+			out[kind] += n
+		}
+	}
+	switch a := adv.(type) {
+	case *Chain:
+		for _, s := range a.Stages {
+			addFaultsByKind(s, out)
+		}
+	case *ProbDrop:
+		add("drop", a.Faults())
+	case *Corrupter:
+		add("corrupt", a.Faults())
+	case *Duplicator:
+		add("dup", a.Faults())
+	case *Reorderer:
+		add("reorder", a.Faults())
+	case *ScheduledFault:
+		add("scheduled", a.Faults())
+	case FaultCounter:
+		add("other", a.Faults())
+	}
+}
+
 // Chain composes adversaries into one: every packet emitted by stage i
 // is fed through stage i+1, so a duplicate made early can still be
 // corrupted or dropped later.

@@ -2,10 +2,13 @@ package conformance
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 
 	"prochecker/internal/channel"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/trace"
 	"prochecker/internal/ue"
@@ -93,6 +96,10 @@ func Run(profile ue.Profile, cases []TestCase) (*Report, error) {
 // already executed together with an error wrapping
 // resilience.ErrCancelled.
 func RunContext(ctx context.Context, profile ue.Profile, cases []TestCase, opts RunOptions) (*Report, error) {
+	_, span := obs.Start(ctx, "conformance.suite",
+		obs.A("profile", profile.String()), obs.A("cases", strconv.Itoa(len(cases))))
+	reg := obs.FromContext(ctx).Metrics()
+
 	rep := &Report{Profile: profile}
 	var combined trace.Log
 	var cancelled error
@@ -115,15 +122,32 @@ func RunContext(ctx context.Context, profile ue.Profile, cases []TestCase, opts 
 		}
 		env.Rec.TestCase(tc.Name)
 		runErr := runCase(env, tc)
+		if runErr != nil && errors.Is(runErr, resilience.ErrCasePanic) {
+			reg.Counter("resilience.panics_recovered").Inc()
+		}
 		rep.Results = append(rep.Results, CaseResult{
 			Name:   tc.Name,
 			Err:    runErr,
 			Faults: channel.Faults(adv),
 		})
+		if reg != nil {
+			for kind, n := range channel.FaultsByKind(adv) {
+				reg.Counter("conformance.faults." + kind).Add(int64(n))
+			}
+		}
 		combined = append(combined, env.Rec.Snapshot()...)
 	}
 	rep.Log = combined
 	rep.Coverage = ComputeCoverage(combined, ue.StyleFor(profile))
+
+	if reg != nil {
+		reg.Counter("conformance.cases").Add(int64(len(rep.Results)))
+		reg.Counter("conformance.case_failures").Add(int64(len(rep.Results) - rep.Passed()))
+		reg.Counter("conformance.faults_injected").Add(int64(rep.FaultCount()))
+	}
+	span.SetAttr("passed", strconv.Itoa(rep.Passed()))
+	span.SetAttr("faults", strconv.Itoa(rep.FaultCount()))
+	span.EndErr(cancelled)
 	return rep, cancelled
 }
 

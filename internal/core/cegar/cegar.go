@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"prochecker/internal/core/threat"
 	"prochecker/internal/cpv"
 	"prochecker/internal/mc"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/sqn"
@@ -134,7 +136,42 @@ func Verify(composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, e
 // partial outcome so far together with an error wrapping
 // resilience.ErrCancelled — a distinct ending from the Unknown verdict
 // the iteration/exploration bounds produce.
+//
+// Each run is one "cegar.verify" span with one "cegar.iteration" child
+// per refinement-loop pass (each wrapping the model-checker run and,
+// when a counterexample needs validating, a "cpv.validate" child), and
+// the loop's totals land in the cegar.* registry counters.
 func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, error) {
+	ctx, span := obs.Start(ctx, "cegar.verify", obs.A("property", prop.Name()))
+	out, err := verifyContext(ctx, composed, prop, cfg)
+	if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+		reg.Counter("cegar.iterations").Add(int64(out.Iterations))
+		reg.Counter("cegar.refinements").Add(int64(len(out.Refinements)))
+		reg.Counter("cegar.spurious_counterexamples").Add(int64(len(out.Refinements)))
+		if out.Attack != nil {
+			reg.Counter("cegar.attacks").Inc()
+		}
+	}
+	span.SetAttr("iterations", strconv.Itoa(out.Iterations))
+	span.SetAttr("refinements", strconv.Itoa(len(out.Refinements)))
+	span.SetAttr("verdict", verdictLabel(out))
+	span.EndErr(err)
+	return out, err
+}
+
+// verdictLabel names an outcome for span attributes.
+func verdictLabel(out Outcome) string {
+	switch {
+	case out.Attack != nil:
+		return "attack"
+	case out.Verified:
+		return "verified"
+	default:
+		return "inconclusive"
+	}
+}
+
+func verifyContext(ctx context.Context, composed *threat.Composed, prop mc.Property, cfg Config) (Outcome, error) {
 	if composed == nil || composed.System == nil {
 		return Outcome{}, fmt.Errorf("cegar: nil composed model")
 	}
@@ -152,9 +189,11 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 				prop.Name(), out.Iterations, resilience.ErrCancelled)
 		}
 		out.Iterations++
-		res, err := mc.CheckContext(ctx, sys, prop, opts)
+		iterCtx, iterSpan := obs.Start(ctx, "cegar.iteration", obs.A("n", strconv.Itoa(out.Iterations)))
+		res, err := mc.CheckContext(iterCtx, sys, prop, opts)
 		out.StatesExplored = res.StatesExplored
 		if err != nil {
+			iterSpan.EndErr(err)
 			if resilience.Cancelled(err) {
 				return out, fmt.Errorf("cegar: verifying %s after %d iteration(s): %w",
 					prop.Name(), out.Iterations, resilience.ErrCancelled)
@@ -169,22 +208,30 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 		}
 		if res.Truncated {
 			out.Unknown = true
+			iterSpan.End()
 			return out, nil
 		}
 		if res.Verified {
 			out.Verified = true
+			iterSpan.End()
 			return out, nil
 		}
 		if res.Counterexample == nil {
 			// The checker rejected the property without evidence (e.g. a
 			// condition referencing an unknown variable); refining blindly
 			// would loop forever.
-			return out, fmt.Errorf("cegar: %s: model checker returned neither verdict nor counterexample", prop.Name())
+			err := fmt.Errorf("cegar: %s: model checker returned neither verdict nor counterexample", prop.Name())
+			iterSpan.EndErr(err)
+			return out, err
 		}
+		_, cpvSpan := obs.Start(iterCtx, "cpv.validate", obs.A("steps", strconv.Itoa(len(res.Counterexample.Steps))))
 		spurious, refinement, feasibility := validate(res.Counterexample, cfg)
+		cpvSpan.SetAttr("spurious", strconv.FormatBool(spurious))
+		cpvSpan.End()
 		if !spurious {
 			out.Attack = res.Counterexample
 			out.AttackFeasibility = feasibility
+			iterSpan.End()
 			return out, nil
 		}
 		if !owned {
@@ -192,9 +239,12 @@ func VerifyContext(ctx context.Context, composed *threat.Composed, prop mc.Prope
 			owned = true
 		}
 		if err := applyRefinement(sys, refinement); err != nil {
+			iterSpan.EndErr(err)
 			return out, err
 		}
 		out.Refinements = append(out.Refinements, refinement)
+		iterSpan.SetAttr("refined", refinement.Rule)
+		iterSpan.End()
 	}
 	out.Unknown = true
 	return out, nil

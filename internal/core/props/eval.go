@@ -10,6 +10,7 @@ import (
 	"prochecker/internal/conformance"
 	"prochecker/internal/cpv"
 	"prochecker/internal/nas"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/security"
 	"prochecker/internal/spec"
@@ -87,7 +88,17 @@ func EvaluateEquivalence(q EquivalenceQuery, profile ue.Profile) (EquivalenceRes
 // each scenario checks ctx before building its environments and again
 // between setup and the distinguishing probes, returning an error
 // wrapping resilience.ErrCancelled once ctx is done.
-func EvaluateEquivalenceContext(ctx context.Context, q EquivalenceQuery, profile ue.Profile) (EquivalenceResult, error) {
+func EvaluateEquivalenceContext(ctx context.Context, q EquivalenceQuery, profile ue.Profile) (res EquivalenceResult, err error) {
+	ctx, span := obs.Start(ctx, "equivalence.scenario", obs.A("scenario", q.Scenario))
+	defer func() {
+		if err == nil {
+			span.SetAttr("verified", fmt.Sprint(res.Verified))
+		}
+		if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+			reg.Counter("equivalence.scenarios").Inc()
+		}
+		span.EndErr(err)
+	}()
 	if err := cancelled(ctx, q.Scenario); err != nil {
 		return EquivalenceResult{}, err
 	}

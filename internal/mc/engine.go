@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/ts"
 )
@@ -38,11 +40,12 @@ type graphEntry struct {
 
 // Engine checks properties against cached shared-exploration graphs.
 type Engine struct {
-	mu     sync.Mutex
-	cache  map[*ts.System]*graphEntry
-	order  []*ts.System // insertion order for eviction
-	hits   int
-	builds int
+	mu        sync.Mutex
+	cache     map[*ts.System]*graphEntry
+	order     []*ts.System // insertion order for eviction
+	hits      int
+	builds    int
+	evictions int
 }
 
 // NewEngine returns an engine with an empty graph cache. Most callers
@@ -60,17 +63,28 @@ func (e *Engine) CacheStats() (hits, builds int) {
 	return e.hits, e.builds
 }
 
+// CacheCounters reports the full cache-effectiveness triple: hits,
+// misses (= graph builds) and evictions of the bounded LRU order — the
+// numbers the BENCH_mc series and the obs registry record.
+func (e *Engine) CacheCounters() (hits, misses, evictions int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.builds, e.evictions
+}
+
 // graphFor returns the cached graph for the system's current generation,
 // building it (once, even under concurrent callers) when missing.
 func (e *Engine) graphFor(ctx context.Context, sys *ts.System, opts Options) (*StateGraph, error) {
 	gen := sys.Generation()
 	maxStates := opts.maxStates()
+	reg := obs.FromContext(ctx).Metrics()
 
 	e.mu.Lock()
 	ent := e.cache[sys]
 	if ent != nil && ent.gen == gen && ent.maxStates == maxStates {
 		e.hits++
 		e.mu.Unlock()
+		reg.Counter("mc.graph_cache_hits").Inc()
 		select {
 		case <-ent.ready:
 		case <-ctx.Done():
@@ -84,11 +98,14 @@ func (e *Engine) graphFor(ctx context.Context, sys *ts.System, opts Options) (*S
 		if len(e.order) > engineCacheEntries {
 			delete(e.cache, e.order[0])
 			e.order = e.order[1:]
+			e.evictions++
+			reg.Counter("mc.graph_cache_evictions").Inc()
 		}
 	}
 	e.cache[sys] = ent
 	e.builds++
 	e.mu.Unlock()
+	reg.Counter("mc.graph_cache_misses").Inc()
 
 	ent.graph, ent.err = buildGraph(ctx, sys, opts)
 	if ent.err != nil {
@@ -116,6 +133,13 @@ func (e *Engine) graphFor(ctx context.Context, sys *ts.System, opts Options) (*S
 // error wrapping resilience.ErrCancelled.
 func (e *Engine) CheckContext(ctx context.Context, sys *ts.System, prop Property, opts Options) (Result, error) {
 	res := Result{Property: prop.Name(), Kind: prop.kind()}
+	if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Histogram("mc.check_ms", nil).Observe(obs.DurMS(time.Since(start)))
+			reg.Counter("mc.checks").Inc()
+		}()
+	}
 	g, err := e.graphFor(ctx, sys, opts)
 	if err != nil {
 		if resilience.Cancelled(err) {

@@ -12,7 +12,10 @@ package mc
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"time"
 
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/ts"
 )
@@ -132,7 +135,29 @@ type candidate struct {
 // The successor computation of each frontier chunk runs concurrently;
 // interning runs serially in frontier order, which reproduces the
 // sequential explorer's state numbering exactly.
-func buildGraph(ctx context.Context, sys *ts.System, opts Options) (*StateGraph, error) {
+//
+// Observability: each build is one "mc.explore" span; the registry's
+// mc.* instruments are resolved once up front (all nil-safe no-ops when
+// no observer rides the context) so the per-state loop stays untouched
+// and the per-level accounting is one histogram observation.
+func buildGraph(ctx context.Context, sys *ts.System, opts Options) (graph *StateGraph, err error) {
+	reg := obs.FromContext(ctx).Metrics()
+	_, span := obs.Start(ctx, "mc.explore", obs.A("system", sys.Name))
+	buildStart := time.Now()
+	defer func() {
+		if graph != nil {
+			reg.Counter("mc.states_explored").Add(int64(len(graph.States)))
+			reg.Counter("mc.explorations").Inc()
+			if elapsed := time.Since(buildStart); elapsed > 0 {
+				reg.Gauge("mc.states_per_sec").Set(int64(float64(len(graph.States)) / elapsed.Seconds()))
+			}
+			span.SetAttr("states", strconv.Itoa(len(graph.States)))
+			span.SetAttr("truncated", strconv.FormatBool(graph.Truncated))
+		}
+		span.EndErr(err)
+	}()
+	frontierWidth := reg.Histogram("mc.frontier_width", nil)
+
 	rules, err := sys.CompileRules()
 	if err != nil {
 		return nil, err
@@ -187,6 +212,7 @@ func buildGraph(ctx context.Context, sys *ts.System, opts Options) (*StateGraph,
 			g.Truncated = true
 			return g, nil
 		}
+		frontierWidth.Observe(float64(len(frontier)))
 
 		// Parallel phase: the visited set is frozen, workers expand
 		// contiguous frontier chunks into a position-indexed result

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ManifestSchemaVersion identifies the manifest JSON shape; bump it on
+// incompatible changes so downstream tooling can dispatch.
+const ManifestSchemaVersion = 1
+
+// Manifest is the machine-readable record of one run: configuration,
+// the per-phase span tree, a metrics snapshot, per-property verdicts
+// and (when the run ended short of clean) the failure-taxonomy
+// classification. One JSON document per run.
+type Manifest struct {
+	Tool          string            `json:"tool"`
+	SchemaVersion int               `json:"schema_version"`
+	StartedAt     time.Time         `json:"started_at"`
+	WallMS        float64           `json:"wall_ms"`
+	Config        map[string]string `json:"config,omitempty"`
+	Spans         *SpanNode         `json:"spans,omitempty"`
+	Metrics       map[string]any    `json:"metrics,omitempty"`
+	Verdicts      []ManifestVerdict `json:"verdicts,omitempty"`
+	Failure       *ManifestFailure  `json:"failure,omitempty"`
+}
+
+// ManifestVerdict is one property's outcome in the manifest.
+type ManifestVerdict struct {
+	ID      string  `json:"id"`
+	Verdict string  `json:"verdict"` // "verified" | "attack" | "inconclusive"
+	DurMS   float64 `json:"dur_ms"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// ManifestFailure classifies how a degraded run ended, mirroring the
+// resilience taxonomy and the CLI exit codes.
+type ManifestFailure struct {
+	Class    string   `json:"class"`
+	ExitCode int      `json:"exit_code"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// Manifest freezes the observer's current state into a manifest: the
+// full span tree (open spans marked "open" with live durations, so a
+// cancelled run still yields a well-formed document) and the metrics
+// snapshot. Config, verdicts and failure are the caller's to fill.
+// Nil observer returns a minimal valid manifest.
+func (o *Observer) Manifest() *Manifest {
+	m := &Manifest{Tool: "prochecker", SchemaVersion: ManifestSchemaVersion}
+	if o == nil {
+		return m
+	}
+	m.StartedAt = o.start.UTC()
+	m.WallMS = DurMS(time.Since(o.start))
+	m.Spans = o.root.snapshot(o.start)
+	m.Metrics = o.reg.Snapshot()
+	return m
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// DecodeManifest reads one manifest document back.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// ReadManifestFile loads a manifest from disk.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenManifest is a hand-built manifest with fixed values, so its
+// encoding is fully deterministic.
+func goldenManifest() *Manifest {
+	return &Manifest{
+		Tool:          "prochecker",
+		SchemaVersion: ManifestSchemaVersion,
+		StartedAt:     time.Date(2021, 7, 7, 12, 0, 0, 0, time.UTC),
+		WallMS:        1234.5,
+		Config:        map[string]string{"impl": "srsLTE", "check": "all"},
+		Spans: &SpanNode{
+			Name: "run", DurMS: 1234.5, Status: "ok",
+			Children: []*SpanNode{
+				{
+					Name: "analyze", StartMS: 1, DurMS: 900, Status: "ok",
+					Attrs: map[string]string{"impl": "srsLTE"},
+					Children: []*SpanNode{
+						{Name: "conformance.suite", StartMS: 2, DurMS: 400, Status: "ok"},
+						{Name: "extract.model", StartMS: 402, DurMS: 100, Status: "ok"},
+						{Name: "threat.compose", StartMS: 502, DurMS: 50, Status: "ok"},
+					},
+				},
+				{Name: "check.catalogue", StartMS: 901, DurMS: 300, Status: "cancelled",
+					Error: "context canceled"},
+			},
+		},
+		Metrics: map[string]any{
+			"mc.states_explored": float64(280411),
+			"mc.check_ms": map[string]any{
+				"count": float64(1), "sum": float64(55), "mean": float64(55),
+				"min": float64(55), "max": float64(55),
+				"buckets": map[string]any{"le_100": float64(1)},
+			},
+		},
+		Verdicts: []ManifestVerdict{
+			{ID: "S06", Verdict: "attack", DurMS: 55, Detail: "attack in 2 step(s)"},
+			{ID: "S07", Verdict: "verified", DurMS: 20},
+		},
+		Failure: &ManifestFailure{Class: "cancelled", ExitCode: 2,
+			Errors: []string{"catalogue stopped after 2 of 62 properties"}},
+	}
+}
+
+// TestManifestGolden pins the on-disk JSON shape: a schema change that
+// alters the encoding must be deliberate (regenerate with -update).
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestManifestGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenManifest().Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	golden := filepath.Join("testdata", "manifest.golden.json")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("manifest encoding drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestManifestRoundTrip checks emit -> decode -> re-encode is lossless:
+// the decoded document re-encodes byte-identically.
+func TestManifestRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := goldenManifest().Encode(&first); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := DecodeManifest(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	var second bytes.Buffer
+	if err := decoded.Encode(&second); err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not lossless.\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+	}
+	if decoded.Verdicts[0].ID != "S06" || decoded.Failure.ExitCode != 2 {
+		t.Fatalf("decoded fields lost: %+v", decoded)
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := goldenManifest().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatalf("ReadManifestFile: %v", err)
+	}
+	if !reflect.DeepEqual(m, goldenManifest()) {
+		t.Fatalf("file round trip mismatch: %+v", m)
+	}
+}
+
+// TestObserverManifest exercises the live path: an observer with real
+// spans and metrics freezes into a manifest whose JSON decodes back.
+func TestObserverManifest(t *testing.T) {
+	o := New()
+	ctx := NewContext(context.Background(), o)
+	o.Metrics().Counter("mc.states_explored").Add(99)
+	o.Metrics().Histogram("mc.check_ms", nil).Observe(12.5)
+	c1, s1 := Start(ctx, "analyze")
+	_, s2 := Start(c1, "conformance.suite")
+	s2.End()
+	s1.End()
+
+	m := o.Manifest()
+	if m.Tool != "prochecker" || m.SchemaVersion != ManifestSchemaVersion {
+		t.Fatalf("header = %+v", m)
+	}
+	want := []string{"analyze", "conformance.suite", "run"}
+	if got := m.Spans.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("span names = %v, want %v", got, want)
+	}
+	if m.Metrics["mc.states_explored"] != int64(99) {
+		t.Fatalf("metrics = %v", m.Metrics)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	if got := back.Spans.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded span names = %v, want %v", got, want)
+	}
+}
+
+// TestManifestUnderCancellation mirrors a deadline-cut run: some spans
+// ended with cancellation errors, some never ended at all. The manifest
+// must still be a complete, well-formed tree.
+func TestManifestUnderCancellation(t *testing.T) {
+	o := New()
+	root := NewContext(context.Background(), o)
+	cctx, cancel := context.WithCancel(root)
+
+	c1, analyze := Start(cctx, "analyze")
+	_, suite := Start(c1, "conformance.suite")
+	cancel()
+	suite.EndErr(fmt.Errorf("suite stopped: %w", cctx.Err()))
+	analyze.EndErr(cctx.Err())
+	_, orphan := Start(root, "check.catalogue")
+	_ = orphan // deliberately never ended — manifest written mid-flight
+
+	m := o.Manifest()
+	byName := map[string]*SpanNode{}
+	m.Spans.Walk(func(n *SpanNode) { byName[n.Name] = n })
+	if byName["analyze"].Status != "cancelled" || byName["conformance.suite"].Status != "cancelled" {
+		t.Fatalf("cancelled spans: analyze=%q suite=%q",
+			byName["analyze"].Status, byName["conformance.suite"].Status)
+	}
+	if byName["check.catalogue"].Status != "open" {
+		t.Fatalf("unfinished span status = %q, want open", byName["check.catalogue"].Status)
+	}
+	if byName["run"].Status != "open" {
+		t.Fatalf("root status = %q, want open (observer still live)", byName["run"].Status)
+	}
+
+	// Still a valid JSON document end to end.
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := DecodeManifest(&buf); err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+}
+
+func TestNilObserverManifest(t *testing.T) {
+	var o *Observer
+	m := o.Manifest()
+	if m.Tool != "prochecker" || m.SchemaVersion != ManifestSchemaVersion {
+		t.Fatalf("nil manifest header = %+v", m)
+	}
+	if m.Spans != nil || m.Metrics != nil {
+		t.Fatalf("nil manifest should be minimal, got %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+}

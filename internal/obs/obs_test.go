@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilObserverIsNoOp(t *testing.T) {
+	var o *Observer
+	if o.Metrics() != nil {
+		t.Fatal("nil observer should hand out a nil registry")
+	}
+	if o.Root() != nil {
+		t.Fatal("nil observer should have a nil root span")
+	}
+	o.Notef(LevelNormal, "ignored %d", 1)
+
+	// The whole instrument chain must be callable through nil.
+	var reg *Registry
+	reg.Counter("x").Add(3)
+	reg.Gauge("y").Set(7)
+	reg.Gauge("y").SetMax(9)
+	reg.Histogram("z", nil).Observe(1.5)
+	if got := reg.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End()
+	s.EndErr(errors.New("boom"))
+	if s.StartChild("c") != nil {
+		t.Fatal("nil span StartChild should return nil")
+	}
+	if s.Duration() != 0 {
+		t.Fatal("nil span Duration should be 0")
+	}
+}
+
+func TestStartWithoutObserverLeavesContextUntouched(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "phase")
+	if span != nil {
+		t.Fatal("Start without observer should return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without observer should return ctx unchanged")
+	}
+	if FromContext(ctx) != nil || SpanFromContext(ctx) != nil {
+		t.Fatal("empty context should carry no observer or span")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil) should return ctx unchanged")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	o := New()
+	ctx := NewContext(context.Background(), o)
+	if FromContext(ctx) != o {
+		t.Fatal("FromContext should return the installed observer")
+	}
+	if SpanFromContext(ctx) != o.Root() {
+		t.Fatal("fresh context should carry the root span")
+	}
+
+	ctx1, outer := Start(ctx, "outer", A("k", "v"))
+	_, inner := Start(ctx1, "inner")
+	// A sibling started from the outer context, as worker pools do.
+	_, sibling := Start(ctx1, "sibling")
+	inner.End()
+	sibling.End()
+	outer.End()
+
+	tree := o.Root().snapshot(o.start)
+	if tree.Name != "run" || len(tree.Children) != 1 {
+		t.Fatalf("root snapshot = %q with %d children, want run/1", tree.Name, len(tree.Children))
+	}
+	on := tree.Children[0]
+	if on.Name != "outer" || on.Status != "ok" || on.Attrs["k"] != "v" {
+		t.Fatalf("outer node = %+v", on)
+	}
+	var kids []string
+	for _, c := range on.Children {
+		kids = append(kids, c.Name)
+	}
+	if !reflect.DeepEqual(kids, []string{"inner", "sibling"}) {
+		t.Fatalf("outer children = %v", kids)
+	}
+	want := []string{"inner", "outer", "run", "sibling"}
+	if got := tree.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	o := New()
+	s := o.Root().StartChild("phase", A("k", "old"))
+	s.SetAttr("k", "new")
+	s.SetAttr("other", "x")
+	s.End()
+	n := s.snapshot(o.start)
+	if n.Attrs["k"] != "new" || n.Attrs["other"] != "x" || len(n.Attrs) != 2 {
+		t.Fatalf("attrs = %v", n.Attrs)
+	}
+}
+
+func TestEndErrStatus(t *testing.T) {
+	o := New()
+	cases := []struct {
+		err    error
+		status string
+	}{
+		{nil, "ok"},
+		{errors.New("boom"), "error"},
+		{fmt.Errorf("wrapped: %w", context.Canceled), "cancelled"},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), "cancelled"},
+	}
+	for _, tc := range cases {
+		s := o.Root().StartChild("phase")
+		s.EndErr(tc.err)
+		if got := s.snapshot(o.start).Status; got != tc.status {
+			t.Errorf("EndErr(%v) status = %q, want %q", tc.err, got, tc.status)
+		}
+	}
+}
+
+func TestDoubleEndKeepsFirst(t *testing.T) {
+	o := New()
+	s := o.Root().StartChild("phase")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.EndErr(errors.New("late"))
+	if s.Duration() != d {
+		t.Fatal("second End should not change the duration")
+	}
+	if got := s.snapshot(o.start).Status; got != "ok" {
+		t.Fatalf("status after double end = %q, want ok", got)
+	}
+}
+
+func TestOpenSpanSnapshot(t *testing.T) {
+	o := New()
+	s := o.Root().StartChild("never-ended")
+	time.Sleep(2 * time.Millisecond)
+	n := s.snapshot(o.start)
+	if n.Status != "open" {
+		t.Fatalf("open span status = %q, want open", n.Status)
+	}
+	if n.DurMS <= 0 {
+		t.Fatalf("open span should report a live duration, got %v", n.DurMS)
+	}
+}
+
+func TestEventSinkLevels(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	sink := func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+
+	// Normal level: notes at LevelNormal pass, span events do not.
+	o := New(WithEventSink(LevelNormal, sink))
+	s := o.Root().StartChild("phase")
+	s.End()
+	o.Notef(LevelNormal, "hello %s", "world")
+	o.Notef(LevelVerbose, "too detailed")
+	if len(events) != 1 || events[0].Msg != "hello world" {
+		t.Fatalf("normal-level events = %+v", events)
+	}
+
+	// Verbose level: begin/end stream through.
+	events = nil
+	ov := New(WithEventSink(LevelVerbose, sink))
+	sv := ov.Root().StartChild("phase")
+	sv.EndErr(errors.New("boom"))
+	if len(events) != 2 {
+		t.Fatalf("verbose-level got %d events, want 2", len(events))
+	}
+	if events[0].Kind != "begin" || events[0].Span != "run/phase" {
+		t.Fatalf("begin event = %+v", events[0])
+	}
+	if events[1].Kind != "end" || events[1].Err != "boom" || events[1].Dur <= 0 {
+		t.Fatalf("end event = %+v", events[1])
+	}
+
+	// Quiet: even notes at normal level are suppressed.
+	events = nil
+	oq := New(WithEventSink(LevelQuiet, sink))
+	oq.Notef(LevelNormal, "suppressed")
+	oq.Root().StartChild("phase").End()
+	if len(events) != 0 {
+		t.Fatalf("quiet-level events = %+v", events)
+	}
+}
+
+// TestConcurrentSpans hammers one parent with concurrent children, as
+// the catalogue worker pool does, under -race.
+func TestConcurrentSpans(t *testing.T) {
+	o := New()
+	ctx := NewContext(context.Background(), o)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, s := Start(ctx, "worker")
+			s.SetAttr("i", fmt.Sprint(i))
+			_, gs := Start(cctx, "grandchild")
+			gs.End()
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	tree := o.Root().snapshot(o.start)
+	if len(tree.Children) != 16 {
+		t.Fatalf("root has %d children, want 16", len(tree.Children))
+	}
+	total := 0
+	tree.Walk(func(n *SpanNode) { total++ })
+	if total != 33 { // run + 16 workers + 16 grandchildren
+		t.Fatalf("walked %d nodes, want 33", total)
+	}
+}

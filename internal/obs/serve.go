@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live observability endpoint: expvar at /debug/vars
+// (including the published metrics registry) and the full
+// net/http/pprof suite at /debug/pprof/ for profiling long runs in
+// flight.
+type Server struct {
+	// Addr is the bound address, with the real port when the caller
+	// asked for :0.
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0") and publishes the registry under the "prochecker"
+// expvar name. It returns once the listener is bound; serving happens
+// in a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	r.PublishExpvar("prochecker")
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close.
+	return s, nil
+}
+
+// Close stops the endpoint and releases the port.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A is shorthand for constructing an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed phase of a run. Spans form a tree (children are
+// started from the parent's context, including concurrently from
+// worker pools — the child list is mutex-guarded), carry attributes
+// and an error status, and survive into the run manifest. All methods
+// are nil-safe.
+type Span struct {
+	obs   *Observer
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	ended    bool
+	dur      time.Duration
+	errMsg   string
+	status   string // "", "ok", "error", "cancelled"
+	path     string // cached slash-joined path for events
+}
+
+// StartChild begins a named child span. Most callers should use
+// obs.Start, which also threads the child through the context.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{obs: s.obs, name: name, start: time.Now(), attrs: attrs}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	if s.path == "" {
+		s.path = s.name
+	}
+	child.path = s.path + "/" + name
+	s.mu.Unlock()
+	s.obs.emit(Event{Time: child.start, Kind: "begin", Span: child.path})
+	return child
+}
+
+// SetAttr annotates the span; a repeated key overwrites the earlier
+// value.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span with an "ok" status. Ending twice is harmless:
+// the first End wins.
+func (s *Span) End() { s.end(nil) }
+
+// EndErr closes the span recording err's message; a nil err is an
+// ordinary End, and cancellation/deadline errors are distinguished with
+// the "cancelled" status so the manifest separates aborted phases from
+// failed ones.
+func (s *Span) EndErr(err error) { s.end(err) }
+
+func (s *Span) end(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.status = "ok"
+	if err != nil {
+		s.errMsg = err.Error()
+		s.status = "error"
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.status = "cancelled"
+		}
+	}
+	ev := Event{Time: time.Now(), Kind: "end", Span: s.path, Dur: s.dur, Err: s.errMsg}
+	s.mu.Unlock()
+	s.obs.emit(ev)
+}
+
+// Duration reports the span's length: final once ended, live (time
+// since start) while still open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanNode is the JSON shape of one span in the run manifest. Times are
+// millisecond offsets from the run start so a manifest diff is stable
+// across wall-clock runs.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartMS  float64           `json:"start_ms"`
+	DurMS    float64           `json:"dur_ms"`
+	Status   string            `json:"status,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// snapshot freezes the span subtree relative to the run start. Open
+// spans (e.g. when the manifest is written from a cancelled run) are
+// marked "open" with their live duration.
+func (s *Span) snapshot(runStart time.Time) *SpanNode {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	node := &SpanNode{
+		Name:    s.name,
+		StartMS: DurMS(s.start.Sub(runStart)),
+		Status:  s.status,
+		Error:   s.errMsg,
+	}
+	if s.ended {
+		node.DurMS = DurMS(s.dur)
+	} else {
+		node.DurMS = DurMS(time.Since(s.start))
+		node.Status = "open"
+	}
+	if len(s.attrs) > 0 {
+		node.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			node.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+
+	for _, c := range children {
+		node.Children = append(node.Children, c.snapshot(runStart))
+	}
+	return node
+}
+
+// Walk visits the node and every descendant in depth-first order.
+func (n *SpanNode) Walk(visit func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Names lists every distinct span name in the subtree, sorted — handy
+// for asserting phase coverage.
+func (n *SpanNode) Names() []string {
+	seen := map[string]bool{}
+	n.Walk(func(sn *SpanNode) { seen[sn.Name] = true })
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DurMS renders a duration as fractional milliseconds, the unit every
+// manifest and latency metric uses.
+func DurMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -22,6 +22,7 @@ import (
 	"prochecker/internal/core/props"
 	"prochecker/internal/core/threat"
 	"prochecker/internal/ltemodels"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/ue"
@@ -45,17 +46,38 @@ func BuildModel(profile ue.Profile) (*Model, error) {
 
 // BuildModelContext is BuildModel with cancellation threaded through the
 // conformance run; a cancelled build returns an error wrapping
-// resilience.ErrCancelled.
-func BuildModelContext(ctx context.Context, profile ue.Profile) (*Model, error) {
+// resilience.ErrCancelled. The build is one "pipeline.build_model" span
+// with the conformance run (which spans itself), the log
+// dissection/extraction and the threat composition as children.
+func BuildModelContext(ctx context.Context, profile ue.Profile) (m *Model, err error) {
+	ctx, span := obs.Start(ctx, "pipeline.build_model", obs.A("profile", profile.String()))
+	defer func() { span.EndErr(err) }()
+
 	suite, err := conformance.RunSuiteContext(ctx, profile, true, conformance.RunOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("report: running conformance suite: %w", err)
 	}
+
+	_, exSpan := obs.Start(ctx, "extract.model")
 	sig := spec.UESignatures(ue.StyleFor(profile))
 	fsm, stats, err := extract.ModelWithStats(suite.Log, sig, extract.Options{Name: "UE/" + profile.String()})
 	if err != nil {
+		exSpan.EndErr(err)
 		return nil, fmt.Errorf("report: extracting model: %w", err)
 	}
+	states, conds, actions, transitions := fsm.Size()
+	exSpan.SetAttr("states", fmt.Sprint(states))
+	exSpan.SetAttr("transitions", fmt.Sprint(transitions))
+	exSpan.End()
+	if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+		reg.Counter("extract.models").Inc()
+		reg.Gauge("extract.fsm_states").Set(int64(states))
+		reg.Gauge("extract.fsm_conditions").Set(int64(conds))
+		reg.Gauge("extract.fsm_actions").Set(int64(actions))
+		reg.Gauge("extract.fsm_transitions").Set(int64(transitions))
+	}
+
+	_, thSpan := obs.Start(ctx, "threat.compose")
 	composed, err := threat.Compose(threat.Config{
 		Name:                 "IMP/" + profile.String(),
 		UE:                   fsm,
@@ -63,8 +85,10 @@ func BuildModelContext(ctx context.Context, profile ue.Profile) (*Model, error) 
 		SuperviseGUTIRealloc: true,
 	})
 	if err != nil {
+		thSpan.EndErr(err)
 		return nil, fmt.Errorf("report: composing threat model: %w", err)
 	}
+	thSpan.End()
 	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed}, nil
 }
 
@@ -211,9 +235,22 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, p props.Property) (Verd
 	return c.v, c.err
 }
 
-// evaluate runs one property uncached.
-func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (Verdict, error) {
+// evaluate runs one property uncached. Each evaluation is one
+// "property.evaluate" span and feeds the per-property latency
+// histogram; evaluations running concurrently in the EvaluateAllContext
+// pool become sibling spans under the caller's span.
+func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (_ Verdict, err error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "property.evaluate", obs.A("property", p.ID), obs.A("kind", string(p.Kind)))
+	defer func() { span.EndErr(err) }()
+	defer func() {
+		if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+			ms := obs.DurMS(time.Since(start))
+			reg.Counter("report.properties_checked").Inc()
+			reg.Histogram("report.property_check_ms", nil).Observe(ms)
+			reg.Gauge("report.check_ms." + p.ID).Set(int64(ms))
+		}
+	}()
 	var v Verdict
 	v.PropertyID = p.ID
 	switch p.Kind {
@@ -251,7 +288,25 @@ func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (Verdict, er
 		return Verdict{}, fmt.Errorf("report: property %s has unknown kind %q", p.ID, p.Kind)
 	}
 	v.Duration = time.Since(start)
+	span.SetAttr("verdict", verdictWord(v))
+	if v.Detected {
+		if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+			reg.Counter("report.attacks_found").Inc()
+		}
+	}
 	return v, nil
+}
+
+// verdictWord collapses a verdict to the manifest vocabulary.
+func verdictWord(v Verdict) string {
+	switch {
+	case v.Detected:
+		return "attack"
+	case v.Verified:
+		return "verified"
+	default:
+		return "inconclusive"
+	}
 }
 
 // EvaluateAllContext evaluates the properties over a bounded worker pool

@@ -110,15 +110,24 @@ func classifyOne(err error) Kind {
 	}
 }
 
-// flatten expands multi-error trees into leaves; a non-aggregate error
-// is its own single leaf.
+// flatten expands multi-error trees into leaves, descending through
+// single-unwrap wrappers to find aggregates below them (e.g. the CLI's
+// fmt.Errorf("partial catalogue: %w", ErrorList{...})); an error with
+// no aggregate anywhere in its chain is its own single leaf.
 func flatten(err error) []error {
-	if u, ok := err.(interface{ Unwrap() []error }); ok {
-		var out []error
-		for _, e := range u.Unwrap() {
-			out = append(out, flatten(e)...)
+	for e := err; e != nil; {
+		if multi, ok := e.(interface{ Unwrap() []error }); ok {
+			var out []error
+			for _, m := range multi.Unwrap() {
+				out = append(out, flatten(m)...)
+			}
+			return out
 		}
-		return out
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
 	}
 	return []error{err}
 }

@@ -92,6 +92,62 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+// TestClassifyWrappedMultiErrorChains pins the aggregate semantics the
+// CLI's manifest and exit code rely on: a degraded catalogue run whose
+// ErrorList mixes cancellation with a budget trip must classify (and
+// exit) as the more severe budget exhaustion, however deeply each
+// member is wrapped.
+func TestClassifyWrappedMultiErrorChains(t *testing.T) {
+	cancelled := fmt.Errorf("prochecker: catalogue stopped: %w",
+		fmt.Errorf("report: %w", ErrCancelled))
+	budget := fmt.Errorf("prochecker: verifying S40: %w",
+		fmt.Errorf("cegar: %w", fmt.Errorf("mc: %w", ErrBudgetExhausted)))
+
+	cases := []struct {
+		name     string
+		err      error
+		want     Kind
+		wantExit int
+	}{
+		{"list cancelled+budget", ErrorList{cancelled, budget}, KindBudgetExhausted, ExitBudgetExhausted},
+		{"list budget+cancelled (order-insensitive)", ErrorList{budget, cancelled}, KindBudgetExhausted, ExitBudgetExhausted},
+		{"joined cancelled+budget", errors.Join(cancelled, budget), KindBudgetExhausted, ExitBudgetExhausted},
+		{"wrapped list", fmt.Errorf("partial catalogue: %w", ErrorList{cancelled, budget}), KindBudgetExhausted, ExitBudgetExhausted},
+		{"nested list in list", ErrorList{ErrorList{cancelled}, ErrorList{budget}}, KindBudgetExhausted, ExitBudgetExhausted},
+		{"cancelled+panic", ErrorList{cancelled, fmt.Errorf("case: %w", ErrCasePanic)}, KindCasePanic, ExitCasePanic},
+		{"cancelled only", ErrorList{cancelled, fmt.Errorf("also: %w", context.DeadlineExceeded)}, KindCancelled, ExitCancelled},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %s, want %s", tc.name, got, tc.want)
+		}
+		if got := ExitCode(tc.err); got != tc.wantExit {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.wantExit)
+		}
+	}
+}
+
+// TestCollectorAggregatesWrappedChains drives the same mix through the
+// Collector, the way CheckAllContext actually builds its error.
+func TestCollectorAggregatesWrappedChains(t *testing.T) {
+	var c Collector
+	c.Add(fmt.Errorf("S06: %w", fmt.Errorf("deadline: %w", ErrCancelled)))
+	c.Add(fmt.Errorf("S40: %w", fmt.Errorf("bound: %w", ErrBudgetExhausted)))
+	err := c.Err()
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("aggregate lost a member: %v", err)
+	}
+	if got := Classify(err); got != KindBudgetExhausted {
+		t.Errorf("Classify = %s, want %s", got, KindBudgetExhausted)
+	}
+	if got := ExitCode(err); got != ExitBudgetExhausted {
+		t.Errorf("ExitCode = %d, want %d", got, ExitBudgetExhausted)
+	}
+	if got := Classify(fmt.Errorf("outer: %w", err)); got != KindBudgetExhausted {
+		t.Errorf("Classify(wrapped aggregate) = %s, want %s", got, KindBudgetExhausted)
+	}
+}
+
 func TestCancelledHelper(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -13,12 +13,14 @@ package testbed
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
 	"prochecker/internal/mc"
 	"prochecker/internal/nas"
+	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
 	"prochecker/internal/ue"
@@ -204,8 +206,17 @@ func ReplayTrace(profile ue.Profile, trace *mc.Trace) (ReplayResult, error) {
 // replaying the counterexample over a faulty link. When ctx is
 // cancelled mid-replay the steps executed so far are returned together
 // with an error wrapping resilience.ErrCancelled.
-func ReplayTraceContext(ctx context.Context, profile ue.Profile, trace *mc.Trace, adv channel.Adversary) (ReplayResult, error) {
-	var out ReplayResult
+func ReplayTraceContext(ctx context.Context, profile ue.Profile, trace *mc.Trace, adv channel.Adversary) (out ReplayResult, err error) {
+	_, span := obs.Start(ctx, "testbed.replay", obs.A("profile", profile.String()))
+	defer func() {
+		span.SetAttr("steps", strconv.Itoa(len(out.Steps)))
+		span.SetAttr("adversary_actions", strconv.Itoa(out.AdversaryActions))
+		if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+			reg.Counter("testbed.replays").Inc()
+			reg.Counter("testbed.replay_steps").Add(int64(len(out.Steps)))
+		}
+		span.EndErr(err)
+	}()
 	if trace == nil {
 		return out, fmt.Errorf("testbed: nil trace")
 	}

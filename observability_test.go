@@ -1,0 +1,110 @@
+package prochecker
+
+import (
+	"context"
+	"testing"
+
+	"prochecker/internal/obs"
+)
+
+// TestCheckAllWithObserver is the observability acceptance test: a full
+// catalogue run over a worker pool with an observer attached yields a
+// manifest whose span tree covers every pipeline phase and whose
+// registry carries the core metrics. Under -race it also hammers the
+// registry and span tree from the evaluator's worker pool.
+func TestCheckAllWithObserver(t *testing.T) {
+	o := obs.New()
+	a, err := AnalyzeContext(context.Background(), Conformant,
+		WithWorkers(4), WithObserver(o))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Observer() != o {
+		t.Fatal("Observer() should return the attached observer")
+	}
+	results, err := a.CheckAll()
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	total := len(Properties())
+	if len(results) != total {
+		t.Fatalf("completed %d of %d properties", len(results), total)
+	}
+
+	m := o.Manifest()
+	names := map[string]bool{}
+	for _, n := range m.Spans.Names() {
+		names[n] = true
+	}
+	for _, phase := range []string{
+		"run", "analyze", "pipeline.build_model", "conformance.suite",
+		"extract.model", "threat.compose", "check.catalogue",
+		"property.evaluate", "cegar.verify", "cegar.iteration",
+		"mc.explore", "equivalence.scenario",
+	} {
+		if !names[phase] {
+			t.Errorf("manifest span tree missing phase %q (have %v)", phase, m.Spans.Names())
+		}
+	}
+
+	counter := func(name string) int64 {
+		v, _ := m.Metrics[name].(int64)
+		return v
+	}
+	if got := counter("report.properties_checked"); got != int64(total) {
+		t.Errorf("report.properties_checked = %d, want %d", got, total)
+	}
+	if counter("mc.states_explored") == 0 {
+		t.Error("mc.states_explored not recorded")
+	}
+	if counter("mc.explorations") == 0 {
+		t.Error("mc.explorations not recorded")
+	}
+	if counter("mc.graph_cache_hits")+counter("mc.graph_cache_misses") == 0 {
+		t.Error("graph cache hit/miss counters not recorded")
+	}
+	if counter("cegar.iterations") == 0 {
+		t.Error("cegar.iterations not recorded")
+	}
+	if counter("conformance.cases") == 0 {
+		t.Error("conformance.cases not recorded")
+	}
+	hist, ok := m.Metrics["report.property_check_ms"].(obs.HistogramSnapshot)
+	if !ok {
+		t.Fatalf("report.property_check_ms missing or wrong type: %T", m.Metrics["report.property_check_ms"])
+	}
+	if hist.Count != int64(total) {
+		t.Errorf("property latency histogram count = %d, want %d", hist.Count, total)
+	}
+	checks, ok := m.Metrics["mc.check_ms"].(obs.HistogramSnapshot)
+	if !ok || checks.Count == 0 {
+		t.Errorf("mc.check_ms histogram missing or empty: %+v", m.Metrics["mc.check_ms"])
+	}
+
+	// Per-property latency gauges exist for every catalogue entry.
+	for _, p := range Properties() {
+		if _, ok := m.Metrics["report.check_ms."+p.ID]; !ok {
+			t.Errorf("missing per-property latency gauge for %s", p.ID)
+		}
+	}
+}
+
+// TestAnalyzeWithoutObserver guards the zero-cost-when-disabled
+// contract at the API level: the default path carries no observer and
+// still works end to end.
+func TestAnalyzeWithoutObserver(t *testing.T) {
+	a, err := Analyze(Conformant, WithObserver(nil))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Observer() != nil {
+		t.Fatal("Observer() should be nil when none was attached")
+	}
+	r, err := a.CheckProperty("S06")
+	if err != nil {
+		t.Fatalf("CheckProperty: %v", err)
+	}
+	if r.ID != "S06" {
+		t.Fatalf("result = %+v", r)
+	}
+}

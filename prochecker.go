@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"prochecker/internal/core/props"
+	"prochecker/internal/obs"
 	"prochecker/internal/report"
 	"prochecker/internal/resilience"
 	"prochecker/internal/testbed"
@@ -117,6 +118,7 @@ type Analysis struct {
 	model   *report.Model
 	eval    *report.Evaluator
 	workers int
+	obsv    *obs.Observer
 }
 
 // Option tunes an Analysis at construction time.
@@ -127,6 +129,29 @@ type Option func(*Analysis)
 // runtime.GOMAXPROCS(0); 1 forces a fully sequential run.
 func WithWorkers(n int) Option {
 	return func(a *Analysis) { a.workers = n }
+}
+
+// WithObserver attaches an observability recorder: every pipeline phase
+// (conformance run, extraction, composition, each property check, CEGAR
+// iterations, model-checker explorations, testbed replays) records spans
+// and metrics on it, available afterwards as o.Manifest() or live over
+// obs.Serve. A nil observer — the default — disables instrumentation at
+// the cost of one pointer check per phase.
+func WithObserver(o *obs.Observer) Option {
+	return func(a *Analysis) { a.obsv = o }
+}
+
+// Observer returns the recorder attached with WithObserver (nil when
+// observability is off).
+func (a *Analysis) Observer() *obs.Observer { return a.obsv }
+
+// obsContext threads the analysis observer into ctx unless the caller
+// already carries one (e.g. nested calls from an instrumented phase).
+func (a *Analysis) obsContext(ctx context.Context) context.Context {
+	if a.obsv == nil || obs.FromContext(ctx) != nil {
+		return ctx
+	}
+	return obs.NewContext(ctx, a.obsv)
 }
 
 // Analyze runs the extraction pipeline (conformance suite ->
@@ -144,14 +169,18 @@ func AnalyzeContext(ctx context.Context, impl Implementation, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	m, err := report.BuildModelContext(ctx, profile)
-	if err != nil {
-		return nil, fmt.Errorf("prochecker: %w", err)
-	}
-	a := &Analysis{impl: impl, model: m, eval: report.NewEvaluator(m)}
+	a := &Analysis{impl: impl}
 	for _, opt := range opts {
 		opt(a)
 	}
+	ctx, span := obs.Start(a.obsContext(ctx), "analyze", obs.A("impl", string(impl)))
+	m, err := report.BuildModelContext(ctx, profile)
+	span.EndErr(err)
+	if err != nil {
+		return nil, fmt.Errorf("prochecker: %w", err)
+	}
+	a.model = m
+	a.eval = report.NewEvaluator(m)
 	a.eval.SetWorkers(a.workers)
 	return a, nil
 }
@@ -204,7 +233,7 @@ func (a *Analysis) CheckPropertyContext(ctx context.Context, id string) (Propert
 	if !ok {
 		return PropertyResult{}, fmt.Errorf("prochecker: unknown property %q", id)
 	}
-	v, err := a.eval.EvaluateContext(ctx, p)
+	v, err := a.eval.EvaluateContext(a.obsContext(ctx), p)
 	if err != nil {
 		return PropertyResult{}, fmt.Errorf("prochecker: %w", err)
 	}
@@ -236,6 +265,8 @@ func (a *Analysis) CheckAll() ([]PropertyResult, error) {
 // a sequential walk.
 func (a *Analysis) CheckAllContext(ctx context.Context) ([]PropertyResult, error) {
 	catalogue := props.Catalogue()
+	ctx, span := obs.Start(a.obsContext(ctx), "check.catalogue",
+		obs.A("properties", fmt.Sprint(len(catalogue))))
 	type slot struct {
 		res  PropertyResult
 		err  error
@@ -295,6 +326,8 @@ func (a *Analysis) CheckAllContext(ctx context.Context) ([]PropertyResult, error
 		errs.Add(fmt.Errorf("prochecker: catalogue stopped after %d of %d properties: %w",
 			len(out), len(catalogue), ErrCancelled))
 	}
+	span.SetAttr("completed", fmt.Sprint(len(out)))
+	span.EndErr(errs.Err())
 	return out, errs.Err()
 }
 
