@@ -3,7 +3,7 @@
 # race detector, the observability smoke run, and the benchmark
 # baselines.
 #
-#   ./ci.sh          # fmt + vet + build + race tests + smoke + refresh BENCH_faults.json + BENCH_mc.json
+#   ./ci.sh          # fmt + vet + build + race tests + smokes + refresh BENCH_faults.json + BENCH_mc.json + BENCH_serve.json
 #   ./ci.sh quick    # fmt + vet + build + plain tests (no race, no smoke, no bench)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -72,6 +72,53 @@ kill "$smoke_pid" && wait "$smoke_pid" 2>/dev/null || true
 smoke_pid=""
 echo "observability smoke OK (scraped http://$addr/debug/vars)"
 
+echo "== job-service smoke =="
+# Boot the batch-analysis service, drive a 2-profile campaign through
+# the HTTP API, assert the queue/cache metrics surfaced on /debug/vars,
+# prove the content-addressed store serves a resubmission, and drain
+# with SIGTERM.
+serve_store="$smoke_dir/store"
+"$smoke_dir/prochecker" -serve 127.0.0.1:0 -store "$serve_store" -workers 2 \
+    2> "$smoke_dir/serve.log" &
+smoke_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*serving jobs API on http://\([^/]*\)/v1/jobs.*#\1#p' "$smoke_dir/serve.log" | head -1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "smoke: jobs API never came up"; cat "$smoke_dir/serve.log"; exit 1; }
+
+campaign_body='{"campaign": {"impls": ["conformant", "srsLTE"], "faults": ["", "drop=0.15"], "seed": 42, "properties": ["S06"]}}'
+campaign_id=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "$campaign_body" "http://$addr/v1/jobs" | sed -n 's/.*"id": *"\(c-[0-9]*\)".*/\1/p')
+[[ -n "$campaign_id" ]] || { echo "smoke: campaign submission failed"; exit 1; }
+state=""
+for _ in $(seq 1 600); do
+    state=$(curl -sf "http://$addr/v1/campaigns/$campaign_id" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1)
+    [[ "$state" == "done" || "$state" == "failed" || "$state" == "cancelled" ]] && break
+    sleep 0.1
+done
+[[ "$state" == "done" ]] || { echo "smoke: campaign ended $state, want done"; exit 1; }
+
+vars=$(curl -sf "http://$addr/debug/vars")
+for metric in jobs.queue_latency_ms jobs.cache_misses jobs.submitted jobs.completed; do
+    grep -q "$metric" <<<"$vars" || { echo "smoke: /debug/vars missing $metric"; exit 1; }
+done
+
+# Resubmit the same matrix: every cell must come out of the store.
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "$campaign_body" "http://$addr/v1/jobs" > /dev/null
+hits=$(curl -sf "http://$addr/debug/vars" | tr ',' '\n' | sed -n 's/.*"jobs.cache_hits": *\([0-9]*\).*/\1/p' | head -1)
+[[ "${hits:-0}" -ge 1 ]] || { echo "smoke: resubmission produced no cache hits"; exit 1; }
+
+kill -TERM "$smoke_pid"
+drain_rc=0
+wait "$smoke_pid" || drain_rc=$?
+smoke_pid=""
+[[ "$drain_rc" -eq 0 ]] || { echo "smoke: SIGTERM drain exited $drain_rc, want 0"; cat "$smoke_dir/serve.log"; exit 1; }
+echo "job-service smoke OK (campaign $campaign_id done, ${hits} cache hit(s), clean drain)"
+
 echo "== fault-injection bench baseline =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkConformance(Faults|Benign)$' -benchtime 20x .)
 echo "$bench_out"
@@ -126,3 +173,29 @@ END {
     print "}"
 }' > BENCH_mc.json
 echo "wrote BENCH_mc.json"
+
+echo "== campaign service bench baseline =="
+serve_bench_out=$(go test -run '^$' -bench 'BenchmarkServeCampaign$' -benchtime 2x ./internal/server)
+echo "$serve_bench_out"
+
+# Render into BENCH_serve.json with the cache speedup (cold campaign
+# recomputes every cell; cached serves all of them from the store):
+#   BenchmarkServeCampaign/cold-8     2   6046071920 ns/op
+echo "$serve_bench_out" | awk '
+BEGIN { print "{"; print "  \"series\": \"HTTP campaign round trip, 3 impls x 2 fault specs, property S06\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    ns[$1] = $3
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ],"
+    if (ns["BenchmarkServeCampaign/cold"] > 0 && ns["BenchmarkServeCampaign/cached"] > 0)
+        printf "  \"cache_speedup_vs_cold\": %.2f\n", ns["BenchmarkServeCampaign/cold"] / ns["BenchmarkServeCampaign/cached"]
+    else
+        print "  \"cache_speedup_vs_cold\": null"
+    print "}"
+}' > BENCH_serve.json
+echo "wrote BENCH_serve.json"

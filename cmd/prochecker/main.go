@@ -26,6 +26,11 @@
 //	prochecker -impl srsLTE -check all -v        # stream span events
 //	prochecker -impl srsLTE -check all -quiet    # results only
 //
+//	# service mode: job queue + HTTP API + content-addressed result store
+//	prochecker -serve :8080 -store /var/lib/prochecker
+//	prochecker -server http://127.0.0.1:8080 -submit -impl srsLTE -check S06 -wait
+//	prochecker -server http://127.0.0.1:8080 -campaign conformant,srsLTE,OAI -faults drop=0.15 -wait
+//
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
 // budget exhausted, 5 recovered test-case panic.
@@ -47,6 +52,7 @@ import (
 	"prochecker"
 	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
+	"prochecker/internal/jobs"
 	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/ue"
@@ -81,6 +87,15 @@ func run(args []string) (err error) {
 	manifestPath := fs.String("manifest", "", "write a machine-readable run manifest (JSON) to this path")
 	metricsAddr := fs.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. :6060 or 127.0.0.1:0")
 	serveWait := fs.Bool("serve-wait", false, "with -metrics-addr, keep the metrics endpoint up after the run completes until SIGINT/SIGTERM")
+	serveAddr := fs.String("serve", "", "run the batch-analysis job service on this address, e.g. :8080 or 127.0.0.1:0")
+	storeDir := fs.String("store", "", "with -serve, content-addressed result store directory (empty = caching disabled)")
+	storeMax := fs.Int("store-max", jobs.DefaultStoreEntries, "with -serve -store, LRU bound on stored results")
+	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "with -serve, bounded job-queue capacity (full queue answers 429)")
+	serverURL := fs.String("server", "", "client mode: job-service base URL, e.g. http://127.0.0.1:8080")
+	submit := fs.Bool("submit", false, "with -server, submit one job built from -impl/-faults/-seed/-check")
+	campaignList := fs.String("campaign", "", "with -server, submit a campaign matrix: comma-separated implementations crossed with ';'-separated -faults specs")
+	wait := fs.Bool("wait", false, "with -submit/-campaign, poll until terminal and print verdicts")
+	poll := fs.Duration("poll", 150*time.Millisecond, "with -wait, polling interval")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +107,43 @@ func run(args []string) (err error) {
 	}
 	if *serveWait && *metricsAddr == "" {
 		return errors.New("-serve-wait requires -metrics-addr")
+	}
+	if *serveAddr != "" && (*serverURL != "" || *submit || *campaignList != "") {
+		return errors.New("-serve is a server mode; it excludes -server/-submit/-campaign")
+	}
+	if (*submit || *campaignList != "") && *serverURL == "" {
+		return errors.New("-submit/-campaign require -server URL")
+	}
+	if *submit && *campaignList != "" {
+		return errors.New("-submit and -campaign are mutually exclusive")
+	}
+	if *wait && !*submit && *campaignList == "" {
+		return errors.New("-wait requires -submit or -campaign")
+	}
+
+	if *serveAddr != "" {
+		return runServe(serveConfig{
+			addr:     *serveAddr,
+			storeDir: *storeDir,
+			storeMax: *storeMax,
+			queueCap: *queueCap,
+			workers:  *workers,
+			timeout:  *timeout,
+		})
+	}
+	if *submit || *campaignList != "" {
+		return runClient(clientConfig{
+			serverURL: *serverURL,
+			submit:    *submit,
+			campaign:  *campaignList,
+			wait:      *wait,
+			poll:      *poll,
+			impl:      *impl,
+			faults:    *faults,
+			seed:      *seed,
+			check:     *check,
+			timeout:   *timeout,
+		})
 	}
 
 	level := obs.LevelNormal
@@ -182,7 +234,10 @@ func run(args []string) (err error) {
 		return nil
 	}
 
-	implementation := prochecker.Implementation(*impl)
+	implementation, err := prochecker.ParseImplementation(*impl)
+	if err != nil {
+		return err
+	}
 
 	if *runConf {
 		return runConformance(ctx, implementation, *faults, *seed)

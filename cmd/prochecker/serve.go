@@ -1,0 +1,251 @@
+// Service mode: run the batch-analysis job service (-serve) or act as
+// its HTTP client (-submit, -campaign, -wait).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"prochecker"
+	"prochecker/internal/jobs"
+	"prochecker/internal/obs"
+	"prochecker/internal/resilience"
+	"prochecker/internal/server"
+)
+
+// serveConfig carries the -serve flags.
+type serveConfig struct {
+	addr     string
+	storeDir string
+	storeMax int
+	queueCap int
+	workers  int
+	timeout  time.Duration // per-job deadline
+}
+
+// runServe hosts the job service until SIGINT/SIGTERM, then drains
+// gracefully: submissions get 503, running jobs finish, queued jobs are
+// cancelled. A drain that had to cancel queued work exits with the
+// taxonomy's cancelled code.
+func runServe(cfg serveConfig) error {
+	o := obs.New()
+	base := obs.NewContext(context.Background(), o)
+
+	var store *jobs.Store
+	if cfg.storeDir != "" {
+		var err error
+		if store, err = jobs.OpenStore(cfg.storeDir, cfg.storeMax); err != nil {
+			return err
+		}
+	}
+	svc, err := jobs.New(jobs.Config{
+		Runner:      prochecker.JobRunner(cfg.workers),
+		Normalize:   prochecker.NormalizeJobSpec,
+		Store:       store,
+		Queue:       cfg.queueCap,
+		Workers:     cfg.workers,
+		Timeout:     cfg.timeout,
+		BaseContext: base,
+		Metrics:     o.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+	srv := server.New(svc, o.Metrics())
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "prochecker: serving jobs API on http://%s/v1/jobs (store: %s, workers: %d)\n",
+		ln.Addr(), storeLabel(cfg.storeDir), cfg.workers)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-sigCtx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "prochecker: draining — rejecting new jobs, finishing running ones")
+	srv.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	cancelled, drainErr := svc.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx) //nolint:errcheck // drain already settled the work
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintf(os.Stderr, "prochecker: drained (%d queued job(s) cancelled)\n", cancelled)
+	if cancelled > 0 {
+		return fmt.Errorf("drain cancelled %d queued job(s): %w", cancelled, resilience.ErrCancelled)
+	}
+	return nil
+}
+
+func storeLabel(dir string) string {
+	if dir == "" {
+		return "disabled"
+	}
+	return dir
+}
+
+// clientConfig carries the client-mode flags.
+type clientConfig struct {
+	serverURL string
+	submit    bool
+	campaign  string // comma-separated implementation names
+	wait      bool
+	poll      time.Duration
+	impl      string
+	faults    string // ';'-separated specs in campaign mode
+	seed      int64
+	check     string // property selection ("" or "all" = full catalogue)
+	timeout   time.Duration
+}
+
+// runClient submits work to a remote job service and optionally waits
+// for it, mirroring the direct-mode output and exit codes.
+func runClient(cfg clientConfig) error {
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	cl := &server.Client{Base: cfg.serverURL}
+	props := parsePropertySelection(cfg.check)
+
+	if cfg.campaign != "" {
+		spec := prochecker.CampaignSpec{
+			Impls:      splitList(cfg.campaign, ","),
+			Faults:     splitList(cfg.faults, ";"),
+			Seed:       cfg.seed,
+			Properties: props,
+		}
+		camp, err := cl.SubmitCampaign(ctx, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign %s submitted: %d job(s)\n", camp.ID, len(camp.JobIDs))
+		if !cfg.wait {
+			return nil
+		}
+		if camp, err = cl.WaitCampaign(ctx, camp.ID, cfg.poll); err != nil {
+			return err
+		}
+		for _, j := range camp.Jobs {
+			attacks := 0
+			if j.Result != nil {
+				attacks = j.Result.Attacks()
+			}
+			fmt.Printf("%-7s %-28s %-10s cache=%-5v attacks=%d\n",
+				j.ID, prochecker.JobLabel(j.Spec), j.State, j.CacheHit, attacks)
+		}
+		if camp.Report != "" {
+			fmt.Println()
+			fmt.Print(camp.Report)
+		}
+		return terminalError(fmt.Sprintf("campaign %s", camp.ID), string(camp.State), "", camp.ExitCode)
+	}
+
+	job, err := cl.SubmitJob(ctx, jobs.Spec{
+		Impl:       cfg.impl,
+		Faults:     cfg.faults,
+		Seed:       cfg.seed,
+		Properties: props,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s submitted (state %s, key %.12s…)\n", job.ID, job.State, job.Key)
+	if !cfg.wait {
+		return nil
+	}
+	if job, err = cl.WaitJob(ctx, job.ID, cfg.poll); err != nil {
+		return err
+	}
+	if job.Result != nil {
+		for _, v := range job.Result.Verdicts {
+			verdict := "verified"
+			if v.AttackFound {
+				verdict = "ATTACK"
+			} else if !v.Verified {
+				verdict = "inconclusive"
+			}
+			fmt.Printf("%-4s %-12s %s\n", v.ID, verdict, v.Detail)
+		}
+		fmt.Printf("\n%d/%d properties violated (cache hit: %v)\n",
+			job.Result.Attacks(), len(job.Result.Verdicts), job.CacheHit)
+	}
+	return terminalError(fmt.Sprintf("job %s", job.ID), string(job.State), job.Error, job.ExitCode)
+}
+
+// terminalError converts a terminal job/campaign record back into a
+// process error wrapping the matching taxonomy sentinel, so the CLI
+// exit code mirrors what the job would have produced locally.
+func terminalError(what, state, detail string, exitCode int) error {
+	if exitCode == resilience.ExitOK {
+		return nil
+	}
+	kind := resilience.KindInternal
+	for k := resilience.KindNone; k <= resilience.KindInternal; k++ {
+		if k.ExitCode() == exitCode {
+			kind = k
+			break
+		}
+	}
+	if detail == "" {
+		detail = state
+	} else {
+		detail = state + ": " + detail
+	}
+	if sentinel := kind.Sentinel(); sentinel != nil && !errors.Is(sentinel, errInternalSentinel) {
+		return fmt.Errorf("%s ended %s: %w", what, detail, sentinel)
+	}
+	return fmt.Errorf("%s ended %s", what, detail)
+}
+
+// errInternalSentinel mirrors resilience's unexported internal anchor:
+// Classify treats any unrecognised error as internal, so wrapping is
+// unnecessary there.
+var errInternalSentinel = resilience.KindInternal.Sentinel()
+
+// parsePropertySelection maps the -check flag onto a job property
+// selection: empty or "all" selects the full catalogue; otherwise a
+// comma-separated ID list.
+func parsePropertySelection(check string) []string {
+	if check == "" || check == "all" {
+		return nil
+	}
+	return splitList(check, ",")
+}
+
+// splitList splits on sep, trimming whitespace and keeping explicit
+// empty entries out unless the whole input is empty (campaign fault
+// lists use "" to mean one benign column).
+func splitList(s, sep string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, sep)
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}

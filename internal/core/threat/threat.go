@@ -297,8 +297,22 @@ func Compose(cfg Config) (*Composed, error) {
 		return nil, err
 	}
 
+	supervised := append([]SupervisedProcedure{}, cfg.Supervise...)
+	if cfg.SuperviseGUTIRealloc {
+		supervised = append(supervised, GUTIReallocationProcedure())
+	}
+	cfg.Supervise = supervised
+
 	dlMsgs := channelMessages(ue, mme, true)
 	ulMsgs := channelMessages(ue, mme, false)
+	// The supervision machinery puts its command on the downlink (and
+	// expects the completion on the uplink) no matter what the extracted
+	// models mention — an extraction perturbed by channel faults can miss
+	// these messages entirely, and the domains must still admit them.
+	for _, sp := range supervised {
+		dlMsgs = ensureMessage(dlMsgs, sp.Command)
+		ulMsgs = ensureMessage(ulMsgs, sp.Complete)
+	}
 	dlDomain := []string{EmptyChannel}
 	for _, m := range dlMsgs {
 		for _, o := range []string{OriginGenuine, OriginReplay, OriginInject} {
@@ -317,11 +331,6 @@ func Compose(cfg Config) (*Composed, error) {
 	if err := sys.AddVar(VarUL, ulDomain...); err != nil {
 		return nil, err
 	}
-	supervised := append([]SupervisedProcedure{}, cfg.Supervise...)
-	if cfg.SuperviseGUTIRealloc {
-		supervised = append(supervised, GUTIReallocationProcedure())
-	}
-	cfg.Supervise = supervised
 	for _, sp := range supervised {
 		if err := sys.AddVar(sp.Var(), procDomain...); err != nil {
 			return nil, err
@@ -428,6 +437,20 @@ func channelMessages(ue, mme *fsmodel.FSM, downlink bool) []spec.MessageName {
 			set[m] = true
 		}
 	}
+	return spec.SortedMessageNames(set)
+}
+
+// ensureMessage adds m to a sorted message list if absent, keeping the
+// canonical order.
+func ensureMessage(msgs []spec.MessageName, m spec.MessageName) []spec.MessageName {
+	set := make(map[spec.MessageName]bool, len(msgs)+1)
+	for _, existing := range msgs {
+		if existing == m {
+			return msgs
+		}
+		set[existing] = true
+	}
+	set[m] = true
 	return spec.SortedMessageNames(set)
 }
 

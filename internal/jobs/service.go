@@ -1,0 +1,462 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"prochecker/internal/obs"
+	"prochecker/internal/resilience"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job states. Done, Failed and Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is a point-in-time snapshot of one submitted job, JSON-shaped for
+// the HTTP API. Result is populated once the job is done; Class and
+// ExitCode map the terminal outcome onto the resilience taxonomy.
+type Job struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key"`
+	Spec        Spec       `json:"spec"`
+	State       State      `json:"state"`
+	CacheHit    bool       `json:"cache_hit,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Class       string     `json:"class,omitempty"`
+	ExitCode    int        `json:"exit_code"`
+	Result      *Result    `json:"result,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	QueueMS     float64    `json:"queue_ms"`
+	RunMS       float64    `json:"run_ms"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j Job) Terminal() bool { return j.State.Terminal() }
+
+// Runner executes one normalized spec end to end. The root prochecker
+// package provides the production runner on top of AnalyzeContext.
+type Runner func(ctx context.Context, spec Spec) (*Result, error)
+
+// Config assembles a Service.
+type Config struct {
+	// Runner executes specs; required.
+	Runner Runner
+	// Normalize canonicalises a spec before hashing and validates it;
+	// optional (identity when nil).
+	Normalize func(Spec) (Spec, error)
+	// Store dedupes completed work; optional (no caching when nil).
+	Store *Store
+	// Queue bounds the FIFO of waiting jobs; submissions past the bound
+	// are rejected with ErrQueueFull. Defaults to DefaultQueueCap.
+	Queue int
+	// Workers sizes the pool executing jobs concurrently. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Timeout bounds each job's execution (0 = none); an expired job
+	// ends cancelled.
+	Timeout time.Duration
+	// BaseContext is the parent of every job's context — the place to
+	// install a process-wide obs observer. Defaults to
+	// context.Background().
+	BaseContext context.Context
+	// Metrics receives queue/cache/terminal-state instrumentation;
+	// optional (nil-safe).
+	Metrics *obs.Registry
+}
+
+// DefaultQueueCap bounds the queue when Config.Queue <= 0.
+const DefaultQueueCap = 64
+
+// Submission failure modes.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("jobs: service draining")
+	// ErrUnknownJob marks lookups/cancels of an ID never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// task is the service-internal mutable job record; every field after
+// construction is guarded by Service.mu.
+type task struct {
+	id        string
+	key       string
+	spec      Spec
+	state     State
+	cacheHit  bool
+	err       error
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+}
+
+// Service owns the queue, the worker pool and the job table.
+type Service struct {
+	cfg   Config
+	base  context.Context
+	queue chan *task
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	seq      int
+	tasks    map[string]*task
+	order    []string          // submission order, for List
+	inflight map[string]string // key -> id of the queued/running job
+	draining bool
+}
+
+// New builds and starts a Service; Close or Drain it when done.
+func New(cfg Config) (*Service, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("jobs: Config.Runner is required")
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueueCap
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	s := &Service{
+		cfg:      cfg,
+		base:     cfg.BaseContext,
+		queue:    make(chan *task, cfg.Queue),
+		tasks:    make(map[string]*task),
+		inflight: make(map[string]string),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit normalizes and enqueues one spec. Dedup happens in two layers:
+// a spec whose key matches a queued or running job coalesces onto that
+// job (no new work), and a spec whose key is in the result store
+// completes immediately as a cache hit. Submissions are rejected with
+// ErrQueueFull past the queue bound and ErrDraining during shutdown.
+func (s *Service) Submit(spec Spec) (Job, error) {
+	if s.cfg.Normalize != nil {
+		var err error
+		if spec, err = s.cfg.Normalize(spec); err != nil {
+			return Job{}, err
+		}
+	}
+	key := spec.Key()
+	reg := s.cfg.Metrics
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Job{}, ErrDraining
+	}
+	if id, ok := s.inflight[key]; ok {
+		return s.snapshotLocked(s.tasks[id]), nil
+	}
+
+	t := &task{key: key, spec: spec, submitted: time.Now()}
+	if _, res, ok := s.cfg.Store.Get(key); ok {
+		reg.Counter("jobs.cache_hits").Inc()
+		t.state = StateDone
+		t.cacheHit = true
+		t.result = res
+		t.finished = t.submitted
+		s.registerLocked(t)
+		reg.Counter("jobs.submitted").Inc()
+		s.terminalMetricsLocked(t)
+		return s.snapshotLocked(t), nil
+	}
+	reg.Counter("jobs.cache_misses").Inc()
+
+	t.state = StateQueued
+	select {
+	case s.queue <- t:
+	default:
+		return Job{}, ErrQueueFull
+	}
+	s.registerLocked(t)
+	s.inflight[key] = t.id
+	reg.Counter("jobs.submitted").Inc()
+	reg.Gauge("jobs.queue_depth").Add(1)
+	return s.snapshotLocked(t), nil
+}
+
+// registerLocked issues the task its ID and indexes it.
+func (s *Service) registerLocked(t *task) {
+	s.seq++
+	t.id = fmt.Sprintf("j-%04d", s.seq)
+	s.tasks[t.id] = t
+	s.order = append(s.order, t.id)
+}
+
+// Get returns a snapshot of one job.
+func (s *Service) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return Job{}, false
+	}
+	return s.snapshotLocked(t), true
+}
+
+// List returns snapshots of every job in submission order.
+func (s *Service) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.snapshotLocked(s.tasks[id]))
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job goes straight to cancelled (the
+// worker skips it when it surfaces), a running job has its context
+// cancelled and ends cancelled when the runner returns. Cancelling a
+// terminal job is a no-op returning its final snapshot.
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	switch t.state {
+	case StateQueued:
+		s.cancelQueuedLocked(t)
+	case StateRunning:
+		if t.cancel != nil {
+			t.cancel()
+		}
+	}
+	return s.snapshotLocked(t), nil
+}
+
+// cancelQueuedLocked finalises a job that never ran.
+func (s *Service) cancelQueuedLocked(t *task) {
+	t.state = StateCancelled
+	t.err = fmt.Errorf("jobs: %s cancelled while queued: %w", t.id, resilience.ErrCancelled)
+	t.finished = time.Now()
+	delete(s.inflight, t.key)
+	s.cfg.Metrics.Gauge("jobs.queue_depth").Add(-1)
+	s.terminalMetricsLocked(t)
+}
+
+// Drain begins graceful shutdown: new submissions are rejected, every
+// still-queued job is cancelled, and the call blocks until the running
+// jobs finish (or ctx expires, in which case the workers keep finishing
+// in the background). It returns how many queued jobs were cancelled.
+// Drain is idempotent; concurrent calls all wait.
+func (s *Service) Drain(ctx context.Context) (int, error) {
+	cancelled := 0
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, id := range s.order {
+			if t := s.tasks[id]; t.state == StateQueued {
+				s.cancelQueuedLocked(t)
+				cancelled++
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return cancelled, nil
+	case <-ctx.Done():
+		return cancelled, fmt.Errorf("jobs: drain interrupted: %w", resilience.ErrCancelled)
+	}
+}
+
+// Close shuts down hard: running jobs are cancelled, then the service
+// drains.
+func (s *Service) Close() {
+	s.mu.Lock()
+	for _, t := range s.tasks {
+		if t.state == StateRunning && t.cancel != nil {
+			t.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.Drain(context.Background()) //nolint:errcheck // background ctx never expires
+}
+
+// worker executes queued tasks until the queue closes on drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	reg := s.cfg.Metrics
+	for t := range s.queue {
+		s.mu.Lock()
+		if t.state != StateQueued { // cancelled while waiting
+			s.mu.Unlock()
+			continue
+		}
+		t.state = StateRunning
+		t.started = time.Now()
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if s.cfg.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.base, s.cfg.Timeout)
+		} else {
+			ctx, cancel = context.WithCancel(s.base)
+		}
+		t.cancel = cancel
+		spec := t.spec
+		s.mu.Unlock()
+
+		reg.Gauge("jobs.queue_depth").Add(-1)
+		reg.Histogram("jobs.queue_latency_ms", nil).Observe(obs.DurMS(t.started.Sub(t.submitted)))
+		reg.Gauge("jobs.running").Add(1)
+
+		ctx, span := obs.Start(ctx, "job.run",
+			obs.A("job", t.id), obs.A("impl", spec.Impl), obs.A("faults", spec.Faults))
+		res, err := s.cfg.Runner(ctx, spec)
+		span.EndErr(err)
+		cancel()
+		reg.Gauge("jobs.running").Add(-1)
+
+		s.mu.Lock()
+		t.finished = time.Now()
+		delete(s.inflight, t.key)
+		switch {
+		case err == nil:
+			t.state = StateDone
+			res.Key = t.key
+			t.result = res
+			if _, perr := s.cfg.Store.Put(res); perr != nil {
+				// The verdicts are still good; losing the cache entry
+				// only costs a future recomputation.
+				span.SetAttr("store_error", perr.Error())
+			}
+			reg.Gauge("jobs.store_entries").Set(int64(s.cfg.Store.Len()))
+			reg.Gauge("jobs.store_evictions").Set(s.cfg.Store.Evictions())
+		case resilience.Cancelled(err):
+			t.state = StateCancelled
+			t.err = err
+		default:
+			t.state = StateFailed
+			t.err = err
+		}
+		s.terminalMetricsLocked(t)
+		s.mu.Unlock()
+	}
+}
+
+// terminalMetricsLocked records a job reaching a final state.
+func (s *Service) terminalMetricsLocked(t *task) {
+	reg := s.cfg.Metrics
+	reg.Counter("jobs.completed").Inc()
+	reg.Counter("jobs.terminal." + terminalClass(t.state, t.err)).Inc()
+}
+
+// terminalClass maps a terminal job onto the resilience vocabulary.
+func terminalClass(state State, err error) string {
+	switch state {
+	case StateDone:
+		return resilience.KindNone.String()
+	case StateCancelled:
+		return resilience.KindCancelled.String()
+	default:
+		return resilience.Classify(err).String()
+	}
+}
+
+// snapshotLocked freezes a task into its API shape.
+func (s *Service) snapshotLocked(t *task) Job {
+	j := Job{
+		ID:          t.id,
+		Key:         t.key,
+		Spec:        t.spec,
+		State:       t.state,
+		CacheHit:    t.cacheHit,
+		Result:      t.result,
+		SubmittedAt: t.submitted,
+	}
+	if t.err != nil {
+		j.Error = t.err.Error()
+	}
+	if !t.started.IsZero() {
+		started := t.started
+		j.StartedAt = &started
+		j.QueueMS = obs.DurMS(t.started.Sub(t.submitted))
+	}
+	if !t.finished.IsZero() {
+		finished := t.finished
+		j.FinishedAt = &finished
+		if !t.started.IsZero() {
+			j.RunMS = obs.DurMS(t.finished.Sub(t.started))
+		}
+	}
+	if t.state.Terminal() {
+		j.Class = terminalClass(t.state, t.err)
+		if kind, ok := resilience.ParseKind(j.Class); ok {
+			j.ExitCode = kind.ExitCode()
+		} else {
+			j.ExitCode = resilience.ExitInternal
+		}
+	}
+	return j
+}
+
+// WorstExitCode folds a set of terminal jobs onto the single process
+// exit code the resilience taxonomy assigns their most severe class
+// (clean jobs contribute ExitOK).
+func WorstExitCode(list []Job) int {
+	worst := resilience.KindNone
+	for _, j := range list {
+		if k, ok := resilience.ParseKind(j.Class); ok && k > worst {
+			worst = k
+		}
+	}
+	return worst.ExitCode()
+}
+
+// SortProperties canonicalises a property selection in place: sorted,
+// deduplicated. Shared by normalizers.
+func SortProperties(ids []string) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Cross-implementation differential reporting: given the verdict sets a
+// campaign produced for several (implementation, fault-spec) columns,
+// surface which properties diverge between them — the batch-service
+// counterpart of Table I's per-implementation matrix.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prochecker/internal/core/props"
+	"prochecker/internal/jobs"
+)
+
+// DiffColumn is one campaign cell's verdict set under a human-readable
+// label (typically "impl" or "impl+faultspec").
+type DiffColumn struct {
+	Label    string
+	Verdicts []jobs.Verdict
+}
+
+// DiffRow is one property's outcome across every column. Verdicts maps
+// column label to the verdict word ("attack", "verified",
+// "inconclusive", or "-" when the column never checked the property).
+type DiffRow struct {
+	PropertyID string            `json:"property_id"`
+	Verdicts   map[string]string `json:"verdicts"`
+	Diverges   bool              `json:"diverges"`
+}
+
+// diffWord collapses a verdict onto the matrix vocabulary.
+func diffWord(v jobs.Verdict) string {
+	switch {
+	case v.AttackFound:
+		return "attack"
+	case v.Verified:
+		return "verified"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Differential assembles the cross-column matrix, one row per property
+// that any column checked, in catalogue order (IDs outside the
+// catalogue follow, sorted). A row diverges when two columns that both
+// checked the property reached different verdict words.
+func Differential(cols []DiffColumn) []DiffRow {
+	byProp := make(map[string]map[string]string)
+	for _, col := range cols {
+		for _, v := range col.Verdicts {
+			if byProp[v.ID] == nil {
+				byProp[v.ID] = make(map[string]string)
+			}
+			byProp[v.ID][col.Label] = diffWord(v)
+		}
+	}
+
+	var ordered []string
+	seen := make(map[string]bool)
+	for _, p := range props.Catalogue() {
+		if byProp[p.ID] != nil {
+			ordered = append(ordered, p.ID)
+			seen[p.ID] = true
+		}
+	}
+	var extra []string
+	for id := range byProp {
+		if !seen[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	ordered = append(ordered, extra...)
+
+	rows := make([]DiffRow, 0, len(ordered))
+	for _, id := range ordered {
+		row := DiffRow{PropertyID: id, Verdicts: make(map[string]string, len(cols))}
+		first := ""
+		for _, col := range cols {
+			word, ok := byProp[id][col.Label]
+			if !ok {
+				row.Verdicts[col.Label] = "-"
+				continue
+			}
+			row.Verdicts[col.Label] = word
+			if first == "" {
+				first = word
+			} else if word != first {
+				row.Diverges = true
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Diverging lists the property IDs whose verdicts differ across
+// columns, in row order.
+func Diverging(rows []DiffRow) []string {
+	var out []string
+	for _, r := range rows {
+		if r.Diverges {
+			out = append(out, r.PropertyID)
+		}
+	}
+	return out
+}
+
+// RenderDifferential renders the matrix as a fixed-width table,
+// flagging diverging rows.
+func RenderDifferential(cols []DiffColumn, rows []DiffRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign differential report (%d columns, %d properties)\n\n", len(cols), len(rows))
+	widths := make([]int, len(cols))
+	for i, col := range cols {
+		widths[i] = len(col.Label)
+		if widths[i] < len("inconclusive") {
+			widths[i] = len("inconclusive")
+		}
+	}
+	fmt.Fprintf(&b, "%-5s", "PROP")
+	for i, col := range cols {
+		fmt.Fprintf(&b, " %-*s", widths[i], col.Label)
+	}
+	b.WriteString("\n")
+	diverging := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s", r.PropertyID)
+		for i, col := range cols {
+			fmt.Fprintf(&b, " %-*s", widths[i], r.Verdicts[col.Label])
+		}
+		if r.Diverges {
+			b.WriteString(" << diverges")
+			diverging++
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\n%d of %d properties diverge across columns\n", diverging, len(rows))
+	return b.String()
+}

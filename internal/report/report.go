@@ -46,14 +46,23 @@ func BuildModel(profile ue.Profile) (*Model, error) {
 
 // BuildModelContext is BuildModel with cancellation threaded through the
 // conformance run; a cancelled build returns an error wrapping
-// resilience.ErrCancelled. The build is one "pipeline.build_model" span
-// with the conformance run (which spans itself), the log
-// dissection/extraction and the threat composition as children.
-func BuildModelContext(ctx context.Context, profile ue.Profile) (m *Model, err error) {
+// resilience.ErrCancelled.
+func BuildModelContext(ctx context.Context, profile ue.Profile) (*Model, error) {
+	return BuildModelOptions(ctx, profile, conformance.RunOptions{})
+}
+
+// BuildModelOptions is BuildModelContext with control over the
+// conformance run — in particular its link adversary, so a model can be
+// extracted from a suite perturbed by seeded fault injection (the batch
+// service's fault-matrix campaigns ride on this). The build is one
+// "pipeline.build_model" span with the conformance run (which spans
+// itself), the log dissection/extraction and the threat composition as
+// children.
+func BuildModelOptions(ctx context.Context, profile ue.Profile, runOpts conformance.RunOptions) (m *Model, err error) {
 	ctx, span := obs.Start(ctx, "pipeline.build_model", obs.A("profile", profile.String()))
 	defer func() { span.EndErr(err) }()
 
-	suite, err := conformance.RunSuiteContext(ctx, profile, true, conformance.RunOptions{})
+	suite, err := conformance.RunSuiteContext(ctx, profile, true, runOpts)
 	if err != nil {
 		return nil, fmt.Errorf("report: running conformance suite: %w", err)
 	}

@@ -143,8 +143,11 @@ const (
 )
 
 // ExitCode selects the process exit code for a run that ended with err.
-func ExitCode(err error) int {
-	switch Classify(err) {
+func ExitCode(err error) int { return Classify(err).ExitCode() }
+
+// ExitCode maps the kind onto the CLI exit-code vocabulary.
+func (k Kind) ExitCode() int {
+	switch k {
 	case KindNone:
 		return ExitOK
 	case KindCancelled:
@@ -157,6 +160,41 @@ func ExitCode(err error) int {
 		return ExitCasePanic
 	default:
 		return ExitInternal
+	}
+}
+
+// ParseKind inverts Kind.String — the bridge for failure classes that
+// crossed a serialization boundary (job records, HTTP status payloads).
+func ParseKind(s string) (Kind, bool) {
+	for k := KindNone; k <= KindInternal; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return KindInternal, false
+}
+
+// errInternal anchors reconstructed internal failures so Sentinel always
+// returns a classifiable error for non-clean kinds.
+var errInternal = errors.New("internal failure")
+
+// Sentinel returns the taxonomy error a reconstructed failure of this
+// kind should wrap (nil for KindNone), so errors.Is classification and
+// exit codes survive a round trip through a serialized failure class.
+func (k Kind) Sentinel() error {
+	switch k {
+	case KindNone:
+		return nil
+	case KindCancelled:
+		return ErrCancelled
+	case KindFaultInjected:
+		return ErrFaultInjected
+	case KindBudgetExhausted:
+		return ErrBudgetExhausted
+	case KindCasePanic:
+		return ErrCasePanic
+	default:
+		return errInternal
 	}
 }
 

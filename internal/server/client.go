@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"prochecker"
+	"prochecker/internal/jobs"
+	"prochecker/internal/resilience"
+)
+
+// Client talks to a Server over HTTP — the CLI's -submit/-campaign/
+// -wait modes ride on it.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out,
+// converting error envelopes into errors that carry the resilience
+// taxonomy where the status implies one.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("server: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	url := strings.TrimRight(c.Base, "/") + path
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return fmt.Errorf("server: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("server: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return fmt.Errorf("server: %s %s: %s (%s)", method, path, msg, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// SubmitJob submits one job spec.
+func (c *Client) SubmitJob(ctx context.Context, spec jobs.Spec) (jobs.Job, error) {
+	var out struct {
+		Job jobs.Job `json:"job"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out)
+	return out.Job, err
+}
+
+// SubmitCampaign submits a matrix.
+func (c *Client) SubmitCampaign(ctx context.Context, spec prochecker.CampaignSpec) (Campaign, error) {
+	var out struct {
+		Campaign Campaign `json:"campaign"`
+	}
+	body := struct {
+		Campaign prochecker.CampaignSpec `json:"campaign"`
+	}{spec}
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &out)
+	return out.Campaign, err
+}
+
+// Job fetches one job.
+func (c *Client) Job(ctx context.Context, id string) (jobs.Job, error) {
+	var out struct {
+		Job jobs.Job `json:"job"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out.Job, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]jobs.Job, error) {
+	var out struct {
+		Jobs []jobs.Job `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) (jobs.Job, error) {
+	var out struct {
+		Job jobs.Job `json:"job"`
+	}
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out.Job, err
+}
+
+// Campaign fetches one campaign with its member jobs and, when done,
+// the differential report.
+func (c *Client) Campaign(ctx context.Context, id string) (Campaign, error) {
+	var out struct {
+		Campaign Campaign `json:"campaign"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
+	return out.Campaign, err
+}
+
+// WaitJob polls until the job reaches a terminal state (or ctx
+// expires).
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (jobs.Job, error) {
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, fmt.Errorf("server: waiting for job %s: %w", id, resilience.ErrCancelled)
+		case <-time.After(interval):
+		}
+	}
+}
+
+// WaitCampaign polls until every member job is terminal (or ctx
+// expires).
+func (c *Client) WaitCampaign(ctx context.Context, id string, interval time.Duration) (Campaign, error) {
+	for {
+		camp, err := c.Campaign(ctx, id)
+		if err != nil {
+			return camp, err
+		}
+		if camp.State.Terminal() {
+			return camp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return camp, fmt.Errorf("server: waiting for campaign %s: %w", id, resilience.ErrCancelled)
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prochecker"
+	"prochecker/internal/jobs"
+	"prochecker/internal/obs"
+)
+
+// newRealServer wires a Server onto the production runner with a real
+// store, returning the test HTTP frontend, the client and the metrics
+// registry.
+func newRealServer(t *testing.T) (*Client, *obs.Registry) {
+	t.Helper()
+	store, err := jobs.OpenStore(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	svc, err := jobs.New(jobs.Config{
+		Runner:    prochecker.JobRunner(2),
+		Normalize: prochecker.NormalizeJobSpec,
+		Store:     store,
+		Workers:   2,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(New(svc, reg))
+	t.Cleanup(ts.Close)
+	return &Client{Base: ts.URL, HTTP: ts.Client()}, reg
+}
+
+// TestCampaignMatchesDirectAnalysis is the acceptance criterion: a
+// 3-profile × 2-fault-spec campaign submitted over HTTP completes with
+// verdicts identical to direct AnalyzeContext calls, and a resubmission
+// is served entirely from the store.
+func TestCampaignMatchesDirectAnalysis(t *testing.T) {
+	cl, reg := newRealServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := prochecker.CampaignSpec{
+		Impls:      []string{"conformant", "srslte", "OAI"},
+		Faults:     []string{"", "drop=0.15"},
+		Seed:       42,
+		Properties: []string{"S06"},
+	}
+	camp, err := cl.SubmitCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.JobIDs) != 6 {
+		t.Fatalf("campaign has %d jobs, want 6", len(camp.JobIDs))
+	}
+	camp, err = cl.WaitCampaign(ctx, camp.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.State != jobs.StateDone {
+		t.Fatalf("campaign state = %s, want done", camp.State)
+	}
+	if camp.ExitCode != 0 {
+		t.Fatalf("campaign exit code = %d, want 0", camp.ExitCode)
+	}
+	if camp.Report == "" {
+		t.Fatal("done campaign detail has no differential report")
+	}
+	for _, label := range []string{"conformant", "srsLTE+drop=0.15", "OAI"} {
+		if !strings.Contains(camp.Report, label) {
+			t.Fatalf("report missing column %q:\n%s", label, camp.Report)
+		}
+	}
+
+	// Every member's verdicts must match a direct (service-free) run of
+	// the same spec.
+	for _, j := range camp.Jobs {
+		if j.State != jobs.StateDone || j.Result == nil {
+			t.Fatalf("job %s state=%s, want done with result", j.ID, j.State)
+		}
+		direct, err := prochecker.RunJob(ctx, j.Spec)
+		if err != nil {
+			t.Fatalf("direct run of %s: %v", prochecker.JobLabel(j.Spec), err)
+		}
+		if !reflect.DeepEqual(direct.Verdicts, j.Result.Verdicts) {
+			t.Fatalf("job %s verdicts diverge from direct analysis:\nhttp:   %+v\ndirect: %+v",
+				prochecker.JobLabel(j.Spec), j.Result.Verdicts, direct.Verdicts)
+		}
+	}
+
+	// Resubmission: every cell is already in the store, so the campaign
+	// completes instantly and the cache-hit counter moves.
+	hitsBefore := reg.Counter("jobs.cache_hits").Value()
+	again, err := cl.SubmitCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err = cl.WaitCampaign(ctx, again.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != jobs.StateDone {
+		t.Fatalf("resubmitted campaign state = %s, want done", again.State)
+	}
+	if got := reg.Counter("jobs.cache_hits").Value(); got != hitsBefore+6 {
+		t.Fatalf("jobs.cache_hits = %d, want %d (all six cells served from store)", got, hitsBefore+6)
+	}
+	for _, j := range again.Jobs {
+		if !j.CacheHit {
+			t.Fatalf("resubmitted job %s not a cache hit", j.ID)
+		}
+	}
+}
+
+func TestSingleJobOverHTTP(t *testing.T) {
+	cl, _ := newRealServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	job, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "srslte", Seed: 7, Properties: []string{"S06"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Key == "" {
+		t.Fatal("submitted job has no content key")
+	}
+	job, err = cl.WaitJob(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != jobs.StateDone || job.Result == nil {
+		t.Fatalf("job state=%s result=%v, want done with result", job.State, job.Result)
+	}
+	if job.Spec.Impl != "srsLTE" {
+		t.Fatalf("spec impl = %q, want normalized srsLTE", job.Spec.Impl)
+	}
+
+	list, err := cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != job.ID {
+		t.Fatalf("job list = %+v, want exactly the submitted job", list)
+	}
+}
+
+func TestBadRequestsAndNotFound(t *testing.T) {
+	cl, _ := newRealServer(t)
+	ctx := context.Background()
+
+	_, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "amarisoft"})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown impl error = %v, want 400", err)
+	}
+	// The parse error must list the valid implementations.
+	if !strings.Contains(err.Error(), "srsLTE") {
+		t.Fatalf("error %q does not list valid implementations", err)
+	}
+
+	if _, err := cl.Job(ctx, "j-9999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job error = %v, want 404", err)
+	}
+	if _, err := cl.Campaign(ctx, "c-9999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown campaign error = %v, want 404", err)
+	}
+	if _, err := cl.Cancel(ctx, "j-9999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("cancel unknown job error = %v, want 404", err)
+	}
+
+	resp, err := cl.http().Post(cl.Base+"/v1/jobs", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// gatedService builds a service over a runner that blocks until
+// released, for queue/cancel/drain behaviour the real runner finishes
+// too quickly to observe.
+func gatedService(t *testing.T, workers, queue int) (*Client, *Server, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(release)
+	runner := func(ctx context.Context, spec jobs.Spec) (*jobs.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &jobs.Result{SchemaVersion: jobs.ResultSchemaVersion, Key: spec.Key(), Spec: spec}, nil
+	}
+	svc, err := jobs.New(jobs.Config{Runner: runner, Workers: workers, Queue: queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := New(svc, nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &Client{Base: ts.URL, HTTP: ts.Client()}, srv, release
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	cl, _, _ := gatedService(t, 1, 8)
+	ctx := context.Background()
+
+	// Two jobs: the first occupies the single worker, the second queues.
+	if _, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "a", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "b", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.StateCancelled {
+		t.Fatalf("cancelled job state = %s, want cancelled", got.State)
+	}
+}
+
+func TestDrainRejectsSubmissions(t *testing.T) {
+	cl, srv, release := gatedService(t, 1, 8)
+	ctx := context.Background()
+
+	running, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "a", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.StartDrain()
+	_, err = cl.SubmitJob(ctx, jobs.Spec{Impl: "b", Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("submit while draining = %v, want 503", err)
+	}
+	_, err = cl.SubmitCampaign(ctx, prochecker.CampaignSpec{Impls: []string{"OAI"}, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("campaign while draining = %v, want 503", err)
+	}
+	// Already-accepted work still completes.
+	release()
+	job, err := cl.WaitJob(ctx, running.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != jobs.StateDone {
+		t.Fatalf("running job state after drain = %s, want done", job.State)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	cl, _, _ := gatedService(t, 1, 1)
+	ctx := context.Background()
+
+	got429 := false
+	for i := 0; i < 4; i++ {
+		_, err := cl.SubmitJob(ctx, jobs.Spec{Impl: string(rune('a' + i)), Seed: 1})
+		if err != nil && strings.Contains(err.Error(), "429") {
+			got429 = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got429 {
+		t.Fatal("queue of capacity 1 accepted 4 jobs without a 429")
+	}
+}
+
+func TestCampaignListingAndAggregateState(t *testing.T) {
+	cl, _, release := gatedService(t, 1, 16)
+	ctx := context.Background()
+
+	// The matrix expander normalizes names even though the gated service
+	// has no Normalize hook, so the cells need real implementations.
+	camp, err := cl.SubmitCampaign(ctx, prochecker.CampaignSpec{Impls: []string{"conformant", "OAI"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.State != jobs.StateQueued && camp.State != jobs.StateRunning {
+		t.Fatalf("fresh campaign state = %s, want queued or running", camp.State)
+	}
+	var listed struct {
+		Campaigns []Campaign `json:"campaigns"`
+	}
+	if err := cl.do(ctx, http.MethodGet, "/v1/campaigns", nil, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed.Campaigns) != 1 || listed.Campaigns[0].ID != camp.ID {
+		t.Fatalf("campaign list = %+v, want the one submitted", listed.Campaigns)
+	}
+	release()
+	final, err := cl.WaitCampaign(ctx, camp.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("campaign state = %s, want done", final.State)
+	}
+}
+
+func TestCampaignBadSpecRejected(t *testing.T) {
+	cl, _ := newRealServer(t)
+	_, err := cl.SubmitCampaign(context.Background(), prochecker.CampaignSpec{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty campaign = %v, want 400", err)
+	}
+}

@@ -30,9 +30,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"prochecker/internal/channel"
+	"prochecker/internal/conformance"
 	"prochecker/internal/core/props"
 	"prochecker/internal/obs"
 	"prochecker/internal/report"
@@ -55,6 +58,24 @@ const (
 // Implementations lists all supported profiles.
 func Implementations() []Implementation {
 	return []Implementation{Conformant, SRSLTE, OAI}
+}
+
+// ParseImplementation resolves a user-supplied implementation name onto
+// the canonical Implementation, matching case-insensitively ("srslte",
+// "SRSLTE" and "srsLTE" all resolve to SRSLTE). Unknown names error
+// with the valid set listed.
+func ParseImplementation(name string) (Implementation, error) {
+	for _, impl := range Implementations() {
+		if strings.EqualFold(name, string(impl)) {
+			return impl, nil
+		}
+	}
+	valid := make([]string, 0, len(Implementations()))
+	for _, impl := range Implementations() {
+		valid = append(valid, string(impl))
+	}
+	return "", fmt.Errorf("prochecker: unknown implementation %q (want one of %s)",
+		name, strings.Join(valid, " | "))
 }
 
 func (i Implementation) profile() (ue.Profile, error) {
@@ -118,6 +139,7 @@ type Analysis struct {
 	model   *report.Model
 	eval    *report.Evaluator
 	workers int
+	faults  channel.FaultConfig
 	obsv    *obs.Observer
 }
 
@@ -129,6 +151,16 @@ type Option func(*Analysis)
 // runtime.GOMAXPROCS(0); 1 forces a fully sequential run.
 func WithWorkers(n int) Option {
 	return func(a *Analysis) { a.workers = n }
+}
+
+// WithFaults runs the conformance suite that feeds model extraction
+// under the given seeded fault-injection adversary, so the analysed
+// model reflects the implementation's behaviour on a hostile link. The
+// zero config (the default) keeps the link benign. Two analyses with
+// equal configs extract byte-identical models — fault runs are
+// reproducible per seed.
+func WithFaults(cfg channel.FaultConfig) Option {
+	return func(a *Analysis) { a.faults = cfg }
 }
 
 // WithObserver attaches an observability recorder: every pipeline phase
@@ -174,7 +206,12 @@ func AnalyzeContext(ctx context.Context, impl Implementation, opts ...Option) (*
 		opt(a)
 	}
 	ctx, span := obs.Start(a.obsContext(ctx), "analyze", obs.A("impl", string(impl)))
-	m, err := report.BuildModelContext(ctx, profile)
+	runOpts := conformance.RunOptions{}
+	if a.faults.Enabled() {
+		span.SetAttr("faults", a.faults.String())
+		runOpts.Adversary = a.faults.AdversaryFactory()
+	}
+	m, err := report.BuildModelOptions(ctx, profile, runOpts)
 	span.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("prochecker: %w", err)
