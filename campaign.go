@@ -128,6 +128,11 @@ func runJob(ctx context.Context, spec JobSpec, workers int) (*JobResult, error) 
 	}
 
 	res := &JobResult{SchemaVersion: jobs.ResultSchemaVersion, Key: spec.Key(), Spec: spec}
+	if lr := a.LintReport(); lr != nil {
+		sum := &jobs.LintSummary{Codes: lr.Codes()}
+		sum.Errors, sum.Warnings, sum.Infos = lr.Counts()
+		res.Lint = sum
+	}
 	for _, r := range results {
 		res.Verdicts = append(res.Verdicts, JobVerdict{
 			ID:          r.ID,

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 CI for the repo: static checks, the full test suite under the
-# race detector, the observability smoke run, and the benchmark
-# baselines.
+# Tier-1 CI for the repo: static checks (gofmt, vet, the custom
+# srccheck source lint), the full test suite under the race detector,
+# the model-lint gate over all three shipped profiles, the smoke runs,
+# and the benchmark baselines.
 #
-#   ./ci.sh          # fmt + vet + build + race tests + smokes + refresh BENCH_faults.json + BENCH_mc.json + BENCH_serve.json
-#   ./ci.sh quick    # fmt + vet + build + plain tests (no race, no smoke, no bench)
+#   ./ci.sh          # static checks + race tests + model-lint gate + smokes + refresh BENCH_*.json
+#   ./ci.sh quick    # static checks + plain tests (no race, no gate, no smoke, no bench)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,14 +23,33 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== srccheck (custom source lint) =="
+go run ./cmd/srccheck .
+
 if [[ "${1:-}" == "quick" ]]; then
     echo "== go test =="
-    go test ./...
+    go test -count=1 -shuffle=on ./...
     exit 0
 fi
 
 echo "== go test -race =="
-go test -race ./...
+go test -race -count=1 -shuffle=on ./...
+
+echo "== model-lint gate =="
+# Every shipped profile must lint clean at ERROR severity on a benign
+# extraction; the CLI exits 6 (model-lint) otherwise.
+lint_dir=$(mktemp -d)
+trap 'rm -rf "$lint_dir"' EXIT
+go build -o "$lint_dir/prochecker" ./cmd/prochecker
+lint_start_ms=$(($(date +%s%N) / 1000000))
+for impl in conformant srsLTE OAI; do
+    "$lint_dir/prochecker" -impl "$impl" -lint -quiet > "$lint_dir/$impl.lint" \
+        || { echo "model-lint gate: $impl failed"; cat "$lint_dir/$impl.lint"; exit 1; }
+done
+lint_end_ms=$(($(date +%s%N) / 1000000))
+grep -q "no diagnostics\|info(s)" "$lint_dir/conformant.lint" \
+    || { echo "model-lint gate: conformant report malformed"; exit 1; }
+echo "model-lint gate OK (3 profiles clean at error severity, $((lint_end_ms - lint_start_ms)) ms)"
 
 echo "== observability smoke =="
 # Start a real run with the live metrics endpoint, scrape /debug/vars
@@ -39,7 +59,7 @@ smoke_dir=$(mktemp -d)
 smoke_pid=""
 cleanup_smoke() {
     [[ -n "$smoke_pid" ]] && kill "$smoke_pid" 2>/dev/null || true
-    rm -rf "$smoke_dir"
+    rm -rf "$smoke_dir" "$lint_dir"
 }
 trap cleanup_smoke EXIT
 go build -o "$smoke_dir/prochecker" ./cmd/prochecker
@@ -199,3 +219,25 @@ END {
     print "}"
 }' > BENCH_serve.json
 echo "wrote BENCH_serve.json"
+
+echo "== model-lint bench baseline =="
+lint_bench_out=$(go test -run '^$' -bench 'BenchmarkLintModel$' -benchtime 50x .)
+echo "$lint_bench_out"
+
+# Render into BENCH_lint.json, with the wall-time the three-profile CI
+# gate took above (model build included, which dominates):
+#   BenchmarkLintModel   50   183042 ns/op
+echo "$lint_bench_out" | awk -v gate_ms="$((lint_end_ms - lint_start_ms))" '
+BEGIN { print "{"; print "  \"series\": \"model lint pre-check, all passes over the srsLTE composition\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ],"
+    printf "  \"ci_gate_wall_ms_three_profiles\": %s\n", gate_ms
+    print "}"
+}' > BENCH_lint.json
+echo "wrote BENCH_lint.json"

@@ -11,6 +11,7 @@
 //	prochecker -impl srsLTE -check all      # verify the full catalogue
 //	prochecker -impl OAI -validate p1       # testbed validation
 //	prochecker -list                        # list the 62 properties
+//	prochecker -impl srsLTE -lint           # static model diagnostics (PC0xx)
 //
 //	# run the conformance suite under a seeded fault-injection adversary
 //	prochecker -impl srsLTE -conformance -faults drop=0.05,corrupt=0.02 -seed 42
@@ -33,7 +34,7 @@
 //
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
-// budget exhausted, 5 recovered test-case panic.
+// budget exhausted, 5 recovered test-case panic, 6 model-lint gate.
 package main
 
 import (
@@ -45,6 +46,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -53,6 +55,7 @@ import (
 	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
 	"prochecker/internal/jobs"
+	"prochecker/internal/lint"
 	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/ue"
@@ -74,10 +77,12 @@ func run(args []string) (err error) {
 	logOut := fs.Bool("log", false, "print the information-rich execution log")
 	coverage := fs.Bool("coverage", false, "print the NAS-layer coverage")
 	check := fs.String("check", "", "verify one property by ID, or 'all'")
+	lintMode := fs.Bool("lint", false, "run the model linter over the extracted FSM and threat composition, print the diagnostics, and gate the exit code on -lint-gate")
+	lintGate := fs.String("lint-gate", "error", "with -lint, minimum severity that fails the run: info | warn | error | none")
 	validate := fs.String("validate", "", "validate an attack on the testbed: p1 | p3")
 	list := fs.Bool("list", false, "list the property catalogue")
 	runConf := fs.Bool("conformance", false, "run the conformance suite and report per-case outcomes")
-	faults := fs.String("faults", "", "fault-injection spec for -conformance, e.g. drop=0.05,corrupt=0.02,dup=0.01,reorder=0.1")
+	faults := fs.String("faults", "", "fault-injection spec applied to the conformance run behind -conformance and analysis modes (-lint, -dot, -check, ...), e.g. drop=0.05,corrupt=0.02,dup=0.01,reorder=0.1")
 	seed := fs.Int64("seed", 1, "base PRNG seed for -faults (runs are reproducible per seed)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
@@ -186,6 +191,7 @@ func run(args []string) (err error) {
 	// cancelled or failed run still leaves a well-formed manifest with
 	// its failure classification and whatever spans were open.
 	var verdicts []obs.ManifestVerdict
+	var lintManifest *obs.ManifestLint
 	if *manifestPath != "" {
 		cfg := map[string]string{"impl": *impl, "workers": strconv.Itoa(*workers)}
 		if *check != "" {
@@ -193,6 +199,9 @@ func run(args []string) (err error) {
 		}
 		if *runConf {
 			cfg["conformance"] = "true"
+		}
+		if *lintMode {
+			cfg["lint_gate"] = *lintGate
 		}
 		if *faults != "" {
 			cfg["faults"] = *faults
@@ -205,6 +214,7 @@ func run(args []string) (err error) {
 			m := o.Manifest()
 			m.Config = cfg
 			m.Verdicts = verdicts
+			m.Lint = lintManifest
 			if err != nil {
 				m.Failure = &obs.ManifestFailure{
 					Class:    resilience.Classify(err).String(),
@@ -271,16 +281,27 @@ func run(args []string) (err error) {
 		return fmt.Errorf("unknown -validate %q (want p1 or p3)", *validate)
 	}
 
-	if !*dot && !*smv && !*logOut && !*coverage && *check == "" {
+	if !*dot && !*smv && !*logOut && !*coverage && !*lintMode && *check == "" {
 		fs.Usage()
 		return nil
 	}
 
-	a, err := prochecker.AnalyzeContext(ctx, implementation,
-		prochecker.WithWorkers(*workers), prochecker.WithObserver(o))
+	gateSeverity, gateEnabled, err := parseLintGate(*lintGate)
 	if err != nil {
 		return err
 	}
+
+	faultCfg, err := channel.ParseFaultSpec(*faults, *seed)
+	if err != nil {
+		return err
+	}
+	a, err := prochecker.AnalyzeContext(ctx, implementation,
+		prochecker.WithWorkers(*workers), prochecker.WithObserver(o),
+		prochecker.WithFaults(faultCfg))
+	if err != nil {
+		return err
+	}
+	lintManifest = manifestLint(a.LintReport())
 	switch {
 	case *dot:
 		fmt.Print(a.FSMDOT())
@@ -290,6 +311,14 @@ func run(args []string) (err error) {
 		fmt.Print(a.Log())
 	case *coverage:
 		fmt.Println(a.Coverage())
+	}
+	if *lintMode {
+		fmt.Print(a.LintReport().Render())
+		if gateEnabled {
+			if gerr := a.LintGate(gateSeverity); gerr != nil {
+				return gerr
+			}
+		}
 	}
 	if *check == "" {
 		return nil
@@ -389,6 +418,39 @@ func firstLine(s string) string {
 		}
 	}
 	return s
+}
+
+// parseLintGate maps the -lint-gate flag onto a lint severity; "none"
+// disables gating (print-only mode).
+func parseLintGate(s string) (lint.Severity, bool, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "none") {
+		return 0, false, nil
+	}
+	sev, err := lint.ParseSeverity(s)
+	if err != nil {
+		return 0, false, fmt.Errorf("-lint-gate: %w", err)
+	}
+	return sev, true, nil
+}
+
+// manifestLint converts a lint report into the manifest's plain-data
+// shape.
+func manifestLint(rep *lint.Report) *obs.ManifestLint {
+	if rep == nil {
+		return nil
+	}
+	out := &obs.ManifestLint{}
+	out.Errors, out.Warnings, out.Infos = rep.Counts()
+	for _, d := range rep.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, obs.ManifestDiagnostic{
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			Ref:      d.Ref.String(),
+			Message:  d.Message,
+			Fix:      d.Fix,
+		})
+	}
+	return out
 }
 
 // manifestVerdict maps a CLI result onto the manifest verdict

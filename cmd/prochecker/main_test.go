@@ -277,3 +277,75 @@ func TestTimeoutCancelsCatalogue(t *testing.T) {
 		t.Errorf("exit code %d, want %d", code, resilience.ExitCancelled)
 	}
 }
+
+// TestLintMode drives the -lint CLI path: report rendering, the
+// severity gate's exit classification, manifest integration, and the
+// gate-off escape hatch.
+func TestLintMode(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-impl", "conformant", "-lint"}) })
+	if err != nil {
+		t.Fatalf("conformant -lint errored: %v", err)
+	}
+	if !strings.Contains(out, "model lint: UE/conformant") || !strings.Contains(out, "PC003") {
+		t.Errorf("lint report malformed:\n%s", out)
+	}
+
+	// srsLTE carries WARNs: the warn gate must trip with exit 6.
+	_, err = capture(t, func() error { return run([]string{"-impl", "srsLTE", "-lint", "-lint-gate", "warn"}) })
+	if err == nil {
+		t.Fatal("warn gate passed on srsLTE")
+	}
+	if !errors.Is(err, resilience.ErrModelLint) {
+		t.Errorf("gate error does not wrap ErrModelLint: %v", err)
+	}
+	if code := resilience.ExitCode(err); code != resilience.ExitModelLint {
+		t.Errorf("exit code %d, want %d", code, resilience.ExitModelLint)
+	}
+
+	// -lint-gate none reports without gating.
+	if _, err := capture(t, func() error { return run([]string{"-impl", "srsLTE", "-lint", "-lint-gate", "info"}) }); err == nil {
+		t.Error("info gate passed on srsLTE (it always carries at least PC003)")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-impl", "srsLTE", "-lint", "-lint-gate", "none"}) }); err != nil {
+		t.Errorf("-lint-gate none still gated: %v", err)
+	}
+	if err := run([]string{"-impl", "srsLTE", "-lint", "-lint-gate", "fatal"}); err == nil {
+		t.Error("unknown -lint-gate value accepted")
+	}
+}
+
+// TestLintManifest: the manifest of a -lint run carries the lint block.
+func TestLintManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-impl", "srsLTE", "-lint", "-quiet", "-manifest", path})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m, err := obs.ReadManifestFile(path)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	if m.Lint == nil {
+		t.Fatal("manifest carries no lint block")
+	}
+	if m.Lint.Errors != 0 {
+		t.Errorf("benign srsLTE manifest reports %d lint errors", m.Lint.Errors)
+	}
+	if len(m.Lint.Diagnostics) == 0 {
+		t.Fatal("lint block lists no diagnostics")
+	}
+	sawCode := false
+	for _, d := range m.Lint.Diagnostics {
+		if strings.HasPrefix(d.Code, "PC") && d.Severity != "" && d.Message != "" {
+			sawCode = true
+		}
+	}
+	if !sawCode {
+		t.Errorf("lint diagnostics malformed: %+v", m.Lint.Diagnostics)
+	}
+	if m.Config["lint_gate"] != "error" {
+		t.Errorf("config lint_gate = %q, want error", m.Config["lint_gate"])
+	}
+}

@@ -150,11 +150,13 @@ func runClient(cfg clientConfig) error {
 		}
 		for _, j := range camp.Jobs {
 			attacks := 0
+			var lintSum *jobs.LintSummary
 			if j.Result != nil {
 				attacks = j.Result.Attacks()
+				lintSum = j.Result.Lint
 			}
-			fmt.Printf("%-7s %-28s %-10s cache=%-5v attacks=%d\n",
-				j.ID, prochecker.JobLabel(j.Spec), j.State, j.CacheHit, attacks)
+			fmt.Printf("%-7s %-28s %-10s cache=%-5v attacks=%d lint=%s\n",
+				j.ID, prochecker.JobLabel(j.Spec), j.State, j.CacheHit, attacks, lintSum)
 		}
 		if camp.Report != "" {
 			fmt.Println()

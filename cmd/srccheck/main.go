@@ -1,0 +1,38 @@
+// Command srccheck runs the repository's custom Go-source checks
+// (internal/analysis): leaked obs.Start spans and resilience error
+// sentinels the classifier does not handle. ci.sh runs it on every
+// build.
+//
+// Usage:
+//
+//	srccheck [dir]
+//
+// Findings print one per line as file:line: [check] message; the exit
+// code is 1 when any finding is reported, 2 on operational errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prochecker/internal/analysis"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := analysis.CheckDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srccheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "srccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,282 @@
+// Package analysis is the repository's custom Go-source lint layer: a
+// small stdlib-only (go/ast + go/parser) checker for project-specific
+// invariants that gofmt and go vet cannot see. It is the source-level
+// counterpart of internal/lint, which checks extracted models.
+//
+// Two checks are implemented:
+//
+//   - span-leak: every span obtained from obs.Start must be ended.
+//     A span variable that is never passed to End or EndErr anywhere in
+//     its enclosing function (including defers), or that is discarded
+//     with the blank identifier, leaks an open span — the observability
+//     report would silently under-count that phase.
+//
+//   - classify-sentinel: every exported Err* sentinel declared in
+//     internal/resilience must be handled by its classifyOne switch.
+//     A sentinel that the classifier does not recognise silently decays
+//     to KindInternal, which breaks the CLI exit-code contract.
+//
+// The checker is wired into ci.sh via cmd/srccheck and runs over the
+// whole repository on every build.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one source-level diagnostic.
+type Finding struct {
+	// File is the path of the offending file, relative to the checked
+	// root when possible.
+	File string
+	// Line is the 1-based source line.
+	Line int
+	// Check names the rule that fired ("span-leak" or
+	// "classify-sentinel").
+	Check string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the conventional compiler-style form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// CheckDir walks every non-test Go file under root (skipping testdata
+// and hidden directories) and returns the findings of all checks,
+// sorted by file and line.
+func CheckDir(root string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var findings []Finding
+	resilienceFiles := make(map[string]*ast.File)
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		rel := path
+		if r, rerr := filepath.Rel(root, path); rerr == nil {
+			rel = r
+		}
+		findings = append(findings, checkSpanLeaks(fset, rel, file)...)
+		if filepath.Base(filepath.Dir(path)) == "resilience" {
+			resilienceFiles[rel] = file
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	findings = append(findings, checkClassifySentinels(fset, resilienceFiles)...)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	return findings, nil
+}
+
+// checkSpanLeaks flags obs.Start results whose span is discarded or
+// never ended within the enclosing function.
+func checkSpanLeaks(fset *token.FileSet, file string, f *ast.File) []Finding {
+	var findings []Finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		findings = append(findings, spanLeaksInFunc(fset, file, fn)...)
+	}
+	return findings
+}
+
+func spanLeaksInFunc(fset *token.FileSet, file string, fn *ast.FuncDecl) []Finding {
+	// First pass: collect span variables assigned from obs.Start.
+	type spanVar struct {
+		name string
+		pos  token.Pos
+	}
+	var spans []spanVar
+	var findings []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isObsStart(call) {
+			return true
+		}
+		ident, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if ident.Name == "_" {
+			findings = append(findings, Finding{
+				File:    file,
+				Line:    fset.Position(assign.Pos()).Line,
+				Check:   "span-leak",
+				Message: fmt.Sprintf("%s discards the span from obs.Start with the blank identifier; spans must be ended", fn.Name.Name),
+			})
+			return true
+		}
+		spans = append(spans, spanVar{name: ident.Name, pos: assign.Pos()})
+		return true
+	})
+
+	// Second pass: a span variable must appear as the receiver of at
+	// least one End or EndErr call somewhere in the function.
+	for _, sv := range spans {
+		ended := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if ended {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok || recv.Name != sv.name {
+				return true
+			}
+			if sel.Sel.Name == "End" || sel.Sel.Name == "EndErr" {
+				ended = true
+				return false
+			}
+			return true
+		})
+		if !ended {
+			findings = append(findings, Finding{
+				File:    file,
+				Line:    fset.Position(sv.pos).Line,
+				Check:   "span-leak",
+				Message: fmt.Sprintf("span %q from obs.Start is never ended in %s (no End or EndErr call)", sv.name, fn.Name.Name),
+			})
+		}
+	}
+	return findings
+}
+
+// isObsStart matches a call of the form obs.Start(...). The match is
+// purely syntactic: any selector Start on an identifier obs. That is
+// the only spelling the repository uses.
+func isObsStart(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "obs"
+}
+
+// checkClassifySentinels verifies that every exported Err* sentinel
+// declared at the top level of the resilience package is referenced
+// inside its classifyOne function. The check is scoped to that package:
+// sentinels elsewhere (extract.ErrEmptyLog, jobs.ErrQueueFull, ...) are
+// programming-interface errors, not taxonomy kinds.
+func checkClassifySentinels(fset *token.FileSet, files map[string]*ast.File) []Finding {
+	if len(files) == 0 {
+		return nil
+	}
+	type sentinel struct {
+		file string
+		pos  token.Pos
+	}
+	sentinels := make(map[string]sentinel)
+	var classifyBody *ast.BlockStmt
+
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f := files[path]
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, s := range d.Specs {
+					vs, ok := s.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+							sentinels[name.Name] = sentinel{file: path, pos: name.Pos()}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "classifyOne" && d.Body != nil {
+					classifyBody = d.Body
+				}
+			}
+		}
+	}
+	if classifyBody == nil {
+		// No classifier at all: report every sentinel as unhandled.
+		var findings []Finding
+		for name, sv := range sentinels {
+			findings = append(findings, Finding{
+				File:    sv.file,
+				Line:    fset.Position(sv.pos).Line,
+				Check:   "classify-sentinel",
+				Message: fmt.Sprintf("sentinel %s has no classifyOne function to handle it", name),
+			})
+		}
+		return findings
+	}
+
+	handled := make(map[string]bool)
+	ast.Inspect(classifyBody, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok {
+			handled[ident.Name] = true
+		}
+		return true
+	})
+
+	var findings []Finding
+	for name, sv := range sentinels {
+		if !handled[name] {
+			findings = append(findings, Finding{
+				File:    sv.file,
+				Line:    fset.Position(sv.pos).Line,
+				Check:   "classify-sentinel",
+				Message: fmt.Sprintf("exported sentinel %s is never handled by classifyOne; Classify would decay it to KindInternal", name),
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile lays a fixture file down under dir, creating parents.
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checks(t *testing.T, dir string) []Finding {
+	t.Helper()
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	return findings
+}
+
+func TestSpanLeakDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", `package p
+
+func leaky(ctx ctxT) {
+	ctx, span := obs.Start(ctx, "phase")
+	_ = span
+	use(ctx)
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Check != "span-leak" || f.Line != 4 || !strings.Contains(f.Message, `"span"`) {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestSpanBlankIdentifierDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "blank.go", `package p
+
+func discard(ctx ctxT) {
+	ctx, _ = obs.Start(ctx, "phase")
+	use(ctx)
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 || findings[0].Check != "span-leak" {
+		t.Fatalf("want 1 blank-identifier finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Message, "blank identifier") {
+		t.Errorf("message does not mention the blank identifier: %q", findings[0].Message)
+	}
+}
+
+func TestSpanEndedVariantsAreClean(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "ok.go", `package p
+
+func plain(ctx ctxT) {
+	ctx, span := obs.Start(ctx, "phase")
+	work(ctx)
+	span.End()
+}
+
+func deferred(ctx ctxT) (err error) {
+	ctx, span := obs.Start(ctx, "phase")
+	defer func() { span.EndErr(err) }()
+	return work(ctx)
+}
+
+func earlyErr(ctx ctxT) error {
+	ctx, span := obs.Start(ctx, "phase")
+	if err := work(ctx); err != nil {
+		span.EndErr(err)
+		return err
+	}
+	span.End()
+	return nil
+}
+
+func notAStart(ctx ctxT) {
+	a, b := other.Start(ctx, "phase")
+	use(a, b)
+}
+`)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("clean fixtures reported: %v", findings)
+	}
+}
+
+func TestSentinelUnhandledDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "resilience/resilience.go", `package resilience
+
+import "errors"
+
+var (
+	ErrHandled  = errors.New("handled")
+	ErrOrphaned = errors.New("orphaned")
+	errPrivate  = errors.New("not exported, exempt")
+)
+
+func classifyOne(err error) int {
+	if errors.Is(err, ErrHandled) {
+		return 1
+	}
+	return 0
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Check != "classify-sentinel" || !strings.Contains(f.Message, "ErrOrphaned") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestSentinelCheckScopedToResilienceDir(t *testing.T) {
+	dir := t.TempDir()
+	// Same shape, but not in a directory named resilience: exempt.
+	writeFile(t, dir, "extract/errors.go", `package extract
+
+import "errors"
+
+var ErrEmptyLog = errors.New("empty log")
+`)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("non-resilience sentinels reported: %v", findings)
+	}
+}
+
+func TestTestFilesAndTestdataSkipped(t *testing.T) {
+	dir := t.TempDir()
+	leaky := `package p
+
+func leaky(ctx ctxT) {
+	ctx, span := obs.Start(ctx, "phase")
+	_ = span
+	use(ctx)
+}
+`
+	writeFile(t, dir, "leak_test.go", leaky)
+	writeFile(t, dir, "testdata/leak.go", leaky)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("test/testdata files reported: %v", findings)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 7, Check: "span-leak", Message: "boom"}
+	if got := f.String(); got != "a/b.go:7: [span-leak] boom" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestRepositoryIsClean self-applies the checker: the repository that
+// ships the rule must satisfy it. This is also what gives the
+// classify-sentinel rule its teeth — adding a resilience sentinel
+// without classifier handling fails this test before ci.sh even runs.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := CheckDir("../..")
+	if err != nil {
+		t.Fatalf("CheckDir(repo root): %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -246,6 +246,12 @@ type Composed struct {
 	// channel (for adversary rule generation and property schemas).
 	DLMessages []spec.MessageName
 	ULMessages []spec.MessageName
+	// ForceMergedDL / ForceMergedUL list supervised-procedure messages
+	// that no extracted model mentioned and Compose had to merge into
+	// the channel domains itself — visible evidence of a perturbed
+	// extraction (lint reports them as PC006) instead of a silent patch.
+	ForceMergedDL []spec.MessageName
+	ForceMergedUL []spec.MessageName
 }
 
 // Generation exposes the instrumented system's mutation counter so
@@ -309,9 +315,18 @@ func Compose(cfg Config) (*Composed, error) {
 	// expects the completion on the uplink) no matter what the extracted
 	// models mention — an extraction perturbed by channel faults can miss
 	// these messages entirely, and the domains must still admit them.
+	// Each merge is recorded on the Composed so the lint phase can report
+	// it (PC006) instead of the pipeline papering over the gap silently.
+	var forcedDL, forcedUL []spec.MessageName
 	for _, sp := range supervised {
-		dlMsgs = ensureMessage(dlMsgs, sp.Command)
-		ulMsgs = ensureMessage(ulMsgs, sp.Complete)
+		if merged := ensureMessage(dlMsgs, sp.Command); len(merged) != len(dlMsgs) {
+			forcedDL = append(forcedDL, sp.Command)
+			dlMsgs = merged
+		}
+		if merged := ensureMessage(ulMsgs, sp.Complete); len(merged) != len(ulMsgs) {
+			forcedUL = append(forcedUL, sp.Complete)
+			ulMsgs = merged
+		}
 	}
 	dlDomain := []string{EmptyChannel}
 	for _, m := range dlMsgs {
@@ -372,7 +387,11 @@ func Compose(cfg Config) (*Composed, error) {
 		}
 	}
 
-	return &Composed{System: sys, Config: cfg, DLMessages: dlMsgs, ULMessages: ulMsgs}, nil
+	return &Composed{
+		System: sys, Config: cfg,
+		DLMessages: dlMsgs, ULMessages: ulMsgs,
+		ForceMergedDL: forcedDL, ForceMergedUL: forcedUL,
+	}, nil
 }
 
 // addEagerObservation applies the non-lazy abstraction: one observation

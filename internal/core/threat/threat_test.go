@@ -242,3 +242,63 @@ func TestComposedGeneration(t *testing.T) {
 		t.Error("Composed without a system should report generation 0")
 	}
 }
+
+// TestForceMergedRecording pins the supervised-procedure merge contract:
+// when neither composed model mentions a supervised message, Compose
+// still merges it into the channel domains but records the merge so the
+// lint layer can surface it (PC006) instead of it repairing the model
+// silently.
+func TestForceMergedRecording(t *testing.T) {
+	ueWithGUTI := ltemodels.LTEInspectorUE()
+	full := composeLTE(t, true)
+	if len(full.ForceMergedDL) != 0 || len(full.ForceMergedUL) != 0 {
+		t.Errorf("complete UE model still force-merged: DL=%v UL=%v",
+			full.ForceMergedDL, full.ForceMergedUL)
+	}
+
+	// A UE model that never mentions the GUTI reallocation procedure.
+	bare := fsmodel.New("UE/bare", ueWithGUTI.Initial)
+	for _, tr := range ueWithGUTI.Transitions() {
+		if tr.Cond.Message == spec.GUTIRealloCommand {
+			continue
+		}
+		keep := tr
+		keep.Actions = nil
+		for _, a := range tr.Actions {
+			if a == spec.GUTIRealloComplete {
+				continue
+			}
+			keep.Actions = append(keep.Actions, a)
+		}
+		bare.AddTransition(keep)
+	}
+	c, err := Compose(Config{
+		Name:                 "lte-bare",
+		UE:                   bare,
+		MME:                  ltemodels.MME(),
+		UEInternal:           []fsmodel.Transition{},
+		SuperviseGUTIRealloc: true,
+	})
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	wantDL := false
+	for _, m := range c.ForceMergedDL {
+		if m == spec.GUTIRealloCommand {
+			wantDL = true
+		}
+	}
+	if !wantDL {
+		t.Errorf("guti_reallocation_command not recorded as force-merged: DL=%v", c.ForceMergedDL)
+	}
+	// The merge itself must still have happened: the domain contains it.
+	inDomain := false
+	for _, m := range c.DLMessages {
+		if m == spec.GUTIRealloCommand {
+			inDomain = true
+		}
+	}
+	if !inDomain {
+		t.Error("force-merged message missing from the downlink domain")
+	}
+}

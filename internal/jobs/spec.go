@@ -72,16 +72,36 @@ type Verdict struct {
 }
 
 // ResultSchemaVersion stamps stored results so a future layout change
-// can skip stale files instead of misreading them.
-const ResultSchemaVersion = 1
+// can skip stale files instead of misreading them. Version 2 added the
+// model-lint summary.
+const ResultSchemaVersion = 2
+
+// LintSummary condenses the model-lint pre-check of the analysis behind
+// a job: severity counts plus the distinct diagnostic codes, all
+// deterministic for a given spec.
+type LintSummary struct {
+	Errors   int      `json:"errors"`
+	Warnings int      `json:"warnings"`
+	Infos    int      `json:"infos"`
+	Codes    []string `json:"codes,omitempty"`
+}
+
+// String renders the compact per-job form ("0E/3W/1I").
+func (l *LintSummary) String() string {
+	if l == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%dE/%dW/%dI", l.Errors, l.Warnings, l.Infos)
+}
 
 // Result is a completed job's verdict set, keyed by the spec that
 // produced it. Everything in it is deterministic for a given spec.
 type Result struct {
-	SchemaVersion int       `json:"schema_version"`
-	Key           string    `json:"key"`
-	Spec          Spec      `json:"spec"`
-	Verdicts      []Verdict `json:"verdicts"`
+	SchemaVersion int          `json:"schema_version"`
+	Key           string       `json:"key"`
+	Spec          Spec         `json:"spec"`
+	Lint          *LintSummary `json:"lint,omitempty"`
+	Verdicts      []Verdict    `json:"verdicts"`
 }
 
 // Attacks counts the verdicts that reported a realizable attack.

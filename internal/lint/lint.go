@@ -1,0 +1,312 @@
+// Package lint statically checks the shapes the pipeline otherwise
+// trusts: the extracted FSM (Algorithm 1's output) and the
+// threat-composed model (IMPᵘ). Each analyzer owns one registered
+// diagnostic code (PC001…) and reports structural or security-shape
+// defects — unreachable states, nondeterminism, channel-domain holes,
+// out-of-vocabulary predicates, protected messages accepted unprotected
+// — before the model checker spends any time on a malformed model.
+//
+// The package is a pre-check phase, not a verifier: a WARN is a model
+// property worth a look (and often exactly the paper's I1–I6 deviation
+// surface), an ERROR is a model the pipeline should not check at all.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/core/threat"
+)
+
+// Severity ranks a diagnostic. The zero value is SeverityInfo.
+type Severity int
+
+// The severity ladder, least to most severe.
+const (
+	SeverityInfo Severity = iota
+	SeverityWarn
+	SeverityError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarn:
+		return "warn"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// ParseSeverity inverts String, accepting the common long forms too.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "info":
+		return SeverityInfo, nil
+	case "warn", "warning":
+		return SeverityWarn, nil
+	case "error", "err":
+		return SeverityError, nil
+	default:
+		return SeverityInfo, fmt.Errorf("lint: unknown severity %q (want info | warn | error)", s)
+	}
+}
+
+// MarshalJSON renders the severity as its string form, so manifests and
+// job records stay readable and stable across ladder extensions.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON inverts MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(str)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// Ref anchors a diagnostic to the model element it is about. Fields are
+// empty when the diagnostic is model-global (e.g. a missing initial
+// state).
+type Ref struct {
+	// State names the FSM state involved.
+	State string `json:"state,omitempty"`
+	// Message names the protocol message involved.
+	Message string `json:"message,omitempty"`
+	// Transition is the rendered transition key (fsmodel.Transition.Key).
+	Transition string `json:"transition,omitempty"`
+}
+
+// String renders the non-empty parts for the report line.
+func (r Ref) String() string {
+	var parts []string
+	if r.State != "" {
+		parts = append(parts, "state="+r.State)
+	}
+	if r.Message != "" {
+		parts = append(parts, "message="+r.Message)
+	}
+	if r.Transition != "" {
+		parts = append(parts, "transition="+r.Transition)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Diagnostic is one finding: a registered code, its severity, the model
+// element it anchors to, the defect statement and a fix hint.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Ref      Ref      `json:"ref"`
+	Message  string   `json:"message"`
+	Detail   string   `json:"detail,omitempty"`
+	Fix      string   `json:"fix,omitempty"`
+}
+
+// String renders the diagnostic as one report line.
+func (d Diagnostic) String() string {
+	line := fmt.Sprintf("%-5s %s %s", strings.ToUpper(d.Severity.String()), d.Code, d.Message)
+	if ref := d.Ref.String(); ref != "" {
+		line += " (" + ref + ")"
+	}
+	return line
+}
+
+// Target is what one lint run inspects: the extracted FSM, and — when
+// the pipeline got that far — the threat composition built from it.
+// Composed may be nil for FSM-only linting.
+type Target struct {
+	FSM      *fsmodel.FSM
+	Composed *threat.Composed
+}
+
+// Info describes a registered analyzer for the code catalogue and the
+// docs registry.
+type Info struct {
+	// Code is the registered diagnostic code (PC001…).
+	Code string
+	// Title is the one-line name of the defect class.
+	Title string
+	// Severity is the severity every diagnostic of this code carries.
+	Severity Severity
+	// Doc explains what the pass checks and why it matters.
+	Doc string
+	// Fix is the generic fix hint attached to each diagnostic.
+	Fix string
+}
+
+// Analyzer is one lint pass: a registered code plus a Run over a target.
+type Analyzer interface {
+	Info() Info
+	Run(*Target) []Diagnostic
+}
+
+// registry holds the built-in analyzers, keyed and ordered by code.
+var registry = struct {
+	byCode map[string]Analyzer
+	order  []string
+}{byCode: make(map[string]Analyzer)}
+
+// Register adds an analyzer to the catalogue. Duplicate codes panic:
+// codes are a stable public vocabulary, two owners is a bug.
+func Register(a Analyzer) {
+	code := a.Info().Code
+	if code == "" {
+		panic("lint: analyzer with empty code")
+	}
+	if _, dup := registry.byCode[code]; dup {
+		panic("lint: duplicate analyzer code " + code)
+	}
+	registry.byCode[code] = a
+	registry.order = append(registry.order, code)
+	sort.Strings(registry.order)
+}
+
+// Analyzers returns the registered passes in code order.
+func Analyzers() []Analyzer {
+	out := make([]Analyzer, 0, len(registry.order))
+	for _, code := range registry.order {
+		out = append(out, registry.byCode[code])
+	}
+	return out
+}
+
+// ByCode looks one analyzer up.
+func ByCode(code string) (Analyzer, bool) {
+	a, ok := registry.byCode[code]
+	return a, ok
+}
+
+// Report is the outcome of one lint run: the model's name and the
+// diagnostics in deterministic order (code, then ref, then message).
+type Report struct {
+	Model       string       `json:"model,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Run executes the given analyzers (all registered ones when none are
+// named) over the target and assembles the deterministic report.
+func Run(t *Target, analyzers ...Analyzer) *Report {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	rep := &Report{}
+	if t.FSM != nil {
+		rep.Model = t.FSM.Name
+	}
+	for _, a := range analyzers {
+		rep.Diagnostics = append(rep.Diagnostics, a.Run(t)...)
+	}
+	sort.SliceStable(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Ref.State != b.Ref.State {
+			return a.Ref.State < b.Ref.State
+		}
+		if a.Ref.Message != b.Ref.Message {
+			return a.Ref.Message < b.Ref.Message
+		}
+		if a.Ref.Transition != b.Ref.Transition {
+			return a.Ref.Transition < b.Ref.Transition
+		}
+		return a.Message < b.Message
+	})
+	return rep
+}
+
+// Count reports how many diagnostics carry exactly the given severity.
+// Nil reports count zero.
+func (r *Report) Count(s Severity) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns the (errors, warnings, infos) triple.
+func (r *Report) Counts() (errs, warns, infos int) {
+	return r.Count(SeverityError), r.Count(SeverityWarn), r.Count(SeverityInfo)
+}
+
+// AtLeast returns the diagnostics at or above the given severity.
+func (r *Report) AtLeast(min Severity) []Diagnostic {
+	if r == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Codes returns the distinct diagnostic codes present, sorted.
+func (r *Report) Codes() []string {
+	if r == nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, d := range r.Diagnostics {
+		set[d.Code] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary is the one-line count triple ("2 errors, 1 warning, 0 infos").
+func (r *Report) Summary() string {
+	e, w, i := r.Counts()
+	return fmt.Sprintf("%d error(s), %d warning(s), %d info(s)", e, w, i)
+}
+
+// Render formats the full report for terminal output: a header, one
+// line per diagnostic with its fix hint indented, and the summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	name := "model"
+	if r != nil && r.Model != "" {
+		name = r.Model
+	}
+	fmt.Fprintf(&b, "model lint: %s\n", name)
+	if r == nil || len(r.Diagnostics) == 0 {
+		b.WriteString("  no diagnostics\n")
+		return b.String()
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&b, "  %s\n", d)
+		if d.Detail != "" {
+			fmt.Fprintf(&b, "        %s\n", d.Detail)
+		}
+		if d.Fix != "" {
+			fmt.Fprintf(&b, "        fix: %s\n", d.Fix)
+		}
+	}
+	fmt.Fprintf(&b, "\n%s\n", r.Summary())
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityStringAndParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Severity
+	}{
+		{"info", SeverityInfo},
+		{"warn", SeverityWarn},
+		{"warning", SeverityWarn},
+		{"error", SeverityError},
+		{"err", SeverityError},
+		{" Error ", SeverityError},
+	}
+	for _, tc := range cases {
+		got, err := ParseSeverity(tc.in)
+		if err != nil {
+			t.Errorf("ParseSeverity(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSeverity(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown severity")
+	}
+	if SeverityWarn.String() != "warn" || SeverityError.String() != "error" {
+		t.Errorf("String(): warn=%q error=%q", SeverityWarn, SeverityError)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SeverityInfo, SeverityWarn, SeverityError} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", s, err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("round trip %s -> %s -> %s", s, b, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unmarshal accepted an unknown severity")
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	if !(SeverityInfo < SeverityWarn && SeverityWarn < SeverityError) {
+		t.Fatal("severity ladder is not ordered info < warn < error")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{State: "A", Message: "m", Transition: "A -> B"}
+	want := "state=A message=m transition=A -> B"
+	if got := r.String(); got != want {
+		t.Errorf("Ref.String() = %q, want %q", got, want)
+	}
+	if got := (Ref{}).String(); got != "" {
+		t.Errorf("empty Ref.String() = %q, want empty", got)
+	}
+}
+
+func TestRegistryCatalogue(t *testing.T) {
+	all := Analyzers()
+	if len(all) == 0 {
+		t.Fatal("no analyzers registered")
+	}
+	prev := ""
+	for _, a := range all {
+		info := a.Info()
+		if info.Code <= prev {
+			t.Errorf("analyzer order not strictly ascending: %q after %q", info.Code, prev)
+		}
+		prev = info.Code
+		if info.Title == "" || info.Doc == "" {
+			t.Errorf("%s: missing Title or Doc", info.Code)
+		}
+		got, ok := ByCode(info.Code)
+		if !ok || got.Info().Code != info.Code {
+			t.Errorf("ByCode(%s) lookup failed", info.Code)
+		}
+	}
+	if _, ok := ByCode("PC999"); ok {
+		t.Error("ByCode returned an analyzer for an unregistered code")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering an existing code did not panic")
+		}
+	}()
+	Register(initialStatePass{})
+}
+
+type emptyCodeAnalyzer struct{}
+
+func (emptyCodeAnalyzer) Info() Info               { return Info{} }
+func (emptyCodeAnalyzer) Run(*Target) []Diagnostic { return nil }
+
+func TestRegisterEmptyCodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering an empty code did not panic")
+		}
+	}()
+	Register(emptyCodeAnalyzer{})
+}
+
+func TestReportCountsAndCodes(t *testing.T) {
+	rep := &Report{Diagnostics: []Diagnostic{
+		{Code: "PC001", Severity: SeverityError},
+		{Code: "PC002", Severity: SeverityWarn},
+		{Code: "PC002", Severity: SeverityWarn},
+		{Code: "PC003", Severity: SeverityInfo},
+	}}
+	e, w, i := rep.Counts()
+	if e != 1 || w != 2 || i != 1 {
+		t.Errorf("Counts() = %d,%d,%d, want 1,2,1", e, w, i)
+	}
+	if got := rep.Codes(); len(got) != 3 || got[0] != "PC001" || got[2] != "PC003" {
+		t.Errorf("Codes() = %v", got)
+	}
+	if got := len(rep.AtLeast(SeverityWarn)); got != 3 {
+		t.Errorf("AtLeast(warn) returned %d diagnostics, want 3", got)
+	}
+	if got := rep.Summary(); got != "1 error(s), 2 warning(s), 1 info(s)" {
+		t.Errorf("Summary() = %q", got)
+	}
+}
+
+func TestNilReportIsSafe(t *testing.T) {
+	var rep *Report
+	if rep.Count(SeverityError) != 0 {
+		t.Error("nil report Count != 0")
+	}
+	if rep.AtLeast(SeverityInfo) != nil {
+		t.Error("nil report AtLeast != nil")
+	}
+	if rep.Codes() != nil {
+		t.Error("nil report Codes != nil")
+	}
+	if !strings.Contains(rep.Render(), "no diagnostics") {
+		t.Error("nil report Render missing 'no diagnostics'")
+	}
+}
+
+func TestRunSortsDeterministically(t *testing.T) {
+	// Run over a nil FSM triggers PC001 only; ordering is exercised via
+	// a hand-assembled report instead.
+	rep := Run(&Target{})
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Code != "PC001" {
+		t.Fatalf("Run(empty target) = %+v, want exactly PC001", rep.Diagnostics)
+	}
+
+	unsorted := []Diagnostic{
+		{Code: "PC008", Ref: Ref{State: "B"}},
+		{Code: "PC002", Ref: Ref{State: "Z"}},
+		{Code: "PC002", Ref: Ref{State: "A"}},
+		{Code: "PC008", Ref: Ref{State: "B", Message: "m"}},
+	}
+	collect := collectAnalyzer{diags: unsorted}
+	got := Run(&Target{}, collect)
+	want := []string{"PC002/A", "PC002/Z", "PC008/B", "PC008/B"}
+	for i, d := range got.Diagnostics {
+		key := d.Code + "/" + d.Ref.State
+		if key != want[i] {
+			t.Errorf("position %d: got %s, want %s", i, key, want[i])
+		}
+	}
+}
+
+// collectAnalyzer replays canned diagnostics for sorting tests.
+type collectAnalyzer struct{ diags []Diagnostic }
+
+func (collectAnalyzer) Info() Info                 { return Info{Code: "TEST"} }
+func (c collectAnalyzer) Run(*Target) []Diagnostic { return c.diags }
+
+func TestRenderShape(t *testing.T) {
+	rep := &Report{
+		Model: "UE/test",
+		Diagnostics: []Diagnostic{{
+			Code:     "PC004",
+			Severity: SeverityWarn,
+			Ref:      Ref{State: "A"},
+			Message:  "something diverged",
+			Detail:   "variants: x | y",
+			Fix:      "look at the suite",
+		}},
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"model lint: UE/test",
+		"WARN  PC004 something diverged (state=A)",
+		"variants: x | y",
+		"fix: look at the suite",
+		"0 error(s), 1 warning(s), 0 info(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q in:\n%s", want, out)
+		}
+	}
+}

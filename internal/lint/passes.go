@@ -1,0 +1,488 @@
+// The built-in passes. Each owns one code in the PC0xx catalogue;
+// docs/diagnostics.md is the human-readable registry and is kept in
+// sync by a test.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prochecker/internal/core/extract"
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/core/threat"
+	"prochecker/internal/spec"
+)
+
+func init() {
+	Register(initialStatePass{})
+	Register(unreachableStatePass{})
+	Register(sinkStatePass{})
+	Register(nondeterminismPass{})
+	Register(channelDomainPass{})
+	Register(forceMergePass{})
+	Register(predicateVocabularyPass{})
+	Register(securityShapePass{})
+}
+
+// analyzerBase carries the shared Info plumbing.
+type analyzerBase struct{ info Info }
+
+func (a analyzerBase) Info() Info { return a.info }
+
+// diag builds a diagnostic stamped with the analyzer's code, severity
+// and fix hint.
+func (a analyzerBase) diag(ref Ref, message, detail string) Diagnostic {
+	return Diagnostic{
+		Code:     a.info.Code,
+		Severity: a.info.Severity,
+		Ref:      ref,
+		Message:  message,
+		Detail:   detail,
+		Fix:      a.info.Fix,
+	}
+}
+
+// internalTransitions resolves the UE-initiated transitions the
+// composition environment merges into the UE machine: the target's own
+// config when it has one (nil meaning the default set, an explicit
+// empty slice meaning none — mirroring threat.Compose), the default
+// set for FSM-only targets. Reachability and sink analysis must see
+// them, because Algorithm 1 keys on incoming messages and never
+// extracts the UE-initiated edges (attach, detach, TAU, service
+// request) that connect the state space.
+func internalTransitions(t *Target) []fsmodel.Transition {
+	if t.Composed != nil && t.Composed.Config.UEInternal != nil {
+		return t.Composed.Config.UEInternal
+	}
+	return threat.DefaultUEInternal()
+}
+
+// effectiveAdjacency builds the state adjacency of the FSM plus the
+// composition's internal transitions.
+func effectiveAdjacency(t *Target) map[fsmodel.State][]fsmodel.State {
+	adj := make(map[fsmodel.State][]fsmodel.State)
+	for _, tr := range t.FSM.Transitions() {
+		adj[tr.From] = append(adj[tr.From], tr.To)
+	}
+	for _, tr := range internalTransitions(t) {
+		adj[tr.From] = append(adj[tr.From], tr.To)
+	}
+	return adj
+}
+
+// --- PC001: initial state ---
+
+type initialStatePass struct{}
+
+func (initialStatePass) Info() Info {
+	return Info{
+		Code:     "PC001",
+		Title:    "missing or unknown initial state",
+		Severity: SeverityError,
+		Doc: "The FSM has no initial state, or its initial state is not in " +
+			"the state set. Every downstream phase (reachability, threat " +
+			"composition, model checking) anchors on s₀; without it the " +
+			"model is meaningless.",
+		Fix: "check the conformance log's first state signature, or set " +
+			"extract.Options.Initial explicitly",
+	}
+}
+
+func (p initialStatePass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil {
+		return []Diagnostic{base.diag(Ref{}, "no FSM to lint", "")}
+	}
+	if t.FSM.Initial == "" {
+		return []Diagnostic{base.diag(Ref{}, "FSM has no initial state", "")}
+	}
+	if !t.FSM.HasState(t.FSM.Initial) {
+		return []Diagnostic{base.diag(Ref{State: string(t.FSM.Initial)},
+			fmt.Sprintf("initial state %s is not in the state set", t.FSM.Initial), "")}
+	}
+	return nil
+}
+
+// --- PC002: unreachable states ---
+
+type unreachableStatePass struct{}
+
+func (unreachableStatePass) Info() Info {
+	return Info{
+		Code:     "PC002",
+		Title:    "unreachable state",
+		Severity: SeverityWarn,
+		Doc: "A state is unreachable from the initial state even after " +
+			"merging the composition's UE-initiated internal transitions. " +
+			"Properties over that state are vacuously verified; on a " +
+			"fault-perturbed extraction this usually means the suite cases " +
+			"that visit it were dropped.",
+		Fix: "re-run the conformance suite on a benign link, or check which " +
+			"suite cases cover the state",
+	}
+}
+
+func (p unreachableStatePass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil || t.FSM.Initial == "" {
+		return nil // PC001's problem
+	}
+	adj := effectiveAdjacency(t)
+	seen := map[fsmodel.State]bool{t.FSM.Initial: true}
+	stack := []fsmodel.State{t.FSM.Initial}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[s] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, s := range t.FSM.States() {
+		if !seen[s] {
+			out = append(out, base.diag(Ref{State: string(s)},
+				fmt.Sprintf("state %s is unreachable from %s", s, t.FSM.Initial),
+				"reachability includes the composition's UE-internal transitions"))
+		}
+	}
+	return out
+}
+
+// --- PC003: sink states ---
+
+type sinkStatePass struct{}
+
+func (sinkStatePass) Info() Info {
+	return Info{
+		Code:     "PC003",
+		Title:    "sink state with no outgoing recovery",
+		Severity: SeverityInfo,
+		Doc: "A state has no outgoing transition, in the FSM or among the " +
+			"composition's internal transitions: once entered, the modelled " +
+			"UE is stuck there. Terminal service states are sometimes " +
+			"intentional; a sink appearing after a perturbed extraction " +
+			"usually lost its recovery edges.",
+		Fix: "confirm the state is a deliberate terminal, or extend the " +
+			"suite with cases that exercise leaving it",
+	}
+}
+
+func (p sinkStatePass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil {
+		return nil
+	}
+	adj := effectiveAdjacency(t)
+	var out []Diagnostic
+	for _, s := range t.FSM.States() {
+		if len(adj[s]) == 0 {
+			out = append(out, base.diag(Ref{State: string(s)},
+				fmt.Sprintf("state %s has no outgoing transition", s), ""))
+		}
+	}
+	return out
+}
+
+// --- PC004: nondeterministic transitions ---
+
+type nondeterminismPass struct{}
+
+func (nondeterminismPass) Info() Info {
+	return Info{
+		Code:     "PC004",
+		Title:    "nondeterministic transitions",
+		Severity: SeverityWarn,
+		Doc: "Two or more transitions share a source state and an identical " +
+			"condition (message plus predicates) but diverge in target " +
+			"state or emitted actions. A deterministic implementation " +
+			"cannot exhibit both; the extraction observed the handler " +
+			"behaving inconsistently across suite cases — itself a " +
+			"deviation worth reporting.",
+		Fix: "inspect the conformance cases driving this condition; the " +
+			"implementation handles the same input differently in " +
+			"different runs",
+	}
+}
+
+func (p nondeterminismPass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil {
+		return nil
+	}
+	type outcome struct{ to, actions string }
+	groups := make(map[string]map[outcome][]fsmodel.Transition)
+	for _, tr := range t.FSM.Transitions() {
+		key := string(tr.From) + "\x00" + tr.Cond.Key()
+		acts := make([]string, 0, len(tr.Actions))
+		for _, a := range tr.Actions {
+			acts = append(acts, string(a))
+		}
+		sort.Strings(acts)
+		o := outcome{to: string(tr.To), actions: strings.Join(acts, ",")}
+		if groups[key] == nil {
+			groups[key] = make(map[outcome][]fsmodel.Transition)
+		}
+		groups[key][o] = append(groups[key][o], tr)
+	}
+	var out []Diagnostic
+	for _, outcomes := range groups {
+		if len(outcomes) < 2 {
+			continue
+		}
+		var keys []string
+		var sample fsmodel.Transition
+		first := true
+		for _, trs := range outcomes {
+			for _, tr := range trs {
+				if first {
+					sample, first = tr, false
+				}
+				keys = append(keys, tr.Key())
+			}
+		}
+		sort.Strings(keys)
+		out = append(out, base.diag(
+			Ref{State: string(sample.From), Message: string(sample.Cond.Message), Transition: keys[0]},
+			fmt.Sprintf("state %s reacts to [%s] with %d distinct outcomes",
+				sample.From, sample.Cond.String(), len(outcomes)),
+			"variants: "+strings.Join(keys, " | ")))
+	}
+	return out
+}
+
+// --- PC005: channel-domain completeness ---
+
+type channelDomainPass struct{}
+
+func (channelDomainPass) Info() Info {
+	return Info{
+		Code:     "PC005",
+		Title:    "channel-domain completeness",
+		Severity: SeverityError,
+		Doc: "A message the FSM consumes (conditions → downlink) or emits " +
+			"(actions → uplink) is missing from the composed channel " +
+			"domains, or a domain message has no slot in the system " +
+			"variables. The adversary cannot inject, replay or even " +
+			"deliver such a message, so every property over it is " +
+			"vacuously verified — the PR 4 defect class.",
+		Fix: "recompose the model; if the extraction itself lost the " +
+			"message, re-run the suite on a benign link",
+	}
+}
+
+func (p channelDomainPass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil || t.Composed == nil {
+		return nil
+	}
+	dl := make(map[spec.MessageName]bool, len(t.Composed.DLMessages))
+	for _, m := range t.Composed.DLMessages {
+		dl[m] = true
+	}
+	ul := make(map[spec.MessageName]bool, len(t.Composed.ULMessages))
+	for _, m := range t.Composed.ULMessages {
+		ul[m] = true
+	}
+
+	var out []Diagnostic
+	for _, m := range t.FSM.ConditionMessages() {
+		if m == spec.InternalEvent {
+			continue
+		}
+		if !dl[m] {
+			out = append(out, base.diag(Ref{Message: string(m)},
+				fmt.Sprintf("FSM condition message %s is missing from the downlink channel domain", m), ""))
+		}
+	}
+	for _, m := range t.FSM.Actions() {
+		if m == spec.NullAction {
+			continue
+		}
+		if !ul[m] {
+			out = append(out, base.diag(Ref{Message: string(m)},
+				fmt.Sprintf("FSM action message %s is missing from the uplink channel domain", m), ""))
+		}
+	}
+
+	// The domain lists must also agree with the system variables the
+	// rules actually range over: a message listed but without channel
+	// slots is equally undeliverable.
+	if t.Composed.System != nil {
+		domains := make(map[string]map[string]bool)
+		for _, v := range t.Composed.System.Vars() {
+			set := make(map[string]bool, len(v.Domain))
+			for _, d := range v.Domain {
+				set[d] = true
+			}
+			domains[v.Name] = set
+		}
+		checkVar := func(varName string, msgs []spec.MessageName, channel string) {
+			dom, ok := domains[varName]
+			if !ok {
+				out = append(out, base.diag(Ref{},
+					fmt.Sprintf("composed system has no %s channel variable %s", channel, varName), ""))
+				return
+			}
+			for _, m := range msgs {
+				if !dom[threat.Slot(m, threat.OriginGenuine)] {
+					out = append(out, base.diag(Ref{Message: string(m)},
+						fmt.Sprintf("%s message %s has no slot in the %s variable domain", channel, m, varName), ""))
+				}
+			}
+		}
+		checkVar(threat.VarDL, t.Composed.DLMessages, "downlink")
+		checkVar(threat.VarUL, t.Composed.ULMessages, "uplink")
+	}
+	return out
+}
+
+// --- PC006: force-merged supervised-procedure messages ---
+
+type forceMergePass struct{}
+
+func (forceMergePass) Info() Info {
+	return Info{
+		Code:     "PC006",
+		Title:    "supervised-procedure message force-merged",
+		Severity: SeverityWarn,
+		Doc: "The extracted models never mentioned a supervised procedure's " +
+			"command or completion message, so threat.Compose had to merge " +
+			"it into the channel domains itself. The composition still " +
+			"works, but the implementation's own handling of the message " +
+			"was never observed — typically a fault-perturbed extraction " +
+			"dropped it (the PR 4 guti_reallocation_command incident).",
+		Fix: "re-extract from a benign conformance run, or accept that the " +
+			"supervised procedure is modelled without implementation " +
+			"evidence",
+	}
+}
+
+func (p forceMergePass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.Composed == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, m := range t.Composed.ForceMergedDL {
+		out = append(out, base.diag(Ref{Message: string(m)},
+			fmt.Sprintf("supervised-procedure message %s was force-merged into the downlink domain", m),
+			"no extracted model consumes or emits it"))
+	}
+	for _, m := range t.Composed.ForceMergedUL {
+		out = append(out, base.diag(Ref{Message: string(m)},
+			fmt.Sprintf("supervised-procedure message %s was force-merged into the uplink domain", m),
+			"no extracted model consumes or emits it"))
+	}
+	return out
+}
+
+// --- PC007: predicate vocabulary ---
+
+type predicateVocabularyPass struct{}
+
+func (predicateVocabularyPass) Info() Info {
+	return Info{
+		Code:     "PC007",
+		Title:    "predicate outside the condition-variable vocabulary",
+		Severity: SeverityError,
+		Doc: "A transition predicate uses a variable outside the shared " +
+			"sanity-check vocabulary (spec.IsConditionVar plus the " +
+			"well-known auxiliaries the extractor admits). The threat " +
+			"instrumentor has no cryptographic semantics for such a " +
+			"variable, so the composed rules would silently misclassify " +
+			"message origins.",
+		Fix: "extend the spec vocabulary (and threat.originsFor) with the " +
+			"variable's semantics, or fix the extraction's predicate " +
+			"filter",
+	}
+}
+
+func (p predicateVocabularyPass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []Diagnostic
+	for _, tr := range t.FSM.Transitions() {
+		for _, pred := range tr.Cond.Predicates {
+			if extract.DefaultPredicateFilter(pred.Var) || seen[pred.Var] {
+				continue
+			}
+			seen[pred.Var] = true
+			out = append(out, base.diag(
+				Ref{Message: string(tr.Cond.Message), Transition: tr.Key()},
+				fmt.Sprintf("predicate variable %q is outside the condition vocabulary", pred.Var), ""))
+		}
+	}
+	return out
+}
+
+// --- PC008: security shape ---
+
+type securityShapePass struct{}
+
+func (securityShapePass) Info() Info {
+	return Info{
+		Code:     "PC008",
+		Title:    "protected message accepted without protection",
+		Severity: SeverityWarn,
+		Doc: "A transition accepts a protected-only message (outside the " +
+			"TS 24.301 §4.4.4.2 plain-on-air exception list) while the " +
+			"protection predicates say it was not protected: either " +
+			"processed with a plaintext header, or with a stale NAS COUNT " +
+			"(count_fresh=0), with the handler emitting a real response or " +
+			"changing state. This is exactly the shape of the paper's " +
+			"I1–I6 implementation issues (broken replay/integrity " +
+			"protection).",
+		Fix: "the implementation should discard the message (null_action, " +
+			"no state change); confirm the deviation and check the I1–I6 " +
+			"properties against it",
+	}
+}
+
+func (p securityShapePass) Run(t *Target) []Diagnostic {
+	base := analyzerBase{p.Info()}
+	if t.FSM == nil {
+		return nil
+	}
+	plainOnAir := spec.PlainOnAir
+	if t.Composed != nil && t.Composed.Config.PlainOnAir != nil {
+		plainOnAir = t.Composed.Config.PlainOnAir
+	}
+	var out []Diagnostic
+	for _, tr := range t.FSM.Transitions() {
+		m := tr.Cond.Message
+		if m == spec.InternalEvent {
+			continue
+		}
+		accepted := tr.To != tr.From
+		for _, a := range tr.Actions {
+			if a != spec.NullAction {
+				accepted = true
+			}
+		}
+		if !accepted {
+			continue
+		}
+		for _, pred := range tr.Cond.Predicates {
+			switch {
+			case pred.Var == string(spec.CondPlainHeader) && pred.Value == "1" && !plainOnAir(m):
+				out = append(out, base.diag(
+					Ref{State: string(tr.From), Message: string(m), Transition: tr.Key()},
+					fmt.Sprintf("protected-only message %s is accepted with a plaintext header in %s", m, tr.From),
+					"plain_header=1 yet the handler responds or changes state"))
+			case pred.Var == string(spec.CondCountFresh) && pred.Value == "0":
+				out = append(out, base.diag(
+					Ref{State: string(tr.From), Message: string(m), Transition: tr.Key()},
+					fmt.Sprintf("replayed %s (stale NAS COUNT) is accepted in %s", m, tr.From),
+					"count_fresh=0 yet the handler responds or changes state"))
+			}
+		}
+	}
+	return out
+}

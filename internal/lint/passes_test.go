@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/core/threat"
+	"prochecker/internal/spec"
+)
+
+// noInternal pins the UE-internal transition set to empty so the
+// structural passes see exactly the hand-built FSM, not the default
+// LTE environment.
+func noInternal() *threat.Composed {
+	return &threat.Composed{Config: threat.Config{UEInternal: []fsmodel.Transition{}}}
+}
+
+// codesOf runs one analyzer and returns the codes it produced.
+func codesOf(t *testing.T, a Analyzer, target *Target) []string {
+	t.Helper()
+	return Run(target, a).Codes()
+}
+
+func hasCode(codes []string, code string) bool {
+	for _, c := range codes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPC001InitialState(t *testing.T) {
+	pass := initialStatePass{}
+	if codes := codesOf(t, pass, &Target{}); !hasCode(codes, "PC001") {
+		t.Error("nil FSM did not report PC001")
+	}
+	if codes := codesOf(t, pass, &Target{FSM: fsmodel.New("m", "")}); !hasCode(codes, "PC001") {
+		t.Error("empty initial did not report PC001")
+	}
+	ghost := fsmodel.New("m", "")
+	ghost.AddState("A")
+	ghost.Initial = "GHOST"
+	if codes := codesOf(t, pass, &Target{FSM: ghost}); !hasCode(codes, "PC001") {
+		t.Error("unknown initial did not report PC001")
+	}
+	ok := fsmodel.New("m", "A")
+	if codes := codesOf(t, pass, &Target{FSM: ok}); len(codes) != 0 {
+		t.Errorf("well-formed FSM reported %v", codes)
+	}
+}
+
+func TestPC002Unreachable(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept}, Actions: []spec.MessageName{spec.AttachComplete}})
+	// An island no path from A reaches.
+	f.AddTransition(fsmodel.Transition{From: "C", To: "D",
+		Cond: fsmodel.Condition{Message: spec.IdentityRequest}, Actions: []spec.MessageName{spec.IdentityResponse}})
+	rep := Run(&Target{FSM: f, Composed: noInternal()}, unreachableStatePass{})
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (C and D): %+v", len(rep.Diagnostics), rep.Diagnostics)
+	}
+	if rep.Diagnostics[0].Ref.State != "C" || rep.Diagnostics[1].Ref.State != "D" {
+		t.Errorf("unreachable states = %s,%s, want C,D",
+			rep.Diagnostics[0].Ref.State, rep.Diagnostics[1].Ref.State)
+	}
+}
+
+func TestPC002UsesInternalTransitions(t *testing.T) {
+	// B is only reachable through a UE-internal transition: the pass
+	// must merge them before declaring anything unreachable.
+	f := fsmodel.New("m", "A")
+	f.AddState("B")
+	internal := &threat.Composed{Config: threat.Config{UEInternal: []fsmodel.Transition{
+		{From: "A", To: "B", Cond: fsmodel.Condition{Message: spec.InternalEvent}},
+	}}}
+	rep := Run(&Target{FSM: f, Composed: internal}, unreachableStatePass{})
+	if len(rep.Diagnostics) != 0 {
+		t.Errorf("internally-reachable state reported unreachable: %+v", rep.Diagnostics)
+	}
+	rep = Run(&Target{FSM: f, Composed: noInternal()}, unreachableStatePass{})
+	if len(rep.Diagnostics) != 1 {
+		t.Errorf("without internal transitions, want 1 unreachable, got %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC003Sink(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept}})
+	rep := Run(&Target{FSM: f, Composed: noInternal()}, sinkStatePass{})
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Ref.State != "B" {
+		t.Fatalf("want exactly sink B, got %+v", rep.Diagnostics)
+	}
+	if rep.Diagnostics[0].Severity != SeverityInfo {
+		t.Errorf("PC003 severity = %s, want info", rep.Diagnostics[0].Severity)
+	}
+}
+
+func TestPC004Nondeterminism(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	cond := fsmodel.Condition{Message: spec.AuthRequest,
+		Predicates: []fsmodel.Predicate{{Var: "mac_valid", Value: "1"}}}
+	f.AddTransition(fsmodel.Transition{From: "A", To: "A", Cond: cond,
+		Actions: []spec.MessageName{spec.AuthResponse}})
+	f.AddTransition(fsmodel.Transition{From: "A", To: "A", Cond: cond,
+		Actions: []spec.MessageName{spec.AuthFailure}})
+	// Same condition from a different state: deterministic there.
+	f.AddTransition(fsmodel.Transition{From: "B", To: "A", Cond: cond,
+		Actions: []spec.MessageName{spec.AuthResponse}})
+	rep := Run(&Target{FSM: f}, nondeterminismPass{})
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("want 1 nondeterminism diagnostic, got %+v", rep.Diagnostics)
+	}
+	d := rep.Diagnostics[0]
+	if d.Ref.State != "A" || !strings.Contains(d.Message, "2 distinct outcomes") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if !strings.Contains(d.Detail, "variants: ") || !strings.Contains(d.Detail, " | ") {
+		t.Errorf("detail does not list the variants: %q", d.Detail)
+	}
+}
+
+func TestPC004DuplicateOutcomesAreDeterministic(t *testing.T) {
+	// Different predicates on the same message are different conditions.
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "A",
+		Cond: fsmodel.Condition{Message: spec.AuthRequest,
+			Predicates: []fsmodel.Predicate{{Var: "mac_valid", Value: "1"}}},
+		Actions: []spec.MessageName{spec.AuthResponse}})
+	f.AddTransition(fsmodel.Transition{From: "A", To: "A",
+		Cond: fsmodel.Condition{Message: spec.AuthRequest,
+			Predicates: []fsmodel.Predicate{{Var: "mac_valid", Value: "0"}}},
+		Actions: []spec.MessageName{spec.NullAction}})
+	rep := Run(&Target{FSM: f}, nondeterminismPass{})
+	if len(rep.Diagnostics) != 0 {
+		t.Errorf("distinct conditions misreported as nondeterminism: %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC005ChannelDomain(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond:    fsmodel.Condition{Message: spec.AttachAccept},
+		Actions: []spec.MessageName{spec.AttachComplete}})
+	f.AddTransition(fsmodel.Transition{From: "B", To: "B",
+		Cond:    fsmodel.Condition{Message: spec.SecurityModeCommand},
+		Actions: []spec.MessageName{spec.SecurityModeComplet}})
+
+	// Composed domains miss security_mode_command (downlink) and
+	// security_mode_complete (uplink).
+	composed := &threat.Composed{
+		DLMessages: []spec.MessageName{spec.AttachAccept},
+		ULMessages: []spec.MessageName{spec.AttachComplete},
+	}
+	rep := Run(&Target{FSM: f, Composed: composed}, channelDomainPass{})
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want 2 domain holes, got %+v", rep.Diagnostics)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Severity != SeverityError {
+			t.Errorf("PC005 severity = %s, want error", d.Severity)
+		}
+	}
+
+	// Complete domains: clean.
+	composed.DLMessages = append(composed.DLMessages, spec.SecurityModeCommand)
+	composed.ULMessages = append(composed.ULMessages, spec.SecurityModeComplet)
+	if rep := Run(&Target{FSM: f, Composed: composed}, channelDomainPass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("complete domains still reported: %+v", rep.Diagnostics)
+	}
+
+	// Nil Composed: the pass has nothing to check.
+	if rep := Run(&Target{FSM: f}, channelDomainPass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("nil composed reported: %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC005IgnoresInternalAndNull(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond:    fsmodel.Condition{Message: spec.InternalEvent},
+		Actions: []spec.MessageName{spec.NullAction}})
+	composed := &threat.Composed{}
+	if rep := Run(&Target{FSM: f, Composed: composed}, channelDomainPass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("internal_event/null_action should be exempt: %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC006ForceMerged(t *testing.T) {
+	composed := &threat.Composed{
+		ForceMergedDL: []spec.MessageName{spec.GUTIRealloCommand},
+		ForceMergedUL: []spec.MessageName{spec.GUTIRealloComplete},
+	}
+	rep := Run(&Target{Composed: composed}, forceMergePass{})
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want 2 force-merge diagnostics, got %+v", rep.Diagnostics)
+	}
+	if rep.Diagnostics[0].Ref.Message != string(spec.GUTIRealloCommand) {
+		t.Errorf("first diagnostic anchors to %q", rep.Diagnostics[0].Ref.Message)
+	}
+	if rep := Run(&Target{Composed: &threat.Composed{}}, forceMergePass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("clean composition reported: %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC007PredicateVocabulary(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept,
+			Predicates: []fsmodel.Predicate{{Var: "weird_flag", Value: "1"}}}})
+	f.AddTransition(fsmodel.Transition{From: "B", To: "A",
+		Cond: fsmodel.Condition{Message: spec.AttachReject,
+			Predicates: []fsmodel.Predicate{{Var: "weird_flag", Value: "0"}}}})
+	rep := Run(&Target{FSM: f}, predicateVocabularyPass{})
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("want 1 deduplicated vocabulary diagnostic, got %+v", rep.Diagnostics)
+	}
+	if rep.Diagnostics[0].Severity != SeverityError {
+		t.Errorf("PC007 severity = %s, want error", rep.Diagnostics[0].Severity)
+	}
+
+	ok := fsmodel.New("m", "A")
+	ok.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept,
+			Predicates: []fsmodel.Predicate{{Var: "mac_valid", Value: "1"}, {Var: "emm_cause", Value: "3"}}}})
+	if rep := Run(&Target{FSM: ok}, predicateVocabularyPass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("in-vocabulary predicates reported: %+v", rep.Diagnostics)
+	}
+}
+
+func TestPC008SecurityShape(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	// Protected-only message accepted with a plaintext header.
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.SecurityModeCommand,
+			Predicates: []fsmodel.Predicate{{Var: "plain_header", Value: "1"}}},
+		Actions: []spec.MessageName{spec.SecurityModeComplet}})
+	// Replay accepted: state unchanged but a real response emitted.
+	f.AddTransition(fsmodel.Transition{From: "B", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept,
+			Predicates: []fsmodel.Predicate{{Var: "count_fresh", Value: "0"}}},
+		Actions: []spec.MessageName{spec.AttachComplete}})
+	// Correctly discarded replay: no state change, null action.
+	f.AddTransition(fsmodel.Transition{From: "B", To: "B",
+		Cond: fsmodel.Condition{Message: spec.SecurityModeCommand,
+			Predicates: []fsmodel.Predicate{{Var: "count_fresh", Value: "0"}, {Var: "mac_valid", Value: "1"}}},
+		Actions: []spec.MessageName{spec.NullAction}})
+	// Plain-on-air message with a plaintext header is fine.
+	f.AddTransition(fsmodel.Transition{From: "A", To: "A",
+		Cond: fsmodel.Condition{Message: spec.IdentityRequest,
+			Predicates: []fsmodel.Predicate{{Var: "plain_header", Value: "1"}}},
+		Actions: []spec.MessageName{spec.IdentityResponse}})
+
+	rep := Run(&Target{FSM: f}, securityShapePass{})
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("want 2 security-shape diagnostics, got %+v", rep.Diagnostics)
+	}
+	var sawPlain, sawReplay bool
+	for _, d := range rep.Diagnostics {
+		if strings.Contains(d.Message, "plaintext header") {
+			sawPlain = true
+		}
+		if strings.Contains(d.Message, "stale NAS COUNT") {
+			sawReplay = true
+		}
+	}
+	if !sawPlain || !sawReplay {
+		t.Errorf("plain=%v replay=%v, want both: %+v", sawPlain, sawReplay, rep.Diagnostics)
+	}
+}
+
+func TestPC008HonoursCustomPlainOnAir(t *testing.T) {
+	f := fsmodel.New("m", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.SecurityModeCommand,
+			Predicates: []fsmodel.Predicate{{Var: "plain_header", Value: "1"}}},
+		Actions: []spec.MessageName{spec.SecurityModeComplet}})
+	allPlain := &threat.Composed{Config: threat.Config{
+		PlainOnAir: func(spec.MessageName) bool { return true },
+	}}
+	if rep := Run(&Target{FSM: f, Composed: allPlain}, securityShapePass{}); len(rep.Diagnostics) != 0 {
+		t.Errorf("custom PlainOnAir ignored: %+v", rep.Diagnostics)
+	}
+}
+
+// TestFullRunOnHandBuiltModel exercises Run end to end with every
+// registered pass on a small but well-formed model.
+func TestFullRunOnHandBuiltModel(t *testing.T) {
+	f := fsmodel.New("UE/hand", "A")
+	f.AddTransition(fsmodel.Transition{From: "A", To: "B",
+		Cond: fsmodel.Condition{Message: spec.AttachAccept,
+			Predicates: []fsmodel.Predicate{{Var: "mac_valid", Value: "1"}}},
+		Actions: []spec.MessageName{spec.AttachComplete}})
+	f.AddTransition(fsmodel.Transition{From: "B", To: "A",
+		Cond:    fsmodel.Condition{Message: spec.DetachRequestNW},
+		Actions: []spec.MessageName{spec.DetachAccept}})
+	composed := &threat.Composed{
+		Config:     threat.Config{UEInternal: []fsmodel.Transition{}},
+		DLMessages: []spec.MessageName{spec.AttachAccept, spec.DetachRequestNW},
+		ULMessages: []spec.MessageName{spec.AttachComplete, spec.DetachAccept},
+	}
+	rep := Run(&Target{FSM: f, Composed: composed})
+	if rep.Model != "UE/hand" {
+		t.Errorf("Model = %q", rep.Model)
+	}
+	if e, w, i := rep.Counts(); e != 0 || w != 0 || i != 0 {
+		t.Errorf("clean model produced %d/%d/%d diagnostics: %+v", e, w, i, rep.Diagnostics)
+	}
+}

@@ -25,7 +25,27 @@ type Manifest struct {
 	Spans         *SpanNode         `json:"spans,omitempty"`
 	Metrics       map[string]any    `json:"metrics,omitempty"`
 	Verdicts      []ManifestVerdict `json:"verdicts,omitempty"`
+	Lint          *ManifestLint     `json:"lint,omitempty"`
 	Failure       *ManifestFailure  `json:"failure,omitempty"`
+}
+
+// ManifestLint records the model-lint pre-check's outcome: severity
+// counts plus every diagnostic. Plain data so obs stays free of lint
+// (and every other pipeline) dependencies; the CLI converts.
+type ManifestLint struct {
+	Errors      int                  `json:"errors"`
+	Warnings    int                  `json:"warnings"`
+	Infos       int                  `json:"infos"`
+	Diagnostics []ManifestDiagnostic `json:"diagnostics,omitempty"`
+}
+
+// ManifestDiagnostic is one lint finding in the manifest.
+type ManifestDiagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Ref      string `json:"ref,omitempty"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
 }
 
 // ManifestVerdict is one property's outcome in the manifest.

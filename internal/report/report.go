@@ -21,6 +21,7 @@ import (
 	"prochecker/internal/core/fsmodel"
 	"prochecker/internal/core/props"
 	"prochecker/internal/core/threat"
+	"prochecker/internal/lint"
 	"prochecker/internal/ltemodels"
 	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
@@ -35,6 +36,10 @@ type Model struct {
 	FSM      *fsmodel.FSM
 	Stats    extract.Stats
 	Composed *threat.Composed
+	// Lint is the static pre-check report over FSM and Composed, run as
+	// part of the build so every consumer (CLI gate, manifest, job
+	// records) reads one shared verdict.
+	Lint *lint.Report
 }
 
 // BuildModel runs the full extraction pipeline for one profile:
@@ -98,7 +103,30 @@ func BuildModelOptions(ctx context.Context, profile ue.Profile, runOpts conforma
 		return nil, fmt.Errorf("report: composing threat model: %w", err)
 	}
 	thSpan.End()
-	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed}, nil
+	lintRep := lintModel(ctx, fsm, composed)
+	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed, Lint: lintRep}, nil
+}
+
+// lintModel runs the static pre-check phase over a freshly built model,
+// recording its own span and the lint.* metrics. Diagnostics never fail
+// the build — gating on them is the caller's policy (Analysis.LintGate,
+// the CLI's -lint mode, ci.sh).
+func lintModel(ctx context.Context, fsm *fsmodel.FSM, composed *threat.Composed) *lint.Report {
+	_, span := obs.Start(ctx, "lint.model")
+	rep := lint.Run(&lint.Target{FSM: fsm, Composed: composed})
+	errs, warns, infos := rep.Counts()
+	span.SetAttr("errors", fmt.Sprint(errs))
+	span.SetAttr("warnings", fmt.Sprint(warns))
+	span.SetAttr("infos", fmt.Sprint(infos))
+	span.End()
+	if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+		reg.Counter("lint.runs").Inc()
+		reg.Gauge("lint.diagnostics").Set(int64(len(rep.Diagnostics)))
+		reg.Gauge("lint.errors").Set(int64(errs))
+		reg.Gauge("lint.warnings").Set(int64(warns))
+		reg.Gauge("lint.infos").Set(int64(infos))
+	}
+	return rep
 }
 
 // BuildESMModel runs the per-layer pipeline for the session-management
@@ -126,7 +154,8 @@ func BuildESMModel(profile ue.Profile) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("report: composing ESM threat model: %w", err)
 	}
-	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed}, nil
+	lintRep := lintModel(context.Background(), fsm, composed)
+	return &Model{Profile: profile, Suite: suite, FSM: fsm, Stats: stats, Composed: composed, Lint: lintRep}, nil
 }
 
 // ESMVerdicts evaluates the session-management property extension on one

@@ -5,7 +5,7 @@
 // result plus an aggregate of what failed), and the process exit codes
 // the CLI derives from a run's worst failure.
 //
-// The taxonomy distinguishes four non-fatal endings from a genuine
+// The taxonomy distinguishes five non-fatal endings from a genuine
 // internal fault:
 //
 //   - Cancelled: the caller's context was cancelled or its deadline
@@ -17,6 +17,8 @@
 //     verdict is Unknown rather than wrong.
 //   - CasePanic: a test case panicked and was isolated to its own
 //     result instead of killing the process.
+//   - ModelLint: the model-lint gate refused a model carrying static
+//     diagnostics at or above the gate severity; nothing was checked.
 package resilience
 
 import (
@@ -41,6 +43,10 @@ var (
 	// ErrCasePanic marks a test case panic that was recovered and
 	// isolated to the case's own result.
 	ErrCasePanic = errors.New("test case panicked")
+	// ErrModelLint marks a run stopped by the model-lint gate: the
+	// extracted/composed model carried static diagnostics at or above
+	// the gate severity, so checking it would verify the wrong model.
+	ErrModelLint = errors.New("model lint gate failed")
 )
 
 // Kind buckets a failure for reporting and exit-code selection.
@@ -55,6 +61,7 @@ const (
 	KindFaultInjected               // adversarial channel fault
 	KindBudgetExhausted             // exploration/iteration bound hit
 	KindCasePanic                   // recovered test-case panic
+	KindModelLint                   // model-lint gate tripped
 	KindInternal                    // genuine pipeline fault
 )
 
@@ -71,6 +78,8 @@ func (k Kind) String() string {
 		return "budget-exhausted"
 	case KindCasePanic:
 		return "case-panic"
+	case KindModelLint:
+		return "model-lint"
 	case KindInternal:
 		return "internal"
 	default:
@@ -105,6 +114,8 @@ func classifyOne(err error) Kind {
 		return KindBudgetExhausted
 	case errors.Is(err, ErrCasePanic):
 		return KindCasePanic
+	case errors.Is(err, ErrModelLint):
+		return KindModelLint
 	default:
 		return KindInternal
 	}
@@ -140,6 +151,7 @@ const (
 	ExitFaultInjected   = 3
 	ExitBudgetExhausted = 4
 	ExitCasePanic       = 5
+	ExitModelLint       = 6
 )
 
 // ExitCode selects the process exit code for a run that ended with err.
@@ -158,6 +170,8 @@ func (k Kind) ExitCode() int {
 		return ExitBudgetExhausted
 	case KindCasePanic:
 		return ExitCasePanic
+	case KindModelLint:
+		return ExitModelLint
 	default:
 		return ExitInternal
 	}
@@ -193,6 +207,8 @@ func (k Kind) Sentinel() error {
 		return ErrBudgetExhausted
 	case KindCasePanic:
 		return ErrCasePanic
+	case KindModelLint:
+		return ErrModelLint
 	default:
 		return errInternal
 	}

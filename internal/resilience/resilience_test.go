@@ -20,6 +20,8 @@ func TestClassifySentinels(t *testing.T) {
 		{ErrFaultInjected, KindFaultInjected},
 		{ErrBudgetExhausted, KindBudgetExhausted},
 		{fmt.Errorf("case x: %w: boom", ErrCasePanic), KindCasePanic},
+		{ErrModelLint, KindModelLint},
+		{fmt.Errorf("gate: %w", ErrModelLint), KindModelLint},
 		{errors.New("plain failure"), KindInternal},
 	}
 	for _, tc := range cases {
@@ -83,6 +85,7 @@ func TestExitCodes(t *testing.T) {
 		{fmt.Errorf("x: %w", ErrFaultInjected), ExitFaultInjected},
 		{fmt.Errorf("x: %w", ErrBudgetExhausted), ExitBudgetExhausted},
 		{fmt.Errorf("x: %w", ErrCasePanic), ExitCasePanic},
+		{fmt.Errorf("x: %w", ErrModelLint), ExitModelLint},
 		{errors.New("plain"), ExitInternal},
 	}
 	for _, tc := range cases {
@@ -115,6 +118,7 @@ func TestClassifyWrappedMultiErrorChains(t *testing.T) {
 		{"wrapped list", fmt.Errorf("partial catalogue: %w", ErrorList{cancelled, budget}), KindBudgetExhausted, ExitBudgetExhausted},
 		{"nested list in list", ErrorList{ErrorList{cancelled}, ErrorList{budget}}, KindBudgetExhausted, ExitBudgetExhausted},
 		{"cancelled+panic", ErrorList{cancelled, fmt.Errorf("case: %w", ErrCasePanic)}, KindCasePanic, ExitCasePanic},
+		{"panic+lint (lint is worse)", ErrorList{fmt.Errorf("case: %w", ErrCasePanic), fmt.Errorf("gate: %w", ErrModelLint)}, KindModelLint, ExitModelLint},
 		{"cancelled only", ErrorList{cancelled, fmt.Errorf("also: %w", context.DeadlineExceeded)}, KindCancelled, ExitCancelled},
 	}
 	for _, tc := range cases {

@@ -37,6 +37,7 @@ import (
 	"prochecker/internal/channel"
 	"prochecker/internal/conformance"
 	"prochecker/internal/core/props"
+	"prochecker/internal/lint"
 	"prochecker/internal/obs"
 	"prochecker/internal/report"
 	"prochecker/internal/resilience"
@@ -257,6 +258,26 @@ func (a *Analysis) Coverage() string { return a.model.Suite.Coverage.String() }
 // Log renders the information-rich execution log the model was extracted
 // from.
 func (a *Analysis) Log() string { return a.model.Suite.Log.Render() }
+
+// LintReport returns the static pre-check diagnostics computed while the
+// model was built: the PC0xx findings over the extracted FSM and the
+// threat composition.
+func (a *Analysis) LintReport() *lint.Report { return a.model.Lint }
+
+// LintGate enforces a severity policy on the lint report: it returns an
+// error wrapping resilience.ErrModelLint (CLI exit code 6) when any
+// diagnostic is at or above min, and nil otherwise. Callers that should
+// not check a malformed model — CI, campaign gating — run it between
+// Analyze and the first property check.
+func (a *Analysis) LintGate(min lint.Severity) error {
+	diags := a.LintReport().AtLeast(min)
+	if len(diags) == 0 {
+		return nil
+	}
+	gated := (&lint.Report{Diagnostics: diags}).Codes()
+	return fmt.Errorf("prochecker: model lint reported %d diagnostic(s) at or above %s (%s): %w",
+		len(diags), min, strings.Join(gated, ","), resilience.ErrModelLint)
+}
 
 // CheckProperty verifies one catalogue property by ID.
 func (a *Analysis) CheckProperty(id string) (PropertyResult, error) {
