@@ -22,6 +22,12 @@ type (
 	JobResult = jobs.Result
 	// JobVerdict is one property's outcome inside a JobResult.
 	JobVerdict = jobs.Verdict
+	// JobRetryPolicy bounds how the service retries transiently
+	// failing jobs (attempts, backoff, jitter seed).
+	JobRetryPolicy = jobs.RetryPolicy
+	// JobRecoveryStats summarises what a write-ahead-log replay
+	// reconstructed at service startup.
+	JobRecoveryStats = jobs.RecoveryStats
 )
 
 // catalogueVersion memoises the property-catalogue fingerprint.

@@ -32,9 +32,14 @@
 //	prochecker -server http://127.0.0.1:8080 -submit -impl srsLTE -check S06 -wait
 //	prochecker -server http://127.0.0.1:8080 -campaign conformant,srsLTE,OAI -faults drop=0.15 -wait
 //
+//	# crash-safe service: WAL-backed durable queue + taxonomy-driven retries
+//	prochecker -serve :8080 -store /var/lib/prochecker -wal /var/lib/prochecker-wal \
+//	    -retries 3 -retry-backoff 200ms
+//
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
-// budget exhausted, 5 recovered test-case panic, 6 model-lint gate.
+// budget exhausted, 5 recovered test-case panic, 6 model-lint gate,
+// 7 retry attempts exhausted (job quarantined).
 package main
 
 import (
@@ -95,7 +100,10 @@ func run(args []string) (err error) {
 	serveAddr := fs.String("serve", "", "run the batch-analysis job service on this address, e.g. :8080 or 127.0.0.1:0")
 	storeDir := fs.String("store", "", "with -serve, content-addressed result store directory (empty = caching disabled)")
 	storeMax := fs.Int("store-max", jobs.DefaultStoreEntries, "with -serve -store, LRU bound on stored results")
-	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "with -serve, bounded job-queue capacity (full queue answers 429)")
+	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "with -serve, bounded job-queue capacity (full queue answers 429 with Retry-After)")
+	walDir := fs.String("wal", "", "with -serve, write-ahead-log directory making the queue crash-safe (empty = in-memory only)")
+	retries := fs.Int("retries", 0, "with -serve, attempts per job for retryable failure classes (exhaustion quarantines the job); with -server, HTTP attempts per request; 0 = per-mode default (no job retries, 3 HTTP attempts)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base exponential backoff between retry attempts (jittered; 0 = per-mode default)")
 	serverURL := fs.String("server", "", "client mode: job-service base URL, e.g. http://127.0.0.1:8080")
 	submit := fs.Bool("submit", false, "with -server, submit one job built from -impl/-faults/-seed/-check")
 	campaignList := fs.String("campaign", "", "with -server, submit a campaign matrix: comma-separated implementations crossed with ';'-separated -faults specs")
@@ -128,26 +136,33 @@ func run(args []string) (err error) {
 
 	if *serveAddr != "" {
 		return runServe(serveConfig{
-			addr:     *serveAddr,
-			storeDir: *storeDir,
-			storeMax: *storeMax,
-			queueCap: *queueCap,
-			workers:  *workers,
-			timeout:  *timeout,
+			addr:         *serveAddr,
+			storeDir:     *storeDir,
+			storeMax:     *storeMax,
+			queueCap:     *queueCap,
+			workers:      *workers,
+			timeout:      *timeout,
+			walDir:       *walDir,
+			retries:      *retries,
+			retryBackoff: *retryBackoff,
+			seed:         *seed,
+			manifestPath: *manifestPath,
 		})
 	}
 	if *submit || *campaignList != "" {
 		return runClient(clientConfig{
-			serverURL: *serverURL,
-			submit:    *submit,
-			campaign:  *campaignList,
-			wait:      *wait,
-			poll:      *poll,
-			impl:      *impl,
-			faults:    *faults,
-			seed:      *seed,
-			check:     *check,
-			timeout:   *timeout,
+			serverURL:    *serverURL,
+			submit:       *submit,
+			campaign:     *campaignList,
+			wait:         *wait,
+			poll:         *poll,
+			impl:         *impl,
+			faults:       *faults,
+			seed:         *seed,
+			check:        *check,
+			timeout:      *timeout,
+			retries:      *retries,
+			retryBackoff: *retryBackoff,
 		})
 	}
 

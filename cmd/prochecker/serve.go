@@ -23,33 +23,41 @@ import (
 
 // serveConfig carries the -serve flags.
 type serveConfig struct {
-	addr     string
-	storeDir string
-	storeMax int
-	queueCap int
-	workers  int
-	timeout  time.Duration // per-job deadline
+	addr         string
+	storeDir     string
+	storeMax     int
+	queueCap     int
+	workers      int
+	timeout      time.Duration // per-attempt deadline
+	walDir       string        // "" disables the write-ahead log
+	retries      int           // attempts per job (<= 1 disables retries)
+	retryBackoff time.Duration // base retry backoff
+	seed         int64         // retry-jitter seed
+	manifestPath string        // "" disables the shutdown manifest
 }
 
 // runServe hosts the job service until SIGINT/SIGTERM, then drains
 // gracefully: submissions get 503, running jobs finish, queued jobs are
-// cancelled. A drain that had to cancel queued work exits with the
-// taxonomy's cancelled code.
-func runServe(cfg serveConfig) error {
+// cancelled, and the WAL (when enabled) is checkpointed so a restart
+// resumes exactly where the drain left off. A drain that had to cancel
+// queued work exits with the taxonomy's cancelled code.
+func runServe(cfg serveConfig) (err error) {
 	o := obs.New()
 	base := obs.NewContext(context.Background(), o)
 
 	var store *jobs.Store
 	if cfg.storeDir != "" {
-		var err error
-		if store, err = jobs.OpenStore(cfg.storeDir, cfg.storeMax); err != nil {
-			return err
+		var serr error
+		if store, serr = jobs.OpenStore(cfg.storeDir, cfg.storeMax); serr != nil {
+			return serr
 		}
 	}
 	svc, err := jobs.New(jobs.Config{
 		Runner:      prochecker.JobRunner(cfg.workers),
 		Normalize:   prochecker.NormalizeJobSpec,
 		Store:       store,
+		WALDir:      cfg.walDir,
+		Retry:       jobs.RetryPolicy{MaxAttempts: cfg.retries, Backoff: cfg.retryBackoff, Seed: cfg.seed},
 		Queue:       cfg.queueCap,
 		Workers:     cfg.workers,
 		Timeout:     cfg.timeout,
@@ -59,7 +67,47 @@ func runServe(cfg serveConfig) error {
 	if err != nil {
 		return err
 	}
+	recovery := svc.Recovery()
+	if cfg.walDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"prochecker: wal recovery from %s: %d record(s) replayed, %d result(s) adopted, %d job(s) requeued, %d terminal kept\n",
+			cfg.walDir, recovery.Replayed, recovery.Adopted, recovery.Requeued, recovery.Terminal)
+	}
 	srv := server.New(svc, o.Metrics())
+
+	// Deferred shutdown manifest: written on every exit path so an
+	// aborted serve run still records its durability story.
+	drainCancelled := 0
+	checkpointed := false
+	if cfg.manifestPath != "" {
+		defer func() {
+			m := o.Manifest()
+			m.Config = map[string]string{
+				"serve": cfg.addr, "store": storeLabel(cfg.storeDir), "wal": storeLabel(cfg.walDir),
+			}
+			if cfg.walDir != "" {
+				m.Durability = &obs.ManifestDurability{
+					WALDir:          cfg.walDir,
+					RecordsReplayed: recovery.Replayed,
+					ResultsAdopted:  recovery.Adopted,
+					JobsRequeued:    recovery.Requeued,
+					TerminalKept:    recovery.Terminal,
+					QueuedCancelled: drainCancelled,
+					Checkpointed:    checkpointed,
+				}
+			}
+			if err != nil {
+				m.Failure = &obs.ManifestFailure{
+					Class:    resilience.Classify(err).String(),
+					ExitCode: resilience.ExitCode(err),
+					Errors:   []string{firstLine(err.Error())},
+				}
+			}
+			if werr := m.WriteFile(cfg.manifestPath); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -84,11 +132,16 @@ func runServe(cfg serveConfig) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	cancelled, drainErr := svc.Drain(drainCtx)
+	drainCancelled = cancelled
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	httpSrv.Shutdown(shutCtx) //nolint:errcheck // drain already settled the work
 	if drainErr != nil {
 		return drainErr
+	}
+	checkpointed = cfg.walDir != ""
+	if checkpointed {
+		fmt.Fprintf(os.Stderr, "prochecker: wal checkpointed in %s\n", cfg.walDir)
 	}
 	fmt.Fprintf(os.Stderr, "prochecker: drained (%d queued job(s) cancelled)\n", cancelled)
 	if cancelled > 0 {
@@ -106,16 +159,18 @@ func storeLabel(dir string) string {
 
 // clientConfig carries the client-mode flags.
 type clientConfig struct {
-	serverURL string
-	submit    bool
-	campaign  string // comma-separated implementation names
-	wait      bool
-	poll      time.Duration
-	impl      string
-	faults    string // ';'-separated specs in campaign mode
-	seed      int64
-	check     string // property selection ("" or "all" = full catalogue)
-	timeout   time.Duration
+	serverURL    string
+	submit       bool
+	campaign     string // comma-separated implementation names
+	wait         bool
+	poll         time.Duration
+	impl         string
+	faults       string // ';'-separated specs in campaign mode
+	seed         int64
+	check        string // property selection ("" or "all" = full catalogue)
+	timeout      time.Duration
+	retries      int           // HTTP attempts per request (0 = default)
+	retryBackoff time.Duration // base backoff between attempts
 }
 
 // runClient submits work to a remote job service and optionally waits
@@ -127,7 +182,7 @@ func runClient(cfg clientConfig) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	cl := &server.Client{Base: cfg.serverURL}
+	cl := &server.Client{Base: cfg.serverURL, Retries: cfg.retries, Backoff: cfg.retryBackoff, Seed: cfg.seed}
 	props := parsePropertySelection(cfg.check)
 
 	if cfg.campaign != "" {

@@ -1,0 +1,509 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prochecker/internal/obs"
+	"prochecker/internal/resilience"
+)
+
+// flakyRunner fails each key a configured number of times before
+// succeeding, so retry tests control exactly which attempt recovers.
+type flakyRunner struct {
+	mu       sync.Mutex
+	failures int   // attempts to fail per key before succeeding
+	err      error // error returned by failing attempts
+	attempts map[string]int
+}
+
+func (f *flakyRunner) run(_ context.Context, spec Spec) (*Result, error) {
+	f.mu.Lock()
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	f.attempts[spec.Key()]++
+	n := f.attempts[spec.Key()]
+	f.mu.Unlock()
+	if n <= f.failures {
+		return nil, fmt.Errorf("attempt %d: %w", n, f.err)
+	}
+	return (&fakeRunner{}).run(context.Background(), spec)
+}
+
+func (f *flakyRunner) count(key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts[key]
+}
+
+func retryPolicy(maxAttempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: maxAttempts, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 42}
+}
+
+func TestRetryTransientThenSucceeds(t *testing.T) {
+	fr := &flakyRunner{failures: 2, err: resilience.ErrFaultInjected}
+	reg := obs.NewRegistry()
+	s, err := New(Config{Runner: fr.run, Workers: 1, Metrics: reg, Retry: retryPolicy(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, err := s.Submit(Spec{Impl: "srsLTE", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", j.State, j.Error)
+	}
+	if j.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", j.Attempts)
+	}
+	if j.Result == nil {
+		t.Error("done job carries no result")
+	}
+	if got := reg.Counter("jobs.retries").Value(); got != 2 {
+		t.Errorf("jobs.retries = %d, want 2", got)
+	}
+}
+
+func TestRetryQuarantinesPoisonJob(t *testing.T) {
+	fr := &flakyRunner{failures: 99, err: resilience.ErrFaultInjected}
+	reg := obs.NewRegistry()
+	s, err := New(Config{Runner: fr.run, Workers: 1, Metrics: reg, Retry: retryPolicy(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := Spec{Impl: "srsLTE", Seed: 1}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateQuarantined {
+		t.Fatalf("state = %s, want quarantined", j.State)
+	}
+	if j.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", j.Attempts)
+	}
+	if j.Class != resilience.KindRetryExhausted.String() {
+		t.Errorf("class = %q, want retry-exhausted", j.Class)
+	}
+	if j.ExitCode != resilience.ExitRetryExhausted {
+		t.Errorf("exit code = %d, want %d", j.ExitCode, resilience.ExitRetryExhausted)
+	}
+	if got := fr.count(spec.Key()); got != 2 {
+		t.Errorf("runner executed %d attempts, want 2", got)
+	}
+	if got := reg.Counter("jobs.quarantined").Value(); got != 1 {
+		t.Errorf("jobs.quarantined = %d, want 1", got)
+	}
+	// The quarantine class folds into the campaign exit code.
+	if got := WorstExitCode([]Job{j}); got != resilience.ExitRetryExhausted {
+		t.Errorf("WorstExitCode = %d, want %d", got, resilience.ExitRetryExhausted)
+	}
+}
+
+func TestRetryFailsFastOnDeterministicFailure(t *testing.T) {
+	fr := &flakyRunner{failures: 99, err: resilience.ErrModelLint}
+	s, err := New(Config{Runner: fr.run, Workers: 1, Retry: retryPolicy(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := Spec{Impl: "srsLTE", Seed: 1}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateFailed {
+		t.Fatalf("state = %s, want failed (deterministic failures never retry)", j.State)
+	}
+	if j.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", j.Attempts)
+	}
+	if j.Class != resilience.KindModelLint.String() {
+		t.Errorf("class = %q, want model-lint", j.Class)
+	}
+	if got := fr.count(spec.Key()); got != 1 {
+		t.Errorf("runner executed %d attempts, want 1", got)
+	}
+}
+
+func TestCancelDuringRetryBackoff(t *testing.T) {
+	fr := &flakyRunner{failures: 99, err: resilience.ErrFaultInjected}
+	s, err := New(Config{Runner: fr.run, Workers: 1,
+		Retry: RetryPolicy{MaxAttempts: 3, Backoff: 300 * time.Millisecond, MaxBackoff: time.Second, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, err := s.Submit(Spec{Impl: "srsLTE", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail and the job to re-enter the
+	// queue awaiting its backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, _ := s.Get(j.ID)
+		if cur.Attempts == 1 && cur.State == StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered retry backoff: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, j.ID)
+	if got.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", got.State)
+	}
+	// The pending backoff timer must not resurrect the job.
+	time.Sleep(500 * time.Millisecond)
+	if cur, _ := s.Get(j.ID); cur.State != StateCancelled || cur.Attempts != 1 {
+		t.Fatalf("backoff timer resurrected a cancelled job: %+v", cur)
+	}
+}
+
+// seedWAL writes records straight to a WAL dir, standing in for the
+// journal a crashed service left behind.
+func seedWAL(t *testing.T, dir string, recs []Record) {
+	t.Helper()
+	w, replayed, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("seed dir not empty: %d records", len(replayed))
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryReplaysEveryOrdering(t *testing.T) {
+	walDir := t.TempDir()
+	storeDir := t.TempDir()
+	store, err := OpenStore(storeDir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := map[string]Spec{
+		"j-0001": {Impl: "queued-only", Seed: 1},
+		"j-0002": {Impl: "was-running", Seed: 2},
+		"j-0003": {Impl: "done-adopted", Seed: 3},
+		"j-0004": {Impl: "done-evicted", Seed: 4},
+		"j-0005": {Impl: "was-failed", Seed: 5},
+		"j-0006": {Impl: "was-cancelled", Seed: 6},
+	}
+	// j-0003 finished before the crash and its result survives in the
+	// content-addressed store; j-0004 finished too but its entry is gone.
+	adoptedRes, err := (&fakeRunner{}).run(context.Background(), specs["j-0003"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(adoptedRes); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := func(typ RecordType, id string, mut func(*Record)) Record {
+		spec := specs[id]
+		r := Record{Type: typ, ID: id, At: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+		if typ == RecSubmitted {
+			r.Key, r.Spec = spec.Key(), &spec
+		}
+		if mut != nil {
+			mut(&r)
+		}
+		return r
+	}
+	seedWAL(t, walDir, []Record{
+		rec(RecSubmitted, "j-0001", nil),
+		rec(RecSubmitted, "j-0002", nil),
+		rec(RecSubmitted, "j-0003", nil),
+		rec(RecSubmitted, "j-0004", nil),
+		rec(RecSubmitted, "j-0005", nil),
+		rec(RecSubmitted, "j-0006", nil),
+		rec(RecStarted, "j-0002", func(r *Record) { r.Attempt = 1 }),
+		rec(RecStarted, "j-0003", func(r *Record) { r.Attempt = 1 }),
+		rec(RecTerminal, "j-0003", func(r *Record) { r.State = StateDone }),
+		rec(RecStarted, "j-0004", func(r *Record) { r.Attempt = 1 }),
+		rec(RecTerminal, "j-0004", func(r *Record) { r.State = StateDone }),
+		rec(RecStarted, "j-0005", func(r *Record) {
+			r.Attempt = 1
+		}),
+		rec(RecTerminal, "j-0005", func(r *Record) {
+			r.State, r.Class, r.Error = StateFailed, "model-lint", "model lint gate failed: 2 errors"
+		}),
+		rec(RecTerminal, "j-0006", func(r *Record) {
+			r.State, r.Class, r.Error = StateCancelled, "cancelled", "jobs: j-0006 cancelled while queued: run cancelled"
+		}),
+		{Type: RecMeta, ID: "c-0001", Meta: json.RawMessage(`{"job_ids":["j-0001","j-0002"]}`)},
+	})
+
+	fr := &fakeRunner{}
+	reg := obs.NewRegistry()
+	s, err := New(Config{Runner: fr.run, Workers: 1, Store: store, WALDir: walDir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stats := s.Recovery()
+	if stats.Adopted != 1 || stats.Requeued != 3 || stats.Terminal != 2 {
+		t.Fatalf("recovery stats = %+v, want adopted 1, requeued 3, terminal 2", stats)
+	}
+
+	for id := range specs {
+		waitTerminal(t, s, id)
+	}
+	// Requeued jobs re-ran in original submission order (one worker).
+	if got := fr.order(); len(got) != 3 || got[0] != "queued-only" || got[1] != "was-running" || got[2] != "done-evicted" {
+		t.Fatalf("recomputation order = %v, want [queued-only was-running done-evicted]", got)
+	}
+
+	assert := func(id string, state State, class string, recovered bool) {
+		t.Helper()
+		j, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost in recovery", id)
+		}
+		if j.State != state || j.Recovered != recovered {
+			t.Errorf("%s: state=%s recovered=%v, want state=%s recovered=%v", id, j.State, j.Recovered, state, recovered)
+		}
+		if class != "" && j.Class != class {
+			t.Errorf("%s: class=%q, want %q", id, j.Class, class)
+		}
+	}
+	assert("j-0001", StateDone, "none", true)
+	// The interrupted attempt of j-0002 was not burned: one fresh run.
+	assert("j-0002", StateDone, "none", true)
+	if j, _ := s.Get("j-0002"); j.Attempts != 1 {
+		t.Errorf("j-0002 attempts = %d, want 1 (interrupted attempt not burned)", j.Attempts)
+	}
+	assert("j-0003", StateDone, "none", false)
+	if j, _ := s.Get("j-0003"); j.Result == nil {
+		t.Error("j-0003 adopted no result from the store")
+	}
+	assert("j-0004", StateDone, "none", true)
+	assert("j-0005", StateFailed, "model-lint", false)
+	if j, _ := s.Get("j-0005"); j.ExitCode != resilience.ExitModelLint || j.Error != "model lint gate failed: 2 errors" {
+		t.Errorf("j-0005 failed to restore class/exit/message: %+v", j)
+	}
+	assert("j-0006", StateCancelled, "cancelled", false)
+
+	metas := s.Metas()
+	if len(metas) != 1 || metas[0].ID != "c-0001" {
+		t.Fatalf("metas = %+v, want the one campaign record", metas)
+	}
+
+	// New submissions continue the ID sequence instead of colliding.
+	j, err := s.Submit(Spec{Impl: "fresh", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "j-0007" {
+		t.Errorf("post-recovery ID = %s, want j-0007", j.ID)
+	}
+}
+
+func TestDrainCheckpointsWALAndResumeAdoptsAll(t *testing.T) {
+	walDir := t.TempDir()
+	storeDir := t.TempDir()
+
+	open := func(fr *fakeRunner) *Service {
+		store, err := OpenStore(storeDir, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Runner: fr.run, Workers: 2, Store: store, WALDir: walDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s1 := open(&fakeRunner{})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := s1.Submit(Spec{Impl: fmt.Sprintf("impl-%d", i), Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	for _, id := range ids {
+		waitTerminal(t, s1, id)
+	}
+	if err := s1.LogMeta("c-0001", json.RawMessage(`{"job_ids":["j-0001","j-0002","j-0003"]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Drain checkpointed: the WAL is one compacted segment.
+	segs, _ := filepath.Glob(filepath.Join(walDir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("drain left %d wal segments, want 1 compacted", len(segs))
+	}
+
+	fr2 := &fakeRunner{}
+	s2 := open(fr2)
+	defer s2.Close()
+	stats := s2.Recovery()
+	if stats.Adopted != 3 || stats.Requeued != 0 {
+		t.Fatalf("resume stats = %+v, want 3 adopted, 0 requeued", stats)
+	}
+	if got := fr2.order(); len(got) != 0 {
+		t.Fatalf("resume recomputed %v, want nothing (all adopted)", got)
+	}
+	for _, id := range ids {
+		j, ok := s2.Get(id)
+		if !ok || j.State != StateDone || j.Result == nil {
+			t.Fatalf("job %s not restored done-with-result: ok=%v %+v", id, ok, j)
+		}
+	}
+	if metas := s2.Metas(); len(metas) != 1 || metas[0].ID != "c-0001" {
+		t.Fatalf("metas not restored: %+v", metas)
+	}
+}
+
+func TestDrainRacesSubmitAndCompletion(t *testing.T) {
+	fr := &fakeRunner{}
+	s, err := New(Config{Runner: fr.run, Workers: 4, Queue: 256, WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 25; i++ {
+				_, err := s.Submit(Spec{Impl: fmt.Sprintf("impl-%d-%d", g, i), Seed: int64(i)})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				default:
+					t.Errorf("submit: %v", err)
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(time.Millisecond) // let some submissions land first
+	if _, err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+
+	// Every accepted job reached a terminal state; nothing is stuck.
+	open := 0
+	for _, j := range s.List() {
+		if !j.Terminal() {
+			open++
+		}
+	}
+	if open != 0 {
+		t.Fatalf("%d jobs still open after drain", open)
+	}
+	if got := int64(len(s.List())); got != accepted.Load() {
+		t.Fatalf("job table has %d entries, accepted %d", got, accepted.Load())
+	}
+	// A post-drain submission is rejected.
+	if _, err := s.Submit(Spec{Impl: "late", Seed: 1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+}
+
+func TestStoreQuarantinesTornEntryAndRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Impl: "srsLTE", Seed: 1}
+	res, err := (&fakeRunner{}).run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the entry: truncate it mid-JSON, as a crash mid-write (or
+	// disk corruption) would.
+	path := filepath.Join(dir, spec.Key()+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := store.Get(spec.Key()); ok {
+		t.Fatal("torn store entry was served")
+	}
+	if got := store.Quarantined(); got != 1 {
+		t.Errorf("Quarantined() = %d, want 1", got)
+	}
+	qpath := filepath.Join(dir, "quarantine", spec.Key()+".json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("torn entry not preserved in quarantine/: %v", err)
+	}
+
+	// A resubmission recomputes instead of serving the torn bytes.
+	fr := &fakeRunner{}
+	s, err := New(Config{Runner: fr.run, Workers: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, s, j.ID)
+	if j.State != StateDone || j.CacheHit {
+		t.Fatalf("resubmission state=%s cacheHit=%v, want recomputed done", j.State, j.CacheHit)
+	}
+	if got := fr.order(); len(got) != 1 {
+		t.Fatalf("runner ran %d times, want 1 recomputation", len(got))
+	}
+	// The recomputed result is stored again and now served as a hit.
+	if _, _, ok := store.Get(spec.Key()); !ok {
+		t.Fatal("recomputed result missing from store")
+	}
+}

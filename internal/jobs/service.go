@@ -2,10 +2,14 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,29 +20,38 @@ import (
 // State is a job's lifecycle position.
 type State string
 
-// The job states. Done, Failed and Cancelled are terminal.
+// The job states. Done, Failed, Cancelled and Quarantined are terminal.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateQuarantined marks a poison job: its retry policy spent every
+	// attempt on a failure class that is normally transient, so instead
+	// of retrying forever it is parked terminally with the
+	// retry-exhausted class.
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
 
 // Job is a point-in-time snapshot of one submitted job, JSON-shaped for
 // the HTTP API. Result is populated once the job is done; Class and
 // ExitCode map the terminal outcome onto the resilience taxonomy.
+// Attempts counts execution attempts (retries make it exceed 1), and
+// Recovered marks a job requeued from the WAL after a crash.
 type Job struct {
 	ID          string     `json:"id"`
 	Key         string     `json:"key"`
 	Spec        Spec       `json:"spec"`
 	State       State      `json:"state"`
 	CacheHit    bool       `json:"cache_hit,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Recovered   bool       `json:"recovered,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	Class       string     `json:"class,omitempty"`
 	ExitCode    int        `json:"exit_code"`
@@ -57,6 +70,51 @@ func (j Job) Terminal() bool { return j.State.Terminal() }
 // package provides the production runner on top of AnalyzeContext.
 type Runner func(ctx context.Context, spec Spec) (*Result, error)
 
+// RetryPolicy bounds how a failed job is retried. Retry decisions are
+// taxonomy-driven: only failure classes resilience marks Retryable
+// (fault-injected, case-panic) get another attempt; deterministic
+// failures (cancelled, budget, model-lint, internal) fail fast on the
+// first attempt. A retryable job that spends every attempt is
+// quarantined with the retry-exhausted class.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per job; <= 1 disables retries.
+	MaxAttempts int
+	// Backoff is the base of the exponential backoff before attempt
+	// n+1: Backoff << (n-1), jittered. Defaults to 100ms when retries
+	// are enabled.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Defaults to 5s.
+	MaxBackoff time.Duration
+	// Seed drives the jitter PRNG, so a retry schedule is reproducible
+	// per seed.
+	Seed int64
+}
+
+// withDefaults fills the zero fields of an enabled policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts > 1 {
+		if p.Backoff <= 0 {
+			p.Backoff = 100 * time.Millisecond
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = 5 * time.Second
+		}
+	}
+	return p
+}
+
+// delay computes the jittered backoff before the attempt following
+// attempt n (n >= 1), using the service's seeded PRNG.
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	d := p.Backoff << (n - 1)
+	if d <= 0 || d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Jitter in [0.5, 1.5): desynchronises retry herds while staying
+	// deterministic per seed.
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
 // Config assembles a Service.
 type Config struct {
 	// Runner executes specs; required.
@@ -66,21 +124,32 @@ type Config struct {
 	Normalize func(Spec) (Spec, error)
 	// Store dedupes completed work; optional (no caching when nil).
 	Store *Store
-	// Queue bounds the FIFO of waiting jobs; submissions past the bound
-	// are rejected with ErrQueueFull. Defaults to DefaultQueueCap.
+	// WALDir enables the write-ahead log: every job lifecycle
+	// transition is journalled there, and New replays it so a crashed
+	// or restarted service resumes exactly where it left off — finished
+	// results are adopted from the Store, interrupted jobs are requeued
+	// in original submission order. Empty disables durability.
+	WALDir string
+	// Retry is the per-job retry policy (zero value = single attempt).
+	Retry RetryPolicy
+	// Queue bounds the number of waiting jobs; submissions past the
+	// bound are rejected with ErrQueueFull. Defaults to
+	// DefaultQueueCap. Jobs requeued from the WAL were admitted before
+	// the crash and may transiently exceed the bound.
 	Queue int
 	// Workers sizes the pool executing jobs concurrently. Defaults to
 	// GOMAXPROCS.
 	Workers int
-	// Timeout bounds each job's execution (0 = none); an expired job
-	// ends cancelled.
+	// Timeout bounds each execution attempt (0 = none); an expired
+	// attempt ends the job cancelled (deadlines are deterministic, so
+	// they are not retried).
 	Timeout time.Duration
 	// BaseContext is the parent of every job's context — the place to
 	// install a process-wide obs observer. Defaults to
 	// context.Background().
 	BaseContext context.Context
-	// Metrics receives queue/cache/terminal-state instrumentation;
-	// optional (nil-safe).
+	// Metrics receives queue/cache/wal/retry instrumentation; optional
+	// (nil-safe).
 	Metrics *obs.Registry
 }
 
@@ -105,6 +174,8 @@ type task struct {
 	spec      Spec
 	state     State
 	cacheHit  bool
+	attempts  int // execution attempts started
+	recovered bool
 	err       error
 	result    *Result
 	submitted time.Time
@@ -113,22 +184,51 @@ type task struct {
 	cancel    context.CancelFunc
 }
 
-// Service owns the queue, the worker pool and the job table.
+// RecoveryStats summarises what New reconstructed from the WAL.
+type RecoveryStats struct {
+	// Replayed counts intact WAL records read.
+	Replayed int `json:"records_replayed"`
+	// Adopted counts finished jobs whose results were re-served from
+	// the content-addressed store without recomputation.
+	Adopted int `json:"results_adopted"`
+	// Requeued counts jobs that were queued or running at crash time
+	// (plus finished jobs whose stored result had been evicted) and
+	// were put back on the queue in original submission order.
+	Requeued int `json:"jobs_requeued"`
+	// Terminal counts failed/cancelled/quarantined jobs restored
+	// as-is.
+	Terminal int `json:"terminal_restored"`
+}
+
+// Service owns the queue, the worker pool, the job table and (when
+// configured) the write-ahead log making all of it crash-safe.
 type Service struct {
-	cfg   Config
-	base  context.Context
-	queue chan *task
-	wg    sync.WaitGroup
+	cfg  Config
+	base context.Context
+	wal  *WAL
+	wg   sync.WaitGroup
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signalled when pending grows or drain starts
+	rng      *rand.Rand // retry jitter; guarded by mu
 	seq      int
 	tasks    map[string]*task
 	order    []string          // submission order, for List
 	inflight map[string]string // key -> id of the queued/running job
+	pending  []*task           // FIFO of runnable tasks
+	nqueued  int               // tasks in StateQueued (backpressure bound)
+	metas    []Record          // opaque layer-above records, append order
 	draining bool
+	recovery RecoveryStats
+
+	checkpointOnce sync.Once
 }
 
-// New builds and starts a Service; Close or Drain it when done.
+// New builds and starts a Service; Close or Drain it when done. With
+// Config.WALDir set, New first replays the log: finished jobs adopt
+// their results from the store, interrupted jobs are requeued in
+// original submission order, and the log is compacted down to the
+// condensed live state before any new work is accepted.
 func New(cfg Config) (*Service, error) {
 	if cfg.Runner == nil {
 		return nil, errors.New("jobs: Config.Runner is required")
@@ -142,13 +242,40 @@ func New(cfg Config) (*Service, error) {
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	s := &Service{
 		cfg:      cfg,
 		base:     cfg.BaseContext,
-		queue:    make(chan *task, cfg.Queue),
+		rng:      rand.New(rand.NewSource(cfg.Retry.Seed)),
 		tasks:    make(map[string]*task),
 		inflight: make(map[string]string),
 	}
+	s.cond = sync.NewCond(&s.mu)
+
+	if cfg.WALDir != "" {
+		_, span := obs.Start(cfg.BaseContext, "wal.replay", obs.A("dir", cfg.WALDir))
+		wal, recs, err := OpenWAL(cfg.WALDir, cfg.Metrics)
+		if err != nil {
+			span.EndErr(err)
+			return nil, err
+		}
+		s.wal = wal
+		s.replay(recs)
+		span.SetAttr("requeued", strconv.Itoa(s.recovery.Requeued))
+		span.SetAttr("adopted", strconv.Itoa(s.recovery.Adopted))
+		// Startup compaction: the replayed history condenses to one
+		// record triple per job.
+		s.mu.Lock()
+		live := s.liveRecordsLocked()
+		s.mu.Unlock()
+		if err := s.wal.Compact(live); err != nil {
+			span.EndErr(err)
+			s.wal.Close() //nolint:errcheck // open failed midway
+			return nil, err
+		}
+		span.End()
+	}
+
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -156,11 +283,174 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// replay reconstructs the job table from WAL records. Called from New
+// before any worker starts, so no locking is needed — but the lock-free
+// helpers it shares with the running service expect mu conventions, so
+// it takes the lock anyway for uniformity.
+func (s *Service) replay(recs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg := s.cfg.Metrics
+	s.recovery.Replayed = len(recs)
+	for _, rec := range recs {
+		switch rec.Type {
+		case RecSubmitted:
+			if rec.Spec == nil || rec.ID == "" {
+				continue
+			}
+			t := &task{
+				id:        rec.ID,
+				key:       rec.Key,
+				spec:      *rec.Spec,
+				state:     StateQueued,
+				submitted: rec.At,
+			}
+			s.tasks[t.id] = t
+			s.order = append(s.order, t.id)
+			if n := idSeq(t.id); n > s.seq {
+				s.seq = n
+			}
+		case RecStarted:
+			if t, ok := s.tasks[rec.ID]; ok {
+				t.state = StateRunning
+				t.attempts = rec.Attempt
+				if t.started.IsZero() {
+					t.started = rec.At
+				}
+			}
+		case RecTerminal:
+			t, ok := s.tasks[rec.ID]
+			if !ok {
+				continue
+			}
+			t.state = rec.State
+			t.cacheHit = rec.CacheHit
+			t.finished = rec.At
+			if t.state != StateDone {
+				t.err = reconstructError(rec.Class, rec.Error)
+			}
+		case RecMeta:
+			s.metas = append(s.metas, rec)
+		}
+	}
+
+	// Settle every job: adopt finished results from the store, requeue
+	// whatever a crash interrupted, keep other terminal outcomes.
+	for _, id := range s.order {
+		t := s.tasks[id]
+		switch {
+		case t.state == StateDone:
+			if _, res, ok := s.cfg.Store.Get(t.key); ok {
+				t.result = res
+				s.recovery.Adopted++
+				reg.Counter("jobs.recovered_adopted").Inc()
+				continue
+			}
+			// The store entry was evicted or quarantined: the result is
+			// gone, so the job recomputes (results are deterministic per
+			// spec, so the rerun is byte-identical).
+			t.state, t.finished, t.cacheHit, t.attempts = StateQueued, time.Time{}, false, 0
+			s.requeueReplayedLocked(t)
+		case !t.state.Terminal():
+			// Queued or mid-attempt at crash time. The interrupted
+			// attempt is retried without counting against the policy.
+			if t.attempts > 0 {
+				t.attempts--
+			}
+			t.state = StateQueued
+			s.requeueReplayedLocked(t)
+		default:
+			s.recovery.Terminal++
+		}
+	}
+}
+
+// requeueReplayedLocked puts one replayed task back on the queue.
+func (s *Service) requeueReplayedLocked(t *task) {
+	t.recovered = true
+	s.inflight[t.key] = t.id
+	s.pending = append(s.pending, t)
+	s.nqueued++
+	s.recovery.Requeued++
+	reg := s.cfg.Metrics
+	reg.Counter("jobs.recovered_requeued").Inc()
+	reg.Gauge("jobs.queue_depth").Add(1)
+}
+
+// reconstructError rebuilds a classifiable error from a serialized
+// failure class: the message survives byte-identical while errors.Is
+// and exit codes see the taxonomy sentinel through Unwrap.
+func reconstructError(class, msg string) error {
+	kind, _ := resilience.ParseKind(class)
+	if msg == "" {
+		msg = "failure replayed from wal"
+	}
+	sentinel := kind.Sentinel()
+	if sentinel == nil {
+		return errors.New(msg)
+	}
+	return &replayedError{msg: msg, sentinel: sentinel}
+}
+
+// replayedError carries a WAL-replayed failure message verbatim while
+// unwrapping to its taxonomy sentinel.
+type replayedError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *replayedError) Error() string { return e.msg }
+func (e *replayedError) Unwrap() error { return e.sentinel }
+
+// idSeq parses the numeric suffix of a "j-0042" style ID.
+func idSeq(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Recovery reports what New reconstructed from the WAL (zero value when
+// the service runs without one).
+func (s *Service) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// LogMeta durably journals an opaque record for the layer above the job
+// service (the HTTP server persists campaign membership through it) and
+// keeps it across compactions. Replayed and logged metas come back from
+// Metas in append order.
+func (s *Service) LogMeta(id string, payload json.RawMessage) error {
+	rec := Record{Type: RecMeta, ID: id, Meta: payload, At: time.Now().UTC()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Append(rec); err != nil {
+		return err
+	}
+	s.metas = append(s.metas, rec)
+	return nil
+}
+
+// Metas returns the replayed and logged meta records in append order.
+func (s *Service) Metas() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.metas...)
+}
+
 // Submit normalizes and enqueues one spec. Dedup happens in two layers:
 // a spec whose key matches a queued or running job coalesces onto that
 // job (no new work), and a spec whose key is in the result store
 // completes immediately as a cache hit. Submissions are rejected with
 // ErrQueueFull past the queue bound and ErrDraining during shutdown.
+// With a WAL, the submission is journalled before it is acknowledged.
 func (s *Service) Submit(spec Spec) (Job, error) {
 	if s.cfg.Normalize != nil {
 		var err error
@@ -188,23 +478,69 @@ func (s *Service) Submit(spec Spec) (Job, error) {
 		t.result = res
 		t.finished = t.submitted
 		s.registerLocked(t)
+		if err := s.walSubmitLocked(t); err != nil {
+			s.unregisterLocked(t)
+			return Job{}, err
+		}
 		reg.Counter("jobs.submitted").Inc()
 		s.terminalMetricsLocked(t)
 		return s.snapshotLocked(t), nil
 	}
 	reg.Counter("jobs.cache_misses").Inc()
 
-	t.state = StateQueued
-	select {
-	case s.queue <- t:
-	default:
+	if s.nqueued >= s.cfg.Queue {
 		return Job{}, ErrQueueFull
 	}
+	t.state = StateQueued
 	s.registerLocked(t)
+	if err := s.walSubmitLocked(t); err != nil {
+		s.unregisterLocked(t)
+		return Job{}, err
+	}
 	s.inflight[key] = t.id
+	s.pending = append(s.pending, t)
+	s.nqueued++
+	s.cond.Signal()
 	reg.Counter("jobs.submitted").Inc()
 	reg.Gauge("jobs.queue_depth").Add(1)
 	return s.snapshotLocked(t), nil
+}
+
+// walSubmitLocked journals the acknowledgement of t — the submitted
+// record, plus the terminal record immediately when the job completed
+// as a cache hit.
+func (s *Service) walSubmitLocked(t *task) error {
+	if s.wal == nil {
+		return nil
+	}
+	spec := t.spec
+	if err := s.wal.Append(Record{
+		Type: RecSubmitted, ID: t.id, Key: t.key, Spec: &spec, At: t.submitted.UTC(),
+	}); err != nil {
+		return fmt.Errorf("jobs: journalling submission: %w", err)
+	}
+	if t.state.Terminal() {
+		return s.walTerminalLocked(t)
+	}
+	return nil
+}
+
+// walTerminalLocked journals t reaching a final state.
+func (s *Service) walTerminalLocked(t *task) error {
+	if s.wal == nil {
+		return nil
+	}
+	rec := Record{
+		Type: RecTerminal, ID: t.id, State: t.state,
+		Class: terminalClass(t.state, t.err), CacheHit: t.cacheHit, At: t.finished.UTC(),
+	}
+	if t.err != nil {
+		rec.Error = t.err.Error()
+	}
+	if err := s.wal.Append(rec); err != nil {
+		return fmt.Errorf("jobs: journalling terminal state: %w", err)
+	}
+	return nil
 }
 
 // registerLocked issues the task its ID and indexes it.
@@ -213,6 +549,16 @@ func (s *Service) registerLocked(t *task) {
 	t.id = fmt.Sprintf("j-%04d", s.seq)
 	s.tasks[t.id] = t
 	s.order = append(s.order, t.id)
+}
+
+// unregisterLocked rolls a failed registration back (WAL append
+// failure: the job was never acknowledged).
+func (s *Service) unregisterLocked(t *task) {
+	delete(s.tasks, t.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == t.id {
+		s.order = s.order[:n-1]
+	}
+	s.seq--
 }
 
 // Get returns a snapshot of one job.
@@ -237,8 +583,8 @@ func (s *Service) List() []Job {
 	return out
 }
 
-// Cancel stops a job: a queued job goes straight to cancelled (the
-// worker skips it when it surfaces), a running job has its context
+// Cancel stops a job: a queued job (including one waiting out a retry
+// backoff) goes straight to cancelled, a running job has its context
 // cancelled and ends cancelled when the runner returns. Cancelling a
 // terminal job is a no-op returning its final snapshot.
 func (s *Service) Cancel(id string) (Job, error) {
@@ -259,20 +605,25 @@ func (s *Service) Cancel(id string) (Job, error) {
 	return s.snapshotLocked(t), nil
 }
 
-// cancelQueuedLocked finalises a job that never ran.
+// cancelQueuedLocked finalises a job that never ran (or was waiting out
+// a retry backoff).
 func (s *Service) cancelQueuedLocked(t *task) {
 	t.state = StateCancelled
 	t.err = fmt.Errorf("jobs: %s cancelled while queued: %w", t.id, resilience.ErrCancelled)
 	t.finished = time.Now()
 	delete(s.inflight, t.key)
+	s.nqueued--
 	s.cfg.Metrics.Gauge("jobs.queue_depth").Add(-1)
+	s.walTerminalLocked(t) //nolint:errcheck // cancellation is already final
 	s.terminalMetricsLocked(t)
 }
 
 // Drain begins graceful shutdown: new submissions are rejected, every
 // still-queued job is cancelled, and the call blocks until the running
 // jobs finish (or ctx expires, in which case the workers keep finishing
-// in the background). It returns how many queued jobs were cancelled.
+// in the background). When the drain completes it checkpoints the WAL —
+// compacted, fsynced and closed — so a restart resumes exactly where
+// the drain left off. It returns how many queued jobs were cancelled.
 // Drain is idempotent; concurrent calls all wait.
 func (s *Service) Drain(ctx context.Context) (int, error) {
 	cancelled := 0
@@ -285,7 +636,7 @@ func (s *Service) Drain(ctx context.Context) (int, error) {
 				cancelled++
 			}
 		}
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 
@@ -296,10 +647,70 @@ func (s *Service) Drain(ctx context.Context) (int, error) {
 	}()
 	select {
 	case <-done:
-		return cancelled, nil
+		var cerr error
+		s.checkpointOnce.Do(func() { cerr = s.checkpointAndCloseWAL() })
+		return cancelled, cerr
 	case <-ctx.Done():
 		return cancelled, fmt.Errorf("jobs: drain interrupted: %w", resilience.ErrCancelled)
 	}
+}
+
+// Checkpoint compacts the WAL down to the condensed live state and
+// fsyncs it. Safe to call at any time; Drain does it automatically on
+// completion.
+func (s *Service) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.mu.Lock()
+	recs := s.liveRecordsLocked()
+	s.mu.Unlock()
+	return s.wal.Compact(recs)
+}
+
+// checkpointAndCloseWAL is the drain-complete barrier: compact, sync,
+// close.
+func (s *Service) checkpointAndCloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.Checkpoint(); err != nil {
+		s.wal.Close() //nolint:errcheck // compaction failure already reported
+		return err
+	}
+	return s.wal.Close()
+}
+
+// liveRecordsLocked condenses the job table into the minimal record
+// sequence that replays back to the same state: per job a submitted
+// record, a started record when it ever ran, a terminal record when it
+// finished — plus every meta record.
+func (s *Service) liveRecordsLocked() []Record {
+	recs := make([]Record, 0, 2*len(s.order)+len(s.metas))
+	for _, id := range s.order {
+		t := s.tasks[id]
+		spec := t.spec
+		recs = append(recs, Record{
+			Type: RecSubmitted, ID: t.id, Key: t.key, Spec: &spec, At: t.submitted.UTC(),
+		})
+		if t.attempts > 0 {
+			recs = append(recs, Record{
+				Type: RecStarted, ID: t.id, Attempt: t.attempts, At: t.started.UTC(),
+			})
+		}
+		if t.state.Terminal() {
+			rec := Record{
+				Type: RecTerminal, ID: t.id, State: t.state,
+				Class: terminalClass(t.state, t.err), CacheHit: t.cacheHit, At: t.finished.UTC(),
+			}
+			if t.err != nil {
+				rec.Error = t.err.Error()
+			}
+			recs = append(recs, rec)
+		}
+	}
+	recs = append(recs, s.metas...)
+	return recs
 }
 
 // Close shuts down hard: running jobs are cancelled, then the service
@@ -315,18 +726,31 @@ func (s *Service) Close() {
 	s.Drain(context.Background()) //nolint:errcheck // background ctx never expires
 }
 
-// worker executes queued tasks until the queue closes on drain.
+// worker executes queued tasks until drain empties the queue.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	reg := s.cfg.Metrics
-	for t := range s.queue {
+	for {
 		s.mu.Lock()
+		for len(s.pending) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		t := s.pending[0]
+		s.pending = s.pending[1:]
 		if t.state != StateQueued { // cancelled while waiting
 			s.mu.Unlock()
 			continue
 		}
 		t.state = StateRunning
-		t.started = time.Now()
+		t.attempts++
+		firstAttempt := t.started.IsZero()
+		if firstAttempt {
+			t.started = time.Now()
+		}
 		var ctx context.Context
 		var cancel context.CancelFunc
 		if s.cfg.Timeout > 0 {
@@ -336,44 +760,114 @@ func (s *Service) worker() {
 		}
 		t.cancel = cancel
 		spec := t.spec
+		attempt := t.attempts
+		s.nqueued--
+		if s.wal != nil {
+			s.wal.Append(Record{ //nolint:errcheck // execution proceeds; replay reruns at worst
+				Type: RecStarted, ID: t.id, Attempt: attempt, At: time.Now().UTC(),
+			})
+		}
 		s.mu.Unlock()
 
 		reg.Gauge("jobs.queue_depth").Add(-1)
-		reg.Histogram("jobs.queue_latency_ms", nil).Observe(obs.DurMS(t.started.Sub(t.submitted)))
+		if firstAttempt {
+			reg.Histogram("jobs.queue_latency_ms", nil).Observe(obs.DurMS(t.started.Sub(t.submitted)))
+		}
 		reg.Gauge("jobs.running").Add(1)
 
 		ctx, span := obs.Start(ctx, "job.run",
-			obs.A("job", t.id), obs.A("impl", spec.Impl), obs.A("faults", spec.Faults))
+			obs.A("job", t.id), obs.A("impl", spec.Impl), obs.A("faults", spec.Faults),
+			obs.A("attempt", strconv.Itoa(attempt)))
 		res, err := s.cfg.Runner(ctx, spec)
 		span.EndErr(err)
 		cancel()
 		reg.Gauge("jobs.running").Add(-1)
 
 		s.mu.Lock()
-		t.finished = time.Now()
-		delete(s.inflight, t.key)
 		switch {
 		case err == nil:
 			t.state = StateDone
+			t.finished = time.Now()
 			res.Key = t.key
 			t.result = res
+			delete(s.inflight, t.key)
 			if _, perr := s.cfg.Store.Put(res); perr != nil {
 				// The verdicts are still good; losing the cache entry
 				// only costs a future recomputation.
-				span.SetAttr("store_error", perr.Error())
+				reg.Counter("jobs.store_put_errors").Inc()
 			}
 			reg.Gauge("jobs.store_entries").Set(int64(s.cfg.Store.Len()))
 			reg.Gauge("jobs.store_evictions").Set(s.cfg.Store.Evictions())
-		case resilience.Cancelled(err):
-			t.state = StateCancelled
-			t.err = err
+			reg.Gauge("jobs.store_quarantined").Set(s.cfg.Store.Quarantined())
+			s.walTerminalLocked(t) //nolint:errcheck // result is stored; replay adopts it
+			s.terminalMetricsLocked(t)
+		case s.retryLocked(t, err):
+			// Another attempt is scheduled; the job is back in
+			// StateQueued waiting out its backoff.
 		default:
-			t.state = StateFailed
-			t.err = err
+			s.finalizeFailureLocked(t, err)
 		}
-		s.terminalMetricsLocked(t)
 		s.mu.Unlock()
 	}
+}
+
+// retryLocked decides whether t gets another attempt after err and, if
+// so, schedules it after the policy's jittered backoff. The decision is
+// taxonomy-driven: only resilience-retryable classes qualify, and a
+// draining service never retries.
+func (s *Service) retryLocked(t *task, err error) bool {
+	p := s.cfg.Retry
+	if p.MaxAttempts <= 1 || s.draining {
+		return false
+	}
+	if !resilience.Classify(err).Retryable() {
+		return false
+	}
+	if t.attempts >= p.MaxAttempts {
+		return false
+	}
+	delay := p.delay(t.attempts, s.rng)
+	t.state = StateQueued
+	t.err = nil
+	s.nqueued++
+	reg := s.cfg.Metrics
+	reg.Counter("jobs.retries").Inc()
+	reg.Gauge("jobs.queue_depth").Add(1)
+	time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if t.state != StateQueued { // cancelled or drained meanwhile
+			return
+		}
+		s.pending = append(s.pending, t)
+		s.cond.Signal()
+	})
+	return true
+}
+
+// finalizeFailureLocked parks t terminally after a non-retried failure:
+// cancelled, failed, or — when a retry policy spent every attempt on a
+// retryable class — quarantined as a poison job with the
+// retry-exhausted class.
+func (s *Service) finalizeFailureLocked(t *task, err error) {
+	t.finished = time.Now()
+	delete(s.inflight, t.key)
+	kind := resilience.Classify(err)
+	switch {
+	case kind == resilience.KindCancelled:
+		t.state = StateCancelled
+		t.err = err
+	case kind.Retryable() && s.cfg.Retry.MaxAttempts > 1 && t.attempts >= s.cfg.Retry.MaxAttempts:
+		t.state = StateQuarantined
+		t.err = fmt.Errorf("jobs: %s quarantined after %d attempts (last: %v): %w",
+			t.id, t.attempts, err, resilience.ErrRetryExhausted)
+		s.cfg.Metrics.Counter("jobs.quarantined").Inc()
+	default:
+		t.state = StateFailed
+		t.err = err
+	}
+	s.walTerminalLocked(t) //nolint:errcheck // outcome is final either way
+	s.terminalMetricsLocked(t)
 }
 
 // terminalMetricsLocked records a job reaching a final state.
@@ -403,6 +897,8 @@ func (s *Service) snapshotLocked(t *task) Job {
 		Spec:        t.spec,
 		State:       t.state,
 		CacheHit:    t.cacheHit,
+		Attempts:    t.attempts,
+		Recovered:   t.recovered,
 		Result:      t.result,
 		SubmittedAt: t.submitted,
 	}

@@ -24,7 +24,8 @@ type Store struct {
 	lru   *list.List               // front = least recently used
 	index map[string]*list.Element // key -> element whose Value is the key
 
-	evictions atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
 }
 
 // DefaultStoreEntries bounds a store when the caller passes
@@ -94,12 +95,12 @@ func (s *Store) Get(key string) ([]byte, *Result, bool) {
 	}
 	b, err := os.ReadFile(s.path(key))
 	if err != nil {
-		s.dropLocked(key, el)
+		s.quarantineLocked(key, el)
 		return nil, nil, false
 	}
 	var res Result
 	if err := json.Unmarshal(b, &res); err != nil || res.SchemaVersion != ResultSchemaVersion {
-		s.dropLocked(key, el)
+		s.quarantineLocked(key, el)
 		return nil, nil, false
 	}
 	s.lru.MoveToBack(el)
@@ -164,6 +165,32 @@ func (s *Store) Evictions() int64 {
 		return 0
 	}
 	return s.evictions.Load()
+}
+
+// Quarantined reports how many corrupt (torn/truncated/stale-schema)
+// entries Get has moved aside for inspection instead of serving.
+func (s *Store) Quarantined() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.quarantined.Load()
+}
+
+// quarantineLocked moves a corrupt entry's file into the quarantine/
+// subdirectory (keeping the evidence for debugging) and removes it from
+// the index so a fresh Put — or a recomputation — can replace it.
+func (s *Store) quarantineLocked(key string, el *list.Element) {
+	s.lru.Remove(el)
+	delete(s.index, key)
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(s.path(key), filepath.Join(qdir, key+".json")) == nil {
+			s.quarantined.Add(1)
+			return
+		}
+	}
+	os.Remove(s.path(key))
+	s.quarantined.Add(1)
 }
 
 // evictLocked trims the store to its bound, oldest first.

@@ -1,0 +1,283 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prochecker/internal/obs"
+)
+
+func walRecord(i int) Record {
+	spec := Spec{Impl: "srsran", Properties: []string{"P1"}}
+	return Record{
+		Type: RecSubmitted,
+		ID:   fmt.Sprintf("j-%04d", i),
+		Key:  spec.Key(),
+		Spec: &spec,
+		At:   time.Date(2026, 1, 1, 0, 0, i, 0, time.UTC),
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, recs, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records, want 0", len(recs))
+	}
+	want := []Record{
+		walRecord(1),
+		{Type: RecStarted, ID: "j-0001", Attempt: 1, At: time.Date(2026, 1, 1, 0, 1, 0, 0, time.UTC)},
+		{Type: RecTerminal, ID: "j-0001", State: StateFailed, Class: "fault-injected", Error: "boom", At: time.Date(2026, 1, 1, 0, 2, 0, 0, time.UTC)},
+		{Type: RecMeta, ID: "c-0001", Meta: json.RawMessage(`{"job_ids":["j-0001"]}`)},
+	}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, got, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wb, _ := json.Marshal(want[i])
+		gb, _ := json.Marshal(got[i])
+		if string(wb) != string(gb) {
+			t.Errorf("record %d: got %s, want %s", i, gb, wb)
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, _, err := OpenWAL(dir, reg)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	seg := filepath.Join(dir, "wal-000001.log")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"type":"submitted","id":"j-99`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	w2, recs, err := OpenWAL(dir, reg)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records past torn tail, want 3", len(recs))
+	}
+	if got := reg.Counter("wal.torn_tails").Value(); got != 1 {
+		t.Errorf("wal.torn_tails = %d, want 1", got)
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() >= before.Size() {
+		t.Errorf("torn tail not truncated: %d >= %d bytes", after.Size(), before.Size())
+	}
+	// Appends after recovery extend the clean prefix.
+	if err := w2.Append(walRecord(4)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	w2.Close()
+	_, recs, err = OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records after post-recovery append, want 4", len(recs))
+	}
+}
+
+func TestWALChecksumDamageStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Flip a payload byte in the second record; its checksum no longer
+	// matches, so replay keeps only the intact prefix (record 1).
+	seg := filepath.Join(dir, "wal-000001.log")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for i, c := range b {
+		if c == '\n' {
+			lines++
+			if lines == 1 {
+				b[i+12] ^= 0xff
+				break
+			}
+		}
+	}
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	w2, recs, err := OpenWAL(dir, reg)
+	if err != nil {
+		t.Fatalf("reopen over damaged record: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 (intact prefix)", len(recs))
+	}
+	if got := reg.Counter("wal.replay_skipped").Value(); got != 1 {
+		t.Errorf("wal.replay_skipped = %d, want 1", got)
+	}
+}
+
+func TestWALSegmentRotationAndReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, _, err := OpenWAL(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segBytes = 256 // force rotation every few records
+	const n = 40
+	for i := 1; i <= n; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if got := reg.Counter("wal.rotations").Value(); got == 0 {
+		t.Fatal("no segment rotations despite tiny segment bound")
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %v (err %v)", segs, err)
+	}
+
+	w2, recs, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if want := fmt.Sprintf("j-%04d", i+1); rec.ID != want {
+			t.Fatalf("record %d out of order: got %s, want %s", i, rec.ID, want)
+		}
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, _, err := OpenWAL(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segBytes = 256
+	for i := 1; i <= 40; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := []Record{walRecord(39), walRecord(40)}
+	if err := w.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments, want 1: %v", len(segs), segs)
+	}
+	// The compacted WAL still accepts appends and replays condensed
+	// state + new appends in order.
+	if err := w.Append(walRecord(41)); err != nil {
+		t.Fatalf("Append after Compact: %v", err)
+	}
+	w.Close()
+	w2, recs, err := OpenWAL(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	ids := make([]string, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	if len(recs) != 3 || ids[0] != "j-0039" || ids[1] != "j-0040" || ids[2] != "j-0041" {
+		t.Fatalf("post-compaction replay = %v, want [j-0039 j-0040 j-0041]", ids)
+	}
+	if got := reg.Counter("wal.compactions").Value(); got != 1 {
+		t.Errorf("wal.compactions = %d, want 1", got)
+	}
+}
+
+func TestWALNilSafe(t *testing.T) {
+	var w *WAL
+	if err := w.Append(walRecord(1)); err != nil {
+		t.Errorf("nil Append: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Errorf("nil Sync: %v", err)
+	}
+	if err := w.Compact(nil); err != nil {
+		t.Errorf("nil Compact: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	w, _, err := OpenWAL(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := walRecord(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

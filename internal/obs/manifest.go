@@ -17,16 +17,31 @@ const ManifestSchemaVersion = 1
 // and (when the run ended short of clean) the failure-taxonomy
 // classification. One JSON document per run.
 type Manifest struct {
-	Tool          string            `json:"tool"`
-	SchemaVersion int               `json:"schema_version"`
-	StartedAt     time.Time         `json:"started_at"`
-	WallMS        float64           `json:"wall_ms"`
-	Config        map[string]string `json:"config,omitempty"`
-	Spans         *SpanNode         `json:"spans,omitempty"`
-	Metrics       map[string]any    `json:"metrics,omitempty"`
-	Verdicts      []ManifestVerdict `json:"verdicts,omitempty"`
-	Lint          *ManifestLint     `json:"lint,omitempty"`
-	Failure       *ManifestFailure  `json:"failure,omitempty"`
+	Tool          string              `json:"tool"`
+	SchemaVersion int                 `json:"schema_version"`
+	StartedAt     time.Time           `json:"started_at"`
+	WallMS        float64             `json:"wall_ms"`
+	Config        map[string]string   `json:"config,omitempty"`
+	Spans         *SpanNode           `json:"spans,omitempty"`
+	Metrics       map[string]any      `json:"metrics,omitempty"`
+	Verdicts      []ManifestVerdict   `json:"verdicts,omitempty"`
+	Lint          *ManifestLint       `json:"lint,omitempty"`
+	Durability    *ManifestDurability `json:"durability,omitempty"`
+	Failure       *ManifestFailure    `json:"failure,omitempty"`
+}
+
+// ManifestDurability records a service run's crash-safety story: what
+// the WAL replay reconstructed at startup and how the drain checkpoint
+// left the log. Plain data so obs stays free of jobs dependencies; the
+// CLI converts.
+type ManifestDurability struct {
+	WALDir          string `json:"wal_dir"`
+	RecordsReplayed int    `json:"records_replayed"`
+	ResultsAdopted  int    `json:"results_adopted"`
+	JobsRequeued    int    `json:"jobs_requeued"`
+	TerminalKept    int    `json:"terminal_restored"`
+	QueuedCancelled int    `json:"drain_cancelled"`
+	Checkpointed    bool   `json:"checkpointed"`
 }
 
 // ManifestLint records the model-lint pre-check's outcome: severity

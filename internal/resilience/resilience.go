@@ -5,7 +5,7 @@
 // result plus an aggregate of what failed), and the process exit codes
 // the CLI derives from a run's worst failure.
 //
-// The taxonomy distinguishes five non-fatal endings from a genuine
+// The taxonomy distinguishes six non-fatal endings from a genuine
 // internal fault:
 //
 //   - Cancelled: the caller's context was cancelled or its deadline
@@ -19,6 +19,9 @@
 //     result instead of killing the process.
 //   - ModelLint: the model-lint gate refused a model carrying static
 //     diagnostics at or above the gate severity; nothing was checked.
+//   - RetryExhausted: a retry policy spent every attempt on a failure
+//     class that is normally transient; the job is poisoned and was
+//     quarantined instead of blocking the queue forever.
 package resilience
 
 import (
@@ -47,6 +50,10 @@ var (
 	// extracted/composed model carried static diagnostics at or above
 	// the gate severity, so checking it would verify the wrong model.
 	ErrModelLint = errors.New("model lint gate failed")
+	// ErrRetryExhausted marks a job whose retry policy ran out of
+	// attempts on a retryable failure class; the job is quarantined as
+	// poisoned rather than retried forever.
+	ErrRetryExhausted = errors.New("retry attempts exhausted")
 )
 
 // Kind buckets a failure for reporting and exit-code selection.
@@ -62,6 +69,7 @@ const (
 	KindBudgetExhausted             // exploration/iteration bound hit
 	KindCasePanic                   // recovered test-case panic
 	KindModelLint                   // model-lint gate tripped
+	KindRetryExhausted              // retry policy spent on a transient class
 	KindInternal                    // genuine pipeline fault
 )
 
@@ -80,6 +88,8 @@ func (k Kind) String() string {
 		return "case-panic"
 	case KindModelLint:
 		return "model-lint"
+	case KindRetryExhausted:
+		return "retry-exhausted"
 	case KindInternal:
 		return "internal"
 	default:
@@ -116,9 +126,21 @@ func classifyOne(err error) Kind {
 		return KindCasePanic
 	case errors.Is(err, ErrModelLint):
 		return KindModelLint
+	case errors.Is(err, ErrRetryExhausted):
+		return KindRetryExhausted
 	default:
 		return KindInternal
 	}
+}
+
+// Retryable reports whether a failure of this kind is worth another
+// attempt: adversarial channel faults and isolated case panics are
+// transient under a reseeded or differently-scheduled run, while
+// cancellation, budget exhaustion, lint gates and genuine internal
+// faults are deterministic — retrying them burns attempts on the same
+// answer. Retry policies consult this instead of hard-coding classes.
+func (k Kind) Retryable() bool {
+	return k == KindFaultInjected || k == KindCasePanic
 }
 
 // flatten expands multi-error trees into leaves, descending through
@@ -152,6 +174,7 @@ const (
 	ExitBudgetExhausted = 4
 	ExitCasePanic       = 5
 	ExitModelLint       = 6
+	ExitRetryExhausted  = 7
 )
 
 // ExitCode selects the process exit code for a run that ended with err.
@@ -172,6 +195,8 @@ func (k Kind) ExitCode() int {
 		return ExitCasePanic
 	case KindModelLint:
 		return ExitModelLint
+	case KindRetryExhausted:
+		return ExitRetryExhausted
 	default:
 		return ExitInternal
 	}
@@ -209,6 +234,8 @@ func (k Kind) Sentinel() error {
 		return ErrCasePanic
 	case KindModelLint:
 		return ErrModelLint
+	case KindRetryExhausted:
+		return ErrRetryExhausted
 	default:
 		return errInternal
 	}

@@ -13,6 +13,13 @@ import (
 // benchClient builds a real-runner server for benchmarking.
 func benchClient(b *testing.B) *Client {
 	b.Helper()
+	return benchClientWAL(b, "")
+}
+
+// benchClientWAL is benchClient with an optional write-ahead log, for
+// measuring what durability costs over the in-memory queue.
+func benchClientWAL(b *testing.B, walDir string) *Client {
+	b.Helper()
 	store, err := jobs.OpenStore(b.TempDir(), 4096)
 	if err != nil {
 		b.Fatal(err)
@@ -21,6 +28,7 @@ func benchClient(b *testing.B) *Client {
 		Runner:    prochecker.JobRunner(2),
 		Normalize: prochecker.NormalizeJobSpec,
 		Store:     store,
+		WALDir:    walDir,
 		Workers:   2,
 	})
 	if err != nil {
@@ -75,4 +83,16 @@ func BenchmarkServeCampaign(b *testing.B) {
 			runCampaign(b, cl, 42)
 		}
 	})
+}
+
+// BenchmarkServeCampaignDurable is BenchmarkServeCampaign/cold with
+// the write-ahead log enabled: every submission, start and terminal
+// transition is journalled (group-commit fsync). The acceptance bar is
+// throughput within 5% of the in-memory queue.
+func BenchmarkServeCampaignDurable(b *testing.B) {
+	cl := benchClientWAL(b, b.TempDir())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCampaign(b, cl, int64(1000+i))
+	}
 }

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prochecker"
+	"prochecker/internal/jobs"
+)
+
+// fastClient returns a client with millisecond backoff so retry tests
+// stay quick.
+func fastClient(base string, hc *http.Client) *Client {
+	return &Client{Base: base, HTTP: hc, Backoff: time.Millisecond, Seed: 7}
+}
+
+func TestBackpressureResponsesCarryRetryAfter(t *testing.T) {
+	cl, srv, _ := gatedService(t, 1, 1)
+	ctx := context.Background()
+
+	// Fill the worker and the queue, then probe the raw responses.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.SubmitJob(ctx, jobs.Spec{Impl: fmt.Sprintf("impl-%d", i), Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := func(wantStatus int, wantRetryAfter string) {
+		t.Helper()
+		body, _ := json.Marshal(jobs.Spec{Impl: "overflow", Seed: 1})
+		resp, err := cl.http().Post(cl.Base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		if got := resp.Header.Get("Retry-After"); got != wantRetryAfter {
+			t.Fatalf("Retry-After = %q, want %q", got, wantRetryAfter)
+		}
+	}
+	probe(http.StatusTooManyRequests, "1")
+	srv.StartDrain()
+	probe(http.StatusServiceUnavailable, "5")
+}
+
+func TestClientRetriesTransientStatusThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	job := jobs.Job{ID: "j-0001", State: jobs.StateDone}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// First two attempts: full queue with a zero-second hint so the
+		// test doesn't sleep a real Retry-After out.
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusTooManyRequests, jobs.ErrQueueFull)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, struct {
+			Job jobs.Job `json:"job"`
+		}{job})
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, ts.Client())
+	got, err := cl.SubmitJob(context.Background(), jobs.Spec{Impl: "a", Seed: 1})
+	if err != nil {
+		t.Fatalf("submit through transient 429s: %v", err)
+	}
+	if got.ID != job.ID {
+		t.Fatalf("job = %+v, want %+v", got, job)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestClientRetryExhaustionSurfacesLastStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, ts.Client())
+	_, err := cl.SubmitJob(context.Background(), jobs.Spec{Impl: "a", Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+}
+
+func TestClientDoesNotRetryDeterministicStatus(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no such impl"))
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, ts.Client())
+	_, err := cl.SubmitJob(context.Background(), jobs.Spec{Impl: "bogus", Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want a 400", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1 (fail fast)", n)
+	}
+}
+
+func TestClientRetriesNetworkErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Kill the connection mid-response: the client sees a
+			// transport error, not a status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []jobs.Job `json:"jobs"`
+		}{})
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, ts.Client())
+	if _, err := cl.Jobs(context.Background()); err != nil {
+		t.Fatalf("list through a dropped connection: %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+func TestCampaignsSurviveServerRestart(t *testing.T) {
+	walDir := t.TempDir()
+	storeDir := t.TempDir()
+	gate := make(chan struct{})
+	close(gate) // ungated: jobs finish immediately
+
+	open := func() (*Client, *jobs.Service, func()) {
+		store, err := jobs.OpenStore(storeDir, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := jobs.New(jobs.Config{
+			Runner: func(ctx context.Context, spec jobs.Spec) (*jobs.Result, error) {
+				<-gate
+				return &jobs.Result{SchemaVersion: jobs.ResultSchemaVersion, Key: spec.Key(), Spec: spec,
+					Verdicts: []jobs.Verdict{{ID: "S06", Class: "authentication", Verified: true}}}, nil
+			},
+			Store:   store,
+			WALDir:  walDir,
+			Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(svc, nil))
+		return &Client{Base: ts.URL, HTTP: ts.Client()}, svc, ts.Close
+	}
+
+	cl1, svc1, close1 := open()
+	ctx := context.Background()
+	camp, err := cl1.SubmitCampaign(ctx, prochecker.CampaignSpec{Impls: []string{"conformant", "srsLTE"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl1.WaitCampaign(ctx, camp.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close1()
+
+	cl2, svc2, close2 := open()
+	defer close2()
+	defer svc2.Close()
+	got, err := cl2.Campaign(ctx, camp.ID)
+	if err != nil {
+		t.Fatalf("campaign %s lost across restart: %v", camp.ID, err)
+	}
+	if got.State != jobs.StateDone {
+		t.Fatalf("restored campaign state = %s, want done", got.State)
+	}
+	if len(got.JobIDs) != 2 || got.JobIDs[0] != camp.JobIDs[0] || got.JobIDs[1] != camp.JobIDs[1] {
+		t.Fatalf("restored membership %v, want %v", got.JobIDs, camp.JobIDs)
+	}
+	if got.Report == "" {
+		t.Fatal("restored campaign renders no differential report")
+	}
+	// New campaigns continue the ID sequence.
+	camp2, err := cl2.SubmitCampaign(ctx, prochecker.CampaignSpec{Impls: []string{"OAI"}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp2.ID == camp.ID {
+		t.Fatalf("restarted server reissued campaign ID %s", camp2.ID)
+	}
+}

@@ -12,7 +12,13 @@
 //
 // A draining server (graceful SIGTERM shutdown) answers every
 // submission with 503 while running jobs finish; a full queue answers
-// 429.
+// 429. Both carry a Retry-After header so well-behaved clients back off
+// without guessing.
+//
+// When the underlying jobs.Service runs with a WAL, campaigns are
+// durable too: each accepted matrix is journalled as an opaque meta
+// record, and a restarted server rebuilds its campaign table — same
+// IDs, same membership — from the replayed log.
 package server
 
 import (
@@ -21,6 +27,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -68,12 +76,36 @@ type campaignRecord struct {
 	jobIDs []string
 }
 
+// campaignMeta is the JSON payload journalled per campaign in the
+// service's WAL, restoring the server's campaign table across restarts.
+type campaignMeta struct {
+	Spec   prochecker.CampaignSpec `json:"spec"`
+	JobIDs []string                `json:"job_ids"`
+}
+
 // New builds a Server on the given service and publishes the metrics
 // registry (the service's and the pipeline's shared one) on
-// /debug/vars under the "prochecker" expvar name.
+// /debug/vars under the "prochecker" expvar name. Campaigns journalled
+// to a WAL by a previous incarnation are restored with their original
+// IDs and membership.
 func New(svc *jobs.Service, reg *obs.Registry) *Server {
 	reg.PublishExpvar("prochecker")
 	s := &Server{svc: svc, campaigns: make(map[string]*campaignRecord)}
+	for _, m := range svc.Metas() {
+		var meta campaignMeta
+		if json.Unmarshal(m.Meta, &meta) != nil || m.ID == "" {
+			continue
+		}
+		if _, dup := s.campaigns[m.ID]; dup {
+			continue
+		}
+		rec := &campaignRecord{id: m.ID, spec: meta.Spec, jobIDs: meta.JobIDs}
+		s.campaigns[rec.id] = rec
+		s.order = append(s.order, rec.id)
+		if n := campaignSeq(m.ID); n > s.seq {
+			s.seq = n
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -111,6 +143,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// Retry-After values (seconds) for backpressure responses: a full queue
+// clears as soon as a worker frees a slot, a draining server needs its
+// replacement to come up.
+const (
+	retryAfterQueueFull = 1
+	retryAfterDraining  = 5
+)
+
 // submitStatus maps a submission failure onto its HTTP status.
 func submitStatus(err error) int {
 	switch {
@@ -123,6 +163,32 @@ func submitStatus(err error) int {
 	}
 }
 
+// writeSubmitError answers a failed submission, attaching the
+// Retry-After hint on the two retryable statuses.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	status := submitStatus(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+	}
+	writeError(w, status, err)
+}
+
+// campaignSeq parses the numeric suffix of a "c-0042" style ID.
+func campaignSeq(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
 // submitRequest is the POST /v1/jobs body: either a single inline job
 // spec, or a campaign matrix.
 type submitRequest struct {
@@ -132,7 +198,7 @@ type submitRequest struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, jobs.ErrDraining)
+		writeSubmitError(w, jobs.ErrDraining)
 		return
 	}
 	var req submitRequest
@@ -146,7 +212,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.svc.Submit(req.Spec)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct {
@@ -171,7 +237,7 @@ func (s *Server) submitCampaign(w http.ResponseWriter, spec prochecker.CampaignS
 			for _, id := range ids {
 				s.svc.Cancel(id) //nolint:errcheck // best-effort rollback
 			}
-			writeError(w, submitStatus(err), fmt.Errorf("campaign cell %s: %w", prochecker.JobLabel(js), err))
+			writeSubmitError(w, fmt.Errorf("campaign cell %s: %w", prochecker.JobLabel(js), err))
 			return
 		}
 		ids = append(ids, job.ID)
@@ -182,6 +248,11 @@ func (s *Server) submitCampaign(w http.ResponseWriter, spec prochecker.CampaignS
 	s.campaigns[rec.id] = rec
 	s.order = append(s.order, rec.id)
 	s.mu.Unlock()
+	// Journal the campaign so a restarted server still answers for its
+	// ID; membership is what matters, job state lives in the job WAL.
+	if meta, err := json.Marshal(campaignMeta{Spec: spec, JobIDs: ids}); err == nil {
+		s.svc.LogMeta(rec.id, meta) //nolint:errcheck // campaign still served from memory
+	}
 	writeJSON(w, http.StatusAccepted, struct {
 		Campaign Campaign `json:"campaign"`
 	}{s.campaignView(rec, false)})

@@ -238,6 +238,7 @@ func TestCancelOverHTTP(t *testing.T) {
 
 func TestDrainRejectsSubmissions(t *testing.T) {
 	cl, srv, release := gatedService(t, 1, 8)
+	cl.Retries = 1 // observe the raw 503, not the retry loop
 	ctx := context.Background()
 
 	running, err := cl.SubmitJob(ctx, jobs.Spec{Impl: "a", Seed: 1})
@@ -266,6 +267,7 @@ func TestDrainRejectsSubmissions(t *testing.T) {
 
 func TestQueueFullReturns429(t *testing.T) {
 	cl, _, _ := gatedService(t, 1, 1)
+	cl.Retries = 1 // observe the raw 429, not the retry loop
 	ctx := context.Background()
 
 	got429 := false
