@@ -13,6 +13,7 @@ package prochecker
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"prochecker/internal/channel"
@@ -27,6 +28,7 @@ import (
 	"prochecker/internal/learner"
 	"prochecker/internal/ltemodels"
 	"prochecker/internal/mc"
+	"prochecker/internal/obs"
 	"prochecker/internal/report"
 	"prochecker/internal/spec"
 	"prochecker/internal/sqn"
@@ -571,6 +573,131 @@ func BenchmarkCEGARVerifyAll(b *testing.B) {
 			b.Fatalf("completed %d of %d", len(outs), len(list))
 		}
 	}
+}
+
+// --- BENCH_dist.json series: sharded, disk-spillable exploration ---
+
+// benchExploreOnce runs one full state-space exploration (a trivially
+// true invariant, so nothing short-circuits) under the given options
+// and returns states explored plus peak resident state bytes from the
+// run's private metrics registry.
+func benchExploreOnce(b *testing.B, sys *ts.System, opts mc.Options) (states, resident int64) {
+	b.Helper()
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	res, err := mc.NewEngine().CheckContext(ctx, sys,
+		mc.Invariant{PropName: "explore", Holds: ts.True{}}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Verified {
+		b.Fatal("exploration failed")
+	}
+	return int64(res.StatesExplored), o.Metrics().Gauge("mc.peak_resident_state_bytes").Value()
+}
+
+// BenchmarkExploreSharded sweeps the shard count over a full in-memory
+// exploration of the composed model, reporting throughput and the
+// arena's resident footprint per state. Compare bytes/state against
+// BenchmarkStateBytesMapBaseline for the storage-layer win.
+func BenchmarkExploreSharded(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			var states, resident int64
+			for i := 0; i < b.N; i++ {
+				states, resident = benchExploreOnce(b, sys, mc.Options{Workers: 4, Shards: shards})
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(resident)/float64(states), "bytes/state")
+		})
+	}
+}
+
+// BenchmarkExploreSpill explores under a deliberately tight memory
+// budget so cold arena segments go to disk: resident bytes/state shows
+// the bounded-memory footprint, spilled-bytes/state what moved out.
+func BenchmarkExploreSpill(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	dir := b.TempDir()
+	opts := mc.Options{
+		Workers:           4,
+		Shards:            4,
+		MemBudget:         1 << 15,
+		SpillDir:          dir,
+		SpillSegmentBytes: 1 << 12,
+	}
+	var states, resident int64
+	for i := 0; i < b.N; i++ {
+		states, resident = benchExploreOnce(b, sys, opts)
+	}
+	b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(resident)/float64(states), "bytes/state")
+}
+
+// baselineSink keeps the baseline representation live across the
+// second MemStats read so the allocator cannot reclaim it mid-measure.
+var baselineSink struct {
+	stripes [64]map[string]int32
+	states  []ts.State
+}
+
+// BenchmarkStateBytesMapBaseline measures the storage layer this PR
+// replaced — a 64-stripe string-keyed visited map plus a []ts.State
+// clone per interned state — by BFS-exploring the same composed model
+// and reading the live-heap delta per state. The arena representation
+// (BenchmarkExploreSharded's bytes/state) stores each state once, in
+// place, with a 12-byte open-addressing slot instead of a map entry
+// plus a second string copy of the state bytes.
+func BenchmarkStateBytesMapBaseline(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	var perState float64
+	for i := 0; i < b.N; i++ {
+		baselineSink.stripes = [64]map[string]int32{}
+		baselineSink.states = nil
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+
+		stripes := [64]map[string]int32{}
+		for k := range stripes {
+			stripes[k] = make(map[string]int32)
+		}
+		stripe := func(s ts.State) uint64 {
+			h := uint64(14695981039346656037)
+			for _, v := range s {
+				h = (h ^ uint64(v)) * 1099511628211
+			}
+			return h & 63
+		}
+		var states []ts.State
+		intern := func(s ts.State) (int32, bool) {
+			mp := stripes[stripe(s)]
+			if id, ok := mp[string(s)]; ok {
+				return id, false
+			}
+			id := int32(len(states))
+			states = append(states, s.Clone())
+			mp[s.Key()] = id
+			return id, true
+		}
+		intern(sys.InitialState())
+		for head := 0; head < len(states); head++ {
+			for _, succ := range sys.Successors(states[head]) {
+				intern(succ.State)
+			}
+		}
+
+		baselineSink.stripes = stripes
+		baselineSink.states = states
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		perState = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(len(states))
+	}
+	b.ReportMetric(perState, "bytes/state")
 }
 
 // BenchmarkConformanceFaults measures the hardened conformance path

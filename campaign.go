@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"sync"
 
 	"prochecker/internal/channel"
@@ -88,18 +89,43 @@ func NormalizeJobSpec(s JobSpec) (JobSpec, error) {
 // verdicts. The spec is normalized first, so RunJob accepts the same
 // loose inputs Submit does.
 func RunJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
-	return runJob(ctx, spec, 0)
+	return runJob(ctx, spec, JobRunnerConfig{})
+}
+
+// JobRunnerConfig tunes how the job service executes each analysis:
+// worker-pool width, exploration sharding, the resident-memory budget
+// for state storage, and a snapshot root under which every job keeps
+// its own exploration checkpoints so a crashed or killed service
+// resumes mid-exploration instead of recomputing from scratch.
+type JobRunnerConfig struct {
+	// Workers bounds the per-job worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the exploration owner-shard count (0/1 = unsharded).
+	Shards int
+	// MemBudget caps resident state-arena bytes per exploration; cold
+	// segments spill to disk beyond it (0 = unbounded).
+	MemBudget int64
+	// SnapshotRoot, when non-empty, gives each job a private snapshot
+	// directory keyed by the spec hash; it is removed when the job
+	// completes successfully.
+	SnapshotRoot string
 }
 
 // JobRunner adapts RunJob into the job service's Runner hook with a
 // fixed per-job worker-pool bound (0 = GOMAXPROCS).
 func JobRunner(workers int) jobs.Runner {
+	return JobRunnerWith(JobRunnerConfig{Workers: workers})
+}
+
+// JobRunnerWith adapts RunJob into the job service's Runner hook with
+// full control over sharding, spilling and snapshot placement.
+func JobRunnerWith(cfg JobRunnerConfig) jobs.Runner {
 	return func(ctx context.Context, spec jobs.Spec) (*jobs.Result, error) {
-		return runJob(ctx, spec, workers)
+		return runJob(ctx, spec, cfg)
 	}
 }
 
-func runJob(ctx context.Context, spec JobSpec, workers int) (*JobResult, error) {
+func runJob(ctx context.Context, spec JobSpec, rcfg JobRunnerConfig) (*JobResult, error) {
 	spec, err := NormalizeJobSpec(spec)
 	if err != nil {
 		return nil, err
@@ -112,7 +138,10 @@ func runJob(ctx context.Context, spec JobSpec, workers int) (*JobResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	a, err := AnalyzeContext(ctx, impl, WithWorkers(workers), WithFaults(cfg))
+	snapDir := jobs.SnapshotDirFor(rcfg.SnapshotRoot, spec.Key())
+	a, err := AnalyzeContext(ctx, impl,
+		WithWorkers(rcfg.Workers), WithFaults(cfg),
+		WithShards(rcfg.Shards), WithMemBudget(rcfg.MemBudget), WithSnapshotDir(snapDir))
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +176,11 @@ func runJob(ctx context.Context, spec JobSpec, workers int) (*JobResult, error) 
 			AttackFound: r.AttackFound,
 			Detail:      r.Detail,
 		})
+	}
+	// The job is done and its result is about to be persisted; its
+	// exploration checkpoints have nothing left to resume.
+	if snapDir != "" {
+		os.RemoveAll(snapDir) //nolint:errcheck // best-effort cleanup
 	}
 	return res, nil
 }

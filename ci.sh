@@ -205,6 +205,30 @@ grep -q "wal checkpointed" "$smoke_dir/crash2.log" \
     || { echo "smoke: drain printed no WAL checkpoint banner"; cat "$smoke_dir/crash2.log"; exit 1; }
 echo "crash-recovery smoke OK (campaign $campaign_id survived SIGKILL, ${hits} cache hit(s) on resubmit)"
 
+echo "== memory-budget spill smoke =="
+# Run a real check under a deliberately tiny resident-state budget and a
+# constrained Go heap: the exploration must still complete (cold arena
+# segments spill to the anonymous disk file) and the manifest must
+# record that spilling actually happened.
+spill_snap="$smoke_dir/spill-snap"
+GOMEMLIMIT=128MiB "$smoke_dir/prochecker" -impl srsLTE -check S06 -quiet \
+    -workers 2 -shards 4 -mem-budget 32768 -snapshot-dir "$spill_snap" \
+    -manifest "$smoke_dir/spill.json" \
+    || { echo "smoke: budgeted run failed"; exit 1; }
+spill_bytes=$(sed -n 's/.*"mc.spill_bytes": *\([0-9]*\).*/\1/p' "$smoke_dir/spill.json" | head -1)
+[[ "${spill_bytes:-0}" -ge 1 ]] \
+    || { echo "smoke: no bytes spilled under the 32 KiB budget"; exit 1; }
+# A second run over the completed-exploration snapshots must resume
+# instead of recomputing, and still reach the same verdict set.
+"$smoke_dir/prochecker" -impl srsLTE -check S06 -quiet \
+    -workers 2 -shards 4 -mem-budget 32768 -snapshot-dir "$spill_snap" \
+    -manifest "$smoke_dir/spill2.json" \
+    || { echo "smoke: resumed budgeted run failed"; exit 1; }
+resume_level=$(sed -n 's/.*"mc.resume_level": *\([0-9]*\).*/\1/p' "$smoke_dir/spill2.json" | head -1)
+[[ "${resume_level:-0}" -ge 1 ]] \
+    || { echo "smoke: second run did not resume from snapshots"; exit 1; }
+echo "memory-budget spill smoke OK (${spill_bytes} bytes spilled under GOMEMLIMIT=128MiB, resumed at level ${resume_level})"
+
 echo "== fault-injection bench baseline =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkConformance(Faults|Benign)$' -benchtime 20x .)
 echo "$bench_out"
@@ -225,6 +249,9 @@ END {
 echo "wrote BENCH_faults.json"
 
 echo "== model-checker bench baseline =="
+# Remember the committed speedup before regenerating, so the storage
+# rework underneath the shared frontier can be gated against it below.
+prev_speedup=$(sed -n 's/.*"checkall_speedup_vs_sequential": *\([0-9.]*\).*/\1/p' BENCH_mc.json 2>/dev/null | head -1)
 mc_bench_out=$(go test -run '^$' -bench 'BenchmarkCheckAll(Sequential|Parallel)$|BenchmarkCEGARVerifyAll$' -benchtime 3x .)
 echo "$mc_bench_out"
 
@@ -259,6 +286,58 @@ END {
     print "}"
 }' > BENCH_mc.json
 echo "wrote BENCH_mc.json"
+
+# Regression gate: the arena/shard/spill storage layer must not cost the
+# engine its parallel speedup — the refreshed number may not fall more
+# than 10% below the committed baseline.
+new_speedup=$(sed -n 's/.*"checkall_speedup_vs_sequential": *\([0-9.]*\).*/\1/p' BENCH_mc.json | head -1)
+if [[ -n "$prev_speedup" && -n "$new_speedup" ]]; then
+    awk -v p="$prev_speedup" -v n="$new_speedup" 'BEGIN { exit !(n >= 0.9 * p) }' \
+        || { echo "bench gate: checkall speedup $new_speedup fell more than 10% below baseline $prev_speedup"; exit 1; }
+    echo "checkall speedup gate OK ($new_speedup vs baseline $prev_speedup)"
+fi
+
+echo "== distributed-exploration bench baseline =="
+dist_bench_out=$(go test -run '^$' -bench 'BenchmarkExploreSharded|BenchmarkExploreSpill$|BenchmarkStateBytesMapBaseline$' -benchtime 1x .)
+echo "$dist_bench_out"
+
+# Render into BENCH_dist.json. Benchmark lines carry ReportMetric pairs
+# after ns/op — bytes/state (peak resident state bytes over states
+# explored) and states/sec:
+#   BenchmarkExploreSharded/shards_8  1  702924395 ns/op  14.66 bytes/state  394355 states/sec
+# The headline ratio divides the map-era representation's bytes/state
+# (measured live by BenchmarkStateBytesMapBaseline) by the arena's; the
+# acceptance floor for the storage rework is 4x.
+echo "$dist_bench_out" | awk '
+BEGIN { print "{"; print "  \"series\": \"sharded disk-spillable exploration, composed srsLTE model\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3)
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i+1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+        if (unit == "bytes_per_state") bps[$1] = $i
+    }
+    line = line "}"
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ],"
+    if (bps["BenchmarkStateBytesMapBaseline"] > 0 && bps["BenchmarkExploreSharded/shards_1"] > 0)
+        printf "  \"state_bytes_reduction_vs_map\": %.2f\n", bps["BenchmarkStateBytesMapBaseline"] / bps["BenchmarkExploreSharded/shards_1"]
+    else
+        print "  \"state_bytes_reduction_vs_map\": null"
+    print "}"
+}' > BENCH_dist.json
+echo "wrote BENCH_dist.json"
+
+reduction=$(sed -n 's/.*"state_bytes_reduction_vs_map": *\([0-9.]*\).*/\1/p' BENCH_dist.json | head -1)
+[[ -n "$reduction" ]] && awk -v r="$reduction" 'BEGIN { exit !(r >= 4) }' \
+    || { echo "bench gate: state-bytes reduction ${reduction:-unmeasured} is below the 4x floor"; exit 1; }
+echo "state-bytes reduction gate OK (${reduction}x vs map-based representation)"
 
 echo "== campaign service bench baseline =="
 serve_bench_out=$(go test -run '^$' -bench 'BenchmarkServeCampaign$' -benchtime 2x ./internal/server)

@@ -57,12 +57,15 @@ type serveProc struct {
 // store+WAL directories and waits for it to announce its address.
 func startServe(t *testing.T, bin, storeDir, walDir string) *serveProc {
 	t.Helper()
+	// The snapshot root lives beside the store so exploration
+	// checkpoints, like results, survive the restart cycle.
 	cmd := exec.Command(bin,
 		"-serve", "127.0.0.1:0",
 		"-store", storeDir,
 		"-wal", walDir,
 		"-workers", "2",
 		"-queue", "16",
+		"-snapshot-dir", filepath.Join(storeDir, "snapshots"),
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

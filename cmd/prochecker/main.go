@@ -92,6 +92,9 @@ func run(args []string) (err error) {
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"worker pool size for -check: bounds both property-level parallelism and the model checker's exploration pool (1 = fully sequential)")
+	shards := fs.Int("shards", 1, "shard the model checker's visited set and frontier across N hash-owned shards (rounded down to a power of two, max 64); results are byte-identical at any count")
+	memBudget := fs.Int64("mem-budget", 0, "bound the model checker's resident exploration state bytes; cold arena segments spill to disk beyond it (0 = unbounded)")
+	snapshotDir := fs.String("snapshot-dir", "", "checkpoint model-checker exploration at level boundaries into this directory and resume from the newest snapshot; with -serve, the root for per-job snapshot directories")
 	quiet := fs.Bool("quiet", false, "suppress progress output on stderr (results only)")
 	verbose := fs.Bool("v", false, "stream span begin/end events to stderr as they happen")
 	manifestPath := fs.String("manifest", "", "write a machine-readable run manifest (JSON) to this path")
@@ -147,6 +150,9 @@ func run(args []string) (err error) {
 			retryBackoff: *retryBackoff,
 			seed:         *seed,
 			manifestPath: *manifestPath,
+			shards:       *shards,
+			memBudget:    *memBudget,
+			snapshotDir:  *snapshotDir,
 		})
 	}
 	if *submit || *campaignList != "" {
@@ -224,6 +230,15 @@ func run(args []string) (err error) {
 		}
 		if *timeout > 0 {
 			cfg["timeout"] = timeout.String()
+		}
+		if *shards > 1 {
+			cfg["shards"] = strconv.Itoa(*shards)
+		}
+		if *memBudget > 0 {
+			cfg["mem_budget"] = strconv.FormatInt(*memBudget, 10)
+		}
+		if *snapshotDir != "" {
+			cfg["snapshot_dir"] = *snapshotDir
 		}
 		defer func() {
 			m := o.Manifest()
@@ -312,7 +327,9 @@ func run(args []string) (err error) {
 	}
 	a, err := prochecker.AnalyzeContext(ctx, implementation,
 		prochecker.WithWorkers(*workers), prochecker.WithObserver(o),
-		prochecker.WithFaults(faultCfg))
+		prochecker.WithFaults(faultCfg),
+		prochecker.WithShards(*shards), prochecker.WithMemBudget(*memBudget),
+		prochecker.WithSnapshotDir(*snapshotDir))
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,9 @@ type serveConfig struct {
 	retryBackoff time.Duration // base retry backoff
 	seed         int64         // retry-jitter seed
 	manifestPath string        // "" disables the shutdown manifest
+	shards       int           // exploration owner-shards per job
+	memBudget    int64         // resident state-arena bytes per job (0 = unbounded)
+	snapshotDir  string        // root for per-job exploration checkpoints ("" disables)
 }
 
 // runServe hosts the job service until SIGINT/SIGTERM, then drains
@@ -53,7 +56,12 @@ func runServe(cfg serveConfig) (err error) {
 		}
 	}
 	svc, err := jobs.New(jobs.Config{
-		Runner:      prochecker.JobRunner(cfg.workers),
+		Runner: prochecker.JobRunnerWith(prochecker.JobRunnerConfig{
+			Workers:      cfg.workers,
+			Shards:       cfg.shards,
+			MemBudget:    cfg.memBudget,
+			SnapshotRoot: cfg.snapshotDir,
+		}),
 		Normalize:   prochecker.NormalizeJobSpec,
 		Store:       store,
 		WALDir:      cfg.walDir,

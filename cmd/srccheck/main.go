@@ -1,7 +1,7 @@
 // Command srccheck runs the repository's custom Go-source checks
-// (internal/analysis): leaked obs.Start spans and resilience error
-// sentinels the classifier does not handle. ci.sh runs it on every
-// build.
+// (internal/analysis): leaked obs.Start spans, os file handles that
+// are neither closed nor handed off, and resilience error sentinels
+// the classifier does not handle. ci.sh runs it on every build.
 //
 // Usage:
 //

@@ -3,13 +3,21 @@
 // invariants that gofmt and go vet cannot see. It is the source-level
 // counterpart of internal/lint, which checks extracted models.
 //
-// Two checks are implemented:
+// Three checks are implemented:
 //
 //   - span-leak: every span obtained from obs.Start must be ended.
 //     A span variable that is never passed to End or EndErr anywhere in
 //     its enclosing function (including defers), or that is discarded
 //     with the blank identifier, leaks an open span — the observability
 //     report would silently under-count that phase.
+//
+//   - file-leak: every *os.File obtained from os.Open, os.OpenFile,
+//     os.Create or os.CreateTemp must either be closed in its enclosing
+//     function or escape it (passed to a call, returned, stored in a
+//     variable, struct or slice, or have its address taken — ownership
+//     transferred elsewhere). A handle that does neither, or that is
+//     discarded with the blank identifier, leaks a file descriptor on
+//     every error path that reaches it.
 //
 //   - classify-sentinel: every exported Err* sentinel declared in
 //     internal/resilience must be handled by its classifyOne switch.
@@ -38,7 +46,7 @@ type Finding struct {
 	File string
 	// Line is the 1-based source line.
 	Line int
-	// Check names the rule that fired ("span-leak" or
+	// Check names the rule that fired ("span-leak", "file-leak" or
 	// "classify-sentinel").
 	Check string
 	// Message describes the violation.
@@ -81,6 +89,7 @@ func CheckDir(root string) ([]Finding, error) {
 			rel = r
 		}
 		findings = append(findings, checkSpanLeaks(fset, rel, file)...)
+		findings = append(findings, checkFileLeaks(fset, rel, file)...)
 		if filepath.Base(filepath.Dir(path)) == "resilience" {
 			resilienceFiles[rel] = file
 		}
@@ -184,6 +193,158 @@ func spanLeaksInFunc(fset *token.FileSet, file string, fn *ast.FuncDecl) []Findi
 		}
 	}
 	return findings
+}
+
+// checkFileLeaks flags os file handles that are blank-discarded, or
+// that are neither closed nor handed off within the enclosing function.
+// The analysis generalises the span-leak pass: it is purely syntactic
+// and deliberately conservative — any escape of the handle value
+// (call argument, return, reassignment, composite literal, address-of)
+// transfers ownership and silences the rule, so only handles that
+// provably stay local and unclosed are reported.
+func checkFileLeaks(fset *token.FileSet, file string, f *ast.File) []Finding {
+	var findings []Finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		findings = append(findings, fileLeaksInFunc(fset, file, fn)...)
+	}
+	return findings
+}
+
+func fileLeaksInFunc(fset *token.FileSet, file string, fn *ast.FuncDecl) []Finding {
+	// First pass: collect handle variables assigned from the os package
+	// open-style constructors in the idiomatic f, err := form.
+	type fileVar struct {
+		name string
+		fn   string // constructor name, for the message
+		pos  token.Pos
+	}
+	var handles []fileVar
+	var findings []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ctor, ok := osOpenName(call)
+		if !ok {
+			return true
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if ident.Name == "_" {
+			findings = append(findings, Finding{
+				File:    file,
+				Line:    fset.Position(assign.Pos()).Line,
+				Check:   "file-leak",
+				Message: fmt.Sprintf("%s discards the handle from os.%s with the blank identifier; open files must be closed", fn.Name.Name, ctor),
+			})
+			return true
+		}
+		handles = append(handles, fileVar{name: ident.Name, fn: ctor, pos: assign.Pos()})
+		return true
+	})
+
+	// Second pass: a handle must be closed or escape the function —
+	// whichever use appears anywhere in the body, including defers and
+	// closures.
+	for _, hv := range handles {
+		settled := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if settled {
+				return false
+			}
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+					if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == hv.name && sel.Sel.Name == "Close" {
+						settled = true
+						return false
+					}
+				}
+				for _, arg := range node.Args {
+					if isIdent(arg, hv.name) {
+						settled = true
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					if isIdent(res, hv.name) {
+						settled = true
+						return false
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					if isIdent(rhs, hv.name) {
+						settled = true
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range node.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isIdent(v, hv.name) {
+						settled = true
+						return false
+					}
+				}
+			case *ast.UnaryExpr:
+				if node.Op == token.AND && isIdent(node.X, hv.name) {
+					settled = true
+					return false
+				}
+			}
+			return true
+		})
+		if !settled {
+			findings = append(findings, Finding{
+				File:    file,
+				Line:    fset.Position(hv.pos).Line,
+				Check:   "file-leak",
+				Message: fmt.Sprintf("handle %q from os.%s is never closed in %s and never escapes it (no Close call, no handoff)", hv.name, hv.fn, fn.Name.Name),
+			})
+		}
+	}
+	return findings
+}
+
+// isIdent reports whether expr is the bare identifier name.
+func isIdent(expr ast.Expr, name string) bool {
+	ident, ok := expr.(*ast.Ident)
+	return ok && ident.Name == name
+}
+
+// osOpenName matches a call of one of the os package's open-style
+// constructors and returns which one. Like isObsStart, the match is
+// syntactic: a selector on an identifier named os.
+func osOpenName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "os" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Open", "OpenFile", "Create", "CreateTemp":
+		return sel.Sel.Name, true
+	}
+	return "", false
 }
 
 // isObsStart matches a call of the form obs.Start(...). The match is

@@ -102,6 +102,116 @@ func notAStart(ctx ctxT) {
 	}
 }
 
+func TestFileLeakDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", `package p
+
+func leaky(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f.Read(nil)
+	return nil
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Check != "file-leak" || f.Line != 4 || !strings.Contains(f.Message, `"f"`) {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestFileBlankIdentifierDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "blank.go", `package p
+
+func discard(dir string) {
+	_, err := os.CreateTemp(dir, "x-*")
+	use(err)
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 || findings[0].Check != "file-leak" {
+		t.Fatalf("want 1 blank-identifier finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Message, "blank identifier") {
+		t.Errorf("message does not mention the blank identifier: %q", findings[0].Message)
+	}
+}
+
+func TestFileClosedOrEscapedVariantsAreClean(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "ok.go", `package p
+
+func closed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return read(f2)
+}
+
+func deferredClosure(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { f.Close() }()
+	return nil
+}
+
+func returned(path string) (fileT, error) {
+	f, err := os.OpenFile(path, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func handedToCall(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+func storedInField(path string) error {
+	f, err := os.CreateTemp("", "x-*")
+	if err != nil {
+		return err
+	}
+	h.file = f
+	return nil
+}
+
+func storedInLiteral(path string) holderT {
+	f, err := os.Open(path)
+	must(err)
+	return holderT{file: f}
+}
+
+func addressTaken(path string) {
+	f, err := os.Open(path)
+	must(err)
+	register(&f)
+}
+
+func notOS(path string) {
+	f, err := fsx.Open(path)
+	use(f, err)
+}
+`)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("clean fixtures reported: %v", findings)
+	}
+}
+
 func TestSentinelUnhandledDetected(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, dir, "resilience/resilience.go", `package resilience

@@ -1,0 +1,163 @@
+// Differential tests for the sharded, disk-spillable storage layer:
+// whatever the shard count, memory budget or snapshot/resume history,
+// the engine must return byte-identical verdicts, StatesExplored counts
+// and counterexample traces to the sequential reference. Run under
+// -race in CI, these also exercise the frozen-index reads of the
+// parallel expansion phase.
+package mc_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prochecker/internal/mc"
+	"prochecker/internal/obs"
+)
+
+// TestShardedMatchesSequentialOnCatalogue sweeps shard counts over the
+// full threat-composed model and catalogue: ids, verdicts and traces
+// must not depend on the sharding layout.
+func TestShardedMatchesSequentialOnCatalogue(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+	for _, shards := range []int{1, 2, 8} {
+		engine := mc.NewEngine()
+		opts := mc.Options{Workers: 4, Shards: shards}
+		for _, p := range list {
+			got, err := engine.CheckContext(context.Background(), sys, p, opts)
+			if err != nil {
+				t.Fatalf("shards=%d %s: engine error: %v", shards, p.Name(), err)
+			}
+			want := mc.CheckSequential(sys, p, mc.Options{})
+			assertSameResult(t, p.Name(), got, want)
+		}
+	}
+}
+
+// TestSpillMatchesSequential forces cold arena segments to disk with a
+// deliberately tiny memory budget and checks the catalogue is still
+// byte-identical — and that spilling actually happened, so the test
+// cannot silently pass on the resident path.
+func TestSpillMatchesSequential(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	engine := mc.NewEngine()
+	opts := mc.Options{
+		Workers:           4,
+		Shards:            4,
+		MemBudget:         1 << 12, // far below the composed model's state bytes
+		SpillDir:          t.TempDir(),
+		SpillSegmentBytes: 1 << 10, // many small segments, so most of them seal and spill
+	}
+	for _, p := range list {
+		got, err := engine.CheckContext(ctx, sys, p, opts)
+		if err != nil {
+			t.Fatalf("%s: engine error: %v", p.Name(), err)
+		}
+		want := mc.CheckSequential(sys, p, mc.Options{})
+		assertSameResult(t, p.Name(), got, want)
+	}
+	if n := o.Metrics().Counter("mc.spill_bytes").Value(); n == 0 {
+		t.Fatal("memory budget never spilled a segment; the test exercised nothing")
+	}
+}
+
+// TestSnapshotResumeMatchesSequential interrupts an exploration via the
+// state budget, then re-runs with the full budget against the same
+// snapshot directory: the resumed run must pick up at the last
+// completed level (mc.resume_level) and still match the sequential
+// reference byte for byte.
+func TestSnapshotResumeMatchesSequential(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+	dir := t.TempDir()
+
+	// Phase 1: a budget small enough to truncate, leaving snapshots of
+	// every completed level behind.
+	small := mc.Options{Workers: 4, Shards: 2, MaxStates: 500, SnapshotDir: dir}
+	if _, err := mc.NewEngine().CheckContext(context.Background(), sys, list[0], small); err == nil {
+		t.Fatal("small budget did not truncate; raise the model size or lower MaxStates")
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot written by the truncated run (err=%v)", err)
+	}
+
+	// Phase 2: full budget, same directory — must resume, not restart.
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	full := mc.Options{Workers: 4, Shards: 2, SnapshotDir: dir}
+	engine := mc.NewEngine()
+	for _, p := range list {
+		got, err := engine.CheckContext(ctx, sys, p, full)
+		if err != nil {
+			t.Fatalf("%s: resumed engine error: %v", p.Name(), err)
+		}
+		assertSameResult(t, p.Name(), got, mc.CheckSequential(sys, p, mc.Options{}))
+	}
+	if lvl := o.Metrics().Gauge("mc.resume_level").Value(); lvl == 0 {
+		t.Fatal("exploration did not resume from a snapshot")
+	}
+}
+
+// TestCorruptSnapshotFallsBackToFreshBuild flips bytes in every
+// checkpoint on disk; the loader must reject them (CRC) and explore
+// from scratch with correct results, never an error or a wrong graph.
+func TestCorruptSnapshotFallsBackToFreshBuild(t *testing.T) {
+	sys := composedSystem(t)
+	p := catalogueMC(t)[0]
+	dir := t.TempDir()
+	opts := mc.Options{Workers: 4, SnapshotDir: dir}
+	if _, err := mc.NewEngine().CheckContext(context.Background(), sys, p, opts); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if len(snaps) == 0 {
+		t.Fatal("seed run left no snapshot")
+	}
+	for _, path := range snaps {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := mc.NewEngine().CheckContext(context.Background(), sys, p, opts)
+	if err != nil {
+		t.Fatalf("post-corruption run: %v", err)
+	}
+	assertSameResult(t, p.Name(), got, mc.CheckSequential(sys, p, mc.Options{}))
+}
+
+// TestCompletedSnapshotResumesForFree: a finished exploration writes an
+// empty-frontier snapshot; a fresh engine on the same directory should
+// restore the whole graph (resume level set, same results).
+func TestCompletedSnapshotResumesForFree(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+	dir := t.TempDir()
+	opts := mc.Options{Workers: 4, SnapshotDir: dir}
+	if _, err := mc.NewEngine().CheckContext(context.Background(), sys, list[0], opts); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	o := obs.New()
+	ctx := obs.NewContext(context.Background(), o)
+	engine := mc.NewEngine()
+	for _, p := range list {
+		got, err := engine.CheckContext(ctx, sys, p, opts)
+		if err != nil {
+			t.Fatalf("%s: restored engine error: %v", p.Name(), err)
+		}
+		assertSameResult(t, p.Name(), got, mc.CheckSequential(sys, p, mc.Options{}))
+	}
+	if lvl := o.Metrics().Gauge("mc.resume_level").Value(); lvl == 0 {
+		t.Fatal("completed snapshot was not restored")
+	}
+}

@@ -151,13 +151,18 @@ func (e *Engine) CheckContext(ctx context.Context, sys *ts.System, prop Property
 	}
 	switch p := prop.(type) {
 	case Invariant:
-		res = g.checkInvariant(p)
+		res, err = g.checkInvariant(p)
 	case NeverFires:
 		res = g.checkNeverFires(p)
 	case Response:
-		res = g.checkResponse(p, opts)
+		res, err = g.checkResponse(p, opts)
 	default:
 		return res, nil
+	}
+	if err != nil {
+		// A spilled-segment read failed mid-check; surface the I/O error
+		// rather than an unfounded verdict.
+		return res, fmt.Errorf("mc: checking %s: %w", prop.Name(), err)
 	}
 	if res.Truncated {
 		return res, fmt.Errorf("mc: checking %s: exploration truncated at %d states (budget %d): %w",
@@ -235,31 +240,40 @@ func (e *Engine) CheckAllContext(ctx context.Context, sys *ts.System, props []Pr
 // checkInvariant discharges AG p in one ordered pass over the graph: the
 // first state (in BFS intern order) violating the predicate is exactly
 // the state the sequential explorer would have flagged, so the parent
-// tree yields a byte-identical shortest counterexample.
-func (g *StateGraph) checkInvariant(p Invariant) Result {
+// tree yields a byte-identical shortest counterexample. The pass streams
+// the arena, so spilled segments are loaded once each, in order.
+func (g *StateGraph) checkInvariant(p Invariant) (Result, error) {
 	res := Result{Property: p.PropName, Kind: "invariant"}
 	holds, err := g.Sys.CompileCond(p.Holds)
 	if err != nil {
-		return res
+		return res, nil
 	}
-	if !holds(g.States[0]) {
-		res.Counterexample = buildTrace(g.Sys, nil, -1)
-		return res
-	}
-	for id := 1; id < len(g.States); id++ {
-		if !holds(g.States[id]) {
-			res.StatesExplored = id + 1
-			res.Counterexample = buildTrace(g.Sys, g.pathTo(int32(id)), -1)
-			return res
+	violation := int32(-1)
+	if err := g.forEachState(0, func(id int32, s ts.State) bool {
+		if !holds(s) {
+			violation = id
+			return false
 		}
+		return true
+	}); err != nil {
+		return res, err
 	}
-	res.StatesExplored = len(g.States)
+	switch {
+	case violation == 0:
+		res.Counterexample = buildTrace(g.Sys, nil, -1)
+		return res, nil
+	case violation > 0:
+		res.StatesExplored = int(violation) + 1
+		res.Counterexample = buildTrace(g.Sys, g.pathTo(violation), -1)
+		return res, nil
+	}
+	res.StatesExplored = g.NumStates()
 	if g.Truncated {
 		res.Truncated = true
-		return res
+		return res, nil
 	}
 	res.Verified = true
-	return res
+	return res, nil
 }
 
 // checkNeverFires scans states in BFS order and their edges in rule
@@ -276,7 +290,7 @@ func (g *StateGraph) checkNeverFires(p NeverFires) Result {
 		any = any || matched[i]
 	}
 	if any {
-		for id := range g.States {
+		for id := range g.adj {
 			for _, ed := range g.adj[id] {
 				if !matched[ed.rule] {
 					continue
@@ -288,7 +302,7 @@ func (g *StateGraph) checkNeverFires(p NeverFires) Result {
 			}
 		}
 	}
-	res.StatesExplored = len(g.States)
+	res.StatesExplored = g.NumStates()
 	if g.Truncated {
 		res.Truncated = true
 		return res
@@ -303,14 +317,14 @@ func (g *StateGraph) checkNeverFires(p NeverFires) Result {
 // precomputed adjacency, so no guard is re-evaluated and no state is
 // re-hashed. The product BFS and the pending-region DFS mirror the
 // sequential implementation exactly.
-func (g *StateGraph) checkResponse(p Response, opts Options) Result {
+func (g *StateGraph) checkResponse(p Response, opts Options) (Result, error) {
 	res := Result{Property: p.PropName, Kind: "response"}
 	if g.Truncated {
 		// Missing adjacency beyond the frontier would masquerade as
 		// deadlocks; a truncated graph cannot support the liveness search.
 		res.Truncated = true
-		res.StatesExplored = len(g.States)
-		return res
+		res.StatesExplored = g.NumStates()
+		return res, nil
 	}
 	trigger := make([]bool, len(g.Rules))
 	goal := make([]bool, len(g.Rules))
@@ -324,16 +338,19 @@ func (g *StateGraph) checkResponse(p Response, opts Options) Result {
 	if p.GoalState != nil {
 		f, err := g.Sys.CompileCond(p.GoalState)
 		if err != nil {
-			return res
+			return res, nil
 		}
-		goalSat = make([]bool, len(g.States))
-		for i, s := range g.States {
-			goalSat[i] = f(s)
+		goalSat = make([]bool, g.NumStates())
+		if err := g.forEachState(0, func(id int32, s ts.State) bool {
+			goalSat[id] = f(s)
+			return true
+		}); err != nil {
+			return res, err
 		}
 	}
 
 	// Product interning: node id per (state id, pending bit), dense.
-	nodeID := make([]int32, 2*len(g.States))
+	nodeID := make([]int32, 2*g.NumStates())
 	for i := range nodeID {
 		nodeID[i] = -1
 	}
@@ -376,7 +393,7 @@ func (g *StateGraph) checkResponse(p Response, opts Options) Result {
 		if len(nodes) > maxStates {
 			res.Truncated = true
 			res.StatesExplored = len(nodes)
-			return res
+			return res, nil
 		}
 		id := queue[0]
 		queue = queue[1:]
@@ -432,7 +449,7 @@ func (g *StateGraph) checkResponse(p Response, opts Options) Result {
 			if len(padj[f.id]) == 0 {
 				path := nodePath(f.id)
 				res.Counterexample = buildTrace(g.Sys, path, len(path))
-				return res
+				return res, nil
 			}
 			advanced := false
 			for f.next < len(padj[f.id]) {
@@ -450,7 +467,7 @@ func (g *StateGraph) checkResponse(p Response, opts Options) Result {
 					}
 					full := append(path, g.Rules[ed.rule].Name)
 					res.Counterexample = buildTrace(g.Sys, full, loopEntry)
-					return res
+					return res, nil
 				case 0:
 					colour[ed.to] = 1
 					stack = append(stack, frame{id: ed.to})
@@ -467,7 +484,7 @@ func (g *StateGraph) checkResponse(p Response, opts Options) Result {
 		}
 	}
 	res.Verified = true
-	return res
+	return res, nil
 }
 
 // ErrBudgetExhausted re-exports the resilience sentinel that CheckContext

@@ -3,20 +3,15 @@
 // every property check. Determinism is load-bearing — state ids, the
 // first-reach parent tree and per-state edge order must be identical to
 // the sequential explorer's so that counterexample traces come out
-// byte-identical. The parallel phase (guard evaluation, successor
-// construction, membership pre-filtering against a striped visited set)
-// is embarrassingly parallel per frontier chunk; the cheap intern/merge
-// step runs serially in frontier order to pin the ordering.
+// byte-identical. States live in the compact arena/index storage layer
+// (arena.go); the sharded level-synchronised explorer that fills the
+// graph is in shard.go, and snapshot/resume in snapshot.go.
 package mc
 
 import (
-	"context"
-	"fmt"
-	"strconv"
-	"time"
+	"sort"
 
 	"prochecker/internal/obs"
-	"prochecker/internal/resilience"
 	"prochecker/internal/ts"
 )
 
@@ -27,14 +22,15 @@ type graphEdge struct {
 }
 
 // StateGraph is the interned reachability graph of one system: states in
-// BFS order, all enabled transitions per state in rule order, and the
-// first-reach parent tree for shortest-path counterexamples.
+// BFS order inside the compact arena, all enabled transitions per state
+// in rule order, and the first-reach parent tree for shortest-path
+// counterexamples.
 type StateGraph struct {
 	Sys   *ts.System
 	Rules []ts.CompiledRule
 
-	States []ts.State
-	adj    [][]graphEdge
+	arena *stateArena
+	adj   [][]graphEdge
 	// parentState/parentRule form the BFS tree: the (state, rule) that
 	// first reached each state; -1 for the initial state.
 	parentState []int32
@@ -45,7 +41,35 @@ type StateGraph struct {
 	Truncated bool
 	// MaxStates is the budget the graph was built under.
 	MaxStates int
+
+	// spillReads counts membership confirms that had to read the spill
+	// file; resolved once per build, nil-safe.
+	spillReads *obs.Counter
 }
+
+// NumStates reports how many states were interned.
+func (g *StateGraph) NumStates() int { return g.arena.len() }
+
+// StateAt returns state id's packed assignment. Resident states are a
+// zero-copy view (do not mutate); spilled states are read into a fresh
+// buffer.
+func (g *StateGraph) StateAt(id int32) (ts.State, error) {
+	b, err := g.arena.at(id)
+	return ts.State(b), err
+}
+
+// forEachState streams states [from, NumStates) in id order, one
+// spilled-segment read at a time. The state view is only valid inside
+// the callback; return false to stop early.
+func (g *StateGraph) forEachState(from int32, f func(id int32, s ts.State) bool) error {
+	return g.arena.forEach(from, func(id int32, b []byte) bool { return f(id, ts.State(b)) })
+}
+
+// Release closes the graph's spill file, if any. The GC finalizer on
+// the arena is the backstop for graphs dropped from the engine cache;
+// tests and benchmarks that build many spilling graphs call Release
+// eagerly.
+func (g *StateGraph) Release() { g.arena.release() }
 
 // pathTo reconstructs the rule-name path from the initial state to id.
 func (g *StateGraph) pathTo(id int32) []string {
@@ -64,42 +88,22 @@ func (g *StateGraph) pathTo(id int32) []string {
 // explorer had interned at the moment it processed rule ri of state id:
 // the initial state plus every state whose first-reach (parent, rule)
 // pair precedes (id, ri) in exploration order. Parent pairs are
-// non-decreasing in state id, so a forward scan suffices.
+// non-decreasing in state id, so the boundary binary-searches — the
+// former forward scan made counterexample reconstruction quadratic on
+// large graphs.
 func (g *StateGraph) statesWhenProcessing(id, ri int32) int {
-	n := 1
-	for s := int32(1); s < int32(len(g.States)); s++ {
+	n := g.NumStates()
+	return 1 + sort.Search(n-1, func(i int) bool {
+		s := i + 1
 		ps, pr := g.parentState[s], g.parentRule[s]
-		if ps < id || (ps == id && pr < ri) {
-			n = int(s) + 1
-			continue
-		}
-		break
-	}
-	return n
-}
-
-// visitedStripes shards the visited set; a power of two so the stripe
-// index is a mask of the state-key hash.
-const visitedStripes = 64
-
-// visitedSet is the striped state-intern index. During the parallel
-// phase of a level the set is frozen (read-only from every worker, no
-// locks needed); the serial merge step is the only writer.
-type visitedSet struct {
-	stripes [visitedStripes]map[string]int32
-}
-
-func newVisitedSet() *visitedSet {
-	v := &visitedSet{}
-	for i := range v.stripes {
-		v.stripes[i] = make(map[string]int32)
-	}
-	return v
+		return ps > id || (ps == id && pr >= ri)
+	})
 }
 
 // hashState is FNV-1a over the packed state bytes: computed once per
-// candidate in the worker and reused for stripe selection at merge time,
-// instead of re-serialising the full assignment per intern.
+// candidate in the worker and reused for shard selection, index probing
+// and bloom membership, instead of re-serialising the full assignment
+// per intern.
 func hashState(s ts.State) uint64 {
 	h := uint64(14695981039346656037)
 	for _, b := range s {
@@ -107,160 +111,4 @@ func hashState(s ts.State) uint64 {
 		h *= 1099511628211
 	}
 	return h
-}
-
-// lookup finds a state's id without allocating (string(s) in a map index
-// compiles to an allocation-free lookup).
-func (v *visitedSet) lookup(h uint64, s ts.State) (int32, bool) {
-	id, ok := v.stripes[h&(visitedStripes-1)][string(s)]
-	return id, ok
-}
-
-// insert records a freshly interned state. Only the merge step calls it.
-func (v *visitedSet) insert(h uint64, s ts.State, id int32) {
-	v.stripes[h&(visitedStripes-1)][s.Key()] = id
-}
-
-// candidate is one enabled transition discovered by a worker: the rule
-// index, the successor (resolved to an id when the frozen visited set
-// already contains it, carried as a state plus hash otherwise).
-type candidate struct {
-	rule int32
-	id   int32 // >= 0 when resolved against the frozen visited set
-	hash uint64
-	next ts.State
-}
-
-// buildGraph explores the system with a level-synchronised worker pool.
-// The successor computation of each frontier chunk runs concurrently;
-// interning runs serially in frontier order, which reproduces the
-// sequential explorer's state numbering exactly.
-//
-// Observability: each build is one "mc.explore" span; the registry's
-// mc.* instruments are resolved once up front (all nil-safe no-ops when
-// no observer rides the context) so the per-state loop stays untouched
-// and the per-level accounting is one histogram observation.
-func buildGraph(ctx context.Context, sys *ts.System, opts Options) (graph *StateGraph, err error) {
-	reg := obs.FromContext(ctx).Metrics()
-	_, span := obs.Start(ctx, "mc.explore", obs.A("system", sys.Name))
-	buildStart := time.Now()
-	defer func() {
-		if graph != nil {
-			reg.Counter("mc.states_explored").Add(int64(len(graph.States)))
-			reg.Counter("mc.explorations").Inc()
-			if elapsed := time.Since(buildStart); elapsed > 0 {
-				reg.Gauge("mc.states_per_sec").Set(int64(float64(len(graph.States)) / elapsed.Seconds()))
-			}
-			span.SetAttr("states", strconv.Itoa(len(graph.States)))
-			span.SetAttr("truncated", strconv.FormatBool(graph.Truncated))
-		}
-		span.EndErr(err)
-	}()
-	frontierWidth := reg.Histogram("mc.frontier_width", nil)
-
-	rules, err := sys.CompileRules()
-	if err != nil {
-		return nil, err
-	}
-	g := &StateGraph{Sys: sys, Rules: rules, MaxStates: opts.maxStates()}
-	visited := newVisitedSet()
-
-	intern := func(h uint64, s ts.State, from, rule int32) (int32, bool) {
-		if id, ok := visited.lookup(h, s); ok {
-			return id, false
-		}
-		id := int32(len(g.States))
-		visited.insert(h, s, id)
-		g.States = append(g.States, s)
-		g.adj = append(g.adj, nil)
-		g.parentState = append(g.parentState, from)
-		g.parentRule = append(g.parentRule, rule)
-		return id, true
-	}
-
-	init := sys.InitialState()
-	intern(hashState(init), init, -1, -1)
-	frontier := []int32{0}
-	workers := opts.workers()
-
-	// expand computes the ordered candidate list of one frontier state.
-	expand := func(id int32) []candidate {
-		cur := g.States[id]
-		var out []candidate
-		for ri := range rules {
-			r := &rules[ri]
-			if !r.Enabled(cur) {
-				continue
-			}
-			next := r.Apply(cur)
-			h := hashState(next)
-			if known, ok := visited.lookup(h, next); ok {
-				out = append(out, candidate{rule: int32(ri), id: known})
-				continue
-			}
-			out = append(out, candidate{rule: int32(ri), id: -1, hash: h, next: next})
-		}
-		return out
-	}
-
-	for len(frontier) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("mc: exploration of %s after %d states: %w",
-				sys.Name, len(g.States), resilience.ErrCancelled)
-		}
-		if len(g.States) > g.MaxStates {
-			g.Truncated = true
-			return g, nil
-		}
-		frontierWidth.Observe(float64(len(frontier)))
-
-		// Parallel phase: the visited set is frozen, workers expand
-		// contiguous frontier chunks into a position-indexed result
-		// slice — no locks, no ordering races.
-		cands := make([][]candidate, len(frontier))
-		if workers <= 1 || len(frontier) < 2*workers {
-			for fi, id := range frontier {
-				cands[fi] = expand(id)
-			}
-		} else {
-			chunk := (len(frontier) + workers - 1) / workers
-			done := make(chan struct{}, workers)
-			n := 0
-			for lo := 0; lo < len(frontier); lo += chunk {
-				hi := min(lo+chunk, len(frontier))
-				n++
-				go func(lo, hi int) {
-					for fi := lo; fi < hi; fi++ {
-						cands[fi] = expand(frontier[fi])
-					}
-					done <- struct{}{}
-				}(lo, hi)
-			}
-			for ; n > 0; n-- {
-				<-done
-			}
-		}
-
-		// Serial merge in frontier order: intern fresh states, append
-		// adjacency in rule order. Identical to the sequential
-		// explorer's intern order.
-		var next []int32
-		for fi, id := range frontier {
-			edges := make([]graphEdge, 0, len(cands[fi]))
-			for _, c := range cands[fi] {
-				to := c.id
-				if to < 0 {
-					nid, fresh := intern(c.hash, c.next, id, c.rule)
-					if fresh {
-						next = append(next, nid)
-					}
-					to = nid
-				}
-				edges = append(edges, graphEdge{rule: c.rule, to: to})
-			}
-			g.adj[id] = edges
-		}
-		frontier = next
-	}
-	return g, nil
 }

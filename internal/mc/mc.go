@@ -134,6 +134,30 @@ type Options struct {
 	// Workers bounds the exploration worker pool and the property-level
 	// parallelism of CheckAll; 0 means runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Shards partitions the visited set and frontier across hash-owned
+	// index shards. Rounded down to a power of two, capped at 64; 0 or 1
+	// keeps a single shard. Sharding never changes results — state ids,
+	// the parent tree and traces stay byte-identical to CheckSequential.
+	Shards int
+	// MemBudget bounds resident exploration state bytes; beyond it, cold
+	// arena segments spill to disk (an unlinked temp file under
+	// SpillDir). <= 0 disables spilling.
+	MemBudget int64
+	// SpillDir hosts the anonymous spill file (os.TempDir() when empty).
+	SpillDir string
+	// SpillSegmentBytes overrides the arena segment payload size (default
+	// 256 KiB); smaller segments make spilling finer-grained under tight
+	// budgets.
+	SpillSegmentBytes int
+	// SnapshotDir, when non-empty, checkpoints exploration at level
+	// boundaries into CRC-checksummed snapshot files there and resumes
+	// from the newest valid snapshot of the same system on the next
+	// build.
+	SnapshotDir string
+	// SnapshotEvery checkpoints every Nth completed level (default 1);
+	// the final level is always checkpointed.
+	SnapshotEvery int
 }
 
 func (o Options) maxStates() int {
@@ -148,6 +172,28 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// maxShards caps sharding so shard selection fits the low hash bits
+// reserved by the state index (indexShardBits).
+const maxShards = 64
+
+func (o Options) shardCount() int {
+	if o.Shards <= 1 {
+		return 1
+	}
+	n := 1
+	for n*2 <= min(o.Shards, maxShards) {
+		n *= 2
+	}
+	return n
+}
+
+func (o Options) snapshotEvery() int {
+	if o.SnapshotEvery > 0 {
+		return o.SnapshotEvery
+	}
+	return 1
 }
 
 // Check verifies one property on the system using the shared-frontier

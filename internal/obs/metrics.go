@@ -29,6 +29,15 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Labeled renders a per-instance instrument name inside the registry's
+// flat namespace: Labeled("mc.frontier_width", "shard", 3) yields
+// "mc.frontier_width{shard=3}". The registry has no label dimension —
+// this convention keeps a labelled family greppable under one prefix
+// while every instance stays an independent lock-free instrument.
+func Labeled(base, key string, v int) string {
+	return fmt.Sprintf("%s{%s=%d}", base, key, v)
+}
+
 // Counter is a monotonically increasing metric.
 type Counter struct{ v atomic.Int64 }
 

@@ -23,6 +23,7 @@ import (
 	"prochecker/internal/core/threat"
 	"prochecker/internal/lint"
 	"prochecker/internal/ltemodels"
+	"prochecker/internal/mc"
 	"prochecker/internal/obs"
 	"prochecker/internal/resilience"
 	"prochecker/internal/spec"
@@ -225,6 +226,19 @@ func NewEvaluator(m *Model) *Evaluator {
 // Call it before evaluations start; it is not synchronised with them.
 func (e *Evaluator) SetWorkers(n int) {
 	e.cfg.Workers = n
+}
+
+// SetMC tunes the model checker's exploration storage: shard count,
+// memory budget and spill directory, snapshot/resume directory. Worker
+// bounds still come from SetWorkers unless opts.Workers is set
+// explicitly. Call it before evaluations start; it is not synchronised
+// with them.
+func (e *Evaluator) SetMC(opts mc.Options) {
+	workers := e.cfg.MC.Workers
+	e.cfg.MC = opts
+	if e.cfg.MC.Workers == 0 {
+		e.cfg.MC.Workers = workers
+	}
 }
 
 func (e *Evaluator) workers() int {

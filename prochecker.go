@@ -38,6 +38,7 @@ import (
 	"prochecker/internal/conformance"
 	"prochecker/internal/core/props"
 	"prochecker/internal/lint"
+	"prochecker/internal/mc"
 	"prochecker/internal/obs"
 	"prochecker/internal/report"
 	"prochecker/internal/resilience"
@@ -140,6 +141,7 @@ type Analysis struct {
 	model   *report.Model
 	eval    *report.Evaluator
 	workers int
+	mcOpts  mc.Options
 	faults  channel.FaultConfig
 	obsv    *obs.Observer
 }
@@ -152,6 +154,31 @@ type Option func(*Analysis)
 // runtime.GOMAXPROCS(0); 1 forces a fully sequential run.
 func WithWorkers(n int) Option {
 	return func(a *Analysis) { a.workers = n }
+}
+
+// WithShards partitions the model checker's visited set and frontier
+// across n hash-owned shards (rounded down to a power of two, capped at
+// 64). Sharding changes throughput and memory locality only — verdicts,
+// state ids and counterexample traces are byte-identical at any shard
+// count.
+func WithShards(n int) Option {
+	return func(a *Analysis) { a.mcOpts.Shards = n }
+}
+
+// WithMemBudget bounds the model checker's resident exploration state
+// bytes; beyond the budget, cold arena segments spill to an unlinked
+// temp file so large compositions complete in bounded memory. <= 0 (the
+// default) keeps everything resident.
+func WithMemBudget(bytes int64) Option {
+	return func(a *Analysis) { a.mcOpts.MemBudget = bytes }
+}
+
+// WithSnapshotDir checkpoints model-checker exploration at level
+// boundaries into dir and resumes from the newest valid snapshot on the
+// next run of the same model — a killed analysis picks up where its
+// last completed level left off instead of re-exploring.
+func WithSnapshotDir(dir string) Option {
+	return func(a *Analysis) { a.mcOpts.SnapshotDir = dir }
 }
 
 // WithFaults runs the conformance suite that feeds model extraction
@@ -220,6 +247,7 @@ func AnalyzeContext(ctx context.Context, impl Implementation, opts ...Option) (*
 	a.model = m
 	a.eval = report.NewEvaluator(m)
 	a.eval.SetWorkers(a.workers)
+	a.eval.SetMC(a.mcOpts)
 	return a, nil
 }
 
