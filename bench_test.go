@@ -556,6 +556,56 @@ func BenchmarkCheckAllParallel(b *testing.B) {
 	b.ReportMetric(float64(evictions)/float64(b.N), "cache-evictions/op")
 }
 
+// BenchmarkCheckAllParallelWithSubscriber is BenchmarkCheckAllParallel
+// with the live observability plane attached: an event bus on the
+// context (so per-level exploration progress publishes) and one
+// subscriber consuming at full speed, the SSE-streaming steady state.
+// ci.sh gates the overhead versus the bare run at 5% in BENCH_obs.json.
+func BenchmarkCheckAllParallelWithSubscriber(b *testing.B) {
+	m := benchModel(b, ue.ProfileConformant)
+	sys := m.Composed.System
+	list := catalogueMCProperties(b)
+
+	bus := obs.NewBus(obs.DefaultBusCapacity, nil)
+	o := obs.New(obs.WithBus(bus))
+	ctx := obs.NewContext(context.Background(), o)
+	ctx = obs.WithScope(ctx, "j-bench")
+	subCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub := bus.Subscribe(bus.Seq() + 1)
+	defer sub.Close()
+	consumed := make(chan int64, 1)
+	go func() {
+		var n int64
+		for {
+			if _, err := sub.Next(subCtx); err != nil {
+				consumed <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := mc.NewEngine()
+		results, err := engine.CheckAllContext(ctx, sys, list, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(list) {
+			b.Fatalf("completed %d of %d", len(results), len(list))
+		}
+	}
+	b.StopTimer()
+	cancel()
+	n := <-consumed
+	if b.N > 0 && n == 0 && bus.Seq() > 0 {
+		b.Fatal("subscriber consumed no events despite publishes")
+	}
+	b.ReportMetric(float64(bus.Seq())/float64(b.N), "events/op")
+}
+
 // BenchmarkCEGARVerifyAll times the full MC ⇄ CPV loop over the same
 // property set, where unrefined properties share one cached exploration
 // via lazy clone-on-refine.

@@ -36,6 +36,10 @@
 //	prochecker -serve :8080 -store /var/lib/prochecker -wal /var/lib/prochecker-wal \
 //	    -retries 3 -retry-backoff 200ms
 //
+//	# live observability: tail a campaign over SSE, replay a job's flight
+//	prochecker -server http://127.0.0.1:8080 -campaign conformant,srsLTE,OAI -follow
+//	prochecker -replay-flight /var/lib/prochecker/flight/j-0001.jsonl
+//
 // Exit codes follow the resilience taxonomy: 0 clean, 1 internal
 // error, 2 cancelled/deadline, 3 fault-induced failure, 4 analysis
 // budget exhausted, 5 recovered test-case panic, 6 model-lint gate,
@@ -112,6 +116,9 @@ func run(args []string) (err error) {
 	campaignList := fs.String("campaign", "", "with -server, submit a campaign matrix: comma-separated implementations crossed with ';'-separated -faults specs")
 	wait := fs.Bool("wait", false, "with -submit/-campaign, poll until terminal and print verdicts")
 	poll := fs.Duration("poll", 150*time.Millisecond, "with -wait, polling interval")
+	follow := fs.Bool("follow", false, "with -submit/-campaign, tail the job/campaign event stream (SSE) live until terminal, then print verdicts")
+	eventBuf := fs.Int("event-buf", 0, "with -serve, event-bus ring capacity for SSE streaming and the flight recorder (0 = default)")
+	replayFlight := fs.String("replay-flight", "", "replay a per-job flight recording (<store>/flight/<job-id>.jsonl) after verifying its CRC footer, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +143,15 @@ func run(args []string) (err error) {
 	if *wait && !*submit && *campaignList == "" {
 		return errors.New("-wait requires -submit or -campaign")
 	}
+	if *follow && !*submit && *campaignList == "" {
+		return errors.New("-follow requires -submit or -campaign")
+	}
+	if *follow && *wait {
+		return errors.New("-follow and -wait are mutually exclusive (follow already ends at the terminal state)")
+	}
+	if *replayFlight != "" {
+		return runReplayFlight(*replayFlight)
+	}
 
 	if *serveAddr != "" {
 		return runServe(serveConfig{
@@ -153,6 +169,8 @@ func run(args []string) (err error) {
 			shards:       *shards,
 			memBudget:    *memBudget,
 			snapshotDir:  *snapshotDir,
+			metricsAddr:  *metricsAddr,
+			eventBuf:     *eventBuf,
 		})
 	}
 	if *submit || *campaignList != "" {
@@ -169,6 +187,7 @@ func run(args []string) (err error) {
 			timeout:      *timeout,
 			retries:      *retries,
 			retryBackoff: *retryBackoff,
+			follow:       *follow,
 		})
 	}
 

@@ -10,7 +10,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,6 +40,8 @@ type serveConfig struct {
 	shards       int           // exploration owner-shards per job
 	memBudget    int64         // resident state-arena bytes per job (0 = unbounded)
 	snapshotDir  string        // root for per-job exploration checkpoints ("" disables)
+	metricsAddr  string        // debug endpoint (expvar/pprof/metrics/healthz); "" disables
+	eventBuf     int           // event-bus ring capacity (0 = default)
 }
 
 // runServe hosts the job service until SIGINT/SIGTERM, then drains
@@ -45,15 +50,22 @@ type serveConfig struct {
 // resumes exactly where the drain left off. A drain that had to cancel
 // queued work exits with the taxonomy's cancelled code.
 func runServe(cfg serveConfig) (err error) {
-	o := obs.New()
+	// One registry, one event bus: the observer publishes spans onto the
+	// bus, the job service publishes lifecycle transitions, and the
+	// HTTP server's SSE endpoints (plus the flight recorder) read it.
+	reg := obs.NewRegistry()
+	bus := obs.NewBus(cfg.eventBuf, reg)
+	o := obs.New(obs.WithRegistry(reg), obs.WithBus(bus))
 	base := obs.NewContext(context.Background(), o)
 
 	var store *jobs.Store
+	var flightDir string
 	if cfg.storeDir != "" {
 		var serr error
 		if store, serr = jobs.OpenStore(cfg.storeDir, cfg.storeMax); serr != nil {
 			return serr
 		}
+		flightDir = filepath.Join(cfg.storeDir, "flight")
 	}
 	svc, err := jobs.New(jobs.Config{
 		Runner: prochecker.JobRunnerWith(prochecker.JobRunnerConfig{
@@ -71,6 +83,8 @@ func runServe(cfg serveConfig) (err error) {
 		Timeout:     cfg.timeout,
 		BaseContext: base,
 		Metrics:     o.Metrics(),
+		Events:      bus,
+		FlightDir:   flightDir,
 	})
 	if err != nil {
 		return err
@@ -81,7 +95,27 @@ func runServe(cfg serveConfig) (err error) {
 			"prochecker: wal recovery from %s: %d record(s) replayed, %d result(s) adopted, %d job(s) requeued, %d terminal kept\n",
 			cfg.walDir, recovery.Replayed, recovery.Adopted, recovery.Requeued, recovery.Terminal)
 	}
-	srv := server.New(svc, o.Metrics())
+	srv := server.New(svc, o.Metrics(), server.WithBus(bus))
+
+	// Optional debug endpoint alongside the API: expvar, pprof,
+	// Prometheus /metrics, and a /healthz whose readiness flips to 503
+	// once the drain starts (orchestrators stop routing to a server
+	// that is finishing up, instead of seeing "ok" until the port dies).
+	var draining atomic.Bool
+	if cfg.metricsAddr != "" {
+		dbg, derr := obs.Serve(cfg.metricsAddr, o.Metrics())
+		if derr != nil {
+			return derr
+		}
+		defer dbg.Close()
+		dbg.SetReadiness(func() error {
+			if draining.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		})
+		fmt.Fprintf(os.Stderr, "prochecker: serving debug endpoint on http://%s (/debug/vars, /debug/pprof/, /metrics, /healthz)\n", dbg.Addr)
+	}
 
 	// Deferred shutdown manifest: written on every exit path so an
 	// aborted serve run still records its durability story.
@@ -136,6 +170,7 @@ func runServe(cfg serveConfig) (err error) {
 	}
 
 	fmt.Fprintln(os.Stderr, "prochecker: draining — rejecting new jobs, finishing running ones")
+	draining.Store(true)
 	srv.StartDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
@@ -179,6 +214,7 @@ type clientConfig struct {
 	timeout      time.Duration
 	retries      int           // HTTP attempts per request (0 = default)
 	retryBackoff time.Duration // base backoff between attempts
+	follow       bool          // tail the SSE event stream instead of polling
 }
 
 // runClient submits work to a remote job service and optionally waits
@@ -205,11 +241,17 @@ func runClient(cfg clientConfig) error {
 			return err
 		}
 		fmt.Printf("campaign %s submitted: %d job(s)\n", camp.ID, len(camp.JobIDs))
-		if !cfg.wait {
+		switch {
+		case cfg.follow:
+			if camp, err = cl.FollowCampaign(ctx, camp.ID, printBusEvent()); err != nil {
+				return err
+			}
+		case cfg.wait:
+			if camp, err = cl.WaitCampaign(ctx, camp.ID, cfg.poll); err != nil {
+				return err
+			}
+		default:
 			return nil
-		}
-		if camp, err = cl.WaitCampaign(ctx, camp.ID, cfg.poll); err != nil {
-			return err
 		}
 		for _, j := range camp.Jobs {
 			attacks := 0
@@ -238,11 +280,17 @@ func runClient(cfg clientConfig) error {
 		return err
 	}
 	fmt.Printf("job %s submitted (state %s, key %.12s…)\n", job.ID, job.State, job.Key)
-	if !cfg.wait {
+	switch {
+	case cfg.follow:
+		if job, err = cl.FollowJob(ctx, job.ID, printBusEvent()); err != nil {
+			return err
+		}
+	case cfg.wait:
+		if job, err = cl.WaitJob(ctx, job.ID, cfg.poll); err != nil {
+			return err
+		}
+	default:
 		return nil
-	}
-	if job, err = cl.WaitJob(ctx, job.ID, cfg.poll); err != nil {
-		return err
 	}
 	if job.Result != nil {
 		for _, v := range job.Result.Verdicts {
@@ -298,6 +346,89 @@ func parsePropertySelection(check string) []string {
 		return nil
 	}
 	return splitList(check, ",")
+}
+
+// printBusEvent renders followed events to stderr (one line each), so
+// stdout stays reserved for the final verdict table. Span-begin and
+// raw metric events are elided — the tail shows lifecycle, per-level
+// exploration progress, completed phases and drop markers.
+func printBusEvent() func(obs.BusEvent) {
+	var mu sync.Mutex
+	return func(ev obs.BusEvent) {
+		line, ok := formatBusEvent(ev)
+		if !ok {
+			return
+		}
+		mu.Lock()
+		fmt.Fprintln(os.Stderr, line)
+		mu.Unlock()
+	}
+}
+
+// formatBusEvent renders one bus event for humans; ok is false for
+// event types the live tail elides.
+func formatBusEvent(ev obs.BusEvent) (string, bool) {
+	scope := ev.Scope
+	if scope == "" {
+		scope = "-"
+	}
+	switch ev.Type {
+	case "job", "campaign", "snapshot":
+		detail := ""
+		if a := ev.Attrs["attempt"]; a != "" && a != "1" {
+			detail += " attempt=" + a
+		}
+		if ev.Attrs["cache_hit"] == "true" {
+			detail += " cache_hit"
+		}
+		if c := ev.Attrs["class"]; c != "" && c != "none" {
+			detail += " class=" + c
+		}
+		if ev.Err != "" {
+			detail += "  " + firstLine(ev.Err)
+		}
+		return fmt.Sprintf("[%s] %s %s%s", scope, ev.Type, ev.Name, detail), true
+	case "progress":
+		return fmt.Sprintf("[%s] level %d: %s states, frontier %s (%s)",
+			scope, ev.Value, ev.Attrs["states"], ev.Attrs["frontier"], ev.Attrs["system"]), true
+	case "span_end":
+		status := ""
+		if ev.Err != "" {
+			status = "  error: " + firstLine(ev.Err)
+		}
+		return fmt.Sprintf("[%s] phase %s (%.1fms)%s", scope, ev.Name, ev.DurMS, status), true
+	case "dropped":
+		return fmt.Sprintf("[%s] ! %d event(s) dropped (stream fell behind ring retention)", scope, ev.Value), true
+	case "note":
+		return fmt.Sprintf("[%s] %s", scope, ev.Msg), true
+	default: // span_start, metric: too chatty for a live tail
+		return "", false
+	}
+}
+
+// runReplayFlight verifies and prints one job's flight recording — the
+// post-mortem path: every event the job emitted, in bus order, without
+// re-running anything.
+func runReplayFlight(path string) error {
+	events, err := jobs.ReadFlight(path)
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		line, ok := formatBusEvent(ev)
+		if !ok {
+			// The recording keeps everything; the replay prints
+			// everything too, including types the live tail elides.
+			data := ev.Name
+			if ev.Type == "metric" {
+				data = fmt.Sprintf("%s=%d", ev.Name, ev.Value)
+			}
+			line = fmt.Sprintf("[%s] %s %s", ev.Scope, ev.Type, data)
+		}
+		fmt.Printf("%6d  %s  %s\n", ev.Seq, ev.Time.Format("15:04:05.000"), line)
+	}
+	fmt.Printf("\n%d event(s) replayed from %s (crc verified)\n", len(events), path)
+	return nil
 }
 
 // splitList splits on sep, trimming whitespace and keeping explicit

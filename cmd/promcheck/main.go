@@ -1,0 +1,42 @@
+// Command promcheck validates a Prometheus text-exposition payload
+// (version 0.0.4) read from stdin or a file: TYPE headers, sample
+// syntax, duplicate series, and histogram bucket structure. ci.sh
+// pipes live /metrics scrapes through it so a formatting regression
+// fails the build instead of silently breaking scrapers.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | promcheck
+//	promcheck scrape.txt
+//
+// On success it prints the number of samples checked; on a structural
+// error it prints the first finding and exits 1 (2 on I/O errors).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"prochecker/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	samples, err := obs.ValidatePrometheusText(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: %d sample(s) ok\n", name, samples)
+}

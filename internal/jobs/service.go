@@ -151,6 +151,15 @@ type Config struct {
 	// Metrics receives queue/cache/wal/retry instrumentation; optional
 	// (nil-safe).
 	Metrics *obs.Registry
+	// Events receives job lifecycle transitions (and, through the scope
+	// each worker installs on its job context, every span the runner
+	// produces); optional. Publishing never blocks, so a bus costs the
+	// pipeline nothing beyond the ring append.
+	Events *obs.Bus
+	// FlightDir enables the per-job flight recorder: each job's event
+	// stream is written to <FlightDir>/<job-id>.jsonl with a CRC footer,
+	// replayable offline for post-mortem debugging. Requires Events.
+	FlightDir string
 }
 
 // DefaultQueueCap bounds the queue when Config.Queue <= 0.
@@ -203,10 +212,12 @@ type RecoveryStats struct {
 // Service owns the queue, the worker pool, the job table and (when
 // configured) the write-ahead log making all of it crash-safe.
 type Service struct {
-	cfg  Config
-	base context.Context
-	wal  *WAL
-	wg   sync.WaitGroup
+	cfg    Config
+	base   context.Context
+	wal    *WAL
+	bus    *obs.Bus
+	flight *FlightRecorder
+	wg     sync.WaitGroup
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled when pending grows or drain starts
@@ -246,11 +257,23 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:      cfg,
 		base:     cfg.BaseContext,
+		bus:      cfg.Events,
 		rng:      rand.New(rand.NewSource(cfg.Retry.Seed)),
 		tasks:    make(map[string]*task),
 		inflight: make(map[string]string),
 	}
 	s.cond = sync.NewCond(&s.mu)
+
+	// Pre-register the always-present instruments so a scrape of a
+	// freshly booted, still-idle service already exposes the core
+	// series (at zero) instead of an empty payload.
+	if reg := cfg.Metrics; reg != nil {
+		reg.Counter("jobs.submitted")
+		reg.Counter("jobs.completed")
+		reg.Gauge("jobs.queue_depth")
+		reg.Gauge("jobs.running")
+		reg.Histogram("jobs.queue_latency_ms", nil)
+	}
 
 	if cfg.WALDir != "" {
 		_, span := obs.Start(cfg.BaseContext, "wal.replay", obs.A("dir", cfg.WALDir))
@@ -274,6 +297,15 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		span.End()
+	}
+
+	if cfg.FlightDir != "" && cfg.Events != nil {
+		fr, err := NewFlightRecorder(cfg.FlightDir, cfg.Events, cfg.Metrics)
+		if err != nil {
+			s.wal.Close() //nolint:errcheck // startup failed midway
+			return nil, err
+		}
+		s.flight = fr
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
@@ -503,6 +535,8 @@ func (s *Service) Submit(spec Spec) (Job, error) {
 	s.cond.Signal()
 	reg.Counter("jobs.submitted").Inc()
 	reg.Gauge("jobs.queue_depth").Add(1)
+	s.publishJobLocked(t, string(StateQueued))
+	s.publishQueueDepthLocked()
 	return s.snapshotLocked(t), nil
 }
 
@@ -649,6 +683,9 @@ func (s *Service) Drain(ctx context.Context) (int, error) {
 	case <-done:
 		var cerr error
 		s.checkpointOnce.Do(func() { cerr = s.checkpointAndCloseWAL() })
+		// Every terminal event is on the bus by now; Close drains the
+		// recorder's backlog so finished flights carry their footers.
+		s.flight.Close()
 		return cancelled, cerr
 	case <-ctx.Done():
 		return cancelled, fmt.Errorf("jobs: drain interrupted: %w", resilience.ErrCancelled)
@@ -767,6 +804,8 @@ func (s *Service) worker() {
 				Type: RecStarted, ID: t.id, Attempt: attempt, At: time.Now().UTC(),
 			})
 		}
+		s.publishJobLocked(t, string(StateRunning))
+		s.publishQueueDepthLocked()
 		s.mu.Unlock()
 
 		reg.Gauge("jobs.queue_depth").Add(-1)
@@ -775,6 +814,10 @@ func (s *Service) worker() {
 		}
 		reg.Gauge("jobs.running").Add(1)
 
+		// The job's ID becomes the scope of every span the runner starts,
+		// so the process-wide event bus can be demultiplexed into per-job
+		// streams (SSE endpoints, flight recorder).
+		ctx = obs.WithScope(ctx, t.id)
 		ctx, span := obs.Start(ctx, "job.run",
 			obs.A("job", t.id), obs.A("impl", spec.Impl), obs.A("faults", spec.Faults),
 			obs.A("attempt", strconv.Itoa(attempt)))
@@ -833,6 +876,7 @@ func (s *Service) retryLocked(t *task, err error) bool {
 	reg := s.cfg.Metrics
 	reg.Counter("jobs.retries").Inc()
 	reg.Gauge("jobs.queue_depth").Add(1)
+	s.publishJobLocked(t, "retrying")
 	time.AfterFunc(delay, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -870,11 +914,58 @@ func (s *Service) finalizeFailureLocked(t *task, err error) {
 	s.terminalMetricsLocked(t)
 }
 
-// terminalMetricsLocked records a job reaching a final state.
+// terminalMetricsLocked records a job reaching a final state — the
+// single point every terminal transition (cache hit, completion,
+// cancellation, failure, quarantine) funnels through, so it also
+// publishes the terminal lifecycle event streaming clients and the
+// flight recorder key off.
 func (s *Service) terminalMetricsLocked(t *task) {
 	reg := s.cfg.Metrics
 	reg.Counter("jobs.completed").Inc()
 	reg.Counter("jobs.terminal." + terminalClass(t.state, t.err)).Inc()
+	if t.spec.Impl != "" {
+		reg.Counter(obs.LabeledStr("jobs.terminal_by_impl", "impl", t.spec.Impl)).Inc()
+	}
+	s.publishJobLocked(t, string(t.state))
+}
+
+// publishJobLocked emits one job lifecycle transition on the event
+// bus. Publishing never blocks (slow subscribers drop), so calling
+// under the service lock is safe.
+func (s *Service) publishJobLocked(t *task, name string) {
+	if s.bus == nil {
+		return
+	}
+	ev := obs.BusEvent{Type: "job", Scope: t.id, Name: name}
+	attrs := make(map[string]string, 4)
+	if t.attempts > 0 {
+		attrs["attempt"] = strconv.Itoa(t.attempts)
+	}
+	if t.cacheHit {
+		attrs["cache_hit"] = "true"
+	}
+	if t.recovered {
+		attrs["recovered"] = "true"
+	}
+	if t.state.Terminal() {
+		attrs["class"] = terminalClass(t.state, t.err)
+	}
+	if t.err != nil {
+		ev.Err = t.err.Error()
+	}
+	if len(attrs) > 0 {
+		ev.Attrs = attrs
+	}
+	s.bus.Publish(ev)
+}
+
+// publishQueueDepthLocked emits the queue depth as a metric delta
+// event so live dashboards track backpressure without scraping.
+func (s *Service) publishQueueDepthLocked() {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(obs.BusEvent{Type: "metric", Name: "jobs.queue_depth", Value: int64(s.nqueued)})
 }
 
 // terminalClass maps a terminal job onto the resilience vocabulary.

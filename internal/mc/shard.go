@@ -61,6 +61,8 @@ type levelExplorer struct {
 	level    int     // completed levels
 
 	reg        *obs.Registry
+	bus        *obs.Bus
+	scope      string // job scope for progress events (see obs.WithScope)
 	width      []*obs.Histogram
 	occupancy  []*obs.Gauge
 	handoff    []*obs.Counter
@@ -112,6 +114,8 @@ func buildGraph(ctx context.Context, sys *ts.System, opts Options) (graph *State
 		shards: make([]*stateIndex, nShards),
 		mask:   uint64(nShards - 1),
 		reg:    reg,
+		bus:    obs.FromContext(ctx).Bus(),
+		scope:  obs.ScopeFromContext(ctx),
 	}
 	for k := range e.shards {
 		e.shards[k] = newStateIndex()
@@ -502,5 +506,23 @@ func (e *levelExplorer) endOfLevel() error {
 			return err
 		}
 	}
+	// One progress event per completed level: how deep the exploration
+	// is, how many states it holds, and how wide the next frontier is —
+	// the live feedback streaming clients steer budgets by. Publishing
+	// never blocks, so the level loop pays only the ring append.
+	if e.bus == nil {
+		return nil
+	}
+	e.bus.Publish(obs.BusEvent{
+		Type:  "progress",
+		Scope: e.scope,
+		Name:  "mc.level",
+		Value: int64(e.level),
+		Attrs: map[string]string{
+			"system":   g.Sys.Name,
+			"states":   strconv.Itoa(g.NumStates()),
+			"frontier": strconv.Itoa(len(e.frontier)),
+		},
+	})
 	return nil
 }

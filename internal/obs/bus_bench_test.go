@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkEventBusPublish is the cost every instrumented call site
+// pays: one ring append under the bus mutex, no subscribers.
+func BenchmarkEventBusPublish(b *testing.B) {
+	bus := NewBus(DefaultBusCapacity, nil)
+	ev := BusEvent{Type: "span_end", Scope: "j-0001", Name: "mc.explore", DurMS: 1.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+// BenchmarkEventBusPublishNilBus is the uninstrumented path: code
+// publishing unconditionally against a nil bus must cost ~nothing.
+func BenchmarkEventBusPublishNilBus(b *testing.B) {
+	var bus *Bus
+	ev := BusEvent{Type: "span_end", Name: "mc.explore"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+}
+
+// BenchmarkEventBusPublishWithSubscriber adds one live consumer reading
+// at full speed — the SSE-streaming steady state.
+func BenchmarkEventBusPublishWithSubscriber(b *testing.B) {
+	bus := NewBus(DefaultBusCapacity, nil)
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := sub.Next(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	ev := BusEvent{Type: "span_end", Scope: "j-0001", Name: "mc.explore", DurMS: 1.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(ev)
+	}
+	b.StopTimer()
+	cancel()
+	<-done
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func publishN(b *Bus, n int) {
+	for i := 0; i < n; i++ {
+		b.Publish(BusEvent{Type: "note", Msg: fmt.Sprintf("ev-%d", i)})
+	}
+}
+
+func TestBusSequencesMonotonicFromOne(t *testing.T) {
+	b := NewBus(8, nil)
+	for want := uint64(1); want <= 5; want++ {
+		if got := b.Publish(BusEvent{Type: "note"}); got != want {
+			t.Fatalf("Publish assigned seq %d, want %d", got, want)
+		}
+	}
+	if got := b.Seq(); got != 5 {
+		t.Fatalf("Seq() = %d, want 5", got)
+	}
+}
+
+func TestBusSubscribeReplaysRetained(t *testing.T) {
+	b := NewBus(16, nil)
+	publishN(b, 6)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+	for want := uint64(1); want <= 6; want++ {
+		ev, ok := sub.TryNext()
+		if !ok {
+			t.Fatalf("TryNext exhausted at seq %d", want)
+		}
+		if ev.Seq != want {
+			t.Fatalf("replayed seq %d, want %d", ev.Seq, want)
+		}
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("TryNext returned an event past the published history")
+	}
+}
+
+func TestBusSubscribeFromFuture(t *testing.T) {
+	b := NewBus(16, nil)
+	publishN(b, 4)
+	sub := b.Subscribe(b.Seq() + 1)
+	defer sub.Close()
+	if ev, ok := sub.TryNext(); ok {
+		t.Fatalf("subscriber from future saw historic event %+v", ev)
+	}
+	b.Publish(BusEvent{Type: "note", Msg: "live"})
+	ev, ok := sub.TryNext()
+	if !ok || ev.Seq != 5 || ev.Msg != "live" {
+		t.Fatalf("subscriber from future got (%+v, %v), want seq 5 live event", ev, ok)
+	}
+}
+
+func TestBusDropOldestSynthesizesMarker(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBus(4, reg)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+	// Overrun the ring: 10 events into a 4-slot ring leaves 7..10
+	// retained, with the subscriber's cursor still at 1.
+	publishN(b, 10)
+
+	ev, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("TryNext returned no event after overrun")
+	}
+	if ev.Type != "dropped" {
+		t.Fatalf("first event after overrun has type %q, want dropped", ev.Type)
+	}
+	if ev.Value != 6 {
+		t.Fatalf("dropped marker reports %d lost events, want 6", ev.Value)
+	}
+	if ev.Seq != 6 {
+		t.Fatalf("dropped marker seq %d, want 6 (last lost sequence)", ev.Seq)
+	}
+
+	// Delivery resumes at the oldest retained event with no further gap.
+	for want := uint64(7); want <= 10; want++ {
+		ev, ok := sub.TryNext()
+		if !ok || ev.Seq != want || ev.Type == "dropped" {
+			t.Fatalf("post-marker delivery got (%+v, %v), want seq %d", ev, ok, want)
+		}
+	}
+
+	if got := reg.Counter("obs.events_dropped").Value(); got != 6 {
+		t.Fatalf("obs.events_dropped = %d, want 6", got)
+	}
+	if got := reg.Counter("obs.events_published").Value(); got != 10 {
+		t.Fatalf("obs.events_published = %d, want 10", got)
+	}
+}
+
+func TestBusPublishNeverBlocksOnSlowConsumer(t *testing.T) {
+	b := NewBus(4, nil)
+	sub := b.Subscribe(0) // never reads
+	defer sub.Close()
+	done := make(chan struct{})
+	go func() {
+		publishN(b, 10_000)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a subscriber that never reads")
+	}
+}
+
+func TestBusNextBlocksUntilPublish(t *testing.T) {
+	b := NewBus(8, nil)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	got := make(chan BusEvent, 1)
+	go func() {
+		ev, err := sub.Next(context.Background())
+		if err != nil {
+			t.Errorf("Next: %v", err)
+			return
+		}
+		got <- ev
+	}()
+	time.Sleep(20 * time.Millisecond) // let Next park
+	b.Publish(BusEvent{Type: "note", Msg: "wake"})
+	select {
+	case ev := <-got:
+		if ev.Msg != "wake" {
+			t.Fatalf("Next woke with %+v, want the published event", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never woke after a publish")
+	}
+}
+
+func TestBusNextHonoursContextAndClose(t *testing.T) {
+	b := NewBus(8, nil)
+
+	sub := b.Subscribe(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(ctx)
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Next after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next ignored context cancellation")
+	}
+	sub.Close()
+
+	sub2 := b.Subscribe(0)
+	go func() {
+		_, err := sub2.Next(context.Background())
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub2.Close()
+	select {
+	case err := <-errc:
+		if err != ErrBusClosed {
+			t.Fatalf("Next after Close: %v, want ErrBusClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next ignored subscription close")
+	}
+	sub2.Close() // double close is harmless
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus(64, NewRegistry())
+	const publishers, perPublisher = 4, 500
+
+	var wg sync.WaitGroup
+	consumed := make([]int, 3)
+	for c := 0; c < len(consumed); c++ {
+		sub := b.Subscribe(0)
+		wg.Add(1)
+		go func(c int, sub *Subscription) {
+			defer wg.Done()
+			defer sub.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			var last uint64
+			for {
+				ev, err := sub.Next(ctx)
+				if err != nil {
+					t.Errorf("consumer %d: %v", c, err)
+					return
+				}
+				if ev.Type != "dropped" && ev.Seq <= last {
+					t.Errorf("consumer %d: seq went backwards (%d after %d)", c, ev.Seq, last)
+					return
+				}
+				if ev.Seq > last {
+					last = ev.Seq
+				}
+				consumed[c]++
+				if last == publishers*perPublisher {
+					return
+				}
+			}
+		}(c, sub)
+	}
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			publishN(b, perPublisher)
+		}()
+	}
+	wg.Wait()
+	for c, n := range consumed {
+		if n == 0 {
+			t.Errorf("consumer %d saw no events", c)
+		}
+	}
+}
+
+func TestBusNilSafety(t *testing.T) {
+	var b *Bus
+	if got := b.Publish(BusEvent{Type: "note"}); got != 0 {
+		t.Fatalf("nil bus Publish = %d, want 0", got)
+	}
+	if got := b.Seq(); got != 0 {
+		t.Fatalf("nil bus Seq = %d, want 0", got)
+	}
+	sub := b.Subscribe(0)
+	if sub != nil {
+		t.Fatal("nil bus Subscribe returned non-nil subscription")
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("nil subscription TryNext reported an event")
+	}
+	if _, err := sub.Next(context.Background()); err != ErrBusClosed {
+		t.Fatalf("nil subscription Next: %v, want ErrBusClosed", err)
+	}
+	if got := sub.Cursor(); got != 0 {
+		t.Fatalf("nil subscription Cursor = %d, want 0", got)
+	}
+	sub.Close()
+}
+
+func TestBusDefaultCapacity(t *testing.T) {
+	b := NewBus(0, nil)
+	if got := len(b.ring); got != DefaultBusCapacity {
+		t.Fatalf("NewBus(0) ring capacity %d, want %d", got, DefaultBusCapacity)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -35,7 +36,15 @@ func NewRegistry() *Registry {
 // this convention keeps a labelled family greppable under one prefix
 // while every instance stays an independent lock-free instrument.
 func Labeled(base, key string, v int) string {
-	return fmt.Sprintf("%s{%s=%d}", base, key, v)
+	return LabeledStr(base, key, strconv.Itoa(v))
+}
+
+// LabeledStr is Labeled for string label values:
+// LabeledStr("jobs.terminal_by_impl", "impl", "srslte") yields
+// "jobs.terminal_by_impl{impl=srslte}". WritePrometheus parses the
+// convention back into real Prometheus labels.
+func LabeledStr(base, key, val string) string {
+	return fmt.Sprintf("%s{%s=%s}", base, key, val)
 }
 
 // Counter is a monotonically increasing metric.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -139,8 +140,14 @@ func TestPublishExpvarOnce(t *testing.T) {
 	}
 }
 
+// serveTestRegistry is shared by every test that calls Serve: expvar
+// registration is process-global and first-wins, so Serve calls with
+// distinct registries would make the /debug/vars content depend on
+// test order under -shuffle.
+var serveTestRegistry = NewRegistry()
+
 func TestServeEndpoint(t *testing.T) {
-	r := NewRegistry()
+	r := serveTestRegistry
 	r.Counter("mc.states_explored").Add(1234)
 	srv, err := Serve("127.0.0.1:0", r)
 	if err != nil {
@@ -177,4 +184,55 @@ func TestServeEndpoint(t *testing.T) {
 	if got := get("/debug/pprof/"); !strings.Contains(got, "goroutine") {
 		t.Fatal("/debug/pprof/ index should list profiles")
 	}
+	if got := get("/metrics"); !strings.Contains(got, "prochecker_mc_states_explored 1234") {
+		t.Fatalf("/metrics missing Prometheus sample:\n%s", got)
+	}
+}
+
+// TestServeReadinessHook drives the /healthz readiness hook through its
+// states: no hook (200), hook erroring (503 with the error as body,
+// the draining signal orchestrators act on), hook healthy again (200),
+// hook removed (200).
+func TestServeReadinessHook(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", serveTestRegistry)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	probe := func() (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		rec := httptest.NewRecorder()
+		if _, err := rec.Body.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("reading /healthz body: %v", err)
+		}
+		return resp.StatusCode, rec.Body.String()
+	}
+
+	if code, _ := probe(); code != http.StatusOK {
+		t.Fatalf("hookless /healthz = %d, want 200", code)
+	}
+	srv.SetReadiness(func() error { return errors.New("draining") })
+	code, body := probe()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "draining") {
+		t.Fatalf("draining /healthz body = %q, want the hook's error text", body)
+	}
+	srv.SetReadiness(func() error { return nil })
+	if code, _ := probe(); code != http.StatusOK {
+		t.Fatalf("ready-again /healthz = %d, want 200", code)
+	}
+	srv.SetReadiness(nil)
+	if code, _ := probe(); code != http.StatusOK {
+		t.Fatalf("hook-removed /healthz = %d, want 200", code)
+	}
+
+	var nilSrv *Server
+	nilSrv.SetReadiness(func() error { return nil }) // nil-safe
 }

@@ -60,6 +60,7 @@ type Observer struct {
 	start time.Time
 	level Level
 	sink  func(Event)
+	bus   *Bus
 }
 
 // ObserverOption tunes New.
@@ -80,6 +81,13 @@ func WithEventSink(level Level, sink func(Event)) ObserverOption {
 // instead of a fresh one (e.g. the process-wide expvar-published one).
 func WithRegistry(r *Registry) ObserverOption {
 	return func(o *Observer) { o.reg = r }
+}
+
+// WithBus attaches a live event bus: every span begin/end and note is
+// published to it regardless of the sink's verbosity level, carrying
+// the scope installed on the originating context (see WithScope).
+func WithBus(b *Bus) ObserverOption {
+	return func(o *Observer) { o.bus = b }
 }
 
 // New builds an observer whose root span ("run") starts now.
@@ -112,12 +120,29 @@ func (o *Observer) Root() *Span {
 	return o.root
 }
 
+// Bus returns the attached event bus; nil for a nil observer or when
+// none was attached, and every Bus method is in turn nil-safe.
+func (o *Observer) Bus() *Bus {
+	if o == nil {
+		return nil
+	}
+	return o.bus
+}
+
 // Notef emits a free-form event at the given level.
 func (o *Observer) Notef(level Level, format string, args ...any) {
-	if o == nil || o.sink == nil || level > o.level {
+	if o == nil {
 		return
 	}
-	o.sink(Event{Time: time.Now(), Kind: "note", Msg: fmt.Sprintf(format, args...)})
+	msg := ""
+	if o.bus != nil || (o.sink != nil && level <= o.level) {
+		msg = fmt.Sprintf(format, args...)
+	}
+	o.bus.Publish(BusEvent{Type: "note", Msg: msg})
+	if o.sink == nil || level > o.level {
+		return
+	}
+	o.sink(Event{Time: time.Now(), Kind: "note", Msg: msg})
 }
 
 // emit forwards a span event to the sink when verbose enough.
@@ -134,7 +159,23 @@ type ctxKey int
 const (
 	observerKey ctxKey = iota
 	spanKey
+	scopeKey
 )
+
+// WithScope returns a context whose spans (and the bus events they
+// publish) are tagged with the given scope — the job service installs
+// each job's ID here so streaming endpoints can demultiplex one
+// process-wide bus into per-job event streams.
+func WithScope(ctx context.Context, scope string) context.Context {
+	return context.WithValue(ctx, scopeKey, scope)
+}
+
+// ScopeFromContext returns the scope installed by WithScope ("" when
+// absent).
+func ScopeFromContext(ctx context.Context) string {
+	s, _ := ctx.Value(scopeKey).(string)
+	return s
+}
 
 // NewContext returns a context carrying the observer (and its root span
 // as the current span). A nil observer returns ctx unchanged, keeping
@@ -172,6 +213,6 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 	if parent == nil {
 		return ctx, nil
 	}
-	child := parent.StartChild(name, attrs...)
+	child := parent.startChild(name, ScopeFromContext(ctx), attrs...)
 	return context.WithValue(ctx, spanKey, child), child
 }

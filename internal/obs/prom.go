@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family, then
+// one sample line per instrument, with the registry's flat
+// `base{key=value}` naming convention (see Labeled / LabeledStr)
+// parsed back into real Prometheus labels and dotted names mapped to
+// underscores. Histograms expose the standard cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+// promSample is one flattened sample: a family name, its parsed
+// labels, and a rendered value.
+type promSample struct {
+	labels string // rendered {k="v",...} or ""
+	value  string
+}
+
+// promFamily groups every instrument sharing a sanitized base name.
+type promFamily struct {
+	name    string
+	kind    string // counter | gauge | histogram
+	samples []promSample
+}
+
+// promName maps a dotted registry name onto the Prometheus metric
+// name charset [a-zA-Z0-9_:], replacing every other rune with '_'.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value for the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// splitLabels parses a registry name in the Labeled/LabeledStr
+// convention — `base{k1=v1,k2=v2}` — into its base and rendered
+// Prometheus label pairs. Names without the convention come back with
+// no labels.
+func splitLabels(name string) (base string, labels []string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:open]
+	for _, pair := range strings.Split(name[open+1:len(name)-1], ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			// Not the convention after all; treat the whole name as flat.
+			return name, nil
+		}
+		labels = append(labels, fmt.Sprintf("%s=%q", promName(strings.TrimSpace(k)), promEscape(strings.TrimSpace(v))))
+	}
+	return base, labels
+}
+
+// renderLabels joins parsed label pairs (plus any extras) into the
+// `{...}` sample suffix.
+func renderLabels(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(all, ",") + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent
+// for ordinary magnitudes, `+Inf` handled by callers).
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format, prefixing each family with namespace (e.g.
+// "prochecker"). Families and samples are emitted in sorted order so
+// consecutive scrapes diff cleanly. Nil writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	if r == nil {
+		return nil
+	}
+	prefix := ""
+	if namespace != "" {
+		prefix = promName(namespace) + "_"
+	}
+
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.RUnlock()
+
+	families := make(map[string]*promFamily)
+	family := func(base, kind string) *promFamily {
+		name := prefix + promName(base)
+		f := families[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: kind}
+			families[name] = f
+		}
+		return f
+	}
+	for name, c := range counters {
+		base, labels := splitLabels(name)
+		f := family(base, "counter")
+		f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: fmt.Sprintf("%d", c.Value())})
+	}
+	for name, g := range gauges {
+		base, labels := splitLabels(name)
+		f := family(base, "gauge")
+		f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: fmt.Sprintf("%d", g.Value())})
+	}
+	type histBlock struct {
+		key   string // instance label set, for deterministic ordering
+		lines []promSample
+	}
+	histFamilies := make(map[string][]histBlock)
+	for name, h := range histograms {
+		base, labels := splitLabels(name)
+		f := family(base, "histogram")
+		bounds, counts, count, sum := h.dump()
+		var lines []promSample
+		cum := int64(0)
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatFloat(bounds[i])
+			}
+			lines = append(lines, promSample{
+				labels: "_bucket" + renderLabels(labels, fmt.Sprintf("le=%q", le)),
+				value:  fmt.Sprintf("%d", cum),
+			})
+		}
+		lines = append(lines,
+			promSample{labels: "_sum" + renderLabels(labels), value: formatFloat(sum)},
+			promSample{labels: "_count" + renderLabels(labels), value: fmt.Sprintf("%d", count)},
+		)
+		histFamilies[f.name] = append(histFamilies[f.name], histBlock{key: renderLabels(labels), lines: lines})
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.kind == "histogram" {
+			blocks := histFamilies[f.name]
+			sort.Slice(blocks, func(i, j int) bool { return blocks[i].key < blocks[j].key })
+			for _, blk := range blocks {
+				for _, s := range blk.lines {
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, s.value); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dump freezes the histogram's raw bucket state for exposition.
+func (h *Histogram) dump() (bounds []float64, counts []int64, count int64, sum float64) {
+	if h == nil {
+		return nil, nil, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	counts = append([]int64(nil), h.counts...)
+	return bounds, counts, h.count, h.sum
+}
+
+// PrometheusHandler serves the registry as a text-format scrape
+// endpoint (mounted at /metrics by both the campaign server and the
+// obs debug endpoint).
+func (r *Registry) PrometheusHandler(namespace string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w, namespace) //nolint:errcheck // client gone mid-scrape
+	})
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the consuming half of the Prometheus text support: a
+// validator for exposition-format payloads, strict enough to catch the
+// mistakes WritePrometheus could realistically make (family/sample
+// drift, duplicate series, non-cumulative or unterminated histogram
+// buckets). ci.sh pipes live /metrics scrapes through cmd/promcheck,
+// which wraps ValidatePrometheusText; the unit tests round-trip
+// WritePrometheus output through the same function.
+
+// promValidKind reports whether a # TYPE kind is one this repo emits.
+func promValidKind(k string) bool {
+	switch k {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return true
+	}
+	return false
+}
+
+// promValidName reports whether a metric or label name fits the
+// Prometheus charset.
+func promValidName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r == ':' && !label:
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promSeries is one parsed sample line.
+type promSeries struct {
+	name   string
+	labels string // raw {...} text, "" when absent
+	le     string // the le label value, histograms only
+	value  float64
+	line   int
+}
+
+// parsePromLine splits `name{labels} value [timestamp]`.
+func parsePromLine(line string, n int) (promSeries, error) {
+	s := promSeries{line: n}
+	rest := line
+	if open := strings.IndexByte(rest, '{'); open >= 0 {
+		closeIdx := strings.IndexByte(rest, '}')
+		if closeIdx < open {
+			return s, fmt.Errorf("line %d: unbalanced label braces", n)
+		}
+		s.name = rest[:open]
+		s.labels = rest[open : closeIdx+1]
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		for _, pair := range strings.Split(s.labels[1:len(s.labels)-1], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("line %d: label %q is not key=\"value\"", n, pair)
+			}
+			if !promValidName(k, true) {
+				return s, fmt.Errorf("line %d: invalid label name %q", n, k)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("line %d: label %s value %s is not a quoted string", n, k, v)
+			}
+			if k == "le" {
+				s.le = uq
+			}
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("line %d: want `name value`, got %q", n, line)
+		}
+		s.name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !promValidName(s.name, false) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", n, s.name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: want `value [timestamp]` after the name, got %q", n, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: value %q is not a float", n, fields[0])
+	}
+	s.value = v
+	return s, nil
+}
+
+// histSuffix maps a histogram series name onto its family base ("" when
+// the name carries no histogram suffix).
+func histSuffix(name string) (base, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, sfx) {
+			return strings.TrimSuffix(name, sfx), sfx
+		}
+	}
+	return "", ""
+}
+
+// ValidatePrometheusText checks one exposition payload: TYPE headers
+// well-formed and unique, every sample under a declared family (with
+// histogram suffix rules), no duplicate series, histogram buckets
+// cumulative and +Inf-terminated per label set. It returns the number
+// of samples checked, or the first structural error.
+func ValidatePrometheusText(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	families := make(map[string]string) // name -> kind
+	seen := make(map[string]int)        // name+labels -> line
+	type bucketKey struct{ name, labels string }
+	// Per labelled histogram instance, buckets in arrival order.
+	buckets := make(map[bucketKey][]promSeries)
+	samples := 0
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				return samples, fmt.Errorf("line %d: comment %q is neither # TYPE nor # HELP", n, line)
+			}
+			if fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 {
+				return samples, fmt.Errorf("line %d: want `# TYPE name kind`, got %q", n, line)
+			}
+			name, kind := fields[2], fields[3]
+			if !promValidName(name, false) {
+				return samples, fmt.Errorf("line %d: invalid family name %q", n, name)
+			}
+			if !promValidKind(kind) {
+				return samples, fmt.Errorf("line %d: unknown family kind %q", n, kind)
+			}
+			if prev, dup := families[name]; dup {
+				return samples, fmt.Errorf("line %d: family %s declared twice (first as %s)", n, name, prev)
+			}
+			families[name] = kind
+			continue
+		}
+		s, err := parsePromLine(line, n)
+		if err != nil {
+			return samples, err
+		}
+		samples++
+		key := s.name + s.labels
+		if prev, dup := seen[key]; dup {
+			return samples, fmt.Errorf("line %d: series %s%s already emitted on line %d", n, s.name, s.labels, prev)
+		}
+		seen[key] = n
+		kind, ok := families[s.name]
+		if base, sfx := histSuffix(s.name); !ok && base != "" && families[base] == "histogram" {
+			kind, ok = "histogram", true
+			if sfx == "_bucket" {
+				if s.le == "" {
+					return samples, fmt.Errorf("line %d: histogram bucket %s has no le label", n, s.name)
+				}
+				// Group per instance: the label set minus le.
+				inst := strings.ReplaceAll(s.labels, fmt.Sprintf("le=%q", s.le), "")
+				bk := bucketKey{name: base, labels: inst}
+				buckets[bk] = append(buckets[bk], s)
+			}
+		}
+		if !ok {
+			return samples, fmt.Errorf("line %d: sample %s has no # TYPE declaration", n, s.name)
+		}
+		_ = kind
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in payload")
+	}
+	for bk, bs := range buckets {
+		var prevBound, prevCum float64
+		prevBound = math.Inf(-1)
+		for i, b := range bs {
+			bound := math.Inf(1)
+			if b.le != "+Inf" {
+				v, err := strconv.ParseFloat(b.le, 64)
+				if err != nil {
+					return samples, fmt.Errorf("line %d: bucket bound %q is not a float", b.line, b.le)
+				}
+				bound = v
+			}
+			if bound <= prevBound {
+				return samples, fmt.Errorf("line %d: histogram %s bucket bounds not ascending (%s)", b.line, bk.name, b.le)
+			}
+			if b.value < prevCum {
+				return samples, fmt.Errorf("line %d: histogram %s buckets not cumulative at le=%s", b.line, bk.name, b.le)
+			}
+			prevBound, prevCum = bound, b.value
+			if i == len(bs)-1 && b.le != "+Inf" {
+				return samples, fmt.Errorf("line %d: histogram %s instance %s lacks a +Inf bucket", b.line, bk.name, bk.labels)
+			}
+		}
+	}
+	return samples, nil
+}

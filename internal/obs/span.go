@@ -26,6 +26,7 @@ type Span struct {
 	obs   *Observer
 	name  string
 	start time.Time
+	scope string // bus-event scope, fixed at creation (see obs.WithScope)
 
 	mu       sync.Mutex
 	attrs    []Attr
@@ -37,13 +38,23 @@ type Span struct {
 	path     string // cached slash-joined path for events
 }
 
-// StartChild begins a named child span. Most callers should use
-// obs.Start, which also threads the child through the context.
+// StartChild begins a named child span inheriting the parent's scope.
+// Most callers should use obs.Start, which also threads the child
+// through the context (and picks the scope up from it).
 func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	child := &Span{obs: s.obs, name: name, start: time.Now(), attrs: attrs}
+	return s.startChild(name, "", attrs...)
+}
+
+// startChild begins a child span with an explicit scope ("" inherits
+// the parent's).
+func (s *Span) startChild(name, scope string, attrs ...Attr) *Span {
+	if scope == "" {
+		scope = s.scope
+	}
+	child := &Span{obs: s.obs, name: name, start: time.Now(), scope: scope, attrs: attrs}
 	s.mu.Lock()
 	s.children = append(s.children, child)
 	if s.path == "" {
@@ -52,6 +63,7 @@ func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	child.path = s.path + "/" + name
 	s.mu.Unlock()
 	s.obs.emit(Event{Time: child.start, Kind: "begin", Span: child.path})
+	s.obs.Bus().Publish(BusEvent{Time: child.start, Type: "span_start", Scope: child.scope, Name: child.path})
 	return child
 }
 
@@ -104,6 +116,7 @@ func (s *Span) end(err error) {
 	ev := Event{Time: time.Now(), Kind: "end", Span: s.path, Dur: s.dur, Err: s.errMsg}
 	s.mu.Unlock()
 	s.obs.emit(ev)
+	s.obs.Bus().Publish(BusEvent{Time: ev.Time, Type: "span_end", Scope: s.scope, Name: s.path, DurMS: DurMS(ev.Dur), Err: ev.Err})
 }
 
 // Duration reports the span's length: final once ended, live (time

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prochecker/internal/jobs"
+	"prochecker/internal/obs"
+)
+
+// This file serves the live event streams: Server-Sent Events over the
+// process-wide obs.Bus, demultiplexed per job or per campaign. Every
+// bus-originated frame carries `id:` = the bus sequence number, so a
+// reconnecting client sends it back as Last-Event-ID and resumes
+// exactly where it left off while the events are still retained;
+// synthetic frames (the opening snapshot, the campaign terminal
+// summary) carry no id and leave the client's resume point untouched.
+
+// sseHeartbeat is the idle keep-alive interval: a comment line that
+// keeps proxies from timing the stream out without growing the event
+// sequence.
+const sseHeartbeat = 15 * time.Second
+
+// errNoBus answers /events endpoints on a server built without a bus.
+var errNoBus = errors.New("event streaming disabled: server has no event bus")
+
+// resumeSeq extracts the client's resume position: the sequence after
+// the standard Last-Event-ID header (or the from query parameter,
+// for curl-friendliness), or 0 — replay everything retained — when
+// absent or malformed.
+func resumeSeq(r *http.Request) uint64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("from")
+	}
+	if raw == "" {
+		return 0
+	}
+	last, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return last + 1
+}
+
+// writeSSE renders one event as an SSE frame. Bus events carry their
+// sequence as the frame id; synthetic events (Seq 0) are id-less.
+func writeSSE(w http.ResponseWriter, ev obs.BusEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if ev.Seq > 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", ev.Seq); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// sseStream is one handler invocation's streaming state.
+type sseStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	sub     *obs.Subscription
+	// match selects the events this stream forwards ("dropped" markers
+	// always pass: they flag a resume gap the client must know about).
+	match func(obs.BusEvent) bool
+	// onEvent, when set, runs after each forwarded event and reports
+	// whether the stream is finished (campaign streams detect the
+	// aggregate going terminal here).
+	onEvent func(obs.BusEvent) bool
+}
+
+// openSSE prepares the response and subscription. A nil return means
+// the error was already answered.
+func (s *Server) openSSE(w http.ResponseWriter, r *http.Request) *sseStream {
+	if s.bus == nil {
+		writeError(w, http.StatusNotImplemented, errNoBus)
+		return nil
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
+		return nil
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	return &sseStream{w: w, flusher: flusher, sub: s.bus.Subscribe(resumeSeq(r))}
+}
+
+// send writes one frame and flushes it down the wire.
+func (st *sseStream) send(ev obs.BusEvent) error {
+	if err := writeSSE(st.w, ev); err != nil {
+		return err
+	}
+	st.flusher.Flush()
+	return nil
+}
+
+// drain forwards every retained matching event without blocking —
+// the replay path for a stream whose target is already terminal.
+func (st *sseStream) drain() error {
+	for {
+		ev, ok := st.sub.TryNext()
+		if !ok {
+			return nil
+		}
+		if !st.match(ev) && ev.Type != "dropped" {
+			continue
+		}
+		if err := st.send(ev); err != nil {
+			return err
+		}
+		if st.onEvent != nil && st.onEvent(ev) {
+			return nil
+		}
+	}
+}
+
+// run pumps bus events to the client until the stream finishes, the
+// client disconnects, or the target's terminal event has been
+// forwarded. Heartbeat comments keep the connection alive through
+// quiet stretches.
+func (st *sseStream) run(ctx context.Context) {
+	defer st.sub.Close()
+	events := make(chan obs.BusEvent)
+	pumpCtx, stopPump := context.WithCancel(ctx)
+	defer stopPump()
+	go func() {
+		defer close(events)
+		for {
+			ev, err := st.sub.Next(pumpCtx)
+			if err != nil {
+				return
+			}
+			select {
+			case events <- ev:
+			case <-pumpCtx.Done():
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(sseHeartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if _, err := fmt.Fprint(st.w, ": hb\n\n"); err != nil {
+				return
+			}
+			st.flusher.Flush()
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if !st.match(ev) && ev.Type != "dropped" {
+				continue
+			}
+			if err := st.send(ev); err != nil {
+				return
+			}
+			if st.onEvent != nil && st.onEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+// handleJobEvents streams one job's events: lifecycle transitions,
+// runner spans, per-level exploration progress. The stream opens with
+// a synthetic snapshot of the job's current state and closes once the
+// terminal lifecycle event has been forwarded.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrUnknownJob)
+		return
+	}
+	st := s.openSSE(w, r)
+	if st == nil {
+		return
+	}
+	defer st.sub.Close()
+	st.match = func(ev obs.BusEvent) bool { return ev.Scope == id }
+	st.onEvent = func(ev obs.BusEvent) bool {
+		return ev.Type == "job" && jobs.State(ev.Name).Terminal()
+	}
+	if err := st.send(snapshotEvent(id, string(job.State))); err != nil {
+		return
+	}
+	if job.Terminal() {
+		// Nothing further will be published for this job: replay what
+		// the ring still holds, then end the stream.
+		st.drain() //nolint:errcheck // client gone mid-replay
+		return
+	}
+	st.run(r.Context())
+}
+
+// handleCampaignEvents streams the union of a campaign's member-job
+// events plus the campaign's own lifecycle. The campaign has no
+// asynchronous terminal transition of its own, so the handler derives
+// it: whenever a member goes terminal it re-aggregates, and when the
+// whole campaign is settled it emits a synthetic campaign summary
+// event and closes.
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown campaign"))
+		return
+	}
+	st := s.openSSE(w, r)
+	if st == nil {
+		return
+	}
+	defer st.sub.Close()
+	members := make(map[string]bool, len(rec.jobIDs))
+	for _, jid := range rec.jobIDs {
+		members[jid] = true
+	}
+	st.match = func(ev obs.BusEvent) bool { return ev.Scope == id || members[ev.Scope] }
+	st.onEvent = func(ev obs.BusEvent) bool {
+		if ev.Type != "job" || !jobs.State(ev.Name).Terminal() {
+			return false
+		}
+		c := s.campaignView(rec, false)
+		if !c.State.Terminal() {
+			return false
+		}
+		st.send(campaignEvent(c)) //nolint:errcheck // stream ends either way
+		return true
+	}
+	if err := st.send(snapshotEvent(id, string(s.campaignView(rec, false).State))); err != nil {
+		return
+	}
+	if c := s.campaignView(rec, false); c.State.Terminal() {
+		st.onEvent = nil          // summary sent below, not per replayed terminal
+		st.drain()                //nolint:errcheck // client gone mid-replay
+		st.send(campaignEvent(c)) //nolint:errcheck // stream ends either way
+		return
+	}
+	st.run(r.Context())
+}
+
+// snapshotEvent is the synthetic opening frame: the target's state at
+// subscribe time, so a client need not race the first live event.
+func snapshotEvent(scope, state string) obs.BusEvent {
+	return obs.BusEvent{Time: time.Now(), Type: "snapshot", Scope: scope, Name: state}
+}
+
+// campaignEvent is the synthetic terminal summary of a settled
+// campaign.
+func campaignEvent(c Campaign) obs.BusEvent {
+	return obs.BusEvent{
+		Time:  time.Now(),
+		Type:  "campaign",
+		Scope: c.ID,
+		Name:  string(c.State),
+		Value: int64(len(c.JobIDs)),
+		Attrs: map[string]string{"exit_code": strconv.Itoa(c.ExitCode)},
+	}
+}

@@ -1,14 +1,22 @@
 // Package server exposes the batch-analysis job service over a
 // stdlib-only HTTP JSON API:
 //
-//	POST   /v1/jobs           submit one job, or a campaign matrix
-//	GET    /v1/jobs           list all jobs
-//	GET    /v1/jobs/{id}      one job's status/result
-//	DELETE /v1/jobs/{id}      cancel a job
-//	GET    /v1/campaigns      list campaigns
-//	GET    /v1/campaigns/{id} campaign status + differential report
-//	GET    /healthz           liveness
-//	GET    /debug/vars        expvar (queue/cache/pipeline metrics)
+//	POST   /v1/jobs                  submit one job, or a campaign matrix
+//	GET    /v1/jobs                  list all jobs
+//	GET    /v1/jobs/{id}             one job's status/result
+//	GET    /v1/jobs/{id}/events      live SSE stream of the job's events
+//	DELETE /v1/jobs/{id}             cancel a job
+//	GET    /v1/campaigns             list campaigns
+//	GET    /v1/campaigns/{id}        campaign status + differential report
+//	GET    /v1/campaigns/{id}/events live SSE stream across the campaign's jobs
+//	GET    /healthz                  readiness (503 while draining)
+//	GET    /debug/vars               expvar (queue/cache/pipeline metrics)
+//	GET    /metrics                  Prometheus text exposition
+//
+// The SSE streams are fed from the process-wide obs.Bus: `id:` carries
+// the bus sequence number, so a client reconnecting with Last-Event-ID
+// resumes gap-free while the events are still inside the ring's
+// retention window (a "dropped" marker event flags the gap otherwise).
 //
 // A draining server (graceful SIGTERM shutdown) answers every
 // submission with 503 while running jobs finish; a full queue answers
@@ -61,6 +69,7 @@ type Campaign struct {
 type Server struct {
 	svc      *jobs.Service
 	mux      *http.ServeMux
+	bus      *obs.Bus
 	draining atomic.Bool
 
 	mu        sync.Mutex
@@ -83,14 +92,27 @@ type campaignMeta struct {
 	JobIDs []string                `json:"job_ids"`
 }
 
+// Option tunes New.
+type Option func(*Server)
+
+// WithBus attaches the event bus the SSE endpoints stream from. The
+// bus should be the same one the jobs.Service (and the pipeline
+// observer) publish to; without it the /events endpoints answer 501.
+func WithBus(b *obs.Bus) Option {
+	return func(s *Server) { s.bus = b }
+}
+
 // New builds a Server on the given service and publishes the metrics
 // registry (the service's and the pipeline's shared one) on
-// /debug/vars under the "prochecker" expvar name. Campaigns journalled
-// to a WAL by a previous incarnation are restored with their original
-// IDs and membership.
-func New(svc *jobs.Service, reg *obs.Registry) *Server {
+// /debug/vars under the "prochecker" expvar name and on /metrics in
+// Prometheus text format. Campaigns journalled to a WAL by a previous
+// incarnation are restored with their original IDs and membership.
+func New(svc *jobs.Service, reg *obs.Registry, opts ...Option) *Server {
 	reg.PublishExpvar("prochecker")
 	s := &Server{svc: svc, campaigns: make(map[string]*campaignRecord)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	for _, m := range svc.Metas() {
 		var meta campaignMeta
 		if json.Unmarshal(m.Meta, &meta) != nil || m.ID == "" {
@@ -110,11 +132,18 @@ func New(svc *jobs.Service, reg *obs.Registry) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.Handle("GET /metrics", reg.PrometheusHandler("prochecker"))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux = mux
@@ -248,6 +277,11 @@ func (s *Server) submitCampaign(w http.ResponseWriter, spec prochecker.CampaignS
 	s.campaigns[rec.id] = rec
 	s.order = append(s.order, rec.id)
 	s.mu.Unlock()
+	s.bus.Publish(obs.BusEvent{
+		Type: "campaign", Scope: rec.id, Name: "submitted",
+		Value: int64(len(ids)),
+		Attrs: map[string]string{"jobs": strings.Join(ids, ",")},
+	})
 	// Journal the campaign so a restarted server still answers for its
 	// ID; membership is what matters, job state lives in the job WAL.
 	if meta, err := json.Marshal(campaignMeta{Spec: spec, JobIDs: ids}); err == nil {
