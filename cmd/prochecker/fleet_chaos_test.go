@@ -1,0 +1,232 @@
+package main
+
+// Multi-node chaos harness for the distribution subsystem: a
+// workerless coordinator hands the campaign to a fleet worker
+// subprocess over the lease API, the worker is SIGKILLed mid-job, and
+// the harness asserts the lease expires, the job requeues through the
+// retry path, and a second worker completes the campaign with a
+// differential report byte-identical to a single-node control run.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"prochecker/internal/jobs"
+)
+
+// workerProc is one -worker subprocess under harness control.
+type workerProc struct {
+	cmd  *exec.Cmd
+	exit chan error
+}
+
+// startWorker launches a fleet worker agent pulling from the
+// coordinator and waits for its startup banner.
+func startWorker(t *testing.T, bin, serverURL, id, snapDir string) *workerProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-worker",
+		"-server", serverURL,
+		"-worker-id", id,
+		"-concurrency", "1",
+		"-snapshot-dir", snapDir,
+		"-retry-backoff", "20ms",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workerProc{cmd: cmd, exit: make(chan error, 1)}
+	go func() { p.exit <- cmd.Wait(); close(p.exit) }()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck // already-exited is fine
+		<-p.exit
+	})
+
+	up := make(chan struct{}, 1)
+	go func() {
+		re := regexp.MustCompile(`worker \S+ pulling jobs from`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if re.MatchString(sc.Text()) {
+				select {
+				case up <- struct{}{}:
+				default:
+				}
+			}
+			// Keep draining so the subprocess never blocks on stderr.
+		}
+	}()
+	select {
+	case <-up:
+	case err := <-p.exit:
+		t.Fatalf("worker subprocess exited before its banner: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker subprocess never announced itself")
+	}
+	return p
+}
+
+// sigkill crashes the worker without any chance to hand its lease back.
+func (p *workerProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker: %v", err)
+	}
+	select {
+	case <-p.exit:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker survived SIGKILL")
+	}
+}
+
+// scrapeCounter reads one un-labelled counter from the coordinator's
+// Prometheus endpoint (names are exported with dots folded to
+// underscores under the "prochecker" namespace).
+func scrapeCounter(t *testing.T, base, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %s sample %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestFleetChaosKillWorkerMidJob is the acceptance criterion for the
+// distribution tentpole: killing the worker that holds a lease must
+// cost nothing but time — the lease expires, the job requeues, another
+// worker finishes it, and the campaign's differential report is
+// byte-identical to a single-node run's.
+func TestFleetChaosKillWorkerMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos harness skipped in -short mode")
+	}
+	bin, err := buildBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	// Control arm: the same campaign on an ordinary single-node server.
+	control := startServe(t, bin, t.TempDir(), t.TempDir())
+	camp, err := control.client().SubmitCampaign(ctx, chaosCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCamp, err := control.client().WaitCampaign(ctx, camp.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCamp.State != jobs.StateDone || wantCamp.Report == "" {
+		t.Fatalf("control campaign ended %s, want done with report", wantCamp.State)
+	}
+	control.sigterm(t)
+
+	// Fleet arm: a workerless coordinator with a short lease TTL and
+	// retries for the lease-expired class.
+	coord := startServe(t, bin, t.TempDir(), t.TempDir(),
+		"-workers", "0",
+		"-retries", "3",
+		"-lease-ttl", "2s",
+	)
+	cl := coord.client()
+	base := "http://" + coord.addr
+	fleetCamp, err := cl.SubmitCampaign(ctx, chaosCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A pulls the first job; kill it the moment it holds a lease.
+	victim := startWorker(t, bin, base, "fleet-a", t.TempDir())
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		leases, err := cl.Leases(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(leases) > 0 {
+			t.Logf("killing fleet-a holding %s (job %s, attempt %d)",
+				leases[0].ID, leases[0].JobID, leases[0].Attempt)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet-a never acquired a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.sigkill(t)
+
+	// The dead worker's lease is still on the books until the TTL runs
+	// out; the sweeper then expires it and requeues the job.
+	if leases, err := cl.Leases(ctx); err != nil || len(leases) == 0 {
+		t.Fatalf("leases after SIGKILL = %v, %v; want the orphaned lease still held", leases, err)
+	}
+
+	// Worker B drains the rest of the campaign, orphaned job included.
+	startWorker(t, bin, base, "fleet-b", t.TempDir())
+	gotCamp, err := cl.WaitCampaign(ctx, fleetCamp.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCamp.State != jobs.StateDone {
+		t.Fatalf("fleet campaign ended %s, want done", gotCamp.State)
+	}
+
+	// The crash cost one lease expiry, observable on the obs plane.
+	if got := scrapeCounter(t, base, "prochecker_dist_leases_expired"); got < 1 {
+		t.Fatalf("prochecker_dist_leases_expired = %d, want >= 1", got)
+	}
+
+	// Every job finished, each attributed to a fleet worker — and the
+	// survivor completed at least one (the orphaned job among them).
+	byWorker := map[string]int{}
+	for _, j := range gotCamp.Jobs {
+		if j.State != jobs.StateDone || j.Result == nil {
+			t.Fatalf("job %s ended %s (%s), want done", j.ID, j.State, j.Error)
+		}
+		byWorker[j.Worker]++
+	}
+	if byWorker["fleet-b"] == 0 {
+		t.Fatalf("jobs by worker = %v, want fleet-b to have completed the orphaned work", byWorker)
+	}
+	for w := range byWorker {
+		if w != "fleet-a" && w != "fleet-b" {
+			t.Fatalf("job attributed to unknown worker %q (distribution: %v)", w, byWorker)
+		}
+	}
+
+	// The differential report is byte-identical to the single-node run:
+	// distribution and mid-flight crashes change nothing about results.
+	if gotCamp.Report != wantCamp.Report {
+		t.Fatalf("fleet report differs from single-node control:\n--- control ---\n%s\n--- fleet ---\n%s",
+			wantCamp.Report, gotCamp.Report)
+	}
+	coord.sigterm(t)
+}

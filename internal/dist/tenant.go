@@ -1,0 +1,185 @@
+package dist
+
+// Per-tenant admission control: a token-bucket gate the coordinator
+// places in front of job submission. Each tenant (the
+// X-ProChecker-Tenant header at the HTTP layer) owns a bucket of Burst
+// tokens refilling at Rate tokens/second; a submission costs one token
+// per job (a campaign costs its cell count). An empty bucket rejects
+// with ErrQuotaExhausted and a tenant-scoped retry hint — how long
+// until that tenant's bucket has refilled enough — so one tenant
+// saturating its quota never inflates another tenant's backoff.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prochecker/internal/obs"
+)
+
+// ErrQuotaExhausted rejects a submission whose tenant bucket cannot
+// cover the cost; the HTTP layer maps it to 429 with a tenant-scoped
+// Retry-After.
+var ErrQuotaExhausted = errors.New("dist: tenant quota exhausted")
+
+// DefaultTenant is the bucket key for requests carrying no tenant
+// header.
+const DefaultTenant = "anonymous"
+
+// Quota shapes one tenant's token bucket.
+type Quota struct {
+	// Burst is the bucket capacity — the largest cost admitted at once.
+	Burst float64 `json:"burst"`
+	// Rate refills the bucket, in tokens (jobs) per second.
+	Rate float64 `json:"rate"`
+}
+
+// ParseQuotaSpec parses the CLI quota grammar: comma-separated
+// "tenant=burst@rate" entries, with "*" naming the default quota
+// applied to tenants not listed explicitly. Example:
+//
+//	alice=10@2,bob=50@10,*=100@50
+//
+// Burst and rate must both be positive.
+func ParseQuotaSpec(spec string) (map[string]Quota, error) {
+	out := make(map[string]Quota)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("dist: quota entry %q: want tenant=burst@rate", entry)
+		}
+		burstStr, rateStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("dist: quota entry %q: want tenant=burst@rate", entry)
+		}
+		burst, err := strconv.ParseFloat(burstStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: quota entry %q: bad burst: %w", entry, err)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: quota entry %q: bad rate: %w", entry, err)
+		}
+		if burst <= 0 || rate <= 0 {
+			return nil, fmt.Errorf("dist: quota entry %q: burst and rate must be positive", entry)
+		}
+		out[strings.TrimSpace(name)] = Quota{Burst: burst, Rate: rate}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("dist: empty quota spec")
+	}
+	return out, nil
+}
+
+// Gate is the token-bucket admission controller. Tenants with no
+// explicit quota fall back to the "*" default; with no default either,
+// they are admitted freely (the gate is opt-in per tenant).
+type Gate struct {
+	quotas  map[string]Quota
+	metrics *obs.Registry
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	journal func(tenant string, tokens float64, at time.Time)
+	now     func() time.Time
+}
+
+// bucket is one tenant's live balance: tokens remaining as of last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewGate builds a gate over the given quotas (see ParseQuotaSpec for
+// the CLI grammar). The registry receives per-tenant admission counters
+// and may be nil.
+func NewGate(quotas map[string]Quota, reg *obs.Registry) *Gate {
+	return &Gate{
+		quotas:  quotas,
+		metrics: reg,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// SetJournal installs the persistence hook called (under the gate lock)
+// after every admission with the tenant's new balance — the coordinator
+// wires it to the WAL so quotas survive a restart.
+func (g *Gate) SetJournal(fn func(tenant string, tokens float64, at time.Time)) {
+	g.mu.Lock()
+	g.journal = fn
+	g.mu.Unlock()
+}
+
+// Restore seeds a tenant's bucket from a journalled balance. Refill
+// since the journalled timestamp happens naturally on the next Admit.
+func (g *Gate) Restore(tenant string, tokens float64, at time.Time) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	g.mu.Lock()
+	g.buckets[tenant] = &bucket{tokens: tokens, last: at}
+	g.mu.Unlock()
+}
+
+// quotaFor resolves the tenant's quota; ok is false for tenants the
+// gate does not govern.
+func (g *Gate) quotaFor(tenant string) (Quota, bool) {
+	if q, ok := g.quotas[tenant]; ok {
+		return q, true
+	}
+	q, ok := g.quotas["*"]
+	return q, ok
+}
+
+// Admit charges cost tokens against the tenant's bucket. On success the
+// returned delay is zero; on exhaustion it returns ErrQuotaExhausted
+// plus how long until the bucket has refilled enough to cover the cost
+// — the tenant-scoped Retry-After. A nil gate admits everything.
+func (g *Gate) Admit(tenant string, cost float64) (time.Duration, error) {
+	if g == nil {
+		return 0, nil
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	quota, governed := g.quotaFor(tenant)
+	if !governed {
+		return 0, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	b, ok := g.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: quota.Burst, last: now}
+		g.buckets[tenant] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(quota.Burst, b.tokens+elapsed*quota.Rate)
+	}
+	b.last = now
+	if b.tokens < cost {
+		deficit := math.Min(cost, quota.Burst) - b.tokens
+		wait := time.Duration(math.Ceil(deficit/quota.Rate)) * time.Second
+		if wait < time.Second {
+			wait = time.Second
+		}
+		g.metrics.Counter(obs.LabeledStr("dist.tenant_rejected", "tenant", tenant)).Inc()
+		return wait, fmt.Errorf("%w: tenant %q needs %.0f token(s), has %.1f", ErrQuotaExhausted, tenant, cost, b.tokens)
+	}
+	b.tokens -= cost
+	g.metrics.Counter(obs.LabeledStr("dist.tenant_admitted", "tenant", tenant)).Inc()
+	if g.journal != nil {
+		g.journal(tenant, b.tokens, now)
+	}
+	return 0, nil
+}

@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prochecker/internal/obs"
+)
+
+func TestParseQuotaSpec(t *testing.T) {
+	quotas, err := ParseQuotaSpec("alice=10@2, bob=50@10 ,*=100@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Quota{
+		"alice": {Burst: 10, Rate: 2},
+		"bob":   {Burst: 50, Rate: 10},
+		"*":     {Burst: 100, Rate: 50},
+	}
+	if len(quotas) != len(want) {
+		t.Fatalf("quotas = %+v, want %+v", quotas, want)
+	}
+	for name, q := range want {
+		if quotas[name] != q {
+			t.Fatalf("quota[%s] = %+v, want %+v", name, quotas[name], q)
+		}
+	}
+
+	for _, bad := range []string{"", " , ", "alice", "alice=10", "alice=x@2", "alice=10@y", "alice=0@2", "alice=10@-1", "=10@2"} {
+		if _, err := ParseQuotaSpec(bad); err == nil {
+			t.Errorf("ParseQuotaSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// fakeClock drives the gate deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestGate(t *testing.T, spec string) (*Gate, *fakeClock, *obs.Registry) {
+	t.Helper()
+	quotas, err := ParseQuotaSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	g := NewGate(quotas, reg)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	g.now = clk.now
+	return g, clk, reg
+}
+
+func TestGateAdmitExhaustRefill(t *testing.T) {
+	g, clk, reg := newTestGate(t, "alice=3@1")
+
+	// A fresh bucket starts full: three single-job submissions pass.
+	for i := 0; i < 3; i++ {
+		if _, err := g.Admit("alice", 1); err != nil {
+			t.Fatalf("admit %d = %v, want success", i, err)
+		}
+	}
+	wait, err := g.Admit("alice", 1)
+	if !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("admit on empty bucket = %v, want ErrQuotaExhausted", err)
+	}
+	// Deficit 1 token at 1 token/s: retry in 1s.
+	if wait != time.Second {
+		t.Fatalf("retry hint = %v, want 1s", wait)
+	}
+	if got := reg.Counter(obs.LabeledStr("dist.tenant_admitted", "tenant", "alice")).Value(); got != 3 {
+		t.Fatalf("dist.tenant_admitted{tenant=alice} = %d, want 3", got)
+	}
+	if got := reg.Counter(obs.LabeledStr("dist.tenant_rejected", "tenant", "alice")).Value(); got != 1 {
+		t.Fatalf("dist.tenant_rejected{tenant=alice} = %d, want 1", got)
+	}
+
+	// Refill at 1 token/s; after 2s two more jobs fit, a third does not.
+	clk.advance(2 * time.Second)
+	if _, err := g.Admit("alice", 2); err != nil {
+		t.Fatalf("admit after refill = %v, want success", err)
+	}
+	if _, err := g.Admit("alice", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("admit past refill = %v, want ErrQuotaExhausted", err)
+	}
+
+	// Refill caps at the burst: a long idle stretch does not bank tokens.
+	clk.advance(time.Hour)
+	if _, err := g.Admit("alice", 3); err != nil {
+		t.Fatalf("admit full burst = %v, want success", err)
+	}
+	if _, err := g.Admit("alice", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("admit past burst = %v, want ErrQuotaExhausted", err)
+	}
+}
+
+func TestGateRetryHintScalesWithDeficit(t *testing.T) {
+	g, _, _ := newTestGate(t, "alice=10@2")
+	if _, err := g.Admit("alice", 10); err != nil {
+		t.Fatal(err)
+	}
+	// A 6-token campaign against an empty bucket at 2 tokens/s: 3s.
+	wait, err := g.Admit("alice", 6)
+	if !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("admit = %v, want ErrQuotaExhausted", err)
+	}
+	if wait != 3*time.Second {
+		t.Fatalf("retry hint = %v, want 3s", wait)
+	}
+	// A cost above the burst can never fit whole; the hint is clamped to
+	// a full-bucket refill instead of promising the impossible.
+	wait, err = g.Admit("alice", 100)
+	if !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("oversized admit = %v, want ErrQuotaExhausted", err)
+	}
+	if wait != 5*time.Second {
+		t.Fatalf("oversized retry hint = %v, want 5s (burst/rate)", wait)
+	}
+}
+
+func TestGateTenantsAreIndependent(t *testing.T) {
+	g, _, _ := newTestGate(t, "alice=1@1,bob=5@1")
+	if _, err := g.Admit("alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Admit("alice", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("alice second admit = %v, want ErrQuotaExhausted", err)
+	}
+	// Alice's exhaustion must not touch bob's bucket.
+	for i := 0; i < 5; i++ {
+		if _, err := g.Admit("bob", 1); err != nil {
+			t.Fatalf("bob admit %d = %v, want success", i, err)
+		}
+	}
+}
+
+func TestGateDefaultAndUngoverned(t *testing.T) {
+	// No "*" default: unlisted tenants are not governed at all.
+	g, _, reg := newTestGate(t, "alice=1@1")
+	for i := 0; i < 100; i++ {
+		if _, err := g.Admit("mallory", 1); err != nil {
+			t.Fatalf("ungoverned admit = %v, want success", err)
+		}
+	}
+	if got := reg.Counter(obs.LabeledStr("dist.tenant_admitted", "tenant", "mallory")).Value(); got != 0 {
+		t.Fatalf("ungoverned tenant counted %d admissions, want 0", got)
+	}
+
+	// With a default, unlisted tenants share its shape (one bucket each).
+	g2, _, _ := newTestGate(t, "*=2@1")
+	if _, err := g2.Admit("mallory", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Admit("mallory", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("defaulted tenant over budget = %v, want ErrQuotaExhausted", err)
+	}
+	if _, err := g2.Admit("trent", 2); err != nil {
+		t.Fatalf("second defaulted tenant = %v, want its own full bucket", err)
+	}
+
+	// The empty tenant maps to the anonymous bucket.
+	g3, _, _ := newTestGate(t, "anonymous=1@1")
+	if _, err := g3.Admit("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g3.Admit("", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("anonymous over budget = %v, want ErrQuotaExhausted", err)
+	}
+
+	// A nil gate admits everything.
+	var nilGate *Gate
+	if _, err := nilGate.Admit("anyone", 1e9); err != nil {
+		t.Fatalf("nil gate = %v, want admit", err)
+	}
+}
+
+func TestGateJournalAndRestore(t *testing.T) {
+	g, clk, _ := newTestGate(t, "alice=10@2")
+	type entry struct {
+		tenant string
+		tokens float64
+	}
+	var journal []entry
+	g.SetJournal(func(tenant string, tokens float64, _ time.Time) {
+		journal = append(journal, entry{tenant, tokens})
+	})
+	if _, err := g.Admit("alice", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Admit("alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) != 2 || journal[0] != (entry{"alice", 6}) || journal[1] != (entry{"alice", 5}) {
+		t.Fatalf("journal = %+v, want balances 6 then 5", journal)
+	}
+
+	// A restarted gate restored from the journalled balance refills from
+	// the journalled timestamp, not from a full bucket.
+	g2, clk2, _ := newTestGate(t, "alice=10@2")
+	g2.Restore("alice", 5, clk.now())
+	clk2.t = clk.now().Add(time.Second) // 1s later: 5 + 2 = 7 tokens
+	if _, err := g2.Admit("alice", 7); err != nil {
+		t.Fatalf("admit restored balance = %v, want success", err)
+	}
+	if _, err := g2.Admit("alice", 1); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("admit past restored balance = %v, want ErrQuotaExhausted", err)
+	}
+}

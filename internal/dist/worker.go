@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"prochecker/internal/jobs"
+	"prochecker/internal/obs"
+	"prochecker/internal/resilience"
+)
+
+// Worker pull-loop tuning defaults.
+const (
+	// DefaultPoll is the idle delay between acquire attempts against an
+	// empty queue.
+	DefaultPoll = 250 * time.Millisecond
+	// DefaultWorkerBackoff is the base backoff after a coordinator
+	// error, doubling (jittered) up to maxBackoffShift doublings.
+	DefaultWorkerBackoff = 500 * time.Millisecond
+	maxBackoffShift      = 5
+	// settleTimeout bounds the detached result/failure upload after a
+	// run whose own context may already be cancelled.
+	settleTimeout = 15 * time.Second
+)
+
+// Worker is the fleet agent: Concurrency pull loops that each acquire a
+// lease, heartbeat it at TTL/3 while the Runner executes the job, and
+// settle it with the canonical result or a classified failure. Acquire
+// errors back off with jittered exponential delay; an empty queue polls
+// at Poll. When the run context is cancelled the worker stops
+// acquiring, fails its in-flight leases with the cancelled class (which
+// the coordinator treats as an abandonment — the jobs requeue
+// uncharged), and returns.
+type Worker struct {
+	// Coordinator hands out and settles leases; required.
+	Coordinator Coordinator
+	// Runner executes one spec; required. Fleet deployments use the
+	// production runner (prochecker.JobRunnerWith) so per-job snapshot
+	// directories and memory budgets behave exactly as on a local pool.
+	Runner jobs.Runner
+	// ID names this worker in lease records, metrics and bus events.
+	ID string
+	// Concurrency is the number of parallel pull loops (default 1).
+	Concurrency int
+	// Poll is the idle delay against an empty queue (DefaultPoll when
+	// zero).
+	Poll time.Duration
+	// Backoff is the error-backoff base (DefaultWorkerBackoff when
+	// zero).
+	Backoff time.Duration
+	// Seed drives the jitter PRNG (per-slot offset keeps loops
+	// desynchronised).
+	Seed int64
+	// Metrics receives the worker-side counters; optional (nil-safe).
+	Metrics *obs.Registry
+}
+
+// Run pulls and executes jobs until ctx is cancelled, then returns
+// ctx's error once every in-flight lease has been settled.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == nil || w.Runner == nil {
+		return errors.New("dist: Worker needs a Coordinator and a Runner")
+	}
+	n := w.Concurrency
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	for slot := 0; slot < n; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.loop(ctx, slot)
+		}(slot)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// loop is one pull slot: acquire, run, settle, repeat.
+func (w *Worker) loop(ctx context.Context, slot int) {
+	rng := rand.New(rand.NewSource(w.Seed + int64(slot)))
+	poll := w.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	backoff := w.Backoff
+	if backoff <= 0 {
+		backoff = DefaultWorkerBackoff
+	}
+	fails := 0
+	for ctx.Err() == nil {
+		grant, err := w.Coordinator.AcquireLease(ctx, w.ID)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			w.Metrics.Counter("dist.worker_acquire_errors").Inc()
+			shift := fails
+			if shift > maxBackoffShift {
+				shift = maxBackoffShift
+			}
+			fails++
+			sleep(ctx, jitter(rng, backoff<<shift))
+		case grant == nil:
+			fails = 0
+			sleep(ctx, jitter(rng, poll))
+		default:
+			fails = 0
+			w.runOne(ctx, grant)
+		}
+	}
+}
+
+// runOne executes one granted job under its lease heartbeat and settles
+// the lease.
+func (w *Worker) runOne(ctx context.Context, g *Grant) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hb := g.TTL() / 3
+	if hb <= 0 {
+		hb = time.Second
+	}
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tk := time.NewTicker(hb)
+		defer tk.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-tk.C:
+				if err := w.Coordinator.RenewLease(runCtx, g.Lease.ID); err != nil {
+					if runCtx.Err() == nil {
+						// The lease is gone — expired under us, or the job
+						// was cancelled at the coordinator. Abandon the run;
+						// whatever we would upload is stale anyway.
+						w.Metrics.Counter("dist.worker_lease_lost").Inc()
+						cancel()
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	res, err := w.Runner(runCtx, g.Job.Spec)
+	cancel()
+	hbWG.Wait()
+
+	// Settling must survive the (possibly cancelled) run context: a
+	// shutting-down worker still tells the coordinator it is abandoning,
+	// so the job requeues immediately instead of waiting out the TTL.
+	settle, stop := context.WithTimeout(context.Background(), settleTimeout)
+	defer stop()
+	if err != nil {
+		kind := resilience.Classify(err)
+		w.Metrics.Counter("dist.worker_jobs_failed").Inc()
+		if ferr := w.Coordinator.FailLease(settle, g.Lease.ID, kind.String(), err.Error()); ferr != nil {
+			w.Metrics.Counter("dist.worker_uploads_refused").Inc()
+		}
+		return
+	}
+	res.Key = g.Job.Key
+	canonical, merr := res.MarshalCanonical()
+	if merr != nil {
+		w.Metrics.Counter("dist.worker_jobs_failed").Inc()
+		w.Coordinator.FailLease(settle, g.Lease.ID, //nolint:errcheck // lease expires on its own
+			resilience.KindInternal.String(), "encoding canonical result: "+merr.Error())
+		return
+	}
+	if cerr := w.Coordinator.CompleteLease(settle, g.Lease.ID, canonical); cerr != nil {
+		w.Metrics.Counter("dist.worker_uploads_refused").Inc()
+		return
+	}
+	w.Metrics.Counter("dist.worker_jobs_completed").Inc()
+}
+
+// jitter scales d by a random factor in [0.5, 1.5).
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+// sleep waits out d or the context, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

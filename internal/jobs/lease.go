@@ -1,0 +1,353 @@
+package jobs
+
+// Distributed execution: the lease state machine that turns the service
+// into a coordinator for a fleet of pull-mode workers. A worker
+// acquires a queued job under a TTL'd lease, heartbeats to keep it, and
+// uploads the canonical result (or a classified failure) to settle it.
+// A lease that stops heartbeating expires: the sweeper releases it and
+// the job requeues through the ordinary taxonomy-driven retry path with
+// the lease-expired class. Every grant, renewal and release is
+// journalled to the WAL, so crash recovery spans worker assignments — a
+// restarted coordinator re-adopts unexpired leases instead of
+// scheduling the same job under its worker's feet.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"prochecker/internal/obs"
+	"prochecker/internal/resilience"
+)
+
+// DefaultLeaseTTL bounds a worker's silence when Config.LeaseTTL is
+// zero: generous enough for a heartbeat every TTL/3 to survive GC
+// pauses and transient network trouble, short enough that a crashed
+// worker's jobs requeue promptly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// Lease-protocol failure modes.
+var (
+	// ErrUnknownLease marks renew/complete/fail calls naming a lease
+	// that was never granted or has already been released.
+	ErrUnknownLease = errors.New("jobs: unknown lease")
+	// ErrStaleResult marks a result or failure upload for a lease that
+	// expired or was released: the job has moved on (first result
+	// wins), so the upload is discarded, never double-completed.
+	ErrStaleResult = errors.New("jobs: stale upload for released lease")
+	// ErrResultMismatch marks an uploaded result whose key is not the
+	// leased job's spec key.
+	ErrResultMismatch = errors.New("jobs: uploaded result does not match leased spec")
+)
+
+// Lease is the API shape of one worker assignment: which job, which
+// worker, which attempt, and until when the assignment holds without a
+// heartbeat.
+type Lease struct {
+	ID      string    `json:"id"`
+	JobID   string    `json:"job_id"`
+	Worker  string    `json:"worker"`
+	Attempt int       `json:"attempt"`
+	Expiry  time.Time `json:"expiry"`
+}
+
+// LeaseTTL reports the TTL new and renewed leases are granted under.
+func (s *Service) LeaseTTL() time.Duration { return s.cfg.LeaseTTL }
+
+// AcquireLease hands the oldest queued job to the named worker under a
+// fresh TTL'd lease. ok is false when nothing is queued; a draining
+// coordinator grants nothing (ErrDraining). The grant is journalled
+// (started + lease records) before it is acknowledged.
+func (s *Service) AcquireLease(worker string) (Lease, Job, bool, error) {
+	if worker == "" {
+		worker = "anonymous"
+	}
+	reg := s.cfg.Metrics
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Lease{}, Job{}, false, ErrDraining
+	}
+	var t *task
+	for len(s.pending) > 0 {
+		cand := s.pending[0]
+		s.pending = s.pending[1:]
+		if cand.state == StateQueued { // skip tasks cancelled while waiting
+			t = cand
+			break
+		}
+	}
+	if t == nil {
+		return Lease{}, Job{}, false, nil
+	}
+	t.state = StateRunning
+	t.attempts++
+	firstAttempt := t.started.IsZero()
+	if firstAttempt {
+		t.started = time.Now()
+	}
+	s.nqueued--
+	s.leaseSeq++
+	t.leaseID = fmt.Sprintf("l-%04d", s.leaseSeq)
+	t.worker = worker
+	t.leaseExpiry = time.Now().Add(s.cfg.LeaseTTL)
+	s.leases[t.leaseID] = t
+	if s.wal != nil {
+		now := time.Now().UTC()
+		s.wal.Append(Record{ //nolint:errcheck // replay reruns the attempt at worst
+			Type: RecStarted, ID: t.id, Attempt: t.attempts, At: now,
+		})
+		s.wal.Append(Record{ //nolint:errcheck // same: an unjournalled grant replays as queued
+			Type: RecLease, ID: t.id, Lease: t.leaseID, Worker: worker,
+			Action: LeaseGrant, Expiry: t.leaseExpiry.UTC(), At: now,
+		})
+	}
+	reg.Counter("dist.leases_granted").Inc()
+	reg.Gauge(obs.LabeledStr("jobs.leases_active", "worker", worker)).Add(1)
+	reg.Gauge("jobs.queue_depth").Add(-1)
+	reg.Gauge("jobs.running").Add(1)
+	if firstAttempt {
+		reg.Histogram("jobs.queue_latency_ms", nil).Observe(obs.DurMS(t.started.Sub(t.submitted)))
+	}
+	s.publishLeaseLocked(t, t.leaseID, "granted")
+	s.publishJobLocked(t, string(StateRunning))
+	s.publishQueueDepthLocked()
+	return s.leaseLocked(t), s.snapshotLocked(t), true, nil
+}
+
+// RenewLease extends a held lease by the TTL — the heartbeat. Renewing
+// keeps working while the coordinator drains, so in-flight remote jobs
+// finish instead of being orphaned mid-drain.
+func (s *Service) RenewLease(id string) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.leases[id]
+	if !ok {
+		return Lease{}, fmt.Errorf("%w: %s", ErrUnknownLease, id)
+	}
+	t.leaseExpiry = time.Now().Add(s.cfg.LeaseTTL)
+	if s.wal != nil {
+		s.wal.Append(Record{ //nolint:errcheck // an unjournalled renewal expires at worst
+			Type: RecLease, ID: t.id, Lease: id, Worker: t.worker,
+			Action: LeaseRenew, Expiry: t.leaseExpiry.UTC(), At: time.Now().UTC(),
+		})
+	}
+	s.cfg.Metrics.Counter("dist.leases_renewed").Inc()
+	return s.leaseLocked(t), nil
+}
+
+// CompleteLease settles a leased job with its uploaded result: the
+// result is persisted to the content-addressed store, the job ends
+// done, and the lease is released. The terminal transition is
+// idempotent — an upload for a lease that expired or was already
+// released is discarded (first result wins, dist.stale_results counts
+// the discard) instead of double-completing the job.
+func (s *Service) CompleteLease(id string, res *Result) (Job, error) {
+	reg := s.cfg.Metrics
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.leases[id]
+	if !ok {
+		reg.Counter("dist.stale_results").Inc()
+		return Job{}, fmt.Errorf("%w: %s", ErrStaleResult, id)
+	}
+	if res == nil || res.Key != t.key {
+		got := "<nil>"
+		if res != nil {
+			got = res.Key
+		}
+		return Job{}, fmt.Errorf("%w: lease %s wants key %s, got %s", ErrResultMismatch, id, t.key, got)
+	}
+	leaseID := t.leaseID
+	s.releaseLeaseLocked(t)
+	t.state = StateDone
+	t.finished = time.Now()
+	t.result = res
+	delete(s.inflight, t.key)
+	if _, perr := s.cfg.Store.Put(res); perr != nil {
+		// The verdicts are still good; losing the cache entry only
+		// costs a future recomputation.
+		reg.Counter("jobs.store_put_errors").Inc()
+	}
+	reg.Gauge("jobs.store_entries").Set(int64(s.cfg.Store.Len()))
+	reg.Gauge("jobs.store_evictions").Set(s.cfg.Store.Evictions())
+	reg.Gauge("jobs.store_quarantined").Set(s.cfg.Store.Quarantined())
+	s.publishLeaseLocked(t, leaseID, "completed")
+	s.walTerminalLocked(t) //nolint:errcheck // result is stored; replay adopts it
+	s.terminalMetricsLocked(t)
+	return s.snapshotLocked(t), nil
+}
+
+// FailLease settles a leased job with a worker-reported failure in the
+// resilience class vocabulary. A cancelled class from a live
+// coordinator is an abandonment — the worker is shutting down, not the
+// job — so the attempt requeues uncharged, exactly like a
+// crash-replayed interrupted attempt. Every other class goes through
+// the ordinary taxonomy-driven retry/finalize path. Like CompleteLease,
+// reports against a released lease are discarded as stale.
+func (s *Service) FailLease(id, class, msg string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.leases[id]
+	if !ok {
+		s.cfg.Metrics.Counter("dist.stale_results").Inc()
+		return Job{}, fmt.Errorf("%w: %s", ErrStaleResult, id)
+	}
+	leaseID := t.leaseID
+	s.releaseLeaseLocked(t)
+	kind, _ := resilience.ParseKind(class)
+	if kind == resilience.KindCancelled && !s.draining {
+		if t.attempts > 0 {
+			t.attempts--
+		}
+		t.state = StateQueued
+		t.err = nil
+		s.pending = append(s.pending, t)
+		s.nqueued++
+		s.cond.Signal()
+		s.cfg.Metrics.Counter("dist.leases_abandoned").Inc()
+		s.cfg.Metrics.Gauge("jobs.queue_depth").Add(1)
+		s.publishLeaseLocked(t, leaseID, "abandoned")
+		s.publishJobLocked(t, "requeued")
+		s.publishQueueDepthLocked()
+		return s.snapshotLocked(t), nil
+	}
+	err := ClassifiedError(class, msg)
+	s.publishLeaseLocked(t, leaseID, "failed")
+	if !s.retryLocked(t, err) {
+		s.finalizeFailureLocked(t, err)
+	}
+	return s.snapshotLocked(t), nil
+}
+
+// Leases snapshots the active leases, ordered by lease ID.
+func (s *Service) Leases() []Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Lease, 0, len(s.leases))
+	for _, t := range s.leases {
+		out = append(out, s.leaseLocked(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ExpireLeases releases every lease whose expiry is at or before now,
+// requeueing (or finalizing, when retries are spent or disabled) the
+// leased jobs with the lease-expired class. The background sweeper
+// calls it on a TTL/4 tick; tests call it directly for determinism. It
+// returns how many leases expired.
+func (s *Service) ExpireLeases(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, t := range s.leases {
+		if t.leaseExpiry.After(now) {
+			continue
+		}
+		n++
+		s.releaseLeaseLocked(t)
+		s.cfg.Metrics.Counter("dist.leases_expired").Inc()
+		err := fmt.Errorf("jobs: lease %s for %s held by %s expired after attempt %d: %w",
+			id, t.id, t.worker, t.attempts, resilience.ErrLeaseExpired)
+		s.publishLeaseLocked(t, id, "expired")
+		if !s.retryLocked(t, err) {
+			s.finalizeFailureLocked(t, err)
+		}
+	}
+	return n
+}
+
+// sweeper expires abandoned leases in the background until drain
+// completes.
+func (s *Service) sweeper() {
+	defer close(s.sweepDone)
+	tick := s.cfg.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 5*time.Second {
+		tick = 5 * time.Second
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-tk.C:
+			s.ExpireLeases(time.Now())
+		}
+	}
+}
+
+// releaseLeaseLocked drops t's active lease: out of the table, a
+// release record in the WAL, and the per-worker gauges back down. The
+// task keeps its worker name for snapshot attribution.
+func (s *Service) releaseLeaseLocked(t *task) {
+	delete(s.leases, t.leaseID)
+	if s.wal != nil {
+		s.wal.Append(Record{ //nolint:errcheck // a lost release replays as an expired lease
+			Type: RecLease, ID: t.id, Lease: t.leaseID, Worker: t.worker,
+			Action: LeaseRelease, At: time.Now().UTC(),
+		})
+	}
+	s.cfg.Metrics.Gauge(obs.LabeledStr("jobs.leases_active", "worker", t.worker)).Add(-1)
+	s.cfg.Metrics.Gauge("jobs.running").Add(-1)
+	t.leaseID = ""
+	t.leaseExpiry = time.Time{}
+}
+
+// cancelLeasedLocked finalises a remotely-running job that was
+// cancelled at the coordinator: the lease is released and a late upload
+// from its worker will be discarded as stale.
+func (s *Service) cancelLeasedLocked(t *task) {
+	leaseID := t.leaseID
+	s.releaseLeaseLocked(t)
+	t.state = StateCancelled
+	t.err = fmt.Errorf("jobs: %s cancelled while leased to %s: %w", t.id, t.worker, resilience.ErrCancelled)
+	t.finished = time.Now()
+	delete(s.inflight, t.key)
+	s.publishLeaseLocked(t, leaseID, "cancelled")
+	s.walTerminalLocked(t) //nolint:errcheck // cancellation is already final
+	s.terminalMetricsLocked(t)
+}
+
+// waitLeasesDrained blocks until every active lease has settled —
+// completed or failed by its worker, or expired by the sweeper. Drain's
+// barrier for remote attempts, mirroring wg.Wait for local ones.
+func (s *Service) waitLeasesDrained() {
+	for {
+		s.mu.Lock()
+		n := len(s.leases)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leaseLocked freezes t's lease into its API shape.
+func (s *Service) leaseLocked(t *task) Lease {
+	return Lease{ID: t.leaseID, JobID: t.id, Worker: t.worker, Attempt: t.attempts, Expiry: t.leaseExpiry}
+}
+
+// publishLeaseLocked emits one lease lifecycle transition on the event
+// bus, scoped to the job so per-job SSE streams and flight recordings
+// carry the worker assignment history.
+func (s *Service) publishLeaseLocked(t *task, leaseID, name string) {
+	if s.bus == nil {
+		return
+	}
+	s.bus.Publish(obs.BusEvent{
+		Type: "lease", Scope: t.id, Name: name,
+		Attrs: map[string]string{
+			"lease":   leaseID,
+			"worker":  t.worker,
+			"attempt": strconv.Itoa(t.attempts),
+		},
+	})
+}

@@ -45,17 +45,20 @@ func (s State) Terminal() bool {
 // Attempts counts execution attempts (retries make it exceed 1), and
 // Recovered marks a job requeued from the WAL after a crash.
 type Job struct {
-	ID          string     `json:"id"`
-	Key         string     `json:"key"`
-	Spec        Spec       `json:"spec"`
-	State       State      `json:"state"`
-	CacheHit    bool       `json:"cache_hit,omitempty"`
-	Attempts    int        `json:"attempts,omitempty"`
-	Recovered   bool       `json:"recovered,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	Class       string     `json:"class,omitempty"`
-	ExitCode    int        `json:"exit_code"`
-	Result      *Result    `json:"result,omitempty"`
+	ID        string  `json:"id"`
+	Key       string  `json:"key"`
+	Spec      Spec    `json:"spec"`
+	State     State   `json:"state"`
+	CacheHit  bool    `json:"cache_hit,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+	Recovered bool    `json:"recovered,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Class     string  `json:"class,omitempty"`
+	ExitCode  int     `json:"exit_code"`
+	Result    *Result `json:"result,omitempty"`
+	// Worker names the fleet worker the job last ran on ("" for jobs
+	// executed by the coordinator's local pool).
+	Worker      string     `json:"worker,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -160,6 +163,14 @@ type Config struct {
 	// stream is written to <FlightDir>/<job-id>.jsonl with a CRC footer,
 	// replayable offline for post-mortem debugging. Requires Events.
 	FlightDir string
+	// LeaseTTL bounds how long a distributed worker may hold a job
+	// without heartbeating before the lease expires and the job
+	// requeues. Defaults to DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// NoLocalWorkers runs the service as a pure coordinator: no local
+	// worker pool is started, so every job is executed by remote fleet
+	// workers pulling through the lease API.
+	NoLocalWorkers bool
 }
 
 // DefaultQueueCap bounds the queue when Config.Queue <= 0.
@@ -191,6 +202,13 @@ type task struct {
 	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc
+
+	// Distributed execution: set while the task is leased to a remote
+	// worker (leaseID empties on release; worker persists for
+	// attribution).
+	worker      string
+	leaseID     string
+	leaseExpiry time.Time
 }
 
 // RecoveryStats summarises what New reconstructed from the WAL.
@@ -207,6 +225,11 @@ type RecoveryStats struct {
 	// Terminal counts failed/cancelled/quarantined jobs restored
 	// as-is.
 	Terminal int `json:"terminal_restored"`
+	// LeasesRestored counts unexpired worker leases re-adopted from the
+	// WAL: their jobs stay running under the original worker instead of
+	// requeueing, so a coordinator restart does not double-schedule work
+	// a live worker still holds.
+	LeasesRestored int `json:"leases_restored"`
 }
 
 // Service owns the queue, the worker pool, the job table and (when
@@ -229,8 +252,14 @@ type Service struct {
 	pending  []*task           // FIFO of runnable tasks
 	nqueued  int               // tasks in StateQueued (backpressure bound)
 	metas    []Record          // opaque layer-above records, append order
+	leases   map[string]*task  // active lease ID -> leased task
+	leaseSeq int
 	draining bool
 	recovery RecoveryStats
+
+	sweepStop chan struct{} // closed by drain to stop the lease sweeper
+	sweepDone chan struct{} // closed when the sweeper exits
+	sweepOnce sync.Once
 
 	checkpointOnce sync.Once
 }
@@ -254,13 +283,19 @@ func New(cfg Config) (*Service, error) {
 		cfg.BaseContext = context.Background()
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
 	s := &Service{
-		cfg:      cfg,
-		base:     cfg.BaseContext,
-		bus:      cfg.Events,
-		rng:      rand.New(rand.NewSource(cfg.Retry.Seed)),
-		tasks:    make(map[string]*task),
-		inflight: make(map[string]string),
+		cfg:       cfg,
+		base:      cfg.BaseContext,
+		bus:       cfg.Events,
+		rng:       rand.New(rand.NewSource(cfg.Retry.Seed)),
+		tasks:     make(map[string]*task),
+		inflight:  make(map[string]string),
+		leases:    make(map[string]*task),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -273,6 +308,9 @@ func New(cfg Config) (*Service, error) {
 		reg.Gauge("jobs.queue_depth")
 		reg.Gauge("jobs.running")
 		reg.Histogram("jobs.queue_latency_ms", nil)
+		reg.Counter("dist.leases_granted")
+		reg.Counter("dist.leases_expired")
+		reg.Counter("dist.stale_results")
 	}
 
 	if cfg.WALDir != "" {
@@ -308,10 +346,13 @@ func New(cfg Config) (*Service, error) {
 		s.flight = fr
 	}
 
-	for w := 0; w < cfg.Workers; w++ {
-		s.wg.Add(1)
-		go s.worker()
+	if !cfg.NoLocalWorkers {
+		for w := 0; w < cfg.Workers; w++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
+	go s.sweeper()
 	return s, nil
 }
 
@@ -324,6 +365,10 @@ func (s *Service) replay(recs []Record) {
 	defer s.mu.Unlock()
 	reg := s.cfg.Metrics
 	s.recovery.Replayed = len(recs)
+	// Lease bookkeeping across the record stream: grants/renewals upsert,
+	// releases delete, so what survives the loop is the set of leases
+	// that were live at crash time (expiry decides re-adoption below).
+	liveLeases := make(map[string]Record)
 	for _, rec := range recs {
 		switch rec.Type {
 		case RecSubmitted:
@@ -362,7 +407,42 @@ func (s *Service) replay(recs []Record) {
 				t.err = reconstructError(rec.Class, rec.Error)
 			}
 		case RecMeta:
-			s.metas = append(s.metas, rec)
+			// Replace-by-ID: layers above re-journal mutable state (tenant
+			// quota balances) under a stable ID, and only the latest
+			// payload is live.
+			replaced := false
+			for i := range s.metas {
+				if rec.ID != "" && s.metas[i].ID == rec.ID {
+					s.metas[i] = rec
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				s.metas = append(s.metas, rec)
+			}
+		case RecLease:
+			switch rec.Action {
+			case LeaseGrant:
+				liveLeases[rec.Lease] = rec
+			case LeaseRenew:
+				if g, ok := liveLeases[rec.Lease]; ok {
+					g.Expiry = rec.Expiry
+					liveLeases[rec.Lease] = g
+				}
+			case LeaseRelease:
+				delete(liveLeases, rec.Lease)
+			}
+		}
+	}
+
+	// Index the surviving leases by job for the settle loop; expired
+	// grants fall through to the ordinary requeue path.
+	now := time.Now()
+	leaseByJob := make(map[string]Record, len(liveLeases))
+	for _, g := range liveLeases {
+		if g.Expiry.After(now) {
+			leaseByJob[g.ID] = g
 		}
 	}
 
@@ -384,6 +464,28 @@ func (s *Service) replay(recs []Record) {
 			t.state, t.finished, t.cacheHit, t.attempts = StateQueued, time.Time{}, false, 0
 			s.requeueReplayedLocked(t)
 		case !t.state.Terminal():
+			if g, ok := leaseByJob[id]; ok {
+				// A live worker still holds this job under an unexpired
+				// lease: re-adopt the assignment instead of requeueing, so
+				// the restarted coordinator accepts the worker's heartbeats
+				// and eventual result. The sweeper reclaims it as usual if
+				// the worker is in fact gone.
+				t.state = StateRunning
+				t.recovered = true
+				t.worker = g.Worker
+				t.leaseID = g.Lease
+				t.leaseExpiry = g.Expiry
+				s.leases[g.Lease] = t
+				s.inflight[t.key] = t.id
+				if n := idSeq(g.Lease); n > s.leaseSeq {
+					s.leaseSeq = n
+				}
+				s.recovery.LeasesRestored++
+				reg.Counter("jobs.recovered_leases").Inc()
+				reg.Gauge(obs.LabeledStr("jobs.leases_active", "worker", t.worker)).Add(1)
+				reg.Gauge("jobs.running").Add(1)
+				continue
+			}
 			// Queued or mid-attempt at crash time. The interrupted
 			// attempt is retried without counting against the policy.
 			if t.attempts > 0 {
@@ -408,6 +510,12 @@ func (s *Service) requeueReplayedLocked(t *task) {
 	reg.Counter("jobs.recovered_requeued").Inc()
 	reg.Gauge("jobs.queue_depth").Add(1)
 }
+
+// ClassifiedError rebuilds a classifiable error from a serialized
+// failure class and message — the bridge for worker-reported failures
+// crossing the lease HTTP boundary, sharing the WAL replay machinery so
+// errors.Is and exit codes see the taxonomy sentinel through Unwrap.
+func ClassifiedError(class, msg string) error { return reconstructError(class, msg) }
 
 // reconstructError rebuilds a classifiable error from a serialized
 // failure class: the message survives byte-identical while errors.Is
@@ -465,6 +573,28 @@ func (s *Service) LogMeta(id string, payload json.RawMessage) error {
 	defer s.mu.Unlock()
 	if err := s.wal.Append(rec); err != nil {
 		return err
+	}
+	s.metas = append(s.metas, rec)
+	return nil
+}
+
+// LogMetaReplace journals an opaque record like LogMeta, but replaces
+// any earlier meta with the same ID instead of appending alongside it —
+// the shape for mutable layer-above state (tenant quota balances) where
+// only the latest payload is live. The WAL itself stays append-only;
+// compaction and replay both collapse to the last record per ID.
+func (s *Service) LogMetaReplace(id string, payload json.RawMessage) error {
+	rec := Record{Type: RecMeta, ID: id, Meta: payload, At: time.Now().UTC()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Append(rec); err != nil {
+		return err
+	}
+	for i := range s.metas {
+		if s.metas[i].ID == id {
+			s.metas[i] = rec
+			return nil
+		}
 	}
 	s.metas = append(s.metas, rec)
 	return nil
@@ -634,6 +764,11 @@ func (s *Service) Cancel(id string) (Job, error) {
 	case StateRunning:
 		if t.cancel != nil {
 			t.cancel()
+		} else if t.leaseID != "" {
+			// Running remotely: there is no local context to cancel, so
+			// finalise now and let the worker's eventual upload be
+			// discarded as stale.
+			s.cancelLeasedLocked(t)
 		}
 	}
 	return s.snapshotLocked(t), nil
@@ -677,6 +812,13 @@ func (s *Service) Drain(ctx context.Context) (int, error) {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Remote attempts drain too: their workers keep renewing and
+		// settling leases during the drain, and a dead worker's lease is
+		// reclaimed by the sweeper within one TTL (draining disables
+		// retries, so reclamation is terminal and the wait is bounded).
+		s.waitLeasesDrained()
+		s.sweepOnce.Do(func() { close(s.sweepStop) })
+		<-s.sweepDone
 		close(done)
 	}()
 	select {
@@ -735,6 +877,14 @@ func (s *Service) liveRecordsLocked() []Record {
 				Type: RecStarted, ID: t.id, Attempt: t.attempts, At: t.started.UTC(),
 			})
 		}
+		if t.leaseID != "" {
+			// An active worker assignment survives compaction as a single
+			// grant at its current expiry.
+			recs = append(recs, Record{
+				Type: RecLease, ID: t.id, Lease: t.leaseID, Worker: t.worker,
+				Action: LeaseGrant, Expiry: t.leaseExpiry.UTC(), At: t.started.UTC(),
+			})
+		}
 		if t.state.Terminal() {
 			rec := Record{
 				Type: RecTerminal, ID: t.id, State: t.state,
@@ -755,8 +905,13 @@ func (s *Service) liveRecordsLocked() []Record {
 func (s *Service) Close() {
 	s.mu.Lock()
 	for _, t := range s.tasks {
-		if t.state == StateRunning && t.cancel != nil {
+		if t.state != StateRunning {
+			continue
+		}
+		if t.cancel != nil {
 			t.cancel()
+		} else if t.leaseID != "" {
+			s.cancelLeasedLocked(t)
 		}
 	}
 	s.mu.Unlock()
@@ -950,6 +1105,9 @@ func (s *Service) publishJobLocked(t *task, name string) {
 	if t.state.Terminal() {
 		attrs["class"] = terminalClass(t.state, t.err)
 	}
+	if t.worker != "" {
+		attrs["worker"] = t.worker
+	}
 	if t.err != nil {
 		ev.Err = t.err.Error()
 	}
@@ -991,6 +1149,7 @@ func (s *Service) snapshotLocked(t *task) Job {
 		Attempts:    t.attempts,
 		Recovered:   t.recovered,
 		Result:      t.result,
+		Worker:      t.worker,
 		SubmittedAt: t.submitted,
 	}
 	if t.err != nil {

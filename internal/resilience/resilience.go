@@ -5,7 +5,7 @@
 // result plus an aggregate of what failed), and the process exit codes
 // the CLI derives from a run's worst failure.
 //
-// The taxonomy distinguishes six non-fatal endings from a genuine
+// The taxonomy distinguishes seven non-fatal endings from a genuine
 // internal fault:
 //
 //   - Cancelled: the caller's context was cancelled or its deadline
@@ -22,6 +22,9 @@
 //   - RetryExhausted: a retry policy spent every attempt on a failure
 //     class that is normally transient; the job is poisoned and was
 //     quarantined instead of blocking the queue forever.
+//   - LeaseExpired: a distributed worker holding a job lease stopped
+//     heartbeating (crash, partition); the work was not wrong, the
+//     worker vanished, so the job is requeued for another worker.
 package resilience
 
 import (
@@ -54,6 +57,11 @@ var (
 	// attempts on a retryable failure class; the job is quarantined as
 	// poisoned rather than retried forever.
 	ErrRetryExhausted = errors.New("retry attempts exhausted")
+	// ErrLeaseExpired marks a job whose distributed worker lease ran
+	// out without a heartbeat or result: the worker crashed or was
+	// partitioned away mid-attempt. The failure says nothing about the
+	// job itself, so it is the canonical retryable class.
+	ErrLeaseExpired = errors.New("worker lease expired")
 )
 
 // Kind buckets a failure for reporting and exit-code selection.
@@ -70,6 +78,7 @@ const (
 	KindCasePanic                   // recovered test-case panic
 	KindModelLint                   // model-lint gate tripped
 	KindRetryExhausted              // retry policy spent on a transient class
+	KindLeaseExpired                // distributed worker lease ran out mid-attempt
 	KindInternal                    // genuine pipeline fault
 )
 
@@ -90,6 +99,8 @@ func (k Kind) String() string {
 		return "model-lint"
 	case KindRetryExhausted:
 		return "retry-exhausted"
+	case KindLeaseExpired:
+		return "lease-expired"
 	case KindInternal:
 		return "internal"
 	default:
@@ -128,6 +139,8 @@ func classifyOne(err error) Kind {
 		return KindModelLint
 	case errors.Is(err, ErrRetryExhausted):
 		return KindRetryExhausted
+	case errors.Is(err, ErrLeaseExpired):
+		return KindLeaseExpired
 	default:
 		return KindInternal
 	}
@@ -135,12 +148,14 @@ func classifyOne(err error) Kind {
 
 // Retryable reports whether a failure of this kind is worth another
 // attempt: adversarial channel faults and isolated case panics are
-// transient under a reseeded or differently-scheduled run, while
-// cancellation, budget exhaustion, lint gates and genuine internal
-// faults are deterministic — retrying them burns attempts on the same
-// answer. Retry policies consult this instead of hard-coding classes.
+// transient under a reseeded or differently-scheduled run, and an
+// expired worker lease says the worker died, not that the job is bad —
+// while cancellation, budget exhaustion, lint gates and genuine
+// internal faults are deterministic — retrying them burns attempts on
+// the same answer. Retry policies consult this instead of hard-coding
+// classes.
 func (k Kind) Retryable() bool {
-	return k == KindFaultInjected || k == KindCasePanic
+	return k == KindFaultInjected || k == KindCasePanic || k == KindLeaseExpired
 }
 
 // flatten expands multi-error trees into leaves, descending through
@@ -175,6 +190,7 @@ const (
 	ExitCasePanic       = 5
 	ExitModelLint       = 6
 	ExitRetryExhausted  = 7
+	ExitLeaseExpired    = 8
 )
 
 // ExitCode selects the process exit code for a run that ended with err.
@@ -197,6 +213,8 @@ func (k Kind) ExitCode() int {
 		return ExitModelLint
 	case KindRetryExhausted:
 		return ExitRetryExhausted
+	case KindLeaseExpired:
+		return ExitLeaseExpired
 	default:
 		return ExitInternal
 	}
@@ -236,6 +254,8 @@ func (k Kind) Sentinel() error {
 		return ErrModelLint
 	case KindRetryExhausted:
 		return ErrRetryExhausted
+	case KindLeaseExpired:
+		return ErrLeaseExpired
 	default:
 		return errInternal
 	}

@@ -1,0 +1,173 @@
+package server
+
+// Fleet coordination over HTTP: the lease-based pull API remote workers
+// drive (internal/dist.Worker through Client), plus the per-tenant
+// token-bucket admission gate in front of submission.
+//
+//	POST /v1/leases               acquire: one queued job under a TTL'd lease (204 when idle)
+//	GET  /v1/leases               list active leases
+//	POST /v1/leases/{id}/heartbeat renew (410 once the lease is gone)
+//	POST /v1/leases/{id}/result   upload canonical result bytes (409 stale, 400 key mismatch)
+//	POST /v1/leases/{id}/fail     report a classified failure (409 stale)
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prochecker/internal/dist"
+	"prochecker/internal/jobs"
+)
+
+// TenantHeader names the submitting tenant for admission control.
+const TenantHeader = "X-ProChecker-Tenant"
+
+// maxResultBytes bounds one uploaded canonical result (a full
+// 62-property verdict set with traces stays far below this).
+const maxResultBytes = 16 << 20
+
+// WithTenantGate installs per-tenant token-bucket admission control in
+// front of job and campaign submission. Requests are charged by job
+// count (a campaign costs its cell count) against the bucket of their
+// X-ProChecker-Tenant header; an exhausted bucket answers 429 with a
+// tenant-scoped Retry-After. When the underlying service has a WAL,
+// balances are journalled through it and survive a coordinator restart.
+func WithTenantGate(g *dist.Gate) Option {
+	return func(s *Server) { s.gate = g }
+}
+
+// tenantMeta is the JSON payload journalled per tenant (under meta ID
+// "tenant:<name>") carrying the bucket balance across restarts.
+type tenantMeta struct {
+	Tokens float64   `json:"tokens"`
+	At     time.Time `json:"at"`
+}
+
+// admit charges the request's tenant for cost jobs, answering the 429
+// itself (with the tenant-scoped Retry-After) when the quota is
+// exhausted. Reports whether the request may proceed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost float64) bool {
+	if s.gate == nil {
+		return true
+	}
+	wait, err := s.gate.Admit(r.Header.Get(TenantHeader), cost)
+	if err == nil {
+		return true
+	}
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, err)
+	return false
+}
+
+// acquireRequest is the POST /v1/leases body.
+type acquireRequest struct {
+	Worker string `json:"worker"`
+}
+
+// failRequest is the POST /v1/leases/{id}/fail body.
+type failRequest struct {
+	Class string `json:"class"`
+	Error string `json:"error"`
+}
+
+func (s *Server) handleAcquireLease(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	lease, job, ok, err := s.svc.AcquireLease(req.Worker)
+	if err != nil {
+		writeSubmitError(w, err) // draining: 503 + Retry-After
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, dist.Grant{
+		Lease: lease, Job: job, TTLMS: s.svc.LeaseTTL().Milliseconds(),
+	})
+}
+
+func (s *Server) handleListLeases(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Leases []jobs.Lease `json:"leases"`
+	}{s.svc.Leases()})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	lease, err := s.svc.RenewLease(r.PathValue("id"))
+	if err != nil {
+		// Gone is terminal for this lease: the client must not retry.
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Lease jobs.Lease `json:"lease"`
+	}{lease})
+}
+
+func (s *Server) handleLeaseResult(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading result: %w", err))
+		return
+	}
+	if len(body) > maxResultBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("result exceeds size bound"))
+		return
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding result: %w", err))
+		return
+	}
+	job, err := s.svc.CompleteLease(r.PathValue("id"), &res)
+	if err != nil {
+		writeError(w, leaseSettleStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Job jobs.Job `json:"job"`
+	}{job})
+}
+
+func (s *Server) handleLeaseFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.svc.FailLease(r.PathValue("id"), req.Class, req.Error)
+	if err != nil {
+		writeError(w, leaseSettleStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Job jobs.Job `json:"job"`
+	}{job})
+}
+
+// leaseSettleStatus maps a refused lease settlement onto its HTTP
+// status: stale uploads conflict (the job already moved on), mismatched
+// results are the client's fault.
+func leaseSettleStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrStaleResult):
+		return http.StatusConflict
+	case errors.Is(err, jobs.ErrResultMismatch):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -9,6 +9,11 @@
 //	GET    /v1/campaigns             list campaigns
 //	GET    /v1/campaigns/{id}        campaign status + differential report
 //	GET    /v1/campaigns/{id}/events live SSE stream across the campaign's jobs
+//	POST   /v1/leases                acquire a job lease (fleet workers; see dist.go)
+//	GET    /v1/leases                list active leases
+//	POST   /v1/leases/{id}/heartbeat renew a lease
+//	POST   /v1/leases/{id}/result    upload a leased job's canonical result
+//	POST   /v1/leases/{id}/fail      report a leased job's classified failure
 //	GET    /healthz                  readiness (503 while draining)
 //	GET    /debug/vars               expvar (queue/cache/pipeline metrics)
 //	GET    /metrics                  Prometheus text exposition
@@ -39,8 +44,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prochecker"
+	"prochecker/internal/dist"
 	"prochecker/internal/jobs"
 	"prochecker/internal/obs"
 	"prochecker/internal/report"
@@ -70,6 +77,7 @@ type Server struct {
 	svc      *jobs.Service
 	mux      *http.ServeMux
 	bus      *obs.Bus
+	gate     *dist.Gate
 	draining atomic.Bool
 
 	mu        sync.Mutex
@@ -114,6 +122,14 @@ func New(svc *jobs.Service, reg *obs.Registry, opts ...Option) *Server {
 		opt(s)
 	}
 	for _, m := range svc.Metas() {
+		if name, ok := strings.CutPrefix(m.ID, "tenant:"); ok {
+			// Journalled tenant quota balance, not a campaign.
+			var tm tenantMeta
+			if s.gate != nil && json.Unmarshal(m.Meta, &tm) == nil {
+				s.gate.Restore(name, tm.Tokens, tm.At)
+			}
+			continue
+		}
 		var meta campaignMeta
 		if json.Unmarshal(m.Meta, &meta) != nil || m.ID == "" {
 			continue
@@ -128,6 +144,15 @@ func New(svc *jobs.Service, reg *obs.Registry, opts ...Option) *Server {
 			s.seq = n
 		}
 	}
+	if s.gate != nil {
+		// Journal every admission so balances survive a restart; the
+		// replace-by-ID meta keeps one live record per tenant.
+		s.gate.SetJournal(func(tenant string, tokens float64, at time.Time) {
+			if meta, err := json.Marshal(tenantMeta{Tokens: tokens, At: at}); err == nil {
+				svc.LogMetaReplace("tenant:"+tenant, meta) //nolint:errcheck // balance still live in memory
+			}
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -137,6 +162,11 @@ func New(svc *jobs.Service, reg *obs.Registry, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
+	mux.HandleFunc("POST /v1/leases", s.handleAcquireLease)
+	mux.HandleFunc("GET /v1/leases", s.handleListLeases)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/result", s.handleLeaseResult)
+	mux.HandleFunc("POST /v1/leases/{id}/fail", s.handleLeaseFail)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.Handle("GET /metrics", reg.PrometheusHandler("prochecker"))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -236,7 +266,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Campaign != nil {
-		s.submitCampaign(w, *req.Campaign)
+		s.submitCampaign(w, r, *req.Campaign)
+		return
+	}
+	if !s.admit(w, r, 1) {
 		return
 	}
 	job, err := s.svc.Submit(req.Spec)
@@ -253,10 +286,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // is all-or-nothing: if a cell is rejected (queue full, draining), the
 // cells already enqueued for this campaign are cancelled and the whole
 // request fails with that cell's status.
-func (s *Server) submitCampaign(w http.ResponseWriter, spec prochecker.CampaignSpec) {
+func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request, spec prochecker.CampaignSpec) {
 	specs, err := spec.Jobs()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A campaign is admitted as a unit, charged by cell count.
+	if !s.admit(w, r, float64(len(specs))) {
 		return
 	}
 	var ids []string
