@@ -157,9 +157,14 @@ func runJob(ctx context.Context, spec JobSpec, rcfg JobRunnerConfig) (*JobResult
 		return nil, err
 	}
 	snapDir := jobs.SnapshotDirFor(rcfg.SnapshotRoot, spec.Key())
-	a, err := AnalyzeContext(ctx, impl,
+	opts := []Option{
 		WithWorkers(rcfg.Workers), WithFaults(cfg),
-		WithShards(rcfg.Shards), WithMemBudget(rcfg.MemBudget), WithSnapshotDir(snapDir))
+		WithShards(rcfg.Shards), WithMemBudget(rcfg.MemBudget), WithSnapshotDir(snapDir),
+	}
+	if spec.NoVacuityPrune {
+		opts = append(opts, WithNoVacuityPrune())
+	}
+	a, err := AnalyzeContext(ctx, impl, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +197,7 @@ func runJob(ctx context.Context, spec JobSpec, rcfg JobRunnerConfig) (*JobResult
 			Class:       r.Class,
 			Verified:    r.Verified,
 			AttackFound: r.AttackFound,
+			Vacuous:     r.Vacuous,
 			Detail:      r.Detail,
 		})
 	}
@@ -218,6 +224,9 @@ type CampaignSpec struct {
 	// Properties selects catalogue property IDs (empty = full
 	// catalogue).
 	Properties []string `json:"properties,omitempty"`
+	// NoVacuityPrune disables the static vacuity pre-pass in every
+	// cell of the matrix.
+	NoVacuityPrune bool `json:"no_vacuity_prune,omitempty"`
 }
 
 // Jobs expands the matrix into normalized job specs, implementations
@@ -234,10 +243,11 @@ func (c CampaignSpec) Jobs() ([]JobSpec, error) {
 	for _, impl := range c.Impls {
 		for _, f := range faults {
 			spec, err := NormalizeJobSpec(JobSpec{
-				Impl:       impl,
-				Faults:     f,
-				Seed:       c.Seed,
-				Properties: append([]string(nil), c.Properties...),
+				Impl:           impl,
+				Faults:         f,
+				Seed:           c.Seed,
+				Properties:     append([]string(nil), c.Properties...),
+				NoVacuityPrune: c.NoVacuityPrune,
 			})
 			if err != nil {
 				return nil, err

@@ -51,6 +51,29 @@ grep -q "no diagnostics\|info(s)" "$lint_dir/conformant.lint" \
     || { echo "model-lint gate: conformant report malformed"; exit 1; }
 echo "model-lint gate OK (3 profiles clean at error severity, $((lint_end_ms - lint_start_ms)) ms)"
 
+echo "== dataflow lint gate =="
+# The PC1xx dataflow family must discriminate the shipped profiles: the
+# conformant extraction carries no plaintext-identity exposure, while
+# srsLTE and OAI each reproduce at least one known leak (cleartext SQN
+# in the srsLTE auth_request, GUTI/IMSI on plaintext channels in OAI).
+if grep -q "PC101" "$lint_dir/conformant.lint"; then
+    echo "dataflow gate: conformant reported a PC101 plaintext-identity exposure"
+    cat "$lint_dir/conformant.lint"; exit 1
+fi
+for impl in srsLTE OAI; do
+    grep -q "PC101" "$lint_dir/$impl.lint" \
+        || { echo "dataflow gate: $impl reported no PC101 plaintext-identity exposure"; cat "$lint_dir/$impl.lint"; exit 1; }
+done
+# The dataflow passes run to a fixpoint over maps — a second lint of the
+# same model must render byte-identical diagnostics.
+for impl in conformant srsLTE OAI; do
+    "$lint_dir/prochecker" -impl "$impl" -lint -quiet > "$lint_dir/$impl.lint2" \
+        || { echo "dataflow gate: $impl relint failed"; cat "$lint_dir/$impl.lint2"; exit 1; }
+    diff -u "$lint_dir/$impl.lint" "$lint_dir/$impl.lint2" > /dev/null \
+        || { echo "dataflow gate: $impl lint output is nondeterministic"; diff -u "$lint_dir/$impl.lint" "$lint_dir/$impl.lint2"; exit 1; }
+done
+echo "dataflow lint gate OK (conformant PC101-clean, srsLTE/OAI exposures reproduced deterministically)"
+
 echo "== observability smoke =="
 # Start a real run with the live metrics endpoint, scrape /debug/vars
 # from outside while -serve-wait keeps it up, and assert the core
@@ -592,6 +615,49 @@ END {
     print "}"
 }' > BENCH_lint.json
 echo "wrote BENCH_lint.json"
+
+echo "== static-analysis bench baseline =="
+# The full MC catalogue over the plain LTEInspector composition, with
+# and without the static vacuity pre-pass; both run on a warm engine
+# with Workers=1 so the delta is exactly the property passes the pruner
+# skips, not scheduler slack.
+sa_bench_out=$(go test -run '^$' -bench 'BenchmarkCheckAllVacuity(Unpruned|Pruned)$' -benchtime 5x .)
+echo "$sa_bench_out"
+
+# Render into BENCH_sa.json with the pruning speedup the acceptance
+# criterion reads (>= 1.15x). Lines carry the pruned-property count as a
+# ReportMetric pair after ns/op:
+#   BenchmarkCheckAllVacuityPruned   5   38467217 ns/op   30.00 pruned/op
+echo "$sa_bench_out" | awk '
+BEGIN { print "{"; print "  \"series\": \"static vacuity pre-pruning, full MC catalogue (plain LTEInspector composition, warm engine, 1 worker)\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    gsub(/-[0-9]+$/, "", $1)
+    ns[$1] = $3
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3)
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i+1)
+        gsub(/\/op$/, "_per_op", unit)
+        gsub(/-/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    lines[n++] = line
+}
+END {
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ],"
+    if (ns["BenchmarkCheckAllVacuityUnpruned"] > 0 && ns["BenchmarkCheckAllVacuityPruned"] > 0)
+        printf "  \"vacuity_prune_speedup\": %.2f\n", ns["BenchmarkCheckAllVacuityUnpruned"] / ns["BenchmarkCheckAllVacuityPruned"]
+    else
+        print "  \"vacuity_prune_speedup\": null"
+    print "}"
+}' > BENCH_sa.json
+echo "wrote BENCH_sa.json"
+
+sa_speedup=$(sed -n 's/.*"vacuity_prune_speedup": *\([0-9.]*\).*/\1/p' BENCH_sa.json | head -1)
+[[ -n "$sa_speedup" ]] && awk -v s="$sa_speedup" 'BEGIN { exit !(s >= 1.15) }' \
+    || { echo "bench gate: vacuity-prune speedup ${sa_speedup:-unmeasured} is below the 1.15x floor"; exit 1; }
+echo "vacuity-prune speedup gate OK (${sa_speedup}x vs unpruned catalogue)"
 
 echo "== observability-plane bench baseline =="
 # The bus publish path (the cost every instrumented call site pays) and

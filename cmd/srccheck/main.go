@@ -1,7 +1,9 @@
 // Command srccheck runs the repository's custom Go-source checks
 // (internal/analysis): leaked obs.Start spans, os file handles that
-// are neither closed nor handed off, and resilience error sentinels
-// the classifier does not handle. ci.sh runs it on every build.
+// are neither closed nor handed off, resilience error sentinels the
+// classifier does not handle, and non-exhaustive switches over the
+// closed enum vocabularies (resilience.Kind, the jobs WAL record
+// types). ci.sh runs it on every build.
 //
 // Usage:
 //

@@ -24,6 +24,17 @@
 //     A sentinel that the classifier does not recognise silently decays
 //     to KindInternal, which breaks the CLI exit-code contract.
 //
+//   - exhaustive-switch: a switch whose case labels name two or more
+//     members of a closed enum family — the resilience failure kinds
+//     (Kind*) or the jobs WAL record vocabulary (Rec*) — has adopted
+//     that family and must name every member. A default clause does not
+//     excuse a missing member: defaults are for forward compatibility,
+//     and a family member silently falling through to one is exactly
+//     the bug the rule exists to catch (a new Kind inheriting the wrong
+//     exit code, a new record type dropped by WAL replay). Switches
+//     without a tag, or that name fewer than two members, are out of
+//     scope.
+//
 // The checker is wired into ci.sh via cmd/srccheck and runs over the
 // whole repository on every build.
 package analysis
@@ -46,8 +57,8 @@ type Finding struct {
 	File string
 	// Line is the 1-based source line.
 	Line int
-	// Check names the rule that fired ("span-leak", "file-leak" or
-	// "classify-sentinel").
+	// Check names the rule that fired ("span-leak", "file-leak",
+	// "classify-sentinel" or "exhaustive-switch").
 	Check string
 	// Message describes the violation.
 	Message string
@@ -65,6 +76,7 @@ func CheckDir(root string) ([]Finding, error) {
 	fset := token.NewFileSet()
 	var findings []Finding
 	resilienceFiles := make(map[string]*ast.File)
+	allFiles := make(map[string]*ast.File)
 
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -93,6 +105,7 @@ func CheckDir(root string) ([]Finding, error) {
 		if filepath.Base(filepath.Dir(path)) == "resilience" {
 			resilienceFiles[rel] = file
 		}
+		allFiles[rel] = file
 		return nil
 	})
 	if err != nil {
@@ -100,6 +113,7 @@ func CheckDir(root string) ([]Finding, error) {
 	}
 
 	findings = append(findings, checkClassifySentinels(fset, resilienceFiles)...)
+	findings = append(findings, checkExhaustiveSwitches(fset, allFiles)...)
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].File != findings[j].File {
 			return findings[i].File < findings[j].File
@@ -440,4 +454,161 @@ func checkClassifySentinels(fset *token.FileSet, files map[string]*ast.File) []F
 		}
 	}
 	return findings
+}
+
+// enumFamily describes one closed constant vocabulary the
+// exhaustive-switch rule enforces: the family's display name, the
+// directory whose package declares it, the declared type of its
+// members, and the member-name prefix that distinguishes them from
+// unrelated constants of the same type.
+type enumFamily struct {
+	name    string // display name for messages
+	dir     string // base name of the declaring package directory
+	typ     string // declared constant type
+	prefix  string // member-name prefix
+	members map[string]bool
+}
+
+// switchFamilies lists the enforced vocabularies. Membership is
+// harvested from the declaring package at check time, so adding a Kind
+// or a RecordType automatically widens every adopted switch's
+// obligation.
+func switchFamilies() []*enumFamily {
+	return []*enumFamily{
+		{name: "resilience.Kind", dir: "resilience", typ: "Kind", prefix: "Kind"},
+		{name: "jobs WAL record type", dir: "jobs", typ: "RecordType", prefix: "Rec"},
+	}
+}
+
+// collectFamilyMembers scans a declaring package's files for the
+// family's constants. Iota blocks carry the type only on their first
+// spec; a bare spec (no type, no values) inherits it.
+func collectFamilyMembers(fam *enumFamily, files map[string]*ast.File) {
+	fam.members = make(map[string]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			currentType := ""
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				switch {
+				case vs.Type != nil:
+					if ident, ok := vs.Type.(*ast.Ident); ok {
+						currentType = ident.Name
+					} else {
+						currentType = ""
+					}
+				case len(vs.Values) > 0:
+					// Explicit values without a type: untyped constants,
+					// not family members.
+					currentType = ""
+				}
+				if currentType != fam.typ {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, fam.prefix) {
+						fam.members[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExhaustiveSwitches enforces the closed-vocabulary rule: any
+// tagged switch naming at least two members of one family must name
+// them all. The default clause does not discharge a missing member.
+func checkExhaustiveSwitches(fset *token.FileSet, files map[string]*ast.File) []Finding {
+	families := switchFamilies()
+	for _, fam := range families {
+		pkgFiles := make(map[string]*ast.File)
+		for path, f := range files {
+			if filepath.Base(filepath.Dir(path)) == fam.dir {
+				pkgFiles[path] = f
+			}
+		}
+		collectFamilyMembers(fam, pkgFiles)
+	}
+
+	var findings []Finding
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		ast.Inspect(files[path], func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			labels := caseLabelNames(sw)
+			for _, fam := range families {
+				if len(fam.members) == 0 {
+					continue
+				}
+				named := 0
+				for _, l := range labels {
+					if fam.members[l] {
+						named++
+					}
+				}
+				if named < 2 || named == len(fam.members) {
+					continue
+				}
+				var missing []string
+				for m := range fam.members {
+					found := false
+					for _, l := range labels {
+						if l == m {
+							found = true
+							break
+						}
+					}
+					if !found {
+						missing = append(missing, m)
+					}
+				}
+				sort.Strings(missing)
+				findings = append(findings, Finding{
+					File:  path,
+					Line:  fset.Position(sw.Pos()).Line,
+					Check: "exhaustive-switch",
+					Message: fmt.Sprintf("switch adopts the %s family (%d of %d members named) but misses %s; a default clause does not excuse a missing member",
+						fam.name, named, len(fam.members), strings.Join(missing, ", ")),
+				})
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// caseLabelNames flattens a switch's case labels to their final
+// identifier names: a plain Ident (same-package member) or the
+// selector of a qualified reference (resilience.KindInternal).
+func caseLabelNames(sw *ast.SwitchStmt) []string {
+	var out []string
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			switch e := expr.(type) {
+			case *ast.Ident:
+				out = append(out, e.Name)
+			case *ast.SelectorExpr:
+				out = append(out, e.Sel.Name)
+			}
+		}
+	}
+	return out
 }

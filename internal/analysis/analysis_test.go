@@ -272,6 +272,173 @@ func leaky(ctx ctxT) {
 	}
 }
 
+// kindFixture declares a three-member Kind family the way the real
+// resilience package does: an iota block typed on its first spec.
+const kindFixture = `package resilience
+
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindCancelled
+	KindInternal
+)
+`
+
+func TestExhaustiveSwitchMissingMemberDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "resilience/kinds.go", kindFixture)
+	writeFile(t, dir, "resilience/exit.go", `package resilience
+
+func exitCode(k Kind) int {
+	switch k {
+	case KindNone:
+		return 0
+	case KindCancelled:
+		return 2
+	default:
+		return 1
+	}
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Check != "exhaustive-switch" || !strings.Contains(f.Message, "KindInternal") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if !strings.Contains(f.Message, "default clause does not excuse") {
+		t.Errorf("message does not state the default rule: %q", f.Message)
+	}
+}
+
+func TestExhaustiveSwitchCompleteIsClean(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "resilience/kinds.go", kindFixture)
+	writeFile(t, dir, "resilience/exit.go", `package resilience
+
+func exitCode(k Kind) int {
+	switch k {
+	case KindNone:
+		return 0
+	case KindCancelled:
+		return 2
+	case KindInternal:
+		return 1
+	default:
+		return 1
+	}
+}
+`)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("complete switch reported: %v", findings)
+	}
+}
+
+func TestExhaustiveSwitchSingleMemberAndTaglessExempt(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "resilience/kinds.go", kindFixture)
+	// One named member: the switch has not adopted the family. A
+	// tagless switch is out of scope even when its conditions mention
+	// members. Unrelated labels never count toward adoption.
+	writeFile(t, dir, "resilience/uses.go", `package resilience
+
+func oneMember(k Kind) bool {
+	switch k {
+	case KindCancelled:
+		return true
+	default:
+		return false
+	}
+}
+
+func tagless(k Kind) int {
+	switch {
+	case k == KindNone:
+		return 0
+	case k == KindCancelled:
+		return 2
+	}
+	return 1
+}
+
+func unrelated(s string) int {
+	switch s {
+	case "a", "b":
+		return 1
+	}
+	return 0
+}
+`)
+	if findings := checks(t, dir); len(findings) != 0 {
+		t.Errorf("exempt switches reported: %v", findings)
+	}
+}
+
+func TestExhaustiveSwitchQualifiedCrossPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "resilience/kinds.go", kindFixture)
+	// A consumer package switching via the qualified names adopts the
+	// family the same way the declaring package does.
+	writeFile(t, dir, "server/exit.go", `package server
+
+import "prochecker/internal/resilience"
+
+func status(k resilience.Kind) int {
+	switch k {
+	case resilience.KindNone:
+		return 200
+	case resilience.KindCancelled:
+		return 499
+	}
+	return 500
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if findings[0].File != "server/exit.go" || !strings.Contains(findings[0].Message, "KindInternal") {
+		t.Errorf("unexpected finding: %+v", findings[0])
+	}
+}
+
+func TestExhaustiveSwitchWALRecordFamily(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "jobs/wal.go", `package jobs
+
+type RecordType string
+
+const (
+	RecSubmitted RecordType = "submitted"
+	RecStarted   RecordType = "started"
+	RecTerminal  RecordType = "terminal"
+)
+
+func replay(rt RecordType) int {
+	switch rt {
+	case RecSubmitted:
+		return 1
+	case RecStarted:
+		return 2
+	}
+	return 0
+}
+`)
+	findings := checks(t, dir)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if findings[0].Check != "exhaustive-switch" || !strings.Contains(findings[0].Message, "RecTerminal") {
+		t.Errorf("unexpected finding: %+v", findings[0])
+	}
+	if !strings.Contains(findings[0].Message, "WAL record") {
+		t.Errorf("message does not name the family: %q", findings[0].Message)
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{File: "a/b.go", Line: 7, Check: "span-leak", Message: "boom"}
 	if got := f.String(); got != "a/b.go:7: [span-leak] boom" {

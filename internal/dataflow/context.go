@@ -1,0 +1,239 @@
+// The security-context lattice: how much cryptographic context the UE
+// side of the model has established at each state. Levels are ordered
+//
+//	none < identified < authenticated < secured
+//
+// and transitions raise the level through *evidence*: predicates a
+// handler can only have evaluated if the corresponding material exists.
+// A mac_valid predicate needs integrity keys (authenticated); a
+// count_fresh predicate needs an activated NAS security context with a
+// live COUNT (secured); emitting an identity or attach request marks
+// the UE as identified. Entering a deregistered-family state drops the
+// modelled context.
+package dataflow
+
+import (
+	"sort"
+	"strings"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+)
+
+// Level is one rung of the security-context lattice.
+type Level int
+
+// The lattice, least to greatest.
+const (
+	LevelNone Level = iota
+	LevelIdentified
+	LevelAuthenticated
+	LevelSecured
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelIdentified:
+		return "identified"
+	case LevelAuthenticated:
+		return "authenticated"
+	case LevelSecured:
+		return "secured"
+	default:
+		return "level(?)"
+	}
+}
+
+func maxLevel(a, b Level) Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minLevel(a, b Level) Level {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// deregisteredState reports whether entering s drops the modelled
+// security context (the EMM deregistered family, including the
+// deregistration-initiated states).
+func deregisteredState(s fsmodel.State) bool {
+	return strings.Contains(string(s), "DEREG")
+}
+
+// predValue returns the value of the named predicate variable on the
+// edge's condition, with ok reporting presence.
+func predValue(e Edge, v spec.ConditionVar) (string, bool) {
+	for _, p := range e.T.Cond.Predicates {
+		if p.Var == string(v) {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// emits reports whether the edge's actions contain m.
+func emits(e Edge, m spec.MessageName) bool {
+	for _, a := range e.T.Actions {
+		if a == m {
+			return true
+		}
+	}
+	return false
+}
+
+// accepted reports whether the edge processes its trigger — a state
+// change or any non-null action — as opposed to discarding it.
+func accepted(e Edge) bool {
+	if e.T.To != e.T.From {
+		return true
+	}
+	for _, a := range e.T.Actions {
+		if a != spec.NullAction {
+			return true
+		}
+	}
+	return false
+}
+
+// transferLevel is the shared transfer function of both context
+// analyses: raise the incoming level by the evidence the transition
+// carries, then drop everything when the target state is in the
+// deregistered family.
+func transferLevel(in Level, e Edge) Level {
+	out := in
+	if accepted(e) {
+		if mv, ok := predValue(e, spec.CondMACValid); ok && mv == "1" {
+			// Verifying a MAC needs integrity keys from a completed AKA
+			// run; evaluating a NAS COUNT additionally needs an
+			// activated security context.
+			if _, hasCount := predValue(e, spec.CondCountFresh); hasCount {
+				out = maxLevel(out, LevelSecured)
+			} else {
+				out = maxLevel(out, LevelAuthenticated)
+			}
+		}
+		if emits(e, spec.SecurityModeComplet) {
+			if mv, ok := predValue(e, spec.CondMACValid); ok && mv == "1" {
+				out = maxLevel(out, LevelSecured)
+			}
+		}
+		if emits(e, spec.AttachRequest) || emits(e, spec.IdentityResponse) {
+			out = maxLevel(out, LevelIdentified)
+		}
+	}
+	if deregisteredState(e.T.To) {
+		out = LevelNone
+	}
+	return out
+}
+
+// ContextLevels is the result of the security-context analyses over one
+// model graph.
+type ContextLevels struct {
+	// Must is the level every path into the state guarantees (meet over
+	// paths); unreachable states sit at LevelNone.
+	Must map[fsmodel.State]Level
+	// May is the level some path into the state can establish (join
+	// over paths).
+	May map[fsmodel.State]Level
+	// Iterations sums both fixpoints' worklist pops.
+	Iterations int
+}
+
+// Context runs the security-context analyses over the graph.
+func Context(g *Graph) *ContextLevels {
+	may := Solve(g, Problem[Level]{
+		Name:     "security-context-may",
+		Init:     LevelNone,
+		Unknown:  LevelNone,
+		Join:     maxLevel,
+		Equal:    func(a, b Level) bool { return a == b },
+		Transfer: transferLevel,
+	})
+	must := Solve(g, Problem[Level]{
+		Name:    "security-context-must",
+		Init:    LevelNone,
+		Unknown: LevelSecured, // meet identity: top of the lattice
+		Join:    minLevel,
+		Equal:   func(a, b Level) bool { return a == b },
+		Transfer: func(in Level, e Edge) Level {
+			return transferLevel(in, e)
+		},
+	})
+	out := &ContextLevels{
+		Must:       make(map[fsmodel.State]Level, len(g.states)),
+		May:        make(map[fsmodel.State]Level, len(g.states)),
+		Iterations: may.Iterations + must.Iterations,
+	}
+	// Clamp unreachable states to LevelNone in the must map: their
+	// fixpoint fact is the vacuous meet identity, and no guarantee
+	// holds about a state no path enters.
+	reach := reachable(g)
+	for _, s := range g.states {
+		out.May[s] = may.Facts[s]
+		if reach[s] {
+			out.Must[s] = must.Facts[s]
+		} else {
+			out.Must[s] = LevelNone
+		}
+	}
+	return out
+}
+
+// PreAuthAcceptances returns transitions that accept a protected-only
+// message at a state whose may-level is LevelNone — a state no path can
+// ever equip with a security context — and move out of the deregistered
+// family on its strength. The UE there cannot have verified the
+// message's integrity, so the acceptance trusts an unverifiable claim.
+// Discards, rejects and deregistration teardown (targets inside the
+// deregistered family) are not reported: refusing or tearing down on an
+// unverified message is the correct reaction.
+func PreAuthAcceptances(g *Graph, levels *ContextLevels) []fsmodel.Transition {
+	var out []fsmodel.Transition
+	for _, s := range g.States() {
+		if levels.May[s] != LevelNone {
+			continue
+		}
+		for _, e := range g.Out(s) {
+			if e.Internal || !accepted(e) || e.T.Cond.Message == "" {
+				continue
+			}
+			if spec.PlainOnAir(e.T.Cond.Message) || deregisteredState(e.T.To) {
+				continue
+			}
+			out = append(out, e.T)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// reachable computes the states reachable from the graph's initial
+// state over all edges.
+func reachable(g *Graph) map[fsmodel.State]bool {
+	seen := map[fsmodel.State]bool{}
+	if g.Initial == "" {
+		return seen
+	}
+	seen[g.Initial] = true
+	stack := []fsmodel.State{g.Initial}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[s] {
+			if !seen[e.T.To] {
+				seen[e.T.To] = true
+				stack = append(stack, e.T.To)
+			}
+		}
+	}
+	return seen
+}

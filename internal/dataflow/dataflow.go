@@ -1,0 +1,167 @@
+// Package dataflow is the static-analysis layer over the protocol
+// models: a generic forward dataflow framework (worklist fixpoint over
+// join-semilattice facts) instantiated over the extracted FSM plus the
+// composition environment's UE-internal transitions, and an abstract
+// reachability analysis over the threat-composed transition system.
+//
+// Three concrete analyses ride on the framework:
+//
+//   - the security-context lattice (none → identified → authenticated →
+//     secured), computed both as a must-analysis (the level every path
+//     guarantees) and a may-analysis (the level some path can reach);
+//   - a taint/secrecy pass tracking identity material (IMSI, GUTI,
+//     key-derived responses) to transitions that emit it on a plaintext
+//     channel slot after the context reached the level that makes the
+//     plaintext emission avoidable, plus the stale-count taint window;
+//   - a rule-level reachability pass over ts.System (FireableRules)
+//     that under-approximates vacuity: a property whose trigger matches
+//     no statically fireable rule holds without exploration.
+//
+// The lint PC1xx family and the model checker's vacuity pre-pruning are
+// both built from these results.
+package dataflow
+
+import (
+	"sort"
+
+	"prochecker/internal/core/fsmodel"
+)
+
+// Edge is one transition of the analysis graph. Internal marks edges
+// merged from the composition environment (UE-initiated procedures)
+// rather than extracted from the implementation log.
+type Edge struct {
+	T        fsmodel.Transition
+	Internal bool
+}
+
+// Graph is the effective control-flow graph the FSM analyses run over:
+// the extracted transitions plus the composition's internal ones, with
+// deterministic state and edge order.
+type Graph struct {
+	Initial fsmodel.State
+	states  []fsmodel.State
+	out     map[fsmodel.State][]Edge
+	in      map[fsmodel.State][]Edge
+}
+
+// NewGraph assembles the analysis graph from an FSM and the internal
+// transitions the composition merges into it.
+func NewGraph(fsm *fsmodel.FSM, internal []fsmodel.Transition) *Graph {
+	g := &Graph{
+		Initial: fsm.Initial,
+		out:     make(map[fsmodel.State][]Edge),
+		in:      make(map[fsmodel.State][]Edge),
+	}
+	seen := make(map[fsmodel.State]bool)
+	add := func(s fsmodel.State) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			g.states = append(g.states, s)
+		}
+	}
+	add(fsm.Initial)
+	for _, s := range fsm.States() {
+		add(s)
+	}
+	addEdge := func(e Edge) {
+		add(e.T.From)
+		add(e.T.To)
+		g.out[e.T.From] = append(g.out[e.T.From], e)
+		g.in[e.T.To] = append(g.in[e.T.To], e)
+	}
+	for _, tr := range fsm.Transitions() {
+		addEdge(Edge{T: tr})
+	}
+	for _, tr := range internal {
+		addEdge(Edge{T: tr, Internal: true})
+	}
+	sort.Slice(g.states, func(i, j int) bool { return g.states[i] < g.states[j] })
+	return g
+}
+
+// States returns the node set in sorted order.
+func (g *Graph) States() []fsmodel.State { return g.states }
+
+// Out returns the edges leaving s, FSM edges first in insertion order.
+func (g *Graph) Out(s fsmodel.State) []Edge { return g.out[s] }
+
+// In returns the edges entering s.
+func (g *Graph) In(s fsmodel.State) []Edge { return g.in[s] }
+
+// Problem is one forward dataflow instance over a Graph. Facts form a
+// join-semilattice under Join with identity Unknown; Init seeds the
+// initial state. Transfer maps the fact at an edge's source through the
+// edge. The framework computes the least fixpoint of
+//
+//	fact(s) = Join(seed(s), Join over e∈In(s) of Transfer(fact(e.From), e))
+//
+// where seed(initial) = Init and seed(s) = Unknown elsewhere.
+type Problem[F any] struct {
+	// Name labels the analysis in diagnostics.
+	Name string
+	// Init is the fact at the graph's initial state.
+	Init F
+	// Unknown is Join's identity: the fact of a state no path has
+	// reached yet.
+	Unknown F
+	// Join combines facts flowing into the same state. It must be
+	// commutative, associative and idempotent.
+	Join func(a, b F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+	// Transfer propagates a fact across one edge.
+	Transfer func(in F, e Edge) F
+}
+
+// Result carries the per-state fixpoint facts.
+type Result[F any] struct {
+	Facts map[fsmodel.State]F
+	// Iterations counts worklist pops until the fixpoint, a determinism
+	// and termination witness for tests.
+	Iterations int
+}
+
+// Solve runs the worklist fixpoint. Iteration order is deterministic:
+// states enter the worklist in sorted order and re-enter at the tail
+// exactly once while dirty, so equal inputs yield equal iteration
+// counts and equal results.
+func Solve[F any](g *Graph, p Problem[F]) *Result[F] {
+	facts := make(map[fsmodel.State]F, len(g.states))
+	for _, s := range g.states {
+		if s == g.Initial {
+			facts[s] = p.Init
+		} else {
+			facts[s] = p.Unknown
+		}
+	}
+	queued := make(map[fsmodel.State]bool, len(g.states))
+	var work []fsmodel.State
+	for _, s := range g.states {
+		work = append(work, s)
+		queued[s] = true
+	}
+	res := &Result[F]{}
+	for len(work) > 0 {
+		s := work[0]
+		work = work[1:]
+		queued[s] = false
+		res.Iterations++
+		cur := facts[s]
+		for _, e := range g.in[s] {
+			cur = p.Join(cur, p.Transfer(facts[e.T.From], e))
+		}
+		if p.Equal(cur, facts[s]) {
+			continue
+		}
+		facts[s] = cur
+		for _, e := range g.out[s] {
+			if !queued[e.T.To] {
+				queued[e.T.To] = true
+				work = append(work, e.T.To)
+			}
+		}
+	}
+	res.Facts = facts
+	return res
+}

@@ -1,0 +1,335 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+	"prochecker/internal/ts"
+)
+
+// trans builds a transition with a single-message condition, optional
+// predicates as var=value pairs, and actions.
+func trans(from, to fsmodel.State, msg spec.MessageName, preds map[string]string, actions ...spec.MessageName) fsmodel.Transition {
+	t := fsmodel.Transition{
+		From:    from,
+		To:      to,
+		Cond:    fsmodel.Condition{Message: msg},
+		Actions: actions,
+	}
+	for _, k := range sortedKeys(preds) {
+		t.Cond.Predicates = append(t.Cond.Predicates, fsmodel.Predicate{Var: k, Value: preds[k]})
+	}
+	return t
+}
+
+func sortedKeys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// miniFSM models a reduced attach flow:
+//
+//	DEREG --[identity_request plain / identity_response]--> DEREG   (bootstrap)
+//	DEREG --[attach_request internal]--> INIT
+//	INIT  --[auth_request mac=1 sqn=1 / auth_response]--> INIT
+//	INIT  --[smc mac=1 count=1 / smc_complete]--> REG
+//	REG   --[identity_request mac=1 count=1 / identity_response]--> REG
+func miniFSM() (*fsmodel.FSM, []fsmodel.Transition) {
+	f := fsmodel.New("UE/mini", "DEREG")
+	f.AddTransition(trans("DEREG", "DEREG", spec.IdentityRequest,
+		map[string]string{string(spec.CondPlainHeader): "1"}, spec.IdentityResponse))
+	f.AddTransition(trans("INIT", "INIT", spec.AuthRequest,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondSQNInRange): "1", string(spec.CondPlainHeader): "1"},
+		spec.AuthResponse))
+	f.AddTransition(trans("INIT", "REG", spec.SecurityModeCommand,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "1"},
+		spec.SecurityModeComplet))
+	f.AddTransition(trans("REG", "REG", spec.IdentityRequest,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "1"},
+		spec.IdentityResponse))
+	internal := []fsmodel.Transition{
+		trans("DEREG", "INIT", spec.InternalEvent, nil, spec.AttachRequest),
+	}
+	return f, internal
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	f, internal := miniFSM()
+	var first *ContextLevels
+	for i := 0; i < 5; i++ {
+		g := NewGraph(f, internal)
+		got := Context(g)
+		if first == nil {
+			first = got
+			continue
+		}
+		if got.Iterations != first.Iterations {
+			t.Fatalf("run %d: iterations %d, want %d", i, got.Iterations, first.Iterations)
+		}
+		if !reflect.DeepEqual(got.Must, first.Must) || !reflect.DeepEqual(got.May, first.May) {
+			t.Fatalf("run %d: facts diverged", i)
+		}
+	}
+}
+
+func TestContextLevels(t *testing.T) {
+	f, internal := miniFSM()
+	g := NewGraph(f, internal)
+	lv := Context(g)
+
+	wantMust := map[fsmodel.State]Level{
+		"DEREG": LevelNone,       // deregistered drops everything
+		"INIT":  LevelIdentified, // attach_request emitted on entry
+		"REG":   LevelSecured,    // only path runs SMC with count evidence
+	}
+	for s, want := range wantMust {
+		if got := lv.Must[s]; got != want {
+			t.Errorf("must[%s] = %v, want %v", s, got, want)
+		}
+	}
+	// May at INIT rises to Secured via the count-checked identity
+	// self-loop evidence? No: that loop is at REG. INIT's may level comes
+	// from the mac=1 auth exchange: Authenticated.
+	if got := lv.May["INIT"]; got != LevelAuthenticated {
+		t.Errorf("may[INIT] = %v, want %v", got, LevelAuthenticated)
+	}
+	if got := lv.May["DEREG"]; got != LevelNone {
+		t.Errorf("may[DEREG] = %v, want %v", got, LevelNone)
+	}
+}
+
+func TestContextUnreachableClamped(t *testing.T) {
+	f, internal := miniFSM()
+	f.AddState("ORPHAN")
+	f.AddTransition(trans("ORPHAN", "ORPHAN", spec.IdentityRequest,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "1"},
+		spec.IdentityResponse))
+	g := NewGraph(f, internal)
+	lv := Context(g)
+	if got := lv.Must["ORPHAN"]; got != LevelNone {
+		t.Errorf("must[ORPHAN] = %v, want %v (unreachable states hold no guarantee)", got, LevelNone)
+	}
+}
+
+func TestExposuresCleanOnMini(t *testing.T) {
+	f, internal := miniFSM()
+	g := NewGraph(f, internal)
+	lv := Context(g)
+	if exp := Exposures(g, lv); len(exp) != 0 {
+		t.Fatalf("clean model reported %d exposure(s): %+v", len(exp), exp)
+	}
+}
+
+func TestExposuresPlainIdentityPostContext(t *testing.T) {
+	f, internal := miniFSM()
+	// The OAI defect: a plaintext identity_request answered after the
+	// context is established.
+	f.AddTransition(trans("REG", "REG", spec.IdentityRequest,
+		map[string]string{string(spec.CondPlainHeader): "1"}, spec.IdentityResponse))
+	// The srsLTE defect shape: a replayed (sqn stale) authentication
+	// request answered post-context.
+	f.AddTransition(trans("REG", "REG", spec.AuthRequest,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondSQNInRange): "0", string(spec.CondPlainHeader): "1"},
+		spec.AuthResponse))
+	g := NewGraph(f, internal)
+	lv := Context(g)
+	exp := Exposures(g, lv)
+	if len(exp) != 2 {
+		t.Fatalf("got %d exposure(s), want 2: %+v", len(exp), exp)
+	}
+	materials := map[Material]bool{}
+	for _, e := range exp {
+		materials[e.Material] = true
+		if e.Level != LevelSecured {
+			t.Errorf("exposure %s at level %v, want secured", e.Material, e.Level)
+		}
+	}
+	if !materials[MaterialIMSI] || !materials[MaterialKeyDerived] {
+		t.Errorf("materials = %v, want IMSI and key-derived", materials)
+	}
+}
+
+func TestExposuresPlainGUTIApplication(t *testing.T) {
+	f, internal := miniFSM()
+	f.AddTransition(trans("REG", "REG", spec.GUTIRealloCommand,
+		map[string]string{string(spec.CondPlainHeader): "1"}, spec.GUTIRealloComplete))
+	g := NewGraph(f, internal)
+	exp := Exposures(g, Context(g))
+	if len(exp) != 1 || exp[0].Material != MaterialGUTI || exp[0].Channel != "chan_dl" {
+		t.Fatalf("got %+v, want one GUTI/chan_dl exposure", exp)
+	}
+}
+
+func TestExposuresIgnoreDiscardedTriggers(t *testing.T) {
+	f, internal := miniFSM()
+	// A conformant model *discards* the plaintext identity request: a
+	// self-loop with only a null action must not count as an exposure.
+	f.AddTransition(trans("REG", "REG", spec.IdentityRequest,
+		map[string]string{string(spec.CondPlainHeader): "1"}, spec.NullAction))
+	g := NewGraph(f, internal)
+	if exp := Exposures(g, Context(g)); len(exp) != 0 {
+		t.Fatalf("discarded trigger reported as exposure: %+v", exp)
+	}
+}
+
+func TestPreAuthAcceptances(t *testing.T) {
+	f, internal := miniFSM()
+	g := NewGraph(f, internal)
+	if got := PreAuthAcceptances(g, Context(g)); len(got) != 0 {
+		t.Fatalf("clean model reported pre-auth acceptances: %v", got)
+	}
+
+	// The srsLTE defect shape: a protected-only attach_accept processed
+	// at the context-less deregistered state, straight into registration.
+	f.AddTransition(trans("DEREG", "REG", spec.AttachAccept,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "0"},
+		spec.AttachComplete))
+	// Teardown on an unverified message is fine: target stays in the
+	// deregistered family.
+	f.AddTransition(trans("DEREG", "DEREG", spec.SecurityModeCommand,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "1"},
+		spec.SecurityModeReject))
+	g = NewGraph(f, internal)
+	got := PreAuthAcceptances(g, Context(g))
+	if len(got) != 1 || got[0].Cond.Message != spec.AttachAccept {
+		t.Fatalf("got %v, want exactly the attach_accept acceptance", got)
+	}
+}
+
+func TestStaleWindow(t *testing.T) {
+	f, internal := miniFSM()
+	f.AddTransition(trans("REG", "REG", spec.AttachAccept,
+		map[string]string{string(spec.CondMACValid): "1", string(spec.CondCountFresh): "0"},
+		spec.AttachComplete))
+	g := NewGraph(f, internal)
+	w := Stale(g)
+	if len(w.Acceptances) != 1 {
+		t.Fatalf("got %d stale acceptance(s), want 1", len(w.Acceptances))
+	}
+	found := false
+	for _, s := range w.Window {
+		if s == "REG" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("window %v does not include REG", w.Window)
+	}
+	// The deregistered state never sits in the window: deregistration
+	// clears the context-derived taint.
+	for _, s := range w.Window {
+		if s == "DEREG" {
+			t.Errorf("window includes DEREG; deregistration must clear the taint")
+		}
+	}
+}
+
+func TestStaleWindowEmptyOnMini(t *testing.T) {
+	f, internal := miniFSM()
+	g := NewGraph(f, internal)
+	w := Stale(g)
+	if len(w.Acceptances) != 0 || len(w.Window) != 0 {
+		t.Fatalf("clean model has stale window %+v", w)
+	}
+	if got := w.WindowString(); got != "no states" {
+		t.Errorf("WindowString() = %q", got)
+	}
+}
+
+func miniSystem(t *testing.T) *ts.System {
+	t.Helper()
+	sys := ts.NewSystem("mini")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.AddVar("ue", "DEREG", "INIT", "REG"))
+	must(sys.AddVar("chan", "null", "attach_request", "attach_accept"))
+	must(sys.AddRule(ts.Rule{
+		Name:    "ue:attach",
+		Guard:   ts.Eq{Var: "ue", Value: "DEREG"},
+		Assigns: []ts.Assign{{Var: "ue", Value: "INIT"}, {Var: "chan", Value: "attach_request"}},
+	}))
+	must(sys.AddRule(ts.Rule{
+		Name:    "mme:accept",
+		Guard:   ts.And{ts.Eq{Var: "ue", Value: "INIT"}, ts.Eq{Var: "chan", Value: "attach_request"}},
+		Assigns: []ts.Assign{{Var: "ue", Value: "REG"}, {Var: "chan", Value: "attach_accept"}},
+	}))
+	must(sys.AddRule(ts.Rule{
+		Name:  "dead:never",
+		Guard: ts.And{ts.Eq{Var: "ue", Value: "DEREG"}, ts.Eq{Var: "chan", Value: "attach_accept"}},
+	}))
+	return sys
+}
+
+func TestFireableRules(t *testing.T) {
+	sys := miniSystem(t)
+	r := FireableRules(sys)
+	if !r.Fireable["ue:attach"] || !r.Fireable["mme:accept"] {
+		t.Fatalf("live rules not fireable: %v", r.Fireable)
+	}
+	// dead:never needs ue=DEREG while chan=attach_accept. The cartesian
+	// abstraction cannot refute that correlation — both values are
+	// individually reachable — so it must (soundly) stay fireable.
+	if !r.Fireable["dead:never"] {
+		t.Fatalf("cartesian abstraction unexpectedly refuted a correlated guard")
+	}
+	if r.Rules != 3 {
+		t.Errorf("Rules = %d, want 3", r.Rules)
+	}
+	if r.Witness() == "" {
+		t.Error("empty witness")
+	}
+}
+
+func TestFireableRulesRefutesUnreachableValue(t *testing.T) {
+	sys := miniSystem(t)
+	if err := sys.AddVar("mode", "off", "on"); err != nil {
+		t.Fatal(err)
+	}
+	// No rule ever assigns mode=on, so any guard requiring it is
+	// statically unfireable.
+	if err := sys.AddRule(ts.Rule{
+		Name:  "gated:unreachable",
+		Guard: ts.Eq{Var: "mode", Value: "on"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := FireableRules(sys)
+	if r.Fireable["gated:unreachable"] {
+		t.Fatal("rule guarded on an unassigned value reported fireable")
+	}
+	// Neq and In over the same variable.
+	if !condSatisfiable(ts.Neq{Var: "mode", Value: "on"}, map[string]map[string]bool{"mode": {"off": true}}) {
+		t.Error("Neq off!=on should be satisfiable")
+	}
+	if condSatisfiable(ts.Neq{Var: "mode", Value: "off"}, map[string]map[string]bool{"mode": {"off": true}}) {
+		t.Error("Neq with singleton matching set should be unsatisfiable")
+	}
+	if condSatisfiable(ts.In{Var: "mode", Values: []string{"on"}}, map[string]map[string]bool{"mode": {"off": true}}) {
+		t.Error("In {on} over {off} should be unsatisfiable")
+	}
+	if !condSatisfiable(ts.Not{C: ts.Eq{Var: "mode", Value: "off"}}, map[string]map[string]bool{"mode": {"off": true}}) {
+		t.Error("Not must stay satisfiable (over-approximation)")
+	}
+	if !condSatisfiable(nil, nil) || !condSatisfiable(ts.True{}, nil) {
+		t.Error("trivial conditions must be satisfiable")
+	}
+	if condSatisfiable(ts.Or{}, nil) {
+		t.Error("empty Or must be unsatisfiable")
+	}
+}

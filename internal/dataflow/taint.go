@@ -1,0 +1,219 @@
+// The taint/secrecy pass: identity material (the IMSI, the GUTI,
+// key-derived authentication responses) tracked from its introduction
+// points to transitions that put it on a plaintext channel slot after
+// the security context reached the level that makes the plaintext
+// emission avoidable — plus the stale-count window, the set of states
+// whose security context may derive from a replayed (count_fresh=0)
+// acceptance.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prochecker/internal/core/fsmodel"
+	"prochecker/internal/spec"
+)
+
+// Material names the class of identity material a transition exposes.
+type Material string
+
+// The tracked identity material classes.
+const (
+	MaterialIMSI       Material = "IMSI"
+	MaterialGUTI       Material = "GUTI"
+	MaterialKeyDerived Material = "key-derived response"
+)
+
+// Exposure is one plaintext-identity finding: a transition that emits
+// (or applies) identity material over a plaintext channel slot at a
+// state where every path has already established a security context.
+type Exposure struct {
+	// T is the exposing transition.
+	T fsmodel.Transition
+	// Material is the identity material class involved.
+	Material Material
+	// Channel is the plaintext slot the material crosses ("chan_ul"
+	// for emissions, "chan_dl" for applied plaintext assignments).
+	Channel string
+	// Level is the must-context level at the transition's source state.
+	Level Level
+	// Why explains the exposure in one clause.
+	Why string
+}
+
+// authenticatedFresh reports whether the edge's trigger is integrity
+// protected and fresh: mac_valid=1 with no staleness predicate
+// (count_fresh=0, sqn_in_range=0, sqn_fresh=0). Acting on such a
+// trigger is attributable to the genuine peer; anything weaker is an
+// adversary-reachable trigger.
+func authenticatedFresh(e Edge) bool {
+	mv, ok := predValue(e, spec.CondMACValid)
+	if !ok || mv != "1" {
+		return false
+	}
+	for _, v := range []spec.ConditionVar{spec.CondCountFresh, spec.CondSQNInRange, spec.CondSQNFresh} {
+		if val, ok := predValue(e, v); ok && val == "0" {
+			return false
+		}
+	}
+	return true
+}
+
+// Exposures runs the taint pass over the graph: for every transition
+// whose trigger is not authenticated-fresh, at a state where the must
+// context level is already secured, report identity material the
+// transition emits plain-on-air or applies from a plaintext downlink.
+// The pre-security baseline (an identity_response or authentication
+// exchange before any context exists) is deliberately not reported —
+// it is the protocol's own bootstrap, present in every implementation.
+func Exposures(g *Graph, levels *ContextLevels) []Exposure {
+	var out []Exposure
+	for _, s := range g.States() {
+		if levels.Must[s] < LevelSecured {
+			continue
+		}
+		for _, e := range g.Out(s) {
+			if e.Internal || !accepted(e) || authenticatedFresh(e) {
+				continue
+			}
+			out = append(out, edgeExposures(e, levels.Must[s])...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T.Key() != out[j].T.Key() {
+			return out[i].T.Key() < out[j].T.Key()
+		}
+		return out[i].Material < out[j].Material
+	})
+	return out
+}
+
+// edgeExposures classifies the identity material one adversary-
+// triggerable edge moves across plaintext slots.
+func edgeExposures(e Edge, lvl Level) []Exposure {
+	var out []Exposure
+	trigger := describeTrigger(e)
+	// Uplink emissions: identity material in plain-on-air responses.
+	if emits(e, spec.IdentityResponse) {
+		out = append(out, Exposure{
+			T: e.T, Material: MaterialIMSI, Channel: "chan_ul", Level: lvl,
+			Why: "identity_response travels plaintext on the uplink, answering " + trigger,
+		})
+	}
+	if emits(e, spec.AuthResponse) {
+		out = append(out, Exposure{
+			T: e.T, Material: MaterialKeyDerived, Channel: "chan_ul", Level: lvl,
+			Why: "authentication_response carries a key-derived RES on the plaintext uplink, answering " + trigger,
+		})
+	}
+	// Downlink applications: a plaintext guti_reallocation_command that
+	// is processed assigns identity material that crossed chan_dl in
+	// the clear.
+	if e.T.Cond.Message == spec.GUTIRealloCommand {
+		if ph, ok := predValue(e, spec.CondPlainHeader); ok && ph == "1" {
+			out = append(out, Exposure{
+				T: e.T, Material: MaterialGUTI, Channel: "chan_dl", Level: lvl,
+				Why: "a plaintext guti_reallocation_command is applied, so the new GUTI crossed the downlink in the clear",
+			})
+		}
+	}
+	return out
+}
+
+// describeTrigger renders the edge's trigger weakness for diagnostics.
+func describeTrigger(e Edge) string {
+	var weak []string
+	if _, ok := predValue(e, spec.CondMACValid); !ok {
+		weak = append(weak, "an unauthenticated trigger")
+	} else if mv, _ := predValue(e, spec.CondMACValid); mv != "1" {
+		weak = append(weak, "a MAC-invalid trigger")
+	}
+	for _, v := range []spec.ConditionVar{spec.CondCountFresh, spec.CondSQNInRange, spec.CondSQNFresh} {
+		if val, ok := predValue(e, v); ok && val == "0" {
+			weak = append(weak, string(v)+"=0 (replayable)")
+		}
+	}
+	if len(weak) == 0 {
+		weak = append(weak, "an adversary-reachable trigger")
+	}
+	return strings.Join(weak, ", ")
+}
+
+// StaleWindow is the stale-count taint result: the acceptances that
+// introduce a replay-derived context and the states whose context may
+// derive from one.
+type StaleWindow struct {
+	// Acceptances are the count_fresh=0 transitions that are processed
+	// rather than discarded, in deterministic order.
+	Acceptances []fsmodel.Transition
+	// Window is the set of states reachable while the context may
+	// still derive from a stale acceptance, sorted.
+	Window []fsmodel.State
+}
+
+// staleAcceptance reports whether the edge processes a trigger with a
+// stale NAS COUNT.
+func staleAcceptance(e Edge) bool {
+	if e.Internal || !accepted(e) {
+		return false
+	}
+	cf, ok := predValue(e, spec.CondCountFresh)
+	return ok && cf == "0"
+}
+
+// Stale runs the stale-count taint analysis: a boolean may-taint
+// introduced at every stale acceptance, cleared by an authenticated-
+// fresh count-checked acceptance (the context is re-established from
+// live material) and by deregistration (the context is gone).
+func Stale(g *Graph) *StaleWindow {
+	res := Solve(g, Problem[bool]{
+		Name:    "stale-count-window",
+		Init:    false,
+		Unknown: false,
+		Join:    func(a, b bool) bool { return a || b },
+		Equal:   func(a, b bool) bool { return a == b },
+		Transfer: func(in bool, e Edge) bool {
+			if staleAcceptance(e) {
+				return true
+			}
+			if deregisteredState(e.T.To) {
+				return false
+			}
+			if authenticatedFresh(e) {
+				if _, hasCount := predValue(e, spec.CondCountFresh); hasCount && accepted(e) {
+					return false
+				}
+			}
+			return in
+		},
+	})
+	out := &StaleWindow{}
+	for _, s := range g.States() {
+		if res.Facts[s] {
+			out.Window = append(out.Window, s)
+		}
+		for _, e := range g.Out(s) {
+			if staleAcceptance(e) {
+				out.Acceptances = append(out.Acceptances, e.T)
+			}
+		}
+	}
+	sort.Slice(out.Acceptances, func(i, j int) bool {
+		return out.Acceptances[i].Key() < out.Acceptances[j].Key()
+	})
+	return out
+}
+
+// WindowString renders the window for diagnostics.
+func (w *StaleWindow) WindowString() string {
+	if len(w.Window) == 0 {
+		return "no states"
+	}
+	parts := make([]string, len(w.Window))
+	for i, s := range w.Window {
+		parts[i] = string(s)
+	}
+	return fmt.Sprintf("%d state(s): %s", len(w.Window), strings.Join(parts, ", "))
+}

@@ -1,0 +1,146 @@
+// The reachability/vacuity pass: an abstract cartesian reachability
+// analysis over the threat-composed transition system. Each variable is
+// abstracted to the set of values it can ever hold (seeded from the
+// initial assignment); a rule is fireable when its guard is satisfiable
+// over those sets, and firing a rule adds its assignments to the sets.
+// The fixpoint over-approximates concrete reachability, so a rule the
+// analysis marks unfireable can never fire in the concrete system — the
+// soundness direction vacuity pruning needs.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"prochecker/internal/ts"
+)
+
+// RuleReach is the abstract-reachability fixpoint over one system.
+type RuleReach struct {
+	// Fireable holds the names of rules whose guard is satisfiable over
+	// the abstract value sets; any rule absent here can never fire.
+	Fireable map[string]bool
+	// Values maps each variable to the sorted set of values it can reach.
+	Values map[string][]string
+	// Rules is the total rule count, for reporting.
+	Rules int
+	// Iterations counts fixpoint rounds, a termination witness.
+	Iterations int
+}
+
+// FireableRules runs the abstract reachability fixpoint over sys.
+func FireableRules(sys *ts.System) *RuleReach {
+	vals := make(map[string]map[string]bool, len(sys.Vars()))
+	init := sys.InitialState()
+	for _, v := range sys.Vars() {
+		vals[v.Name] = map[string]bool{sys.Get(init, v.Name): true}
+	}
+	rules := sys.Rules()
+	out := &RuleReach{
+		Fireable: make(map[string]bool, len(rules)),
+		Rules:    len(rules),
+	}
+	for changed := true; changed; {
+		changed = false
+		out.Iterations++
+		for _, r := range rules {
+			if !condSatisfiable(r.Guard, vals) {
+				continue
+			}
+			if !out.Fireable[r.Name] {
+				out.Fireable[r.Name] = true
+				changed = true
+			}
+			for _, a := range r.Assigns {
+				set := vals[a.Var]
+				if set == nil {
+					set = make(map[string]bool)
+					vals[a.Var] = set
+				}
+				if !set[a.Value] {
+					set[a.Value] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out.Values = make(map[string][]string, len(vals))
+	for name, set := range vals {
+		list := make([]string, 0, len(set))
+		for v := range set {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		out.Values[name] = list
+	}
+	return out
+}
+
+// condSatisfiable reports whether c can hold under SOME assignment
+// drawn from the per-variable value sets. The check is cartesian (no
+// cross-variable correlation), so it over-approximates: true may be
+// spurious, false is definitive.
+func condSatisfiable(c ts.Cond, vals map[string]map[string]bool) bool {
+	switch cc := c.(type) {
+	case nil, ts.True:
+		return true
+	case ts.Eq:
+		set, ok := vals[cc.Var]
+		if !ok {
+			// Unknown variable: Get yields "", so Eq can only hold for the
+			// empty value — mirror the interpreter and call it unsatisfiable
+			// unless the property literally tests "".
+			return cc.Value == ""
+		}
+		return set[cc.Value]
+	case ts.Neq:
+		set, ok := vals[cc.Var]
+		if !ok {
+			return cc.Value != ""
+		}
+		for v := range set {
+			if v != cc.Value {
+				return true
+			}
+		}
+		return false
+	case ts.In:
+		set, ok := vals[cc.Var]
+		if !ok {
+			return false
+		}
+		for _, v := range cc.Values {
+			if set[v] {
+				return true
+			}
+		}
+		return false
+	case ts.And:
+		for _, sub := range cc {
+			if !condSatisfiable(sub, vals) {
+				return false
+			}
+		}
+		return true
+	case ts.Or:
+		for _, sub := range cc {
+			if condSatisfiable(sub, vals) {
+				return true
+			}
+		}
+		return false
+	case ts.Not:
+		// Precise refutation of a negation needs must-information the
+		// cartesian abstraction lacks; stay sound by assuming satisfiable.
+		return true
+	default:
+		// Unknown condition kinds are assumed satisfiable (sound).
+		return true
+	}
+}
+
+// Witness renders a one-line static witness for reports.
+func (r *RuleReach) Witness() string {
+	return fmt.Sprintf("abstract reachability: %d of %d rules fireable after %d round(s)",
+		len(r.Fireable), r.Rules, r.Iterations)
+}

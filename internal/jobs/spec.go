@@ -41,6 +41,11 @@ type Spec struct {
 	// (or will be) computed against: a catalogue change invalidates
 	// every cached verdict by changing every key.
 	Catalogue string `json:"catalogue,omitempty"`
+	// NoVacuityPrune disables the model checker's static vacuity
+	// pre-pass for this job. It participates in the key (omitempty
+	// keeps default-spec keys stable): a pruned and an unpruned run
+	// store distinct results even though their verdicts agree.
+	NoVacuityPrune bool `json:"no_vacuity_prune,omitempty"`
 }
 
 // Key is the spec's content address: the SHA-256 of its canonical JSON
@@ -84,7 +89,10 @@ type Verdict struct {
 	Class       string `json:"class"`
 	Verified    bool   `json:"verified"`
 	AttackFound bool   `json:"attack_found"`
-	Detail      string `json:"detail"`
+	// Vacuous marks a property the static vacuity pre-pass discharged
+	// without exploration (verified, trigger statically unreachable).
+	Vacuous bool   `json:"vacuous,omitempty"`
+	Detail  string `json:"detail"`
 }
 
 // ResultSchemaVersion stamps stored results so a future layout change

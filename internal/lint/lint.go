@@ -171,7 +171,47 @@ func Register(a Analyzer) {
 	}
 	registry.byCode[code] = a
 	registry.order = append(registry.order, code)
-	sort.Strings(registry.order)
+	sort.Slice(registry.order, func(i, j int) bool {
+		return codeLess(registry.order[i], registry.order[j])
+	})
+}
+
+// codeLess orders diagnostic codes numerically: the integer suffix of
+// "PCnnn" decides, so PC020 sorts before PC101 even though it is
+// lexically greater. Codes without a parseable numeric suffix fall back
+// to lexical order after all numeric ones.
+func codeLess(a, b string) bool {
+	an, aok := codeNumber(a)
+	bn, bok := codeNumber(b)
+	switch {
+	case aok && bok:
+		if an != bn {
+			return an < bn
+		}
+		return a < b
+	case aok:
+		return true
+	case bok:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// codeNumber parses the trailing digit run of a diagnostic code.
+func codeNumber(code string) (int, bool) {
+	i := len(code)
+	for i > 0 && code[i-1] >= '0' && code[i-1] <= '9' {
+		i--
+	}
+	if i == len(code) {
+		return 0, false
+	}
+	n := 0
+	for _, c := range code[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // Analyzers returns the registered passes in code order.
@@ -212,7 +252,7 @@ func Run(t *Target, analyzers ...Analyzer) *Report {
 	sort.SliceStable(rep.Diagnostics, func(i, j int) bool {
 		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
 		if a.Code != b.Code {
-			return a.Code < b.Code
+			return codeLess(a.Code, b.Code)
 		}
 		if a.Ref.State != b.Ref.State {
 			return a.Ref.State < b.Ref.State
@@ -275,7 +315,7 @@ func (r *Report) Codes() []string {
 	for c := range set {
 		out = append(out, c)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool { return codeLess(out[i], out[j]) })
 	return out
 }
 

@@ -1,0 +1,165 @@
+// Regression coverage for the numeric diagnostic-code ordering and the
+// severity-gate interaction across the PC0xx structural family and the
+// PC1xx dataflow family.
+package lint
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCodeLessNumericOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		// The regression: PC020 is lexically greater than PC101's prefix
+		// ordering would suggest — numerically it must sort first.
+		{"PC020", "PC101", true},
+		{"PC101", "PC020", false},
+		{"PC008", "PC101", true},
+		{"PC9", "PC020", true},    // 9 < 20 despite "PC9" > "PC020" lexically
+		{"PC101", "PC101", false}, // irreflexive
+		{"PC101", "PC102", true},
+		// Equal numbers fall back to lexical order.
+		{"PA7", "PB7", true},
+		// Numeric codes sort before non-numeric ones.
+		{"PC104", "TEST", true},
+		{"TEST", "PC104", false},
+		// Non-numeric pairs are plain lexical.
+		{"ALPHA", "BETA", true},
+	}
+	for _, c := range cases {
+		if got := codeLess(c.a, c.b); got != c.want {
+			t.Errorf("codeLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCodeNumber(t *testing.T) {
+	cases := []struct {
+		code string
+		n    int
+		ok   bool
+	}{
+		{"PC001", 1, true},
+		{"PC020", 20, true},
+		{"PC101", 101, true},
+		{"X9", 9, true},
+		{"42", 42, true},
+		{"TEST", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := codeNumber(c.code)
+		if n != c.n || ok != c.ok {
+			t.Errorf("codeNumber(%q) = %d,%v, want %d,%v", c.code, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+// TestReportOrdersFamiliesNumerically: a report holding both families
+// sorts PC0xx before PC1xx everywhere codes are ordered — the
+// diagnostics list, Codes(), and the rendered report.
+func TestReportOrdersFamiliesNumerically(t *testing.T) {
+	unsorted := []Diagnostic{
+		{Code: "PC101", Severity: SeverityWarn, Message: "dataflow"},
+		{Code: "PC020", Severity: SeverityWarn, Message: "hypothetical"},
+		{Code: "PC004", Severity: SeverityWarn, Message: "structural"},
+		{Code: "PC104", Severity: SeverityInfo, Message: "vacuous"},
+	}
+	rep := Run(&Target{}, collectAnalyzer{diags: unsorted})
+	// collectAnalyzer replays over an empty target; PC001 does not run
+	// because only the collector was selected.
+	var got []string
+	for _, d := range rep.Diagnostics {
+		got = append(got, d.Code)
+	}
+	want := []string{"PC004", "PC020", "PC101", "PC104"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diagnostic order = %v, want %v", got, want)
+	}
+	if codes := rep.Codes(); !reflect.DeepEqual(codes, want) {
+		t.Fatalf("Codes() = %v, want %v", codes, want)
+	}
+	rendered := rep.Render()
+	if i4, i101 := strings.Index(rendered, "PC020"), strings.Index(rendered, "PC101"); i4 < 0 || i101 < 0 || i4 > i101 {
+		t.Fatalf("rendered report orders PC020 after PC101:\n%s", rendered)
+	}
+}
+
+// TestRegistryInterleavesFamilies: the live registry itself must hold
+// PC0xx strictly before PC1xx, in numeric order, with both families
+// present.
+func TestRegistryInterleavesFamilies(t *testing.T) {
+	var codes []string
+	for _, a := range Analyzers() {
+		codes = append(codes, a.Info().Code)
+	}
+	if !sort.SliceIsSorted(codes, func(i, j int) bool { return codeLess(codes[i], codes[j]) }) {
+		t.Fatalf("registry order violates codeLess: %v", codes)
+	}
+	var structural, dataflow bool
+	for _, c := range codes {
+		n, ok := codeNumber(c)
+		if !ok {
+			t.Fatalf("registered code %q has no numeric suffix", c)
+		}
+		if n < 100 {
+			structural = true
+			if dataflow {
+				t.Fatalf("PC0xx code %s registered after a PC1xx code: %v", c, codes)
+			}
+		} else {
+			dataflow = true
+		}
+	}
+	if !structural || !dataflow {
+		t.Fatalf("registry must hold both families, got %v", codes)
+	}
+}
+
+// TestGateMatrixAcrossFamilies: the severity gate (Report.AtLeast is
+// what -lint-gate keys off) must treat the two families uniformly —
+// the gate is about severity, never about code family.
+func TestGateMatrixAcrossFamilies(t *testing.T) {
+	rep := &Report{Diagnostics: []Diagnostic{
+		{Code: "PC001", Severity: SeverityError, Message: "structural error"},
+		{Code: "PC008", Severity: SeverityWarn, Message: "structural warn"},
+		{Code: "PC101", Severity: SeverityWarn, Message: "dataflow warn"},
+		{Code: "PC104", Severity: SeverityInfo, Message: "dataflow info"},
+	}}
+	matrix := []struct {
+		gate      Severity
+		wantCodes []string
+	}{
+		{SeverityError, []string{"PC001"}},
+		{SeverityWarn, []string{"PC001", "PC008", "PC101"}},
+		{SeverityInfo, []string{"PC001", "PC008", "PC101", "PC104"}},
+	}
+	for _, m := range matrix {
+		var got []string
+		for _, d := range rep.AtLeast(m.gate) {
+			got = append(got, d.Code)
+		}
+		sort.Slice(got, func(i, j int) bool { return codeLess(got[i], got[j]) })
+		if !reflect.DeepEqual(got, m.wantCodes) {
+			t.Errorf("gate %s: AtLeast = %v, want %v", m.gate, got, m.wantCodes)
+		}
+	}
+
+	// Flip the families' severities: a PC1xx error must trip the error
+	// gate even when every PC0xx diagnostic is benign.
+	flipped := &Report{Diagnostics: []Diagnostic{
+		{Code: "PC003", Severity: SeverityInfo},
+		{Code: "PC102", Severity: SeverityError},
+	}}
+	if got := flipped.AtLeast(SeverityError); len(got) != 1 || got[0].Code != "PC102" {
+		t.Errorf("error gate on flipped severities = %+v, want exactly PC102", got)
+	}
+	if flipped.Count(SeverityError) != 1 {
+		t.Errorf("Count(error) = %d, want 1", flipped.Count(SeverityError))
+	}
+}

@@ -185,6 +185,24 @@ func (e *Engine) CheckAll(sys *ts.System, props []Property, opts Options) []Resu
 func (e *Engine) CheckAllContext(ctx context.Context, sys *ts.System, props []Property, opts Options) ([]Result, error) {
 	out := make([]Result, len(props))
 	perErr := make([]error, len(props))
+
+	// Static vacuity pre-pass: properties whose trigger matches no
+	// statically-fireable rule are discharged without exploration. The
+	// fixpoint is linear in rules × rounds, negligible next to any
+	// single exploration.
+	pruned := make([]bool, len(props))
+	if !opts.NoVacuityPrune && len(props) > 0 && ctx.Err() == nil {
+		reach := StaticReach(sys)
+		reg := obs.FromContext(ctx).Metrics()
+		for i, p := range props {
+			if v, witness := Vacuous(reach, sys, p); v {
+				out[i] = vacuousResult(p, witness)
+				pruned[i] = true
+				reg.Counter("mc.vacuity_pruned").Inc()
+			}
+		}
+	}
+
 	workers := opts.workers()
 	if workers > len(props) {
 		workers = len(props)
@@ -192,6 +210,9 @@ func (e *Engine) CheckAllContext(ctx context.Context, sys *ts.System, props []Pr
 
 	if workers <= 1 {
 		for i, p := range props {
+			if pruned[i] {
+				continue
+			}
 			if ctx.Err() != nil {
 				break
 			}
@@ -210,6 +231,9 @@ func (e *Engine) CheckAllContext(ctx context.Context, sys *ts.System, props []Pr
 			}()
 		}
 		for i := range props {
+			if pruned[i] {
+				continue
+			}
 			if ctx.Err() != nil {
 				break
 			}

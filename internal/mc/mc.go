@@ -126,6 +126,13 @@ type Result struct {
 	// Truncated marks exploration that hit Options.MaxStates; Verified
 	// is false then even without a counterexample (unknown).
 	Truncated bool
+	// Vacuous marks a property CheckAll discharged statically: its
+	// trigger matches no statically-fireable rule, so it holds without
+	// exploration (Verified is true, StatesExplored stays zero).
+	Vacuous bool
+	// VacuityWitness is the static argument recorded in place of a
+	// trace when Vacuous is set.
+	VacuityWitness string
 }
 
 // Options tunes the checker.
@@ -158,6 +165,10 @@ type Options struct {
 	// SnapshotEvery checkpoints every Nth completed level (default 1);
 	// the final level is always checkpointed.
 	SnapshotEvery int
+	// NoVacuityPrune disables the static vacuity pre-pass in CheckAll:
+	// every property is explored even when its trigger is statically
+	// unreachable. The escape hatch for auditing the pruner.
+	NoVacuityPrune bool
 }
 
 func (o Options) maxStates() int {

@@ -184,7 +184,9 @@ func TestEngineMatchesSequentialPerClass(t *testing.T) {
 func TestCheckAllDeterministic(t *testing.T) {
 	sys := composedSystem(t)
 	list := catalogueMC(t)
-	opts := mc.Options{Workers: 8}
+	// NoVacuityPrune keeps this a pure engine-vs-sequential comparison;
+	// the pruner has its own differential in vacuity_test.go.
+	opts := mc.Options{Workers: 8, NoVacuityPrune: true}
 	first, err := mc.NewEngine().CheckAllContext(context.Background(), sys, list, opts)
 	if err != nil {
 		t.Fatalf("CheckAllContext: %v", err)

@@ -1,0 +1,143 @@
+// Differential tests for vacuity pre-pruning: a pruned catalogue run
+// must be byte-identical to the unpruned run modulo the skipped
+// properties, and every skipped property must be one the full
+// exploration verifies (soundness of the abstraction).
+package mc_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"prochecker/internal/mc"
+	"prochecker/internal/ts"
+)
+
+func TestVacuityPruneDifferential(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+
+	pruned, err := mc.NewEngine().CheckAllContext(context.Background(), sys, list, mc.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("pruned run: %v", err)
+	}
+	full, err := mc.NewEngine().CheckAllContext(context.Background(), sys, list, mc.Options{Workers: 4, NoVacuityPrune: true})
+	if err != nil {
+		t.Fatalf("unpruned run: %v", err)
+	}
+	if len(pruned) != len(full) {
+		t.Fatalf("result count: pruned %d, unpruned %d", len(pruned), len(full))
+	}
+
+	nVacuous := 0
+	for i := range list {
+		if pruned[i].Vacuous {
+			nVacuous++
+			if !pruned[i].Verified {
+				t.Errorf("%s: vacuous result not marked verified", list[i].Name())
+			}
+			if pruned[i].VacuityWitness == "" {
+				t.Errorf("%s: vacuous result lacks a static witness", list[i].Name())
+			}
+			if pruned[i].Counterexample != nil || pruned[i].StatesExplored != 0 {
+				t.Errorf("%s: vacuous result carries exploration artifacts: %+v", list[i].Name(), pruned[i])
+			}
+			// Soundness: the full exploration must agree the property holds.
+			if !full[i].Verified {
+				t.Errorf("%s: pruned as vacuous but the full run did not verify it (cex=%v)",
+					list[i].Name(), full[i].Counterexample != nil)
+			}
+			continue
+		}
+		// Non-vacuous properties: byte-identical to the unpruned run.
+		if !reflect.DeepEqual(pruned[i], full[i]) {
+			t.Errorf("%s: non-vacuous result differs:\n  pruned   %+v\n  unpruned %+v",
+				list[i].Name(), pruned[i], full[i])
+		}
+	}
+	if nVacuous == 0 {
+		t.Fatal("catalogue has no statically-vacuous property on the base model; the pruner discharged nothing")
+	}
+	t.Logf("vacuity pruning discharged %d of %d catalogue properties", nVacuous, len(list))
+}
+
+// TestVacuityPruneDeterministic: two pruned runs agree exactly.
+func TestVacuityPruneDeterministic(t *testing.T) {
+	sys := composedSystem(t)
+	list := catalogueMC(t)
+	first, err := mc.NewEngine().CheckAllContext(context.Background(), sys, list, mc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mc.NewEngine().CheckAllContext(context.Background(), sys, list, mc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two pruned runs disagree")
+	}
+}
+
+// TestVacuousOnUnits exercises the Vacuous oracle's edges on a tiny
+// system: unfireable triggers prune, fireable ones do not, invariants
+// never do.
+func TestVacuousOnUnits(t *testing.T) {
+	sys := ts.NewSystem("unit")
+	if err := sys.AddVar("x", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddRule(ts.Rule{Name: "step", Guard: ts.Eq{Var: "x", Value: "a"}, Assigns: []ts.Assign{{Var: "x", Value: "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// x=c is never assigned: dead's guard is statically unsatisfiable.
+	if err := sys.AddRule(ts.Rule{Name: "dead", Guard: ts.Eq{Var: "x", Value: "c"}}); err != nil {
+		t.Fatal(err)
+	}
+	reach := mc.StaticReach(sys)
+
+	if v, w := mc.Vacuous(reach, sys, mc.NeverFires{PropName: "p", Match: func(n string) bool { return n == "dead" }}); !v || w == "" {
+		t.Errorf("never-fires over a dead rule: vacuous=%v witness=%q", v, w)
+	}
+	if v, _ := mc.Vacuous(reach, sys, mc.NeverFires{PropName: "p", Match: func(n string) bool { return n == "step" }}); v {
+		t.Error("never-fires over a live rule must not be vacuous")
+	}
+	if v, _ := mc.Vacuous(reach, sys, mc.NeverFires{PropName: "p", Match: func(n string) bool { return n == "absent" }}); !v {
+		t.Error("never-fires matching no rule at all is vacuous")
+	}
+	if v, w := mc.Vacuous(reach, sys, mc.Response{
+		PropName: "r",
+		Trigger:  func(n string) bool { return n == "dead" },
+		Goal:     func(n string) bool { return n == "step" },
+	}); !v || w == "" {
+		t.Errorf("response with a dead trigger: vacuous=%v witness=%q", v, w)
+	}
+	if v, _ := mc.Vacuous(reach, sys, mc.Invariant{PropName: "i", Holds: ts.True{}}); v {
+		t.Error("invariants must never be vacuous")
+	}
+	if v, _ := mc.Vacuous(reach, sys, mc.NeverFires{PropName: "nil-match"}); v {
+		t.Error("a nil matcher must not be treated as vacuous")
+	}
+
+	// End to end: CheckAll returns the vacuous verdict for the dead rule
+	// and the real counterexample for the live one.
+	res := mc.CheckAll(sys, []mc.Property{
+		mc.NeverFires{PropName: "dead-prop", Match: func(n string) bool { return n == "dead" }},
+		mc.NeverFires{PropName: "live-prop", Match: func(n string) bool { return n == "step" }},
+	}, mc.Options{})
+	if !res[0].Vacuous || !res[0].Verified {
+		t.Errorf("dead-prop = %+v, want vacuous verified", res[0])
+	}
+	if res[1].Vacuous || res[1].Verified || res[1].Counterexample == nil {
+		t.Errorf("live-prop = %+v, want real counterexample", res[1])
+	}
+	// The escape hatch explores everything: no vacuous verdicts.
+	res = mc.CheckAll(sys, []mc.Property{
+		mc.NeverFires{PropName: "dead-prop", Match: func(n string) bool { return n == "dead" }},
+	}, mc.Options{NoVacuityPrune: true})
+	if res[0].Vacuous {
+		t.Errorf("NoVacuityPrune run still pruned: %+v", res[0])
+	}
+	if !res[0].Verified {
+		t.Errorf("full run of a vacuous property must verify: %+v", res[0])
+	}
+}

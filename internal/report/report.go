@@ -21,6 +21,7 @@ import (
 	"prochecker/internal/core/fsmodel"
 	"prochecker/internal/core/props"
 	"prochecker/internal/core/threat"
+	"prochecker/internal/dataflow"
 	"prochecker/internal/lint"
 	"prochecker/internal/ltemodels"
 	"prochecker/internal/mc"
@@ -187,6 +188,10 @@ type Verdict struct {
 	Duration   time.Duration
 	States     int
 	Iterations int
+	// Vacuous marks a model-checked property discharged by the static
+	// vacuity pre-pass: its trigger matches no statically-fireable rule,
+	// so it verified without exploration (States stays zero).
+	Vacuous bool
 }
 
 // Evaluator runs properties against a built model, caching outcomes.
@@ -200,6 +205,10 @@ type Evaluator struct {
 	mu       sync.Mutex
 	cache    map[string]Verdict
 	inflight map[string]*evalCall
+	// reach caches the static reachability fixpoint per system
+	// generation for the vacuity pre-check.
+	reach    *dataflow.RuleReach
+	reachGen uint64
 }
 
 // evalCall is one in-flight property evaluation; done is closed when the
@@ -307,6 +316,17 @@ func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (_ Verdict, 
 	v.PropertyID = p.ID
 	switch p.Kind {
 	case props.KindMC:
+		if vac, witness := e.vacuityCheck(p); vac {
+			v.Verified = true
+			v.Vacuous = true
+			v.Detail = "vacuously holds: " + witness
+			v.Duration = time.Since(start)
+			span.SetAttr("verdict", verdictWord(v))
+			if reg := obs.FromContext(ctx).Metrics(); reg != nil {
+				reg.Counter("mc.vacuity_pruned").Inc()
+			}
+			return v, nil
+		}
 		out, err := cegar.VerifyContext(ctx, e.model.Composed, p.MC(), e.cfg)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("report: verifying %s: %w", p.ID, err)
@@ -349,11 +369,33 @@ func (e *Evaluator) evaluate(ctx context.Context, p props.Property) (_ Verdict, 
 	return v, nil
 }
 
+// vacuityCheck runs the static vacuity pre-pass for a model-checked
+// property on the composed base system, caching the abstract
+// reachability fixpoint per system generation. Disabled by the
+// MC.NoVacuityPrune escape hatch.
+func (e *Evaluator) vacuityCheck(p props.Property) (bool, string) {
+	if e.cfg.MC.NoVacuityPrune {
+		return false, ""
+	}
+	sys := e.model.Composed.System
+	gen := sys.Generation()
+	e.mu.Lock()
+	if e.reach == nil || e.reachGen != gen {
+		e.reach = mc.StaticReach(sys)
+		e.reachGen = gen
+	}
+	reach := e.reach
+	e.mu.Unlock()
+	return mc.Vacuous(reach, sys, p.MC())
+}
+
 // verdictWord collapses a verdict to the manifest vocabulary.
 func verdictWord(v Verdict) string {
 	switch {
 	case v.Detected:
 		return "attack"
+	case v.Vacuous:
+		return "vacuously-holds"
 	case v.Verified:
 		return "verified"
 	default:

@@ -215,7 +215,11 @@ func (k Kind) ExitCode() int {
 		return ExitRetryExhausted
 	case KindLeaseExpired:
 		return ExitLeaseExpired
+	case KindInternal:
+		return ExitInternal
 	default:
+		// Unknown future kinds decay to the internal exit code; every
+		// declared kind is named above (enforced by exhaustive-switch).
 		return ExitInternal
 	}
 }
@@ -256,7 +260,11 @@ func (k Kind) Sentinel() error {
 		return ErrRetryExhausted
 	case KindLeaseExpired:
 		return ErrLeaseExpired
+	case KindInternal:
+		return errInternal
 	default:
+		// Unknown future kinds decay to the internal sentinel; every
+		// declared kind is named above (enforced by exhaustive-switch).
 		return errInternal
 	}
 }

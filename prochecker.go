@@ -127,8 +127,12 @@ type PropertyResult struct {
 	Text        string
 	Verified    bool
 	AttackFound bool
-	Detail      string
-	Duration    time.Duration
+	// Vacuous marks a model-checked property discharged by the static
+	// vacuity pre-pass: the verdict is Verified without exploration
+	// because no rule matching its trigger is statically fireable.
+	Vacuous  bool
+	Detail   string
+	Duration time.Duration
 	// AttackTrace lists the counterexample steps for model-checked
 	// attacks (empty otherwise).
 	AttackTrace []string
@@ -199,6 +203,16 @@ func WithFaults(cfg channel.FaultConfig) Option {
 // the cost of one pointer check per phase.
 func WithObserver(o *obs.Observer) Option {
 	return func(a *Analysis) { a.obsv = o }
+}
+
+// WithNoVacuityPrune disables the static vacuity pre-pass: every
+// model-checked property is explored even when the dataflow layer
+// proves its trigger statically unreachable. The default (pruning on)
+// returns identical verdicts for non-vacuous properties and verifies
+// vacuous ones without exploration; this escape hatch is for auditing
+// the pruner itself.
+func WithNoVacuityPrune() Option {
+	return func(a *Analysis) { a.mcOpts.NoVacuityPrune = true }
 }
 
 // Observer returns the recorder attached with WithObserver (nil when
@@ -329,6 +343,7 @@ func (a *Analysis) CheckPropertyContext(ctx context.Context, id string) (Propert
 		Text:        p.Text,
 		Verified:    v.Verified,
 		AttackFound: v.Detected,
+		Vacuous:     v.Vacuous,
 		Detail:      v.Detail,
 		Duration:    v.Duration,
 	}, nil
